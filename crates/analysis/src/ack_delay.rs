@@ -1,0 +1,127 @@
+//! Appendix D: why the ACK Delay field cannot replace the instant ACK.
+//!
+//! RFC 9002 ignores the acknowledgment delay when the *first* RTT sample
+//! initializes the estimator, so even a perfectly reported Δt in the
+//! coalesced ACK–SH cannot repair the first PTO — it can only help
+//! *re-estimate* from the second sample onward. On top of that, most
+//! server stacks report 0 (Table 3), and in the wild the reported delays
+//! frequently exceed the whole RTT (Figure 10), which clients must treat
+//! as implausible. This module quantifies all three effects.
+
+use crate::pto_model::pto_evolution;
+
+/// How a client could hypothetically use the ACK Delay field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckDelayStrategy {
+    /// RFC 9002 behaviour: ignore the delay for the first sample.
+    Rfc9002,
+    /// Hypothetical: subtract the reported delay already from the first
+    /// sample at PTO initialization.
+    SubtractAtInit,
+    /// Hypothetical: reinitialize the estimator from the second sample
+    /// (discard the inflated first sample entirely).
+    ReinitializeSecondSample,
+}
+
+/// First-PTO value (ms) under a strategy, for a path RTT and a
+/// certificate-store delay Δt that the server reports as ACK Delay with
+/// `report_accuracy` (1.0 = exact, 0.0 = reports zero like most stacks).
+pub fn first_pto_with_strategy(
+    strategy: AckDelayStrategy,
+    rtt_ms: f64,
+    delta_t_ms: f64,
+    report_accuracy: f64,
+) -> f64 {
+    let reported = delta_t_ms * report_accuracy;
+    match strategy {
+        AckDelayStrategy::Rfc9002 => {
+            // First sample = rtt + Δt; delay disregarded at init.
+            let s = rtt_ms + delta_t_ms;
+            s + (4.0 * (s / 2.0)).max(1.0)
+        }
+        AckDelayStrategy::SubtractAtInit => {
+            // Sample corrected by whatever the server reported; a client
+            // cannot subtract below a plausibility floor of 0.
+            let s = (rtt_ms + delta_t_ms - reported).max(rtt_ms.min(1.0));
+            s + (4.0 * (s / 2.0)).max(1.0)
+        }
+        AckDelayStrategy::ReinitializeSecondSample => {
+            // The second sample is a clean RTT; PTO after re-init = 3xRTT,
+            // but the first round trip still ran on the inflated value —
+            // this returns the *re-initialized* PTO (available only after
+            // one more exchange).
+            rtt_ms + (4.0 * (rtt_ms / 2.0)).max(1.0)
+        }
+    }
+}
+
+/// Number of RTT samples until the WFC PTO falls within `tolerance_ms`
+/// of the IACK PTO trajectory — how long the Δt inflation lingers if
+/// neither IACK nor a usable ACK Delay helps.
+pub fn rtts_until_converged(rtt_ms: f64, delta_t_ms: f64, tolerance_ms: f64) -> usize {
+    let wfc = pto_evolution(rtt_ms + delta_t_ms, rtt_ms, 200);
+    let iack = pto_evolution(rtt_ms, rtt_ms, 200);
+    wfc.iter()
+        .zip(iack.iter())
+        .position(|(w, i)| (w.pto_ms - i.pto_ms).abs() <= tolerance_ms)
+        .unwrap_or(200)
+}
+
+/// Whether a client should trust a reported ACK Delay: RFC 9002 §5.3 says
+/// the delay must not push the adjusted sample below `min_rtt`; reported
+/// delays larger than the sample are implausible (Figure 10's mass above
+/// the RTT).
+pub fn ack_delay_plausible(sample_ms: f64, reported_delay_ms: f64, min_rtt_ms: f64) -> bool {
+    sample_ms - reported_delay_ms >= min_rtt_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc_first_pto_ignores_reported_delay() {
+        // Even a perfect report changes nothing under RFC rules.
+        let exact = first_pto_with_strategy(AckDelayStrategy::Rfc9002, 9.0, 25.0, 1.0);
+        let none = first_pto_with_strategy(AckDelayStrategy::Rfc9002, 9.0, 25.0, 0.0);
+        assert_eq!(exact, none);
+        assert!((exact - 3.0 * 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subtract_at_init_needs_accurate_reports() {
+        let perfect = first_pto_with_strategy(AckDelayStrategy::SubtractAtInit, 9.0, 25.0, 1.0);
+        assert!((perfect - 27.0).abs() < 1e-9, "perfect report recovers 3xRTT, got {perfect}");
+        // Zero-reporting stacks (Table 3 majority) leave the inflation.
+        let zeros = first_pto_with_strategy(AckDelayStrategy::SubtractAtInit, 9.0, 25.0, 0.0);
+        assert!((zeros - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinit_gets_clean_pto_but_one_exchange_late() {
+        let reinit = first_pto_with_strategy(AckDelayStrategy::ReinitializeSecondSample, 9.0, 25.0, 0.0);
+        assert!((reinit - 27.0).abs() < 1e-9);
+        // The *first* PTO is still the inflated RFC one — the benefit is
+        // "limited to subsequent exchanges" (Appendix D).
+        let first = first_pto_with_strategy(AckDelayStrategy::Rfc9002, 9.0, 25.0, 0.0);
+        assert!(first > reinit);
+    }
+
+    #[test]
+    fn convergence_takes_many_rtts_without_correction() {
+        // At 9 ms RTT with Δt = 25 ms the PTO needs >5 exchanges to come
+        // within 5 ms of steady state.
+        let n = rtts_until_converged(9.0, 25.0, 5.0);
+        assert!(n >= 5, "converged after only {n} samples");
+        // With a tiny Δt the trajectories start within tolerance.
+        assert_eq!(rtts_until_converged(9.0, 0.5, 5.0), 0);
+    }
+
+    #[test]
+    fn plausibility_check_rejects_figure10_outliers() {
+        // Reported delay exceeding the sample-minus-min_rtt is unusable.
+        assert!(ack_delay_plausible(34.0, 25.0, 9.0));
+        assert!(!ack_delay_plausible(34.0, 30.0, 9.0));
+        assert!(!ack_delay_plausible(10.0, 15.0, 9.0), "delay above the RTT itself");
+    }
+}

@@ -1,0 +1,115 @@
+//! The deployment guideline matrix (paper Table 2 / Appendix C).
+
+use crate::pto_model::spurious_retransmit;
+
+/// Which server behaviour a scenario favours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Wait for the certificate.
+    Wfc,
+    /// Send an instant ACK.
+    Iack,
+}
+
+/// The deployment parameters Table 2 conditions on.
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentScenario {
+    /// Certificate (first server flight) exceeds the 3x anti-amplification
+    /// budget of the client's Initial.
+    pub cert_exceeds_amplification: bool,
+    /// Client-frontend RTT in ms.
+    pub rtt_ms: f64,
+    /// Frontend ↔ certificate store delay Δt in ms.
+    pub delta_t_ms: f64,
+    /// The loss pattern the operator optimizes for.
+    pub loss: ExpectedLoss,
+}
+
+/// Loss situations distinguished by Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedLoss {
+    /// No loss expected.
+    None,
+    /// First server flight except the first datagram is lost.
+    ServerFlightTail,
+    /// Second client flight is lost.
+    SecondClientFlight,
+}
+
+/// Reproduces Table 2 row by row.
+///
+/// * Large certificates (row 2): IACK always — the earlier client probes
+///   refill the amplification budget.
+/// * Small certificates (row 1): WFC when the server-flight tail is the
+///   loss to defend against (the server needs its own RTT sample); IACK
+///   for client-flight loss and for the no-loss case with Δt below the
+///   client PTO; WFC when Δt ≥ 3 RTT (spurious retransmits).
+pub fn recommend(s: &DeploymentScenario) -> Advice {
+    if s.cert_exceeds_amplification {
+        return Advice::Iack;
+    }
+    match s.loss {
+        ExpectedLoss::ServerFlightTail => Advice::Wfc,
+        ExpectedLoss::SecondClientFlight => Advice::Iack,
+        ExpectedLoss::None => {
+            if spurious_retransmit(s.rtt_ms, s.delta_t_ms) {
+                Advice::Wfc
+            } else {
+                Advice::Iack
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(cert_big: bool, rtt: f64, dt: f64, loss: ExpectedLoss) -> DeploymentScenario {
+        DeploymentScenario {
+            cert_exceeds_amplification: cert_big,
+            rtt_ms: rtt,
+            delta_t_ms: dt,
+            loss,
+        }
+    }
+
+    #[test]
+    fn table2_row2_large_cert_always_iack() {
+        for loss in [ExpectedLoss::None, ExpectedLoss::ServerFlightTail, ExpectedLoss::SecondClientFlight] {
+            for dt in [1.0, 100.0, 1000.0] {
+                assert_eq!(recommend(&scenario(true, 10.0, dt, loss)), Advice::Iack);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_row1_server_flight_loss_prefers_wfc() {
+        assert_eq!(
+            recommend(&scenario(false, 10.0, 5.0, ExpectedLoss::ServerFlightTail)),
+            Advice::Wfc
+        );
+    }
+
+    #[test]
+    fn table2_row1_client_flight_loss_prefers_iack() {
+        assert_eq!(
+            recommend(&scenario(false, 10.0, 5.0, ExpectedLoss::SecondClientFlight)),
+            Advice::Iack
+        );
+    }
+
+    #[test]
+    fn table2_row1_no_loss_depends_on_delta_t() {
+        // Δt < 3 RTT: IACK; Δt ≥ 3 RTT: WFC (spurious retransmits).
+        assert_eq!(recommend(&scenario(false, 10.0, 20.0, ExpectedLoss::None)), Advice::Iack);
+        assert_eq!(recommend(&scenario(false, 10.0, 40.0, ExpectedLoss::None)), Advice::Wfc);
+    }
+
+    #[test]
+    fn cloudflare_operating_point_is_iack() {
+        // §4.3: median IACK→SH gap ~2.1-2.6 ms at RTTs of ~8-9 ms — well
+        // inside the IACK-beneficial zone.
+        assert_eq!(recommend(&scenario(false, 8.0, 2.5, ExpectedLoss::None)), Advice::Iack);
+    }
+}

@@ -1,0 +1,130 @@
+//! The closed-form PTO model behind Figures 2 and 4.
+//!
+//! RFC 9002 arithmetic, applied to the CDN topology of Figure 1: the
+//! client's first RTT sample is `rtt` under IACK but `rtt + Δt` under WFC,
+//! and each subsequent sample equals the true path RTT. The EWMA recursion
+//! then determines the whole PTO trajectory.
+
+/// One point of the PTO evolution (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtoPoint {
+    /// Index of the ACK-carrying packet (0 = first sample).
+    pub index: usize,
+    /// Smoothed RTT in ms after this sample.
+    pub smoothed_rtt_ms: f64,
+    /// RTT variation in ms after this sample.
+    pub rtt_variance_ms: f64,
+    /// PTO in ms after this sample: `srtt + max(4*var, 1)`.
+    pub pto_ms: f64,
+}
+
+/// Computes the PTO evolution over `n` samples (RFC 9002 §5.3/§6.2).
+///
+/// `first_sample_ms` is the inflated (WFC) or true (IACK) first sample;
+/// `steady_sample_ms` is every subsequent sample — Figure 2 assumes all
+/// later packets arrive exactly after one RTT.
+pub fn pto_evolution(first_sample_ms: f64, steady_sample_ms: f64, n: usize) -> Vec<PtoPoint> {
+    let mut out = Vec::with_capacity(n);
+    let mut srtt = 0.0;
+    let mut var = 0.0;
+    for i in 0..n {
+        if i == 0 {
+            srtt = first_sample_ms;
+            var = first_sample_ms / 2.0;
+        } else {
+            let sample = steady_sample_ms;
+            var = 0.75 * var + 0.25 * (srtt - sample).abs();
+            srtt = 0.875 * srtt + 0.125 * sample;
+        }
+        out.push(PtoPoint {
+            index: i,
+            smoothed_rtt_ms: srtt,
+            rtt_variance_ms: var,
+            pto_ms: srtt + (4.0 * var).max(1.0),
+        });
+    }
+    out
+}
+
+/// First-PTO reduction of IACK versus WFC, in units of the path RTT
+/// (Figure 4's y-axis).
+///
+/// WFC's first sample is `rtt + Δt`, IACK's is `rtt`; both first PTOs are
+/// three times their sample, so the reduction is `3Δt / rtt`.
+pub fn first_pto_reduction_rtt(rtt_ms: f64, delta_t_ms: f64) -> f64 {
+    assert!(rtt_ms > 0.0);
+    3.0 * delta_t_ms / rtt_ms
+}
+
+/// Whether an instant ACK provokes spurious retransmissions: the client's
+/// first PTO (3 x RTT, floored by the 1 ms granularity term) expires before
+/// the ServerHello — delayed by Δt — can arrive (Figure 4's shaded zone).
+pub fn spurious_retransmit(rtt_ms: f64, delta_t_ms: f64) -> bool {
+    let first_pto = 3.0_f64.mul_add(rtt_ms, 0.0).max(rtt_ms + 1.0);
+    delta_t_ms > first_pto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_point_is_three_times_sample() {
+        let pts = pto_evolution(9.0, 9.0, 1);
+        assert!((pts[0].pto_ms - 27.0).abs() < 1e-9);
+        let pts = pto_evolution(25.0, 25.0, 1);
+        assert!((pts[0].pto_ms - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_iack_improves_first_pto_by_three_delta() {
+        // Fig. 2 setup: the instant ACK arrives 4 ms earlier.
+        let wfc = pto_evolution(13.0, 9.0, 50);
+        let iack = pto_evolution(9.0, 9.0, 50);
+        let diff0 = wfc[0].pto_ms - iack[0].pto_ms;
+        assert!((diff0 - 12.0).abs() < 1e-9, "3 x Δt = 12 ms, got {diff0}");
+        // The gap decays as the EWMA absorbs true samples.
+        let diff10 = wfc[10].pto_ms - iack[10].pto_ms;
+        assert!(diff10 < diff0 && diff10 > 0.0);
+        // Eventually both approach the steady-state PTO.
+        let diff49 = wfc[49].pto_ms - iack[49].pto_ms;
+        assert!(diff49 < 1.0, "PTOs converge, residual {diff49}");
+    }
+
+    #[test]
+    fn wfc_pto_decays_monotonically_toward_truth() {
+        let wfc = pto_evolution(25.0 + 16.0, 25.0, 50);
+        for w in wfc.windows(2).skip(1) {
+            assert!(w[1].pto_ms <= w[0].pto_ms + 1e-9, "{w:?}");
+        }
+        let last = wfc.last().unwrap();
+        let steady = pto_evolution(25.0, 25.0, 50).last().unwrap().pto_ms;
+        assert!((last.pto_ms - steady).abs() < 2.0);
+    }
+
+    #[test]
+    fn reduction_in_rtt_units() {
+        // Fig. 4: lower-latency connections profit relatively more.
+        assert!((first_pto_reduction_rtt(10.0, 10.0) - 3.0).abs() < 1e-9);
+        assert!((first_pto_reduction_rtt(100.0, 10.0) - 0.3).abs() < 1e-9);
+        assert!(first_pto_reduction_rtt(1.0, 25.0) > first_pto_reduction_rtt(100.0, 25.0));
+    }
+
+    #[test]
+    fn spurious_zone_boundary() {
+        // Δt must exceed ~3x RTT for spurious retransmits.
+        assert!(!spurious_retransmit(10.0, 25.0));
+        assert!(spurious_retransmit(10.0, 31.0));
+        assert!(!spurious_retransmit(100.0, 200.0));
+        assert!(spurious_retransmit(1.0, 10.0));
+    }
+
+    #[test]
+    fn evolution_length_and_indices() {
+        let pts = pto_evolution(9.0, 9.0, 10);
+        assert_eq!(pts.len(), 10);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation (paper §5): padded instant ACKs. Cloudflare pads the IACK to
+//! probe the path MTU; the padding consumes anti-amplification budget,
+//! which can delay the handshake when the certificate already exceeds the
+//! limit ("this consumes additional amplification budget, which can lead
+//! to an overall longer time until the handshake completes").
+
+use rq_bench::{banner, ms_cell, repetitions, WFC};
+use rq_http::HttpVersion;
+use rq_profiles::client_by_name;
+use rq_quic::ServerAckMode;
+use rq_sim::SimDuration;
+use rq_testbed::{median, run_repetitions, Scenario};
+
+fn main() {
+    banner(
+        "exp_ablation_padded_iack",
+        "§5 discussion (no paper figure)",
+        "TTFB [ms], large cert + Δt = 200 ms (the Figure 5 setup): unpadded vs MTU-padded IACK.",
+    );
+    let reps = repetitions();
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>14}",
+        "client", "WFC", "IACK plain", "IACK padded", "padding cost"
+    );
+    for name in ["neqo", "ngtcp2", "quic-go", "aioquic"] {
+        let client = client_by_name(name).unwrap();
+        let run = |mode: ServerAckMode| {
+            let mut sc = Scenario::base(client.clone(), mode, HttpVersion::H1);
+            sc.cert_len = rq_tls::CERT_LARGE;
+            sc.cert_delay = SimDuration::from_millis(200);
+            let v: Vec<f64> =
+                run_repetitions(&sc, reps).into_iter().filter_map(|r| r.ttfb_ms).collect();
+            median(&v)
+        };
+        let wfc = run(WFC);
+        let plain = run(ServerAckMode::InstantAck { pad_to_mtu: false });
+        let padded = run(ServerAckMode::InstantAck { pad_to_mtu: true });
+        let cost = match (plain, padded) {
+            (Some(p), Some(q)) => format!("{:+13.1}", q - p),
+            _ => format!("{:>13}", "-"),
+        };
+        println!(
+            "{:<10} {} {} {} {}",
+            name,
+            ms_cell(wfc),
+            ms_cell(plain),
+            ms_cell(padded),
+            cost
+        );
+    }
+    println!("\nexpected: padding costs ≈1150 B of a 3600 B budget — up to one extra probe round trip.");
+}

@@ -1,0 +1,65 @@
+//! Appendix D: can the ACK Delay field replace the instant ACK?
+//!
+//! Three strikes: (1) the RFC ignores the delay at PTO initialization,
+//! (2) most server stacks report 0 (Table 3), (3) wild reports frequently
+//! exceed the RTT and must be discarded (Figure 10).
+
+use rq_analysis::{first_pto_with_strategy, rtts_until_converged, AckDelayStrategy};
+use rq_analysis::ack_delay::ack_delay_plausible;
+use rq_bench::banner;
+use rq_profiles::all_servers;
+use rq_sim::SimDuration;
+
+fn main() {
+    banner(
+        "exp_appendix_d",
+        "Appendix D + Table 3",
+        "First PTO [ms] at 9 ms RTT, Δt = 25 ms, under hypothetical ACK-Delay strategies.",
+    );
+    println!(
+        "{:<30} {:>14} {:>14}",
+        "strategy", "exact report", "zero report"
+    );
+    for (label, strategy) in [
+        ("RFC 9002 (ignore at init)", AckDelayStrategy::Rfc9002),
+        ("subtract at init", AckDelayStrategy::SubtractAtInit),
+        ("re-init from 2nd sample", AckDelayStrategy::ReinitializeSecondSample),
+    ] {
+        let exact = first_pto_with_strategy(strategy, 9.0, 25.0, 1.0);
+        let zero = first_pto_with_strategy(strategy, 9.0, 25.0, 0.0);
+        println!("{label:<30} {exact:>14.1} {zero:>14.1}");
+    }
+    println!("(IACK achieves 27.0 ms immediately, with no server cooperation needed.)");
+
+    println!(
+        "\nWithout correction the inflation lingers: {} RTT samples until the WFC PTO is \
+         within 5 ms of the IACK trajectory (9 ms RTT, Δt = 25 ms).",
+        rtts_until_converged(9.0, 25.0, 5.0)
+    );
+
+    // Strike 2: who even reports a useful delay? (Table 3 profiles.)
+    let servers = all_servers();
+    let zero_or_none = servers
+        .iter()
+        .filter(|s| {
+            s.initial_ack_delay.map(|d| d == SimDuration::ZERO).unwrap_or(true)
+        })
+        .count();
+    println!(
+        "\nServer support (Table 3): {zero_or_none}/{} stacks report 0 ms or send no \
+         Initial ACK at all — 'subtract at init' would do nothing against them.",
+        servers.len()
+    );
+
+    // Strike 3: plausibility of wild reports (Figure 10 shape).
+    println!("\nPlausibility (Figure 10): a report is usable only if sample − delay ≥ min_rtt:");
+    for (cdn, factor) in [("Cloudflare IACK", 1.4), ("Akamai IACK", 0.7), ("Meta coalesced", 1.5)] {
+        let rtt = 9.0f64;
+        let report = rtt * factor;
+        println!(
+            "  {cdn:<18} typical report {report:>5.1} ms on a {rtt:.0} ms path → usable: {}",
+            ack_delay_plausible(rtt + 2.0, report, rtt)
+        );
+    }
+    println!("\npaper: \"Current implementations challenge the use of this alternative.\"");
+}

@@ -1,0 +1,31 @@
+//! Figure 2: calculated evolution of the PTO, WFC vs IACK, assuming all
+//! subsequent packets arrive exactly after one RTT and the instant ACK is
+//! delivered 4 ms earlier.
+
+use rq_analysis::pto_evolution;
+use rq_bench::banner;
+
+fn main() {
+    banner(
+        "exp_fig02",
+        "Figure 2",
+        "PTO evolution over packets with new ACKs; IACK improves the first PTO by 3xΔt (Δt = 4 ms)",
+    );
+    for rtt in [9.0f64, 25.0] {
+        println!("\nClient-Frontend RTT {rtt} ms:");
+        println!("{:>6} {:>12} {:>12} {:>12}", "index", "WFC PTO[ms]", "IACK PTO[ms]", "diff[ms]");
+        let wfc = pto_evolution(rtt + 4.0, rtt, 50);
+        let iack = pto_evolution(rtt, rtt, 50);
+        for i in [0usize, 1, 2, 5, 10, 20, 30, 49] {
+            println!(
+                "{:>6} {:>12.2} {:>12.2} {:>12.2}",
+                i,
+                wfc[i].pto_ms,
+                iack[i].pto_ms,
+                wfc[i].pto_ms - iack[i].pto_ms
+            );
+        }
+        let first_diff = wfc[0].pto_ms - iack[0].pto_ms;
+        println!("first-PTO improvement: {first_diff:.1} ms (expected 3 x 4 = 12 ms)");
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 4: first-PTO reduction (in RTT units) versus client-frontend
+//! RTT for Δt ∈ {1, 9, 25} ms, plus the spurious-retransmission boundary.
+
+use rq_analysis::{first_pto_reduction_rtt, spurious_retransmit};
+use rq_bench::banner;
+
+fn main() {
+    banner(
+        "exp_fig04",
+        "Figure 4",
+        "First PTO improvement per RFC 9002; spurious retransmits when Δt exceeds the client PTO",
+    );
+    let deltas = [1.0f64, 9.0, 25.0];
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "RTT[ms]", "Δt=1ms [RTT]", "Δt=9ms [RTT]", "Δt=25ms [RTT]"
+    );
+    for rtt in [1u32, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let rtt = f64::from(rtt);
+        let cells: Vec<String> = deltas
+            .iter()
+            .map(|&dt| {
+                let red = first_pto_reduction_rtt(rtt, dt);
+                let zone = if spurious_retransmit(rtt, dt) { " (spurious!)" } else { "" };
+                format!("{red:>10.3}{zone:<10}")
+            })
+            .collect();
+        println!("{rtt:>8} {}", cells.join(" "));
+    }
+    println!("\nZone boundaries (Δt where spurious retransmissions start = client first PTO):");
+    for rtt in [1.0f64, 5.0, 9.0, 25.0, 50.0, 100.0] {
+        // First PTO = 3 x RTT (granularity-floored at small RTTs).
+        let boundary = (3.0 * rtt).max(rtt + 1.0);
+        println!("  RTT {rtt:>6.1} ms → spurious for Δt > {boundary:>7.1} ms");
+    }
+}

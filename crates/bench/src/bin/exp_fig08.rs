@@ -1,0 +1,50 @@
+//! Figure 8: CDF of the delay between the first ACK and the subsequent
+//! ServerHello, per CDN, from the Sao Paulo vantage point.
+
+use rq_bench::{banner, scan_population};
+use rq_sim::SimRng;
+use rq_wild::{scan, Cdn, Population, Vantage};
+
+fn main() {
+    banner(
+        "exp_fig08",
+        "Figure 8",
+        "ACK→SH delay percentiles [ms] per CDN, Sao Paulo (coalesced ACK–SH counted as 0).",
+    );
+    let pop = Population::synthesize(scan_population(), &mut SimRng::new(0xF16_08));
+    let report = scan(&pop, 1, 0xF16_08);
+    println!(
+        "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "CDN", "n", "p10", "p25", "p50", "p75", "p90", "IACK median"
+    );
+    for cdn in [Cdn::Akamai, Cdn::Amazon, Cdn::Cloudflare, Cdn::Google, Cdn::Others] {
+        let mut delays = report.ack_sh_delays(Vantage::SaoPaulo, cdn);
+        delays.sort_by(f64::total_cmp);
+        if delays.is_empty() {
+            continue;
+        }
+        let pct = |p: f64| delays[(p / 100.0 * (delays.len() - 1) as f64) as usize];
+        // The paper's quoted medians are over IACK handshakes (delay > 0).
+        let iack_only: Vec<f64> = delays.iter().copied().filter(|d| *d > 0.0).collect();
+        let iack_med = if iack_only.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.2}", iack_only[iack_only.len() / 2])
+        };
+        println!(
+            "{:<12} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12}",
+            cdn.name(),
+            delays.len(),
+            pct(10.0),
+            pct(25.0),
+            pct(50.0),
+            pct(75.0),
+            pct(90.0),
+            iack_med
+        );
+    }
+    println!(
+        "\npaper: median IACK→SH gaps 3.2 ms (Cloudflare), 6.4 (Amazon), 30.3 (Google), \
+         20.9 (Akamai); Akamai is significantly slower to deliver the SH."
+    );
+}

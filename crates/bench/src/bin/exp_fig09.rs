@@ -1,0 +1,47 @@
+//! Figure 9: one-week reception latency of ACK, SH, and coalesced ACK–SH
+//! from Cloudflare in Sao Paulo (one probe per minute, Cf-Ray-filtered).
+
+use rq_bench::banner;
+use rq_wild::longitudinal::{median_of, LongitudinalStudy, StudyDomain};
+use rq_wild::Vantage;
+
+fn main() {
+    banner(
+        "exp_fig09",
+        "Figure 9",
+        "Median time since ClientHello [ms] per 6-hour bin over one week, Cloudflare, Sao Paulo.",
+    );
+    let domain = StudyDomain {
+        name: "own-domain".into(),
+        probe_rate_per_min: 1.0,
+        background_rate_per_s: 0.0,
+    };
+    let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, domain);
+    let obs = study.run(7 * 24 * 60, 0x5A0);
+    println!("{:>6} {:>10} {:>10} {:>10}", "hour", "ACK", "SH", "ACK,SH");
+    for bin_start in (0..7 * 24).step_by(6) {
+        let bin: Vec<_> = obs
+            .iter()
+            .filter(|o| {
+                o.same_colo && o.minute >= bin_start * 60 && o.minute < (bin_start + 6) * 60
+            })
+            .collect();
+        let ack = median_of(bin.iter().filter_map(|o| o.time_to_ack_ms));
+        let sh = median_of(bin.iter().filter_map(|o| o.time_to_sh_ms));
+        let coal = median_of(bin.iter().filter_map(|o| o.time_to_coalesced_ms));
+        let f = |v: Option<f64>| v.map(|x| format!("{x:10.2}")).unwrap_or(format!("{:>10}", "-"));
+        println!("{:>6} {} {} {}", bin_start, f(ack), f(sh), f(coal));
+    }
+    let gaps: Vec<f64> = obs
+        .iter()
+        .filter_map(|o| match (o.time_to_ack_ms, o.time_to_sh_ms) {
+            (Some(a), Some(s)) => Some(s - a),
+            _ => None,
+        })
+        .collect();
+    println!(
+        "\nmedian ACK→SH gap over the week: {:.2} ms (paper: 2.1 ms in Sao Paulo; \
+         gaps widen during local daytime)",
+        median_of(gaps.into_iter()).unwrap()
+    );
+}

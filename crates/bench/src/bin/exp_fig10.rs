@@ -1,0 +1,39 @@
+//! Figure 10: difference between the client-frontend RTT and the reported
+//! acknowledgment delay, split into coalesced ACK–SH and IACK populations.
+
+use rq_bench::{banner, scan_population};
+use rq_sim::SimRng;
+use rq_wild::{scan, Cdn, Population};
+
+fn main() {
+    banner(
+        "exp_fig10",
+        "Figure 10",
+        "RTT − ack_delay [ms]: negative values mean the reported delay exceeds the RTT \
+         (the client would then ignore it or underestimate the path RTT, Appendix D).",
+    );
+    let pop = Population::synthesize(scan_population(), &mut SimRng::new(0xF16_10));
+    let report = scan(&pop, 1, 0xF16_10);
+    println!(
+        "{:<12} {:>24} {:>24}",
+        "CDN", "coalesced: med / %>RTT", "IACK: med / %>RTT"
+    );
+    for cdn in Cdn::ALL {
+        let (coalesced, iack) = report.rtt_minus_ack_delay(cdn);
+        let stats = |v: &[f64]| {
+            if v.is_empty() {
+                return format!("{:>14} {:>8}", "-", "-");
+            }
+            let mut s = v.to_vec();
+            s.sort_by(f64::total_cmp);
+            let med = s[s.len() / 2];
+            let exceed = v.iter().filter(|d| **d < 0.0).count() as f64 / v.len() as f64;
+            format!("{med:>10.2}ms {:>7.1}%", exceed * 100.0)
+        };
+        println!("{:<12} {:>24} {:>24}", cdn.name(), stats(&coalesced), stats(&iack));
+    }
+    println!(
+        "\npaper: coalesced ACK–SH ack delays exceed the RTT for ≥87% of Akamai/Amazon/\
+         Cloudflare/Meta domains; IACK delays sit below the RTT for Akamai (61%) and Others (79%)."
+    );
+}

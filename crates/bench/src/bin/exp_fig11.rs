@@ -1,0 +1,42 @@
+//! Figure 11: number of exposed recovery:metric updates versus packets
+//! with new ACKs, per client, for a 10 MB transfer at 100 ms RTT (WFC).
+
+use rq_bench::{banner, clients_for, WFC};
+use rq_http::HttpVersion;
+use rq_sim::SimDuration;
+use rq_testbed::{run_scenario, Scenario};
+
+fn main() {
+    banner(
+        "exp_fig11",
+        "Figure 11",
+        "Exposed recovery:metric updates vs packets with new ACKs; 10 MB @ 100 ms RTT, WFC.",
+    );
+    println!(
+        "{:<10} {:>22} {:>22} {:>10}",
+        "client", "recovery:metric upd.", "packets w/ new ACKs", "share"
+    );
+    for client in clients_for(HttpVersion::H1) {
+        let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
+        sc.rtt = SimDuration::from_millis(100);
+        sc.file_size = 10 * 1024 * 1024;
+        let res = run_scenario(&sc);
+        let share = if res.client_new_ack_packets > 0 {
+            res.exposed_metric_updates as f64 / res.client_new_ack_packets as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>22} {:>22} {:>9.0}%",
+            client.name,
+            res.exposed_metric_updates,
+            res.client_new_ack_packets,
+            share * 100.0
+        );
+        assert!(res.completed, "{} failed: {res:?}", client.name);
+    }
+    println!(
+        "\npaper: aioquic/go-x-net/mvfst/quiche expose (nearly) all updates; \
+         neqo/ngtcp2/picoquic/quic-go expose a smaller fraction."
+    );
+}

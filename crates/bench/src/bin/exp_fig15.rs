@@ -1,0 +1,46 @@
+//! Figure 15: the Cloudflare longitudinal study from all four locations.
+
+use rq_bench::banner;
+use rq_wild::longitudinal::{median_of, LongitudinalStudy, StudyDomain};
+use rq_wild::VANTAGES;
+
+fn main() {
+    banner(
+        "exp_fig15",
+        "Figure 15",
+        "Weekly medians of time since ClientHello [ms], Cloudflare, per vantage point.",
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "vantage", "ACK", "SH", "ACK,SH", "gap (SH-ACK)"
+    );
+    for (i, vantage) in VANTAGES.into_iter().enumerate() {
+        let domain = StudyDomain {
+            name: "own-domain".into(),
+            probe_rate_per_min: 1.0,
+            background_rate_per_s: 0.0,
+        };
+        let study = LongitudinalStudy::cloudflare(vantage, domain);
+        let obs = study.run(7 * 24 * 60, 0x5A0 + i as u64);
+        let ack = median_of(obs.iter().filter_map(|o| o.time_to_ack_ms));
+        let sh = median_of(obs.iter().filter_map(|o| o.time_to_sh_ms));
+        let coal = median_of(obs.iter().filter_map(|o| o.time_to_coalesced_ms));
+        let gap = median_of(obs.iter().filter_map(|o| match (o.time_to_ack_ms, o.time_to_sh_ms) {
+            (Some(a), Some(s)) => Some(s - a),
+            _ => None,
+        }));
+        let f = |v: Option<f64>| v.map(|x| format!("{x:10.2}")).unwrap_or(format!("{:>10}", "-"));
+        println!(
+            "{:<14} {} {} {} {}",
+            vantage.name(),
+            f(ack),
+            f(sh),
+            f(coal),
+            f(gap)
+        );
+    }
+    println!(
+        "\npaper: coalesced ACK–SH arrives faster than a separate SH at every location; median \
+         IACK→SH gaps 2.1 ms (Sao Paulo, Hamburg), 2.4 (Los Angeles), 2.6 (Hong Kong)."
+    );
+}

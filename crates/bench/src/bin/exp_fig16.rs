@@ -1,0 +1,52 @@
+//! Figure 16: median first-PTO improvement of IACK over WFC, derived from
+//! the recovery-metric updates (qlog), across network RTTs.
+//!
+//! The paper finds a consistent improvement across RTTs whose magnitude is
+//! the QUIC-stack Δt (median 2.9–7.8 ms between client stacks); we emulate
+//! Δt = 4 ms like Figure 2.
+
+use rq_bench::{banner, clients_for, repetitions, IACK, WFC};
+use rq_http::HttpVersion;
+use rq_sim::SimDuration;
+use rq_testbed::{median, run_repetitions, Scenario};
+
+fn main() {
+    banner(
+        "exp_fig16",
+        "Figure 16",
+        "Median first-PTO improvement (WFC − IACK) [ms] from qlog metrics, Δt = 4 ms.",
+    );
+    let reps = repetitions();
+    let rtts: Vec<u64> = vec![1, 9, 20, 50, 100, 150, 200, 250, 300];
+    print!("{:<10}", "client");
+    for rtt in &rtts {
+        print!(" {:>8}", format!("{rtt}ms"));
+    }
+    println!();
+    for client in clients_for(HttpVersion::H1) {
+        print!("{:<10}", client.name);
+        for &rtt in &rtts {
+            let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
+            sc.rtt = SimDuration::from_millis(rtt);
+            sc.cert_delay = SimDuration::from_millis(4);
+            let wfc_ptos: Vec<f64> = run_repetitions(&sc, reps)
+                .iter()
+                .filter_map(|r| r.first_pto_ms)
+                .collect();
+            sc.ack_mode = IACK;
+            let iack_ptos: Vec<f64> = run_repetitions(&sc, reps)
+                .iter()
+                .filter_map(|r| r.first_pto_ms)
+                .collect();
+            match (median(&wfc_ptos), median(&iack_ptos)) {
+                (Some(w), Some(i)) => print!(" {:>8.1}", w - i),
+                _ => print!(" {:>8}", "-"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\npaper: improvements are consistent across RTTs (3xΔt ≈ 12 ms here; 7–24.7 ms in the \
+         paper's stacks); go-x-net is erratic due to its smoothed-RTT mis-initialization."
+    );
+}

@@ -1,0 +1,65 @@
+//! Table 2: deployment suggestions — the guideline matrix, cross-validated
+//! against the emulation testbed.
+
+use rq_analysis::{recommend, Advice, DeploymentScenario};
+use rq_analysis::guidelines::ExpectedLoss;
+use rq_bench::{banner, repetitions, wfc_iack_pair, WFC};
+use rq_http::HttpVersion;
+use rq_profiles::client_by_name;
+use rq_sim::SimDuration;
+use rq_testbed::{LossSpec, Scenario};
+
+fn main() {
+    banner(
+        "exp_tab02",
+        "Table 2",
+        "Deployment suggestions with and without packet loss, plus testbed cross-validation.",
+    );
+    println!("Analytical matrix (RTT 9 ms):");
+    println!(
+        "{:<42} {:>18} {:>18}",
+        "", "cert ≤ ampl. limit", "cert > ampl. limit"
+    );
+    let cells: [(&str, ExpectedLoss, f64); 4] = [
+        ("loss: server flight except 1st datagram", ExpectedLoss::ServerFlightTail, 5.0),
+        ("loss: second client flight", ExpectedLoss::SecondClientFlight, 5.0),
+        ("no loss, Δt < 3 RTT (PTO)", ExpectedLoss::None, 5.0),
+        ("no loss, Δt ≥ 3 RTT (PTO)", ExpectedLoss::None, 40.0),
+    ];
+    for (label, loss, dt) in cells {
+        let advise = |big| {
+            match recommend(&DeploymentScenario {
+                cert_exceeds_amplification: big,
+                rtt_ms: 9.0,
+                delta_t_ms: dt,
+                loss,
+            }) {
+                Advice::Wfc => "WFC",
+                Advice::Iack => "IACK",
+            }
+        };
+        println!("{:<42} {:>18} {:>18}", label, advise(false), advise(true));
+    }
+
+    println!("\nTestbed cross-validation (quic-go client, small cert, 9 ms RTT):");
+    let reps = repetitions();
+    let client = client_by_name("quic-go").unwrap();
+    let check = |label: &str, loss: LossSpec, dt_ms: u64, expect: Advice| {
+        let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
+        sc.loss = loss;
+        sc.cert_delay = SimDuration::from_millis(dt_ms);
+        let (wfc, iack, _) = wfc_iack_pair(&sc, reps);
+        let (w, i) = (wfc.unwrap(), iack.unwrap());
+        let winner = if i < w { Advice::Iack } else { Advice::Wfc };
+        let matches = winner == expect;
+        println!(
+            "  {label:<44} WFC {w:7.1} ms  IACK {i:7.1} ms  → {} (predicted {:?}, {})",
+            if winner == Advice::Iack { "IACK" } else { "WFC" },
+            expect,
+            if matches { "match" } else { "MISMATCH" }
+        );
+    };
+    check("server-flight tail loss", LossSpec::ServerFlightTail, 5, Advice::Wfc);
+    check("second-client-flight loss", LossSpec::SecondClientFlight, 5, Advice::Iack);
+    check("no loss, Δt = 5 ms", LossSpec::None, 5, Advice::Iack);
+}

@@ -1,0 +1,43 @@
+//! Table 3: the ACK Delay reported in the first Initial- and
+//! Handshake-space acknowledgment of each server implementation, measured
+//! with a quic-go client over three repetitions.
+
+use rq_bench::banner;
+use rq_bench::tab3::measure_first_ack_delays;
+use rq_profiles::all_servers;
+
+fn main() {
+    banner(
+        "exp_tab03",
+        "Table 3",
+        "First ACK Delay [ms] per server, Initial and Handshake packet number space, 3 repetitions.",
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
+        "server", "init#1", "init#2", "init#3", "hs#1", "hs#2", "hs#3"
+    );
+    for server in all_servers() {
+        let mut initial = Vec::new();
+        let mut handshake = Vec::new();
+        for rep in 0..3 {
+            let d = measure_first_ack_delays(&server, 100 + rep);
+            initial.push(d.initial_ms);
+            handshake.push(d.handshake_ms);
+        }
+        let f = |v: Option<f64>| v.map(|x| format!("{x:8.1}")).unwrap_or(format!("{:>8}", "-"));
+        println!(
+            "{:<10} {} {} {}   {} {} {}",
+            server.name,
+            f(initial[0]),
+            f(initial[1]),
+            f(initial[2]),
+            f(handshake[0]),
+            f(handshake[1]),
+            f(handshake[2]),
+        );
+    }
+    println!(
+        "\npaper: six stacks report 0 ms; aioquic 3.3, quiche 1.4, s2n-quic 14–15.2 (exceeding \
+         the RTT); msquic sends no Initial/Handshake ACKs; 11 stacks send no Handshake-space ACK."
+    );
+}

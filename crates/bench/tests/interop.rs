@@ -1,0 +1,91 @@
+//! Interop matrix: every emulated client profile completes a handshake
+//! against every emulated server profile (the spirit of the QUIC Interop
+//! Runner's handshake test, which the paper builds on).
+
+use rq_http::HttpVersion;
+use rq_profiles::{all_clients, all_servers};
+use rq_quic::{ConnEvent, Connection};
+use rq_sim::{SimDuration, SimTime};
+use rq_wire::PlainPacket;
+
+/// Drives one client/server pair in-memory until confirmation or timeout.
+fn handshake_completes(client_cfg: rq_quic::EndpointConfig, server_cfg: rq_quic::EndpointConfig) -> bool {
+    let mut client = Connection::client(client_cfg, 42, false);
+    client.send_stream_data(0, b"GET /64 HTTP/1.1\r\n\r\n", true);
+    let mut server: Option<Connection> = None;
+    let mut now = SimTime::ZERO;
+    for _ in 0..200 {
+        while let Some(d) = client.poll_transmit(now) {
+            let srv = server.get_or_insert_with(|| {
+                let dcid = PlainPacket::decode(&d, 8).map(|(p, _, _)| p.header.dcid).unwrap();
+                Connection::server(server_cfg.clone(), 43, dcid)
+            });
+            srv.handle_datagram(now, &d);
+        }
+        if let Some(srv) = server.as_mut() {
+            while let Some(ev) = srv.poll_event() {
+                if matches!(ev, ConnEvent::CertificateNeeded) {
+                    srv.certificate_ready(now);
+                }
+            }
+            while let Some(d) = srv.poll_transmit(now) {
+                client.handle_datagram(now, &d);
+            }
+        }
+        while client.poll_event().is_some() {}
+        if client.is_confirmed() && server.as_ref().map(|s| s.is_established()).unwrap_or(false) {
+            return true;
+        }
+        now = now + SimDuration::from_millis(1);
+        if client.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+            client.handle_timeout(now);
+        }
+        if let Some(srv) = server.as_mut() {
+            if srv.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+                srv.handle_timeout(now);
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn all_clients_complete_against_all_table3_servers() {
+    for client in all_clients() {
+        for server in all_servers() {
+            let ok = handshake_completes(
+                client.endpoint_config(HttpVersion::H1),
+                server.endpoint_config(),
+            );
+            assert!(ok, "{} x {} failed to complete", client.name, server.name);
+        }
+    }
+}
+
+#[test]
+fn all_clients_complete_against_iack_testbed_server() {
+    use rq_quic::ServerAckMode;
+    for client in all_clients() {
+        for pad in [false, true] {
+            let server_cfg = rq_profiles::server::testbed_server(
+                ServerAckMode::InstantAck { pad_to_mtu: pad },
+                rq_tls::CERT_SMALL,
+            );
+            let ok = handshake_completes(client.endpoint_config(HttpVersion::H1), server_cfg);
+            assert!(ok, "{} x iack(pad={pad}) failed", client.name);
+        }
+    }
+}
+
+#[test]
+fn all_clients_complete_with_large_certificate() {
+    use rq_quic::ServerAckMode;
+    for client in all_clients() {
+        let server_cfg = rq_profiles::server::testbed_server(
+            ServerAckMode::WaitForCertificate,
+            rq_tls::CERT_LARGE,
+        );
+        let ok = handshake_completes(client.endpoint_config(HttpVersion::H1), server_cfg);
+        assert!(ok, "{} x wfc(large cert) failed", client.name);
+    }
+}

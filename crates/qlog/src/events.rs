@@ -1,0 +1,236 @@
+//! Event model: a simplified qlog main-schema event stream.
+
+use rq_sim::SimTime;
+use serde::Serialize;
+
+/// Packet number space names, matching qlog's packet types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpaceName {
+    /// Initial packets.
+    Initial,
+    /// Handshake packets.
+    Handshake,
+    /// 0-RTT/1-RTT packets.
+    ApplicationData,
+}
+
+/// Compact per-frame summary recorded with packet events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FrameSummary {
+    /// Frame name ("ack", "crypto", "stream", "ping", ...).
+    pub name: &'static str,
+    /// Payload byte count for data-bearing frames.
+    pub len: usize,
+}
+
+/// Event payloads (subset of qlog's transport and recovery categories).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(tag = "name", rename_all = "snake_case")]
+pub enum EventData {
+    /// transport:packet_sent
+    PacketSent {
+        /// Space.
+        space: SpaceName,
+        /// Packet number.
+        pn: u64,
+        /// Wire size.
+        size: usize,
+        /// Whether the packet elicits an ACK.
+        ack_eliciting: bool,
+        /// Frames carried.
+        frames: Vec<FrameSummary>,
+    },
+    /// transport:packet_received
+    PacketReceived {
+        /// Space.
+        space: SpaceName,
+        /// Packet number.
+        pn: u64,
+        /// Wire size.
+        size: usize,
+        /// Whether the packet elicits an ACK.
+        ack_eliciting: bool,
+        /// Frames carried.
+        frames: Vec<FrameSummary>,
+    },
+    /// recovery:packet_lost
+    PacketLost {
+        /// Space.
+        space: SpaceName,
+        /// Packet number.
+        pn: u64,
+    },
+    /// recovery:metrics_updated — the paper's core signal.
+    MetricsUpdated {
+        /// Smoothed RTT in ms.
+        smoothed_rtt_ms: f64,
+        /// RTT variation in ms; `None` when the implementation does not
+        /// expose it (neqo, mvfst, picoquic per Appendix E).
+        rtt_variance_ms: Option<f64>,
+        /// Latest raw sample in ms.
+        latest_rtt_ms: f64,
+        /// Current PTO backoff count.
+        pto_count: u32,
+    },
+    /// recovery:loss_timer_updated (PTO armed/fired diagnostics)
+    PtoExpired {
+        /// Space whose PTO fired.
+        space: SpaceName,
+        /// Backoff count after expiry.
+        pto_count: u32,
+    },
+    /// Server stalled by the 3x anti-amplification limit.
+    AmplificationBlocked {
+        /// Remaining budget in bytes.
+        budget: usize,
+        /// Bytes the server wanted to send.
+        wanted: usize,
+    },
+    /// security:key_updated (keys became available).
+    KeyInstalled {
+        /// Space.
+        space: SpaceName,
+    },
+    /// Server asked the certificate store for a certificate.
+    CertificateRequested,
+    /// The certificate arrived at the frontend.
+    CertificateReady,
+    /// An instant ACK was emitted (server) or detected (client).
+    InstantAck {
+        /// True at the sender, false at the observer.
+        sent: bool,
+    },
+    /// transport:connection_closed
+    ConnectionClosed {
+        /// Error code.
+        error_code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// Handshake completed at this endpoint.
+    HandshakeComplete,
+    /// Handshake confirmed at this endpoint.
+    HandshakeConfirmed,
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QlogEvent {
+    /// Virtual time in milliseconds (qlog uses relative ms).
+    pub time_ms: f64,
+    /// Payload.
+    #[serde(flatten)]
+    pub data: EventData,
+}
+
+/// An endpoint's event log for one connection.
+#[derive(Debug, Default, Serialize)]
+pub struct EventLog {
+    /// Vantage point label ("client:quic-go", "server:quic-go-iack", ...).
+    pub vantage: String,
+    /// Events in record order.
+    pub events: Vec<QlogEvent>,
+}
+
+impl EventLog {
+    /// Creates a log for the given vantage label.
+    pub fn new(vantage: impl Into<String>) -> Self {
+        EventLog { vantage: vantage.into(), events: Vec::new() }
+    }
+
+    /// Records an event at `at`.
+    pub fn push(&mut self, at: SimTime, data: EventData) {
+        self.events.push(QlogEvent { time_ms: at.as_millis_f64(), data });
+    }
+
+    /// All metrics updates in time order.
+    pub fn metrics_updates(&self) -> impl Iterator<Item = (&QlogEvent, f64, Option<f64>)> {
+        self.events.iter().filter_map(|e| match &e.data {
+            EventData::MetricsUpdated { smoothed_rtt_ms, rtt_variance_ms, .. } => {
+                Some((e, *smoothed_rtt_ms, *rtt_variance_ms))
+            }
+            _ => None,
+        })
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&EventData) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.data)).count()
+    }
+
+    /// First event matching a predicate.
+    pub fn first(&self, pred: impl Fn(&EventData) -> bool) -> Option<&QlogEvent> {
+        self.events.iter().find(|e| pred(&e.data))
+    }
+
+    /// Serializes to qlog-flavoured JSON (one trace).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("qlog serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut log = EventLog::new("client:test");
+        log.push(t(1), EventData::HandshakeComplete);
+        log.push(
+            t(2),
+            EventData::MetricsUpdated {
+                smoothed_rtt_ms: 9.0,
+                rtt_variance_ms: Some(4.5),
+                latest_rtt_ms: 9.0,
+                pto_count: 0,
+            },
+        );
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.metrics_updates().count(), 1);
+        assert!(log.first(|d| matches!(d, EventData::HandshakeComplete)).is_some());
+        assert_eq!(log.count(|d| matches!(d, EventData::PacketLost { .. })), 0);
+    }
+
+    #[test]
+    fn json_export_contains_fields() {
+        let mut log = EventLog::new("server:quic-go");
+        log.push(
+            t(3),
+            EventData::PacketSent {
+                space: SpaceName::Initial,
+                pn: 0,
+                size: 1200,
+                ack_eliciting: true,
+                frames: vec![FrameSummary { name: "crypto", len: 320 }],
+            },
+        );
+        let json = log.to_json();
+        assert!(json.contains("packet_sent"));
+        assert!(json.contains("\"pn\": 0"));
+        assert!(json.contains("server:quic-go"));
+        assert!(json.contains("initial"));
+    }
+
+    #[test]
+    fn variance_can_be_absent() {
+        let mut log = EventLog::new("client:neqo");
+        log.push(
+            t(5),
+            EventData::MetricsUpdated {
+                smoothed_rtt_ms: 20.0,
+                rtt_variance_ms: None,
+                latest_rtt_ms: 20.0,
+                pto_count: 0,
+            },
+        );
+        let json = log.to_json();
+        assert!(json.contains("null"));
+    }
+}

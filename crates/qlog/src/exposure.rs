@@ -1,0 +1,103 @@
+//! Metrics-exposure fidelity (paper Appendix E).
+//!
+//! Implementations differ in which `recovery:metrics` updates reach the
+//! qlog output: aioquic, go-x-net, mvfst and quiche expose essentially all
+//! updates, while neqo, ngtcp2, picoquic and quic-go expose a fraction;
+//! neqo, mvfst and picoquic omit the RTT variance entirely. The analysis
+//! pipeline must therefore reconstruct missing values from packet events —
+//! exactly as the paper does.
+
+/// Exposure policy applied when an endpoint records a metrics update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsExposure {
+    /// Fraction of metric updates that appear in the log (1.0 = all).
+    pub update_share: f64,
+    /// Whether the RTT variance field is present in logged updates.
+    pub exposes_variance: bool,
+    /// Timestamp resolution in microseconds (paper: µs, ms and s
+    /// resolutions occur in the wild).
+    pub timestamp_resolution_us: u64,
+}
+
+impl Default for MetricsExposure {
+    fn default() -> Self {
+        MetricsExposure { update_share: 1.0, exposes_variance: true, timestamp_resolution_us: 1 }
+    }
+}
+
+impl MetricsExposure {
+    /// Full-fidelity exposure.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Decides deterministically whether the `n`-th update is exposed.
+    /// Uses a low-discrepancy accept rule so the exposed subset is spread
+    /// evenly, like periodic logging in real stacks.
+    pub fn exposes_update(&self, n: usize) -> bool {
+        if self.update_share >= 1.0 {
+            return true;
+        }
+        if self.update_share <= 0.0 {
+            return false;
+        }
+        // Accept update n iff the integer part of n*share advances.
+        let prev = ((n as f64) * self.update_share).floor();
+        let cur = ((n as f64 + 1.0) * self.update_share).floor();
+        cur > prev
+    }
+
+    /// Quantizes a millisecond timestamp to this exposure's resolution.
+    pub fn quantize_ms(&self, ms: f64) -> f64 {
+        let res_ms = self.timestamp_resolution_us as f64 / 1000.0;
+        if res_ms <= 0.001 {
+            return ms;
+        }
+        (ms / res_ms).floor() * res_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_exposure_accepts_everything() {
+        let e = MetricsExposure::full();
+        assert!((0..100).all(|n| e.exposes_update(n)));
+    }
+
+    #[test]
+    fn zero_share_exposes_nothing() {
+        let e = MetricsExposure { update_share: 0.0, ..MetricsExposure::default() };
+        assert!(!(0..100).any(|n| e.exposes_update(n)));
+    }
+
+    #[test]
+    fn half_share_exposes_half() {
+        let e = MetricsExposure { update_share: 0.5, ..MetricsExposure::default() };
+        let count = (0..1000).filter(|&n| e.exposes_update(n)).count();
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn exposed_subset_is_spread_evenly() {
+        let e = MetricsExposure { update_share: 0.25, ..MetricsExposure::default() };
+        let idx: Vec<usize> = (0..40).filter(|&n| e.exposes_update(n)).collect();
+        assert_eq!(idx.len(), 10);
+        // Gaps of exactly 4 between consecutive exposed updates.
+        for w in idx.windows(2) {
+            assert_eq!(w[1] - w[0], 4);
+        }
+    }
+
+    #[test]
+    fn timestamp_quantization() {
+        let ms_res = MetricsExposure { timestamp_resolution_us: 1000, ..Default::default() };
+        assert_eq!(ms_res.quantize_ms(12.73), 12.0);
+        let us_res = MetricsExposure::full();
+        assert_eq!(us_res.quantize_ms(12.73), 12.73);
+        let s_res = MetricsExposure { timestamp_resolution_us: 1_000_000, ..Default::default() };
+        assert_eq!(s_res.quantize_ms(1234.0), 1000.0);
+    }
+}

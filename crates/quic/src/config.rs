@@ -1,0 +1,196 @@
+//! Endpoint configuration: every behaviour knob the paper varies.
+//!
+//! `rq-profiles` builds one [`EndpointConfig`] per emulated implementation;
+//! the connection state machine reads these knobs and nothing else, so the
+//! protocol core stays implementation-agnostic.
+
+use rq_sim::SimDuration;
+
+/// How the server acknowledges the client Initial while the certificate is
+/// being fetched (the paper's central dichotomy, Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerAckMode {
+    /// Wait for certificate: the first server datagram is the coalesced
+    /// ACK + ServerHello after Δt.
+    WaitForCertificate,
+    /// Instant ACK: a pure-ACK Initial datagram is sent immediately on
+    /// ClientHello receipt; the ServerHello follows after Δt.
+    InstantAck {
+        /// Pad the instant ACK to a full 1200-byte datagram (Cloudflare
+        /// uses padded IACKs to probe the path MTU; paper §5 discusses the
+        /// amplification cost).
+        pad_to_mtu: bool,
+    },
+}
+
+impl ServerAckMode {
+    /// Short label used in experiment tables ("WFC" / "IACK").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerAckMode::WaitForCertificate => "WFC",
+            ServerAckMode::InstantAck { .. } => "IACK",
+        }
+    }
+}
+
+/// What a client sends when its PTO fires during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbePolicy {
+    /// Send a PING frame (what the measured stacks do; paper §5 notes this
+    /// gives the server no retransmitted information).
+    #[default]
+    Ping,
+    /// Retransmit the oldest unacked data (ClientHello during the
+    /// handshake) — the RFC-recommended and paper-suggested improvement.
+    RetransmitOldest,
+}
+
+/// How a server reports the `ACK Delay` field (paper Table 3: six stacks
+/// report 0, others report real or even inflated values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckDelayReport {
+    /// Report the actual host delay.
+    #[default]
+    Actual,
+    /// Always report zero.
+    Zero,
+    /// Report a fixed value regardless of the actual delay.
+    Fixed(SimDuration),
+}
+
+/// Client-side behavioural quirks observed in the paper (§4, App. E/F).
+/// All default to "well-behaved".
+#[derive(Debug, Clone, Default)]
+pub struct ClientQuirks {
+    /// go-x-net: with this set, the RTT estimator pretends `Some(d)` was
+    /// already installed as smoothed RTT, so the first sample blends
+    /// instead of initializing ("smoothed RTT is initialized at 90 ms").
+    pub buggy_rtt_preinit: Option<SimDuration>,
+    /// Probability (0..1) that `buggy_rtt_preinit` applies to a given run
+    /// (go-x-net only misbehaves in part of its measurements).
+    pub buggy_rtt_probability: f64,
+    /// aioquic: non-standard rttvar update order.
+    pub aioquic_rttvar: bool,
+    /// mvfst / picoquic: receiving an instant ACK does not cause the client
+    /// to arm the deadlock-prevention PTO, so no probe packets are sent in
+    /// response to an IACK (paper §4.1).
+    pub no_probe_after_iack: bool,
+    /// picoquic: the handshake-time PTO "relies solely on its default
+    /// PTO" — early RTT samples (including the one carried by an instant
+    /// ACK) do not shorten it, so picoquic shows no IACK benefit and no
+    /// IACK penalty in the loss scenarios (paper §4.2 / App. F).
+    pub ignore_iack_rtt: bool,
+    /// quiche (HTTP/1.1): drop the first datagram whose Initial packet
+    /// acknowledges one of our PING probes, together with everything
+    /// coalesced behind it ("drops replies to PING frames as invalid
+    /// together with coalesced packets", §4.1).
+    pub drop_ping_reply_coalesced: bool,
+    /// quiche (HTTP/1.1): abort the connection (duplicate connection-ID
+    /// retirement) when, after having received an instant ACK, a
+    /// *network-retransmitted* server Initial CRYPTO packet arrives
+    /// (pn ≥ 2 with fresh offset-0 crypto and no self-inflicted drop).
+    /// Emulates the duplicate-CID-retirement abort of §4.2/App. F.
+    pub abort_on_initial_retransmit_after_iack: bool,
+}
+
+/// Endpoint configuration.
+#[derive(Debug, Clone)]
+pub struct EndpointConfig {
+    /// Default (pre-RTT-sample) PTO. Paper Table 4; RFC recommends 1 s.
+    pub default_pto: SimDuration,
+    /// `max_ack_delay` transport parameter advertised to the peer.
+    pub max_ack_delay: SimDuration,
+    /// Number of UDP datagrams the client's second flight is spread over
+    /// (paper Table 4: 1 for quiche, 2 for neqo, 3 for most, 4 for
+    /// picoquic).
+    pub flight2_datagrams: usize,
+    /// Client probe-content policy on PTO.
+    pub probe_policy: ProbePolicy,
+    /// Server ACK mode (ignored by clients).
+    pub ack_mode: ServerAckMode,
+    /// How ACK Delay is reported in Initial-space ACKs (Table 3).
+    pub ack_delay_report: AckDelayReport,
+    /// Override for Handshake-space ACK delay reporting (Table 3 servers
+    /// report different values per space); falls back to
+    /// `ack_delay_report` when `None`.
+    pub handshake_ack_delay_report: Option<AckDelayReport>,
+    /// Server sends a Handshake-space ACK for the client Finished before
+    /// discarding the space (haproxy, lsquic, mvfst, neqo, xquic in
+    /// Table 3; most stacks discard first and never ACK there).
+    pub send_handshake_space_acks: bool,
+    /// Never attach ACK frames in the Initial/Handshake spaces (msquic in
+    /// Table 3 "does not send Initial and Handshake ACKs").
+    pub no_initial_acks: bool,
+    /// Total certificate-message size (server; paper: 1,212 or 5,113 B).
+    pub cert_len: usize,
+    /// Client quirks.
+    pub quirks: ClientQuirks,
+    /// Application-space ACK threshold: send an ACK after this many
+    /// ack-eliciting packets (2 is the RFC-recommended behaviour).
+    pub ack_eliciting_threshold: usize,
+    /// Initial connection-level flow control credit offered to the peer.
+    pub initial_max_data: u64,
+    /// Initial per-stream flow control credit.
+    pub initial_max_stream_data: u64,
+    /// Label for logs/plots ("quic-go", "neqo", ...).
+    pub name: &'static str,
+}
+
+impl EndpointConfig {
+    /// A well-behaved RFC-default endpoint.
+    pub fn rfc_default() -> Self {
+        EndpointConfig {
+            default_pto: SimDuration::from_millis(1000),
+            max_ack_delay: SimDuration::from_millis(25),
+            flight2_datagrams: 3,
+            probe_policy: ProbePolicy::Ping,
+            ack_mode: ServerAckMode::WaitForCertificate,
+            ack_delay_report: AckDelayReport::Actual,
+            handshake_ack_delay_report: None,
+            send_handshake_space_acks: false,
+            no_initial_acks: false,
+            cert_len: rq_tls::CERT_SMALL,
+            quirks: ClientQuirks::default(),
+            ack_eliciting_threshold: 2,
+            // Receive windows sized like real stacks (hundreds of KiB):
+            // large transfers then require a steady stream of MAX_DATA /
+            // MAX_STREAM_DATA grants — the ack-eliciting client packets
+            // behind Figure 11's RTT-sample counts.
+            initial_max_data: 512 * 1024,
+            initial_max_stream_data: 256 * 1024,
+            name: "rfc-default",
+        }
+    }
+
+    /// Switches the server to instant-ACK mode.
+    pub fn with_instant_ack(mut self, pad_to_mtu: bool) -> Self {
+        self.ack_mode = ServerAckMode::InstantAck { pad_to_mtu };
+        self
+    }
+
+    /// Sets the certificate size.
+    pub fn with_cert_len(mut self, len: usize) -> Self {
+        self.cert_len = len;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ServerAckMode::WaitForCertificate.label(), "WFC");
+        assert_eq!(ServerAckMode::InstantAck { pad_to_mtu: false }.label(), "IACK");
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = EndpointConfig::rfc_default()
+            .with_instant_ack(true)
+            .with_cert_len(rq_tls::CERT_LARGE);
+        assert_eq!(cfg.ack_mode, ServerAckMode::InstantAck { pad_to_mtu: true });
+        assert_eq!(cfg.cert_len, rq_tls::CERT_LARGE);
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-packet-number-space state: packet number allocation, receive-side
+//! ACK bookkeeping, crypto-stream assembly, and retransmittable content.
+
+use std::collections::BTreeMap;
+
+use bytes::{Bytes, BytesMut};
+use rq_sim::SimTime;
+use rq_wire::Frame;
+
+/// Content of a sent packet that must be retransmitted if it is lost.
+///
+/// Stored per packet (keyed by `retx_token` in the recovery tracker) so the
+/// connection can rebuild equivalent frames on loss or PTO.
+#[derive(Debug, Clone, Default)]
+pub struct RetxContent {
+    /// CRYPTO ranges: (offset, bytes).
+    pub crypto: Vec<(u64, Bytes)>,
+    /// STREAM ranges: (id, offset, bytes, fin).
+    pub stream: Vec<(u64, u64, Bytes, bool)>,
+    /// HANDSHAKE_DONE was carried.
+    pub handshake_done: bool,
+    /// NEW_CONNECTION_ID frames carried: (seq, retire_prior_to, cid).
+    pub new_cids: Vec<(u64, u64, Vec<u8>)>,
+    /// MAX_DATA carried (value).
+    pub max_data: Option<u64>,
+    /// MAX_STREAM_DATA carried: (id, value).
+    pub max_stream_data: Vec<(u64, u64)>,
+}
+
+impl RetxContent {
+    /// True if nothing in this packet needs retransmission.
+    pub fn is_empty(&self) -> bool {
+        self.crypto.is_empty()
+            && self.stream.is_empty()
+            && !self.handshake_done
+            && self.new_cids.is_empty()
+            && self.max_data.is_none()
+            && self.max_stream_data.is_empty()
+    }
+}
+
+/// Receive-side tracking: which packet numbers we have received and must
+/// acknowledge.
+#[derive(Debug, Default)]
+pub struct RecvState {
+    /// All received packet numbers (kept sorted descending for ACK frames).
+    received: Vec<u64>,
+    /// Arrival time of the largest received packet (ack-delay basis).
+    pub largest_recv_time: Option<SimTime>,
+    /// Ack-eliciting packets received since the last ACK we sent.
+    pub unacked_eliciting: usize,
+    /// An ACK is owed (ack-eliciting data arrived).
+    pub ack_pending: bool,
+    /// Deadline by which a pending ACK must be sent (max_ack_delay).
+    pub ack_deadline: Option<SimTime>,
+    /// The deadline fired but the ACK could not be sent yet (e.g. the
+    /// server is amplification-blocked): send at the next opportunity
+    /// without re-arming a timer.
+    pub ack_overdue: bool,
+}
+
+impl RecvState {
+    /// Records a received packet. Returns `false` if it was a duplicate.
+    ///
+    /// The list is kept sorted descending; insertion uses binary search so
+    /// bulk transfers (thousands of packets) stay O(log n) per lookup
+    /// instead of re-sorting.
+    pub fn on_packet(&mut self, pn: u64, ack_eliciting: bool, now: SimTime) -> bool {
+        match self.received.binary_search_by(|probe| pn.cmp(probe)) {
+            Ok(_) => return false, // duplicate
+            Err(idx) => self.received.insert(idx, pn),
+        }
+        if Some(pn) == self.received.first().copied() {
+            self.largest_recv_time = Some(now);
+        }
+        if ack_eliciting {
+            self.unacked_eliciting += 1;
+            self.ack_pending = true;
+        }
+        true
+    }
+
+    /// Largest received packet number.
+    pub fn largest(&self) -> Option<u64> {
+        self.received.first().copied()
+    }
+
+    /// Packet numbers to encode in an ACK frame (descending), or `None`
+    /// if nothing was received yet. Capped to the newest 128 entries —
+    /// older packets were acknowledged by earlier ACK frames and their
+    /// ranges pruned, exactly as real stacks bound their ACK state.
+    pub fn ack_list(&self) -> Option<&[u64]> {
+        if self.received.is_empty() {
+            None
+        } else {
+            Some(&self.received[..self.received.len().min(128)])
+        }
+    }
+
+    /// Marks an ACK as sent.
+    pub fn on_ack_sent(&mut self) {
+        self.ack_pending = false;
+        self.unacked_eliciting = 0;
+        self.ack_deadline = None;
+        self.ack_overdue = false;
+    }
+
+    /// Count of distinct packets received.
+    pub fn count(&self) -> usize {
+        self.received.len()
+    }
+
+    /// True if the received packet numbers form `0..=largest` with no gap
+    /// (a gap means at least one peer packet was lost or dropped).
+    pub fn is_contiguous_from_zero(&self) -> bool {
+        match self.largest() {
+            None => true,
+            Some(largest) => self.received.len() as u64 == largest + 1,
+        }
+    }
+}
+
+/// Crypto-stream reassembly and transmission for one space.
+#[derive(Debug, Default)]
+pub struct CryptoStream {
+    /// Outgoing bytes not yet packetized.
+    pub tx_pending: BytesMut,
+    /// Next crypto offset to assign on send.
+    pub tx_offset: u64,
+    /// In-order delivery cursor on the receive side.
+    pub rx_offset: u64,
+    /// Out-of-order segments: offset → bytes.
+    rx_segments: BTreeMap<u64, Bytes>,
+    /// Highest contiguous crypto byte handed to TLS (mirror of rx_offset).
+    pub rx_delivered: u64,
+}
+
+impl CryptoStream {
+    /// Queues outgoing handshake bytes.
+    pub fn queue_tx(&mut self, data: &[u8]) {
+        self.tx_pending.extend_from_slice(data);
+    }
+
+    /// Takes up to `max` pending bytes for a CRYPTO frame, advancing the
+    /// send offset. Returns `(offset, data)`.
+    pub fn take_tx(&mut self, max: usize) -> Option<(u64, Bytes)> {
+        if self.tx_pending.is_empty() || max == 0 {
+            return None;
+        }
+        let n = self.tx_pending.len().min(max);
+        let data = self.tx_pending.split_to(n).freeze();
+        let offset = self.tx_offset;
+        self.tx_offset += n as u64;
+        Some((offset, data))
+    }
+
+    /// Accepts a received CRYPTO frame; returns newly contiguous bytes (may
+    /// be empty for duplicates/out-of-order data). `true` in the second
+    /// tuple slot if any byte of the frame was a retransmission overlap.
+    pub fn on_rx(&mut self, offset: u64, data: &[u8]) -> (Vec<u8>, bool) {
+        let end = offset + data.len() as u64;
+        let duplicate_overlap = offset < self.rx_offset && !data.is_empty();
+        if end > self.rx_offset {
+            // Trim the already-delivered prefix.
+            let skip = self.rx_offset.saturating_sub(offset) as usize;
+            let useful_offset = offset.max(self.rx_offset);
+            self.rx_segments
+                .entry(useful_offset)
+                .or_insert_with(|| Bytes::copy_from_slice(&data[skip.min(data.len())..]));
+        }
+        // Drain contiguous segments.
+        let mut out = Vec::new();
+        while let Some((&seg_off, _seg)) = self.rx_segments.iter().next() {
+            if seg_off > self.rx_offset {
+                break;
+            }
+            let seg = self.rx_segments.remove(&seg_off).unwrap();
+            let skip = (self.rx_offset - seg_off) as usize;
+            if skip < seg.len() {
+                out.extend_from_slice(&seg[skip..]);
+                self.rx_offset = seg_off + seg.len() as u64;
+            }
+        }
+        self.rx_delivered = self.rx_offset;
+        (out, duplicate_overlap)
+    }
+
+    /// Bytes waiting to be sent.
+    pub fn tx_len(&self) -> usize {
+        self.tx_pending.len()
+    }
+}
+
+/// All mutable state for one packet number space.
+#[derive(Debug, Default)]
+pub struct SpaceState {
+    /// Next packet number to assign.
+    pub next_pn: u64,
+    /// Receive bookkeeping.
+    pub recv: RecvState,
+    /// Crypto stream (unused in the Application space once complete).
+    pub crypto: CryptoStream,
+    /// Retransmittable content of sent packets, by retx token.
+    pub retx: BTreeMap<u64, RetxContent>,
+    /// Content queued for (re)transmission after loss.
+    pub retx_queue: Vec<RetxContent>,
+    /// Number of PING probes queued for immediate send.
+    pub pending_pings: usize,
+    /// Space has been discarded (keys dropped).
+    pub discarded: bool,
+}
+
+impl SpaceState {
+    /// Allocates the next packet number.
+    pub fn alloc_pn(&mut self) -> u64 {
+        let pn = self.next_pn;
+        self.next_pn += 1;
+        pn
+    }
+
+    /// Queues content for retransmission.
+    pub fn queue_retx(&mut self, content: RetxContent) {
+        if !content.is_empty() {
+            self.retx_queue.push(content);
+        }
+    }
+
+    /// Whether this space has anything useful to send (ACK not counted).
+    pub fn has_data_to_send(&self) -> bool {
+        self.crypto.tx_len() > 0 || !self.retx_queue.is_empty() || self.pending_pings > 0
+    }
+}
+
+/// Extracts the retransmittable content from an encoded frame list (used
+/// when registering sent packets).
+pub fn retx_content_of(frames: &[Frame]) -> RetxContent {
+    let mut c = RetxContent::default();
+    for f in frames {
+        match f {
+            Frame::Crypto { offset, data } => c.crypto.push((*offset, data.clone())),
+            Frame::Stream { id, offset, data, fin } => {
+                c.stream.push((*id, *offset, data.clone(), *fin))
+            }
+            Frame::HandshakeDone => c.handshake_done = true,
+            Frame::NewConnectionId { seq, retire_prior_to, cid } => {
+                c.new_cids.push((*seq, *retire_prior_to, cid.clone()))
+            }
+            Frame::MaxData { max } => c.max_data = Some(*max),
+            Frame::MaxStreamData { id, max } => c.max_stream_data.push((*id, *max)),
+            _ => {}
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pn_allocation_monotonic() {
+        let mut s = SpaceState::default();
+        assert_eq!(s.alloc_pn(), 0);
+        assert_eq!(s.alloc_pn(), 1);
+        assert_eq!(s.alloc_pn(), 2);
+    }
+
+    #[test]
+    fn recv_tracks_and_dedups() {
+        let mut r = RecvState::default();
+        let t = SimTime::ZERO;
+        assert!(r.on_packet(0, true, t));
+        assert!(r.on_packet(2, true, t));
+        assert!(!r.on_packet(0, true, t), "duplicate rejected");
+        assert_eq!(r.largest(), Some(2));
+        assert_eq!(r.ack_list().unwrap(), &[2, 0]);
+        assert_eq!(r.unacked_eliciting, 2);
+        r.on_ack_sent();
+        assert!(!r.ack_pending);
+        assert_eq!(r.unacked_eliciting, 0);
+    }
+
+    #[test]
+    fn non_eliciting_packets_do_not_demand_ack() {
+        let mut r = RecvState::default();
+        r.on_packet(0, false, SimTime::ZERO);
+        assert!(!r.ack_pending);
+        assert_eq!(r.largest(), Some(0));
+    }
+
+    #[test]
+    fn crypto_tx_chunks_respect_max() {
+        let mut c = CryptoStream::default();
+        c.queue_tx(&[1u8; 100]);
+        let (off, data) = c.take_tx(60).unwrap();
+        assert_eq!((off, data.len()), (0, 60));
+        let (off, data) = c.take_tx(60).unwrap();
+        assert_eq!((off, data.len()), (60, 40));
+        assert!(c.take_tx(60).is_none());
+    }
+
+    #[test]
+    fn crypto_rx_in_order() {
+        let mut c = CryptoStream::default();
+        let (out, dup) = c.on_rx(0, b"hello");
+        assert_eq!(out, b"hello");
+        assert!(!dup);
+        let (out, _) = c.on_rx(5, b" world");
+        assert_eq!(out, b" world");
+    }
+
+    #[test]
+    fn crypto_rx_out_of_order_buffers() {
+        let mut c = CryptoStream::default();
+        let (out, _) = c.on_rx(5, b"world");
+        assert!(out.is_empty());
+        let (out, _) = c.on_rx(0, b"hello");
+        assert_eq!(out, b"helloworld");
+        assert_eq!(c.rx_offset, 10);
+    }
+
+    #[test]
+    fn crypto_rx_duplicate_flagged() {
+        let mut c = CryptoStream::default();
+        let _ = c.on_rx(0, b"hello");
+        let (out, dup) = c.on_rx(0, b"hello");
+        assert!(out.is_empty());
+        assert!(dup, "full duplicate must be flagged");
+        // Partial overlap delivers only the new tail.
+        let (out, dup) = c.on_rx(3, b"lo more");
+        assert_eq!(out, b" more");
+        assert!(dup);
+    }
+
+    #[test]
+    fn retx_content_extraction() {
+        let frames = vec![
+            Frame::Ping,
+            Frame::Crypto { offset: 10, data: Bytes::from_static(b"abc") },
+            Frame::Stream { id: 0, offset: 0, data: Bytes::from_static(b"req"), fin: true },
+            Frame::HandshakeDone,
+            Frame::MaxData { max: 4096 },
+        ];
+        let c = retx_content_of(&frames);
+        assert_eq!(c.crypto.len(), 1);
+        assert_eq!(c.stream.len(), 1);
+        assert!(c.handshake_done);
+        assert_eq!(c.max_data, Some(4096));
+        assert!(!c.is_empty());
+        assert!(retx_content_of(&[Frame::Ping]).is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Sent-packet tracking and ACK-driven loss detection (RFC 9002 §6.1).
+
+use std::collections::BTreeMap;
+
+use rq_sim::{SimDuration, SimTime};
+
+use crate::rtt::RttEstimator;
+
+/// Packet-reordering threshold, `kPacketThreshold` (RFC 9002 §6.1.1).
+pub const PACKET_THRESHOLD: u64 = 3;
+
+/// Metadata retained for each sent packet until it is acked or lost.
+#[derive(Debug, Clone)]
+pub struct SentPacket {
+    /// Packet number.
+    pub pn: u64,
+    /// Send time.
+    pub time_sent: SimTime,
+    /// Whether the packet elicits an ACK.
+    pub ack_eliciting: bool,
+    /// Whether the packet counts toward bytes in flight.
+    pub in_flight: bool,
+    /// On-wire size in bytes.
+    pub size: usize,
+    /// Opaque retransmission token: the connection layer uses it to
+    /// rebuild lost frames.
+    pub retx_token: u64,
+}
+
+/// Result of processing one ACK frame.
+#[derive(Debug, Default)]
+pub struct AckOutcome {
+    /// Packets newly acknowledged (ascending pn).
+    pub newly_acked: Vec<SentPacket>,
+    /// Packets declared lost by the packet threshold or time threshold.
+    pub lost: Vec<SentPacket>,
+    /// RTT sample, present iff the largest acked packet is newly acked and
+    /// at least one newly acked packet is ack-eliciting (RFC 9002 §5.1).
+    pub rtt_sample: Option<SimDuration>,
+}
+
+/// Per-packet-number-space sent-packet tracker.
+#[derive(Debug, Default)]
+pub struct SentTracker {
+    sent: BTreeMap<u64, SentPacket>,
+    /// Largest packet number acknowledged by the peer in this space.
+    pub largest_acked: Option<u64>,
+    /// Earliest time at which a tracked packet qualifies for time-threshold
+    /// loss; the connection re-checks at this time.
+    pub loss_time: Option<SimTime>,
+    /// Time the most recent ack-eliciting packet was sent.
+    pub last_ack_eliciting_sent: Option<SimTime>,
+    bytes_in_flight: usize,
+    ack_eliciting_outstanding: usize,
+}
+
+impl SentTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a sent packet.
+    pub fn on_sent(&mut self, packet: SentPacket) {
+        if packet.ack_eliciting {
+            self.last_ack_eliciting_sent = Some(packet.time_sent);
+            self.ack_eliciting_outstanding += 1;
+        }
+        if packet.in_flight {
+            self.bytes_in_flight += packet.size;
+        }
+        let prev = self.sent.insert(packet.pn, packet);
+        debug_assert!(prev.is_none(), "duplicate packet number in space");
+    }
+
+    /// Bytes currently in flight in this space.
+    pub fn bytes_in_flight(&self) -> usize {
+        self.bytes_in_flight
+    }
+
+    /// Whether any ack-eliciting packet is outstanding.
+    pub fn has_ack_eliciting_in_flight(&self) -> bool {
+        self.ack_eliciting_outstanding > 0
+    }
+
+    /// Number of tracked (unacked, not-yet-lost) packets.
+    pub fn tracked(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// The oldest unacked ack-eliciting packet (PTO retransmission target).
+    pub fn oldest_ack_eliciting(&self) -> Option<&SentPacket> {
+        self.sent.values().find(|p| p.ack_eliciting)
+    }
+
+    /// Processes an ACK covering `acked_pns` (any order), received at
+    /// `now` with `ack_delay`. Returns newly acked and newly lost packets
+    /// plus an RTT sample when the rules produce one.
+    pub fn on_ack(
+        &mut self,
+        acked_pns: &[u64],
+        largest_in_frame: u64,
+        now: SimTime,
+        rtt: &RttEstimator,
+    ) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        let mut newly_acked_largest = false;
+        let mut any_ack_eliciting = false;
+
+        let mut pns: Vec<u64> = acked_pns.to_vec();
+        pns.sort_unstable();
+        for pn in pns {
+            if let Some(p) = self.sent.remove(&pn) {
+                if p.ack_eliciting {
+                    any_ack_eliciting = true;
+                    self.ack_eliciting_outstanding -= 1;
+                }
+                if p.in_flight {
+                    self.bytes_in_flight -= p.size;
+                }
+                if pn == largest_in_frame {
+                    newly_acked_largest = true;
+                    out.rtt_sample = Some(now.since(p.time_sent));
+                }
+                out.newly_acked.push(p);
+            }
+        }
+        if out.newly_acked.is_empty() {
+            return out;
+        }
+        // RTT sample only if the largest acknowledged packet is newly acked
+        // and at least one newly acked packet was ack-eliciting.
+        if !(newly_acked_largest && any_ack_eliciting) {
+            out.rtt_sample = None;
+        }
+        self.largest_acked = Some(self.largest_acked.map_or(largest_in_frame, |l| l.max(largest_in_frame)));
+
+        // Loss detection (RFC 9002 §6.1): packets below largest_acked by
+        // kPacketThreshold, or older than the time threshold, are lost.
+        let loss_delay = rtt.loss_delay();
+        let largest = self.largest_acked.unwrap();
+        let mut lost_pns = Vec::new();
+        self.loss_time = None;
+        for (&pn, p) in self.sent.iter() {
+            if pn > largest {
+                break;
+            }
+            let too_old_by_count = largest >= pn + PACKET_THRESHOLD;
+            let lost_deadline = p.time_sent + loss_delay;
+            let too_old_by_time = now >= lost_deadline;
+            if too_old_by_count || too_old_by_time {
+                lost_pns.push(pn);
+            } else {
+                // Earliest pending time-threshold loss.
+                self.loss_time = Some(match self.loss_time {
+                    Some(t) => t.min(lost_deadline),
+                    None => lost_deadline,
+                });
+            }
+        }
+        for pn in lost_pns {
+            let p = self.sent.remove(&pn).unwrap();
+            if p.ack_eliciting {
+                self.ack_eliciting_outstanding -= 1;
+            }
+            if p.in_flight {
+                self.bytes_in_flight -= p.size;
+            }
+            out.lost.push(p);
+        }
+        out
+    }
+
+    /// Re-evaluates the time threshold at `now` (called when `loss_time`
+    /// fires). Returns newly lost packets.
+    pub fn detect_time_lost(&mut self, now: SimTime, rtt: &RttEstimator) -> Vec<SentPacket> {
+        let Some(largest) = self.largest_acked else {
+            return Vec::new();
+        };
+        let loss_delay = rtt.loss_delay();
+        let mut lost_pns = Vec::new();
+        self.loss_time = None;
+        for (&pn, p) in self.sent.iter() {
+            if pn > largest {
+                break;
+            }
+            let deadline = p.time_sent + loss_delay;
+            if now >= deadline {
+                lost_pns.push(pn);
+            } else {
+                self.loss_time = Some(match self.loss_time {
+                    Some(t) => t.min(deadline),
+                    None => deadline,
+                });
+            }
+        }
+        let mut out = Vec::new();
+        for pn in lost_pns {
+            let p = self.sent.remove(&pn).unwrap();
+            if p.ack_eliciting {
+                self.ack_eliciting_outstanding -= 1;
+            }
+            if p.in_flight {
+                self.bytes_in_flight -= p.size;
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// Discards all state (used when Initial/Handshake keys are dropped,
+    /// RFC 9002 §6.2.2). Returns the bytes that were in flight.
+    pub fn discard(&mut self) -> usize {
+        let freed = self.bytes_in_flight;
+        self.sent.clear();
+        self.bytes_in_flight = 0;
+        self.ack_eliciting_outstanding = 0;
+        self.loss_time = None;
+        self.largest_acked = None;
+        self.last_ack_eliciting_sent = None;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    fn pkt(pn: u64, t: u64, eliciting: bool) -> SentPacket {
+        SentPacket {
+            pn,
+            time_sent: at(t),
+            ack_eliciting: eliciting,
+            in_flight: true,
+            size: 1200,
+            retx_token: pn,
+        }
+    }
+
+    fn fresh_rtt() -> RttEstimator {
+        let mut r = RttEstimator::new(SimDuration::ZERO);
+        r.update(ms(10), SimDuration::ZERO, false);
+        r
+    }
+
+    #[test]
+    fn ack_produces_rtt_sample_for_eliciting_largest() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, true));
+        let out = t.on_ack(&[0], 0, at(12), &fresh_rtt());
+        assert_eq!(out.newly_acked.len(), 1);
+        assert_eq!(out.rtt_sample, Some(ms(12)));
+        assert_eq!(t.bytes_in_flight(), 0);
+    }
+
+    #[test]
+    fn ack_of_ack_only_packet_gives_no_rtt_sample() {
+        // The IACK mechanic: ACK-only packets are not ack-eliciting, so an
+        // ACK covering them yields no RTT sample at the sender (paper §4.2).
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, false));
+        let out = t.on_ack(&[0], 0, at(12), &fresh_rtt());
+        assert_eq!(out.newly_acked.len(), 1);
+        assert_eq!(out.rtt_sample, None);
+    }
+
+    #[test]
+    fn no_sample_when_largest_was_already_acked() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, true));
+        t.on_sent(pkt(1, 1, true));
+        let _ = t.on_ack(&[1], 1, at(10), &fresh_rtt());
+        // Second ACK only newly-acks pn 0 although frame's largest is 1.
+        let out = t.on_ack(&[0, 1], 1, at(20), &fresh_rtt());
+        assert_eq!(out.newly_acked.len(), 1);
+        assert_eq!(out.rtt_sample, None);
+    }
+
+    #[test]
+    fn packet_threshold_loss() {
+        let mut t = SentTracker::new();
+        for pn in 0..5 {
+            t.on_sent(pkt(pn, pn, true));
+        }
+        // Ack pn 4 at t=10 (before any time threshold fires): pns 0 and 1
+        // are ≥3 below the largest acked → lost; 2 and 3 survive.
+        let out = t.on_ack(&[4], 4, at(10), &fresh_rtt());
+        let lost: Vec<u64> = out.lost.iter().map(|p| p.pn).collect();
+        assert_eq!(lost, vec![0, 1]);
+        assert_eq!(t.tracked(), 2);
+    }
+
+    #[test]
+    fn time_threshold_loss() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, true));
+        t.on_sent(pkt(1, 100, true));
+        // loss_delay = 9/8 * 10ms = 11.25ms. Acking pn1 at t=112ms makes
+        // pn0 (sent t=0) older than the threshold.
+        let out = t.on_ack(&[1], 1, at(112), &fresh_rtt());
+        assert_eq!(out.lost.len(), 1);
+        assert_eq!(out.lost[0].pn, 0);
+    }
+
+    #[test]
+    fn loss_time_armed_for_recent_packet() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 100, true));
+        t.on_sent(pkt(1, 101, true));
+        let out = t.on_ack(&[1], 1, at(111), &fresh_rtt());
+        assert!(out.lost.is_empty());
+        // pn0 pending time loss at 100ms + 11.25ms.
+        let lt = t.loss_time.unwrap();
+        assert_eq!(lt.as_millis_f64(), 111.25);
+        // Firing the timer at/after the deadline declares it lost.
+        let lost = t.detect_time_lost(at(112), &fresh_rtt());
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].pn, 0);
+        assert!(t.loss_time.is_none());
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, true));
+        let first = t.on_ack(&[0], 0, at(10), &fresh_rtt());
+        assert_eq!(first.newly_acked.len(), 1);
+        let second = t.on_ack(&[0], 0, at(20), &fresh_rtt());
+        assert!(second.newly_acked.is_empty());
+        assert!(second.rtt_sample.is_none());
+    }
+
+    #[test]
+    fn discard_clears_everything() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, true));
+        t.on_sent(pkt(1, 1, false));
+        assert_eq!(t.bytes_in_flight(), 2400);
+        let freed = t.discard();
+        assert_eq!(freed, 2400);
+        assert_eq!(t.tracked(), 0);
+        assert!(!t.has_ack_eliciting_in_flight());
+    }
+
+    #[test]
+    fn oldest_ack_eliciting_skips_ack_only() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, false));
+        t.on_sent(pkt(1, 1, true));
+        assert_eq!(t.oldest_ack_eliciting().unwrap().pn, 1);
+    }
+}

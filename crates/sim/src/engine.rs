@@ -1,0 +1,369 @@
+//! The discrete-event engine: event queue, node registry, link registry.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{Link, LinkConfig, LinkStats, TransmitResult};
+use crate::node::{Context, Node, NodeId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{CaptureRecord, DatagramFate, Trace};
+
+/// Why a simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A node called [`Context::stop`].
+    Stopped,
+    /// The event queue drained.
+    QueueEmpty,
+    /// The configured time limit was reached.
+    TimeLimit,
+    /// The configured event-count safety limit was reached.
+    EventLimit,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum EventKind {
+    Datagram { from: NodeId, to: NodeId, payload: Vec<u8> },
+    Timer { node: NodeId, token: u64 },
+    Start { node: NodeId },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A network of nodes and links plus the event queue that drives them.
+pub struct Network {
+    nodes: Vec<Box<dyn Node>>,
+    links: Vec<Link>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    /// Packet capture and milestone log for this run.
+    pub trace: Trace,
+    /// Hard ceiling on processed events (guards against livelock bugs).
+    pub event_limit: u64,
+}
+
+impl Network {
+    /// Creates an empty network. `capture_payloads` stores full datagram
+    /// bytes in the trace (needed by content-sensitive analyses).
+    pub fn new(capture_payloads: bool) -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            trace: Trace::new(capture_payloads),
+            event_limit: 10_000_000,
+        }
+    }
+
+    /// Adds a node, returning its ID.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// Connects two nodes with a bidirectional link. Direction `AtoB` in
+    /// loss rules refers to `a → b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        assert!(a != b, "cannot connect a node to itself");
+        self.links.push(Link::new(a, b, config));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Stats for the link between `a` and `b`, if one exists.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<LinkStats> {
+        self.links
+            .iter()
+            .find(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+            .map(|l| l.stats)
+    }
+
+    /// Mutable access to a node (for post-run inspection, downcast by the
+    /// caller through `as_any`-style helpers on concrete types).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id.0].as_mut()
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Runs the simulation until stop/time-limit/queue-drain.
+    pub fn run(&mut self, time_limit: SimDuration) -> RunOutcome {
+        let deadline = SimTime::ZERO + time_limit;
+        // Queue start events for all nodes at t=0.
+        for i in 0..self.nodes.len() {
+            self.push_event(SimTime::ZERO, EventKind::Start { node: NodeId(i) });
+        }
+        let mut processed: u64 = 0;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if ev.at > deadline {
+                self.now = deadline;
+                return RunOutcome::TimeLimit;
+            }
+            processed += 1;
+            if processed > self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            self.now = ev.at;
+            let (node_id, deliver) = match &ev.kind {
+                EventKind::Datagram { to, .. } => (*to, true),
+                EventKind::Timer { node, .. } | EventKind::Start { node } => (*node, false),
+            };
+            let _ = deliver;
+            let mut ctx = Context {
+                now: self.now,
+                me: node_id,
+                sends: Vec::new(),
+                timers: Vec::new(),
+                stop: false,
+                trace: &mut self.trace,
+            };
+            match ev.kind {
+                EventKind::Datagram { from, to, payload } => {
+                    self.nodes[to.0].on_datagram(&mut ctx, from, &payload);
+                }
+                EventKind::Timer { node, token } => {
+                    self.nodes[node.0].on_timer(&mut ctx, token);
+                }
+                EventKind::Start { node } => {
+                    self.nodes[node.0].on_start(&mut ctx);
+                }
+            }
+            let Context { sends, timers, stop, .. } = ctx;
+            for (to, payload) in sends {
+                self.dispatch_send(node_id, to, payload);
+            }
+            for (at, token) in timers {
+                self.push_event(at, EventKind::Timer { node: node_id, token });
+            }
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+        RunOutcome::QueueEmpty
+    }
+
+    fn dispatch_send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        let link = self
+            .links
+            .iter_mut()
+            .find(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
+            .unwrap_or_else(|| panic!("no link between {from:?} and {to:?}"));
+        let (result, index) = link.transmit(from, &payload, self.now);
+        let record_payload = if self.trace.capture_payloads { Some(payload.clone()) } else { None };
+        match result {
+            TransmitResult::Deliver(at) => {
+                self.trace.datagrams.push(CaptureRecord {
+                    from,
+                    to,
+                    sent: self.now,
+                    fate: DatagramFate::Delivered(at),
+                    size: payload.len(),
+                    index,
+                    payload: record_payload,
+                });
+                self.push_event(at, EventKind::Datagram { from, to, payload });
+            }
+            TransmitResult::Drop => {
+                self.trace.datagrams.push(CaptureRecord {
+                    from,
+                    to,
+                    sent: self.now,
+                    fate: DatagramFate::Dropped,
+                    size: payload.len(),
+                    index,
+                    payload: record_payload,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Direction, DropIndices};
+
+    /// Test node: replies to every datagram with "pong" until a count is
+    /// reached, records milestones on receipt.
+    struct Ponger {
+        peer: Option<NodeId>,
+        remaining: usize,
+        initiate: bool,
+    }
+
+    impl Node for Ponger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.initiate {
+                let peer = self.peer.unwrap();
+                ctx.send(peer, b"ping".to_vec());
+            }
+        }
+
+        fn on_datagram(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &[u8]) {
+            let me = ctx.me();
+            let now = ctx.now();
+            ctx.trace().milestone(me, now, String::from_utf8_lossy(payload).into_owned());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, b"pong".to_vec());
+            } else {
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Ponger { peer: None, remaining: 3, initiate: false }));
+        let b = net.add_node(Box::new(Ponger { peer: Some(a), remaining: 3, initiate: true }));
+        net.connect(a, b, LinkConfig {
+            one_way_delay: SimDuration::from_millis(10),
+            bandwidth_bps: None,
+            loss: Box::new(crate::loss::NoLoss),
+            mtu: 1500,
+        });
+        let outcome = net.run(SimDuration::from_secs(5));
+        assert_eq!(outcome, RunOutcome::Stopped);
+        // b sends ping at t=0; arrival at a t=10ms; pong arrives back t=20ms...
+        let times: Vec<u64> = net.trace.milestones.iter().map(|m| m.at.as_millis_f64() as u64).collect();
+        assert_eq!(times, vec![10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::ZERO + SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimTime::ZERO + SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimTime::ZERO + SimDuration::from_millis(20), 2);
+            }
+            fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+                self.fired.push(token);
+                let me = ctx.me();
+                let now = ctx.now();
+                ctx.trace().milestone(me, now, format!("t{token}"));
+            }
+        }
+        let mut net = Network::new(false);
+        let _ = net.add_node(Box::new(TimerNode { fired: Vec::new() }));
+        assert_eq!(net.run(SimDuration::from_secs(1)), RunOutcome::QueueEmpty);
+        assert_eq!(net.trace.first("t1").unwrap().as_millis_f64(), 10.0);
+        assert_eq!(net.trace.first("t2").unwrap().as_millis_f64(), 20.0);
+        assert_eq!(net.trace.first("t3").unwrap().as_millis_f64(), 30.0);
+    }
+
+    #[test]
+    fn drops_are_recorded_not_delivered() {
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Ponger { peer: None, remaining: 9, initiate: false }));
+        let b = net.add_node(Box::new(Ponger { peer: Some(a), remaining: 9, initiate: true }));
+        net.connect(
+            a,
+            b,
+            LinkConfig::paper_default(SimDuration::from_millis(1))
+                .with_loss(DropIndices::new(Direction::BtoA, &[0])),
+        );
+        // b's first ping (BtoA index 0) is dropped; nothing else happens.
+        let outcome = net.run(SimDuration::from_secs(1));
+        assert_eq!(outcome, RunOutcome::QueueEmpty);
+        assert_eq!(net.trace.dropped_count(b, a), 1);
+        assert!(net.trace.milestones.is_empty());
+    }
+
+    #[test]
+    fn time_limit_respected() {
+        struct Forever;
+        impl Node for Forever {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer_after(SimDuration::from_millis(1), 0);
+            }
+            fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _: u64) {
+                ctx.set_timer_after(SimDuration::from_millis(1), 0);
+            }
+        }
+        let mut net = Network::new(false);
+        net.add_node(Box::new(Forever));
+        assert_eq!(net.run(SimDuration::from_millis(100)), RunOutcome::TimeLimit);
+        assert_eq!(net.now().as_millis_f64(), 100.0);
+    }
+
+    #[test]
+    fn deterministic_event_ordering_at_same_time() {
+        // Two timers at identical times fire in insertion order (seq tiebreak).
+        struct TwoTimers {
+            order: Vec<u64>,
+        }
+        impl Node for TwoTimers {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::ZERO + SimDuration::from_millis(5), 101);
+                ctx.set_timer(SimTime::ZERO + SimDuration::from_millis(5), 102);
+            }
+            fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+                self.order.push(token);
+                let me = ctx.me();
+                let now = ctx.now();
+                ctx.trace().milestone(me, now, format!("tok{token}"));
+            }
+        }
+        let mut net = Network::new(false);
+        net.add_node(Box::new(TwoTimers { order: Vec::new() }));
+        net.run(SimDuration::from_secs(1));
+        let labels: Vec<&str> = net.trace.milestones.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, vec!["tok101", "tok102"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn send_without_link_panics() {
+        struct Sender {
+            to: NodeId,
+        }
+        impl Node for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.to, vec![1]);
+            }
+            fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+        }
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Sender { to: NodeId(1) }));
+        let _ = a;
+        let _b = net.add_node(Box::new(Sender { to: NodeId(0) }));
+        // No connect() call.
+        net.run(SimDuration::from_secs(1));
+    }
+}

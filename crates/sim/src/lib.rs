@@ -1,0 +1,28 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This crate replaces the paper's Docker/QUIC-Interop-Runner testbed with a
+//! virtual-time simulation: nodes exchange UDP datagrams over links with a
+//! configurable one-way delay, serialization bandwidth (10 Mbit/s in the
+//! paper), and *content-matched* loss rules. All randomness comes from a
+//! seeded [`rng::SimRng`], so every run is exactly reproducible.
+//!
+//! The design follows the sans-IO idiom: protocol endpoints implement
+//! [`node::Node`] and are driven purely by `on_datagram` / `on_timer`
+//! callbacks plus a [`node::Context`] for output. No wall-clock time, no
+//! threads, no sockets.
+
+pub mod engine;
+pub mod link;
+pub mod loss;
+pub mod node;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Network, RunOutcome};
+pub use link::{LinkConfig, LinkStats};
+pub use loss::{Direction, DropContentMatch, DropIndices, LossRule, NoLoss};
+pub use node::{Context, Node, NodeId};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{CaptureRecord, DatagramFate, Trace};

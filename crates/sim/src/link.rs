@@ -1,0 +1,243 @@
+//! Point-to-point links with delay, bandwidth, and loss.
+//!
+//! A link models one direction of a path: a serializing transmitter
+//! (bandwidth-limited, FIFO) followed by a fixed propagation delay. The
+//! paper's testbed uses symmetric one-way delays between 0.5 ms and 150 ms
+//! and 10 Mbit/s of bandwidth; `LinkConfig` captures exactly those knobs.
+
+use crate::loss::{DatagramMeta, Direction, LossRule, NoLoss};
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration for one (bidirectional) link.
+pub struct LinkConfig {
+    /// One-way propagation delay (applied in both directions; the paper
+    /// composes RTTs from symmetric one-way delays).
+    pub one_way_delay: SimDuration,
+    /// Serialization bandwidth in bits per second. `None` = infinite.
+    pub bandwidth_bps: Option<u64>,
+    /// Loss rule applied to every datagram on this link.
+    pub loss: Box<dyn LossRule>,
+    /// Maximum UDP payload; larger sends panic (QUIC never exceeds this).
+    pub mtu: usize,
+}
+
+impl LinkConfig {
+    /// The paper's default: 10 Mbit/s, no loss, MTU 1500.
+    pub fn paper_default(one_way_delay: SimDuration) -> Self {
+        LinkConfig {
+            one_way_delay,
+            bandwidth_bps: Some(10_000_000),
+            loss: Box::new(NoLoss),
+            mtu: 1500,
+        }
+    }
+
+    /// Replaces the loss rule.
+    pub fn with_loss(mut self, loss: impl LossRule + 'static) -> Self {
+        self.loss = Box::new(loss);
+        self
+    }
+
+    /// Ideal link: zero delay, infinite bandwidth (useful in unit tests).
+    pub fn ideal() -> Self {
+        LinkConfig {
+            one_way_delay: SimDuration::ZERO,
+            bandwidth_bps: None,
+            loss: Box::new(NoLoss),
+            mtu: 65_535,
+        }
+    }
+}
+
+impl std::fmt::Debug for LinkConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkConfig")
+            .field("one_way_delay", &self.one_way_delay)
+            .field("bandwidth_bps", &self.bandwidth_bps)
+            .field("mtu", &self.mtu)
+            .finish()
+    }
+}
+
+/// Aggregate counters for one link (both directions).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Datagrams accepted for transmission (including later drops).
+    pub sent: usize,
+    /// Datagrams dropped by the loss rule.
+    pub dropped: usize,
+    /// Bytes accepted for transmission.
+    pub bytes: usize,
+}
+
+/// Internal link state.
+pub(crate) struct Link {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) config: LinkConfig,
+    /// Per-direction datagram counters (indices for loss rules).
+    counters: [usize; 2],
+    /// Per-direction transmitter-busy-until times (FIFO serialization).
+    busy_until: [SimTime; 2],
+    pub(crate) stats: LinkStats,
+}
+
+/// Result of offering a datagram to a link.
+pub(crate) enum TransmitResult {
+    /// Deliver at the given time.
+    Deliver(SimTime),
+    /// Dropped by the loss rule.
+    Drop,
+}
+
+impl Link {
+    pub(crate) fn new(a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+        Link {
+            a,
+            b,
+            config,
+            counters: [0, 0],
+            busy_until: [SimTime::ZERO, SimTime::ZERO],
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Direction of travel for a datagram from `from` on this link.
+    pub(crate) fn direction_from(&self, from: NodeId) -> Direction {
+        if from == self.a {
+            Direction::AtoB
+        } else {
+            Direction::BtoA
+        }
+    }
+
+    /// Offers a datagram for transmission at `now`, returning its fate and
+    /// the per-direction index it was assigned.
+    pub(crate) fn transmit(
+        &mut self,
+        from: NodeId,
+        payload: &[u8],
+        now: SimTime,
+    ) -> (TransmitResult, usize) {
+        assert!(
+            payload.len() <= self.config.mtu,
+            "datagram of {} bytes exceeds link MTU {}",
+            payload.len(),
+            self.config.mtu
+        );
+        let direction = self.direction_from(from);
+        let dir_idx = match direction {
+            Direction::AtoB => 0,
+            Direction::BtoA => 1,
+        };
+        let index = self.counters[dir_idx];
+        self.counters[dir_idx] += 1;
+        self.stats.sent += 1;
+        self.stats.bytes += payload.len();
+
+        let meta = DatagramMeta { direction, index, payload, now };
+        if self.config.loss.should_drop(&meta) {
+            self.stats.dropped += 1;
+            return (TransmitResult::Drop, index);
+        }
+
+        // FIFO serialization: the transmitter finishes its queue first.
+        let start = self.busy_until[dir_idx].max(now);
+        let serialization = match self.config.bandwidth_bps {
+            Some(bps) => {
+                let ns = (payload.len() as u128 * 8 * 1_000_000_000) / bps as u128;
+                SimDuration::from_nanos(ns as u64)
+            }
+            None => SimDuration::ZERO,
+        };
+        let tx_done = start + serialization;
+        self.busy_until[dir_idx] = tx_done;
+        let arrival = tx_done + self.config.one_way_delay;
+        (TransmitResult::Deliver(arrival), index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::DropIndices;
+
+    fn link(cfg: LinkConfig) -> Link {
+        Link::new(NodeId(0), NodeId(1), cfg)
+    }
+
+    #[test]
+    fn propagation_delay_applied() {
+        let mut l = link(LinkConfig {
+            one_way_delay: SimDuration::from_millis(5),
+            bandwidth_bps: None,
+            loss: Box::new(NoLoss),
+            mtu: 1500,
+        });
+        let (res, idx) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
+        assert_eq!(idx, 0);
+        match res {
+            TransmitResult::Deliver(at) => assert_eq!(at.as_millis_f64(), 5.0),
+            TransmitResult::Drop => panic!(),
+        }
+    }
+
+    #[test]
+    fn serialization_delay_10mbps() {
+        // 1250 bytes at 10 Mbit/s = 1 ms of serialization.
+        let mut l = link(LinkConfig::paper_default(SimDuration::ZERO));
+        let (res, _) = l.transmit(NodeId(0), &[0u8; 1250], SimTime::ZERO);
+        match res {
+            TransmitResult::Deliver(at) => assert_eq!(at.as_millis_f64(), 1.0),
+            TransmitResult::Drop => panic!(),
+        }
+    }
+
+    #[test]
+    fn fifo_queueing_accumulates() {
+        let mut l = link(LinkConfig::paper_default(SimDuration::ZERO));
+        // Two 1250-byte datagrams sent at t=0: the second waits for the first.
+        let (r1, _) = l.transmit(NodeId(0), &[0u8; 1250], SimTime::ZERO);
+        let (r2, _) = l.transmit(NodeId(0), &[0u8; 1250], SimTime::ZERO);
+        let t1 = match r1 {
+            TransmitResult::Deliver(t) => t,
+            _ => panic!(),
+        };
+        let t2 = match r2 {
+            TransmitResult::Deliver(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(t1.as_millis_f64(), 1.0);
+        assert_eq!(t2.as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn directions_have_independent_queues_and_indices() {
+        let mut l = link(LinkConfig::paper_default(SimDuration::ZERO));
+        let (_, i0) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
+        let (_, i1) = l.transmit(NodeId(1), &[0u8; 100], SimTime::ZERO);
+        let (_, i2) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
+        assert_eq!((i0, i1, i2), (0, 0, 1));
+    }
+
+    #[test]
+    fn loss_rule_consulted_with_direction() {
+        let mut l = link(LinkConfig::paper_default(SimDuration::ZERO).with_loss(
+            DropIndices::new(Direction::BtoA, &[0]),
+        ));
+        let (r_a, _) = l.transmit(NodeId(0), &[0u8; 10], SimTime::ZERO);
+        assert!(matches!(r_a, TransmitResult::Deliver(_)));
+        let (r_b, _) = l.transmit(NodeId(1), &[0u8; 10], SimTime::ZERO);
+        assert!(matches!(r_b, TransmitResult::Drop));
+        assert_eq!(l.stats.dropped, 1);
+        assert_eq!(l.stats.sent, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds link MTU")]
+    fn oversized_datagram_panics() {
+        let mut l = link(LinkConfig::paper_default(SimDuration::ZERO));
+        let _ = l.transmit(NodeId(0), &[0u8; 2000], SimTime::ZERO);
+    }
+}

@@ -1,0 +1,163 @@
+//! Capture traces: the simulator's packet capture plus milestone log.
+//!
+//! Every datagram traversing a link is recorded together with its fate
+//! (delivered or dropped) and timing. Protocol endpoints additionally
+//! record named milestones (handshake complete, first payload byte, ...)
+//! which the testbed turns into the paper's metrics (TTFB etc.).
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// What happened to a captured datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatagramFate {
+    /// Delivered at the contained time.
+    Delivered(SimTime),
+    /// Dropped by a loss rule at send time.
+    Dropped,
+}
+
+/// One captured datagram.
+#[derive(Debug, Clone)]
+pub struct CaptureRecord {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Virtual send time.
+    pub sent: SimTime,
+    /// Delivery or drop.
+    pub fate: DatagramFate,
+    /// UDP payload size.
+    pub size: usize,
+    /// 0-based index among datagrams sent in this direction on this link.
+    pub index: usize,
+    /// Full payload copy (present when capture is enabled).
+    pub payload: Option<Vec<u8>>,
+}
+
+/// A named milestone recorded by a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Milestone {
+    /// Node that recorded the milestone.
+    pub node: NodeId,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Milestone label, e.g. `"first_payload_byte"`.
+    pub label: String,
+}
+
+/// Shared capture state for one simulation run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// All captured datagrams in send order.
+    pub datagrams: Vec<CaptureRecord>,
+    /// All recorded milestones in record order.
+    pub milestones: Vec<Milestone>,
+    /// Whether to copy full payloads into records (off for bulk runs).
+    pub capture_payloads: bool,
+}
+
+impl Trace {
+    /// Creates a trace; `capture_payloads` controls whether payload bytes
+    /// are stored in each record.
+    pub fn new(capture_payloads: bool) -> Self {
+        Trace { datagrams: Vec::new(), milestones: Vec::new(), capture_payloads }
+    }
+
+    /// Records a milestone.
+    pub fn milestone(&mut self, node: NodeId, at: SimTime, label: impl Into<String>) {
+        self.milestones.push(Milestone { node, at, label: label.into() });
+    }
+
+    /// First occurrence time of a milestone with `label` (any node).
+    pub fn first(&self, label: &str) -> Option<SimTime> {
+        self.milestones.iter().find(|m| m.label == label).map(|m| m.at)
+    }
+
+    /// First occurrence time of `label` recorded by `node`.
+    pub fn first_by(&self, node: NodeId, label: &str) -> Option<SimTime> {
+        self.milestones
+            .iter()
+            .find(|m| m.node == node && m.label == label)
+            .map(|m| m.at)
+    }
+
+    /// All occurrence times of `label`.
+    pub fn all(&self, label: &str) -> Vec<SimTime> {
+        self.milestones
+            .iter()
+            .filter(|m| m.label == label)
+            .map(|m| m.at)
+            .collect()
+    }
+
+    /// Number of datagrams sent from `from` to `to` (delivered or not).
+    pub fn sent_count(&self, from: NodeId, to: NodeId) -> usize {
+        self.datagrams.iter().filter(|d| d.from == from && d.to == to).count()
+    }
+
+    /// Number of datagrams dropped from `from` to `to`.
+    pub fn dropped_count(&self, from: NodeId, to: NodeId) -> usize {
+        self.datagrams
+            .iter()
+            .filter(|d| d.from == from && d.to == to && d.fate == DatagramFate::Dropped)
+            .count()
+    }
+
+    /// Total bytes sent from `from` to `to`.
+    pub fn bytes_sent(&self, from: NodeId, to: NodeId) -> usize {
+        self.datagrams
+            .iter()
+            .filter(|d| d.from == from && d.to == to)
+            .map(|d| d.size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn milestone_queries() {
+        let mut t = Trace::new(false);
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        t.milestone(n0, SimTime::from_nanos(5), "a");
+        t.milestone(n1, SimTime::from_nanos(9), "a");
+        t.milestone(n0, SimTime::from_nanos(12), "b");
+        assert_eq!(t.first("a"), Some(SimTime::from_nanos(5)));
+        assert_eq!(t.first_by(n1, "a"), Some(SimTime::from_nanos(9)));
+        assert_eq!(t.first("missing"), None);
+        assert_eq!(t.all("a").len(), 2);
+    }
+
+    #[test]
+    fn datagram_counters() {
+        let mut t = Trace::new(false);
+        let (a, b) = (NodeId(0), NodeId(1));
+        t.datagrams.push(CaptureRecord {
+            from: a,
+            to: b,
+            sent: SimTime::ZERO,
+            fate: DatagramFate::Delivered(SimTime::from_nanos(10)),
+            size: 1200,
+            index: 0,
+            payload: None,
+        });
+        t.datagrams.push(CaptureRecord {
+            from: a,
+            to: b,
+            sent: SimTime::from_nanos(3),
+            fate: DatagramFate::Dropped,
+            size: 300,
+            index: 1,
+            payload: None,
+        });
+        assert_eq!(t.sent_count(a, b), 2);
+        assert_eq!(t.dropped_count(a, b), 1);
+        assert_eq!(t.bytes_sent(a, b), 1500);
+        assert_eq!(t.sent_count(b, a), 0);
+    }
+}

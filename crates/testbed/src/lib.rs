@@ -1,0 +1,16 @@
+//! The emulation harness: our stand-in for the QUIC Interop Runner.
+//!
+//! Wires `rq-quic` endpoints into the `rq-sim` network, defines the
+//! paper's scenarios (certificate sizes, Δt, RTT sweeps, content-matched
+//! loss), runs repetitions, and extracts the metrics the paper reports
+//! (TTFB, first PTO, RTT-sample counts, instant-ACK observations).
+
+pub mod nodes;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+
+pub use nodes::{ClientNode, ServerNode};
+pub use runner::{run_repetitions, run_scenario, run_scenario_with_trace, RunResult};
+pub use scenario::{LossSpec, Scenario};
+pub use stats::{median, percentile, Summary};

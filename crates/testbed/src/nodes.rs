@@ -1,0 +1,350 @@
+//! Sim-node adapters wrapping QUIC connections with HTTP application logic.
+//!
+//! The client node issues one GET and records milestones
+//! (`client_hello_sent`, `ttfb`, `response_complete`, `handshake_complete`,
+//! `closed`); the server node serves deterministic bodies and emulates the
+//! certificate-store round trip Δt with a timer. Both expose their
+//! connections via `Rc<RefCell<..>>` so the runner can read qlog state
+//! after the simulation ends.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rq_http::{h1, h3, HttpVersion};
+use rq_quic::{stream_id, ConnEvent, Connection, EndpointConfig};
+use rq_sim::{Context, Node, NodeId, SimDuration, SimTime};
+use rq_wire::ConnectionId;
+
+/// Timer token: the connection's own timers.
+const TOKEN_CONN: u64 = 1;
+/// Timer token: the certificate store answered.
+const TOKEN_CERT: u64 = 2;
+
+/// Milestone labels recorded into the trace.
+pub mod milestones {
+    /// Client sent its first datagram.
+    pub const CLIENT_HELLO_SENT: &str = "client_hello_sent";
+    /// First application-stream byte arrived at the client (TTFB).
+    pub const TTFB: &str = "ttfb";
+    /// The full response body arrived.
+    pub const RESPONSE_COMPLETE: &str = "response_complete";
+    /// Handshake completed at the client.
+    pub const HANDSHAKE_COMPLETE: &str = "handshake_complete";
+    /// Handshake confirmed at the client.
+    pub const HANDSHAKE_CONFIRMED: &str = "handshake_confirmed";
+    /// The connection died (quirk abort or close).
+    pub const CLOSED: &str = "closed";
+    /// Server asked the certificate store.
+    pub const CERT_REQUESTED: &str = "cert_requested";
+    /// Certificate arrived at the frontend.
+    pub const CERT_READY: &str = "cert_ready";
+}
+
+/// Client endpoint node: performs one HTTP GET over QUIC.
+pub struct ClientNode {
+    /// The QUIC connection (shared with the runner for post-run reads).
+    pub conn: Rc<RefCell<Connection>>,
+    server: NodeId,
+    http: HttpVersion,
+    response_bytes: usize,
+    expected_body: usize,
+    got_first_byte: bool,
+    done: bool,
+}
+
+impl ClientNode {
+    /// Creates a client that GETs `/<file_size>` using `http`.
+    pub fn new(
+        cfg: EndpointConfig,
+        server: NodeId,
+        http: HttpVersion,
+        file_size: usize,
+        seed: u64,
+        rtt_quirk_applies: bool,
+    ) -> Self {
+        let mut conn = Connection::client(cfg, seed, rtt_quirk_applies);
+        // Queue the request now; it rides in the second client flight.
+        let path = format!("/{file_size}");
+        match http {
+            HttpVersion::H1 => {
+                let req = h1::H1Request::get(&path, "testbed.local").encode();
+                conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
+            }
+            HttpVersion::H3 => {
+                let req = h3::request_bytes(&path, "testbed.local");
+                conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
+            }
+        }
+        ClientNode {
+            conn: Rc::new(RefCell::new(conn)),
+            server,
+            http,
+            response_bytes: 0,
+            expected_body: file_size,
+            got_first_byte: false,
+            done: false,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        loop {
+            let out = self.conn.borrow_mut().poll_transmit(now);
+            match out {
+                Some(d) => ctx.send(self.server, d),
+                None => break,
+            }
+        }
+        if let Some(t) = self.conn.borrow().poll_timeout() {
+            ctx.set_timer(t.max(now), TOKEN_CONN);
+        }
+    }
+
+    fn drain_events(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.me();
+        let now = ctx.now();
+        loop {
+            let ev = self.conn.borrow_mut().poll_event();
+            let Some(ev) = ev else { break };
+            match ev {
+                ConnEvent::HandshakeComplete => {
+                    ctx.trace().milestone(me, now, milestones::HANDSHAKE_COMPLETE);
+                }
+                ConnEvent::HandshakeConfirmed => {
+                    ctx.trace().milestone(me, now, milestones::HANDSHAKE_CONFIRMED);
+                }
+                ConnEvent::StreamData { data, fin, id } => {
+                    if !data.is_empty() && !self.got_first_byte {
+                        self.got_first_byte = true;
+                        ctx.trace().milestone(me, now, milestones::TTFB);
+                    }
+                    if id == stream_id::CLIENT_BIDI_0 {
+                        self.response_bytes += data.len();
+                        let complete = match self.http {
+                            HttpVersion::H1 => fin && self.response_bytes >= self.expected_body,
+                            HttpVersion::H3 => fin,
+                        };
+                        if complete && !self.done {
+                            self.done = true;
+                            ctx.trace().milestone(me, now, milestones::RESPONSE_COMPLETE);
+                            ctx.stop();
+                        }
+                    }
+                }
+                ConnEvent::Closed { .. } => {
+                    ctx.trace().milestone(me, now, milestones::CLOSED);
+                    ctx.stop();
+                }
+                ConnEvent::CertificateNeeded => {}
+            }
+        }
+    }
+}
+
+impl Node for ClientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.me();
+        let now = ctx.now();
+        ctx.trace().milestone(me, now, milestones::CLIENT_HELLO_SENT);
+        self.flush(ctx);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: &[u8]) {
+        self.conn.borrow_mut().handle_datagram(ctx.now(), payload);
+        self.drain_events(ctx);
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token != TOKEN_CONN {
+            return;
+        }
+        let due = {
+            let conn = self.conn.borrow();
+            conn.poll_timeout().map(|t| t <= ctx.now()).unwrap_or(false)
+        };
+        if due {
+            self.conn.borrow_mut().handle_timeout(ctx.now());
+            self.drain_events(ctx);
+        }
+        self.flush(ctx);
+    }
+
+    fn name(&self) -> &str {
+        "client"
+    }
+}
+
+/// Server endpoint node: accepts one connection, serves `GET /<n>`.
+pub struct ServerNode {
+    /// The QUIC connection (created on the first datagram).
+    pub conn: Rc<RefCell<Option<Connection>>>,
+    cfg: EndpointConfig,
+    http: HttpVersion,
+    /// Frontend ↔ certificate store delay Δt.
+    cert_delay: SimDuration,
+    client: Option<NodeId>,
+    request_buf: Vec<u8>,
+    responded: bool,
+    settings_sent: bool,
+    cert_timer_at: Option<SimTime>,
+    seed: u64,
+}
+
+impl ServerNode {
+    /// Creates a server with the given endpoint config and Δt.
+    pub fn new(cfg: EndpointConfig, http: HttpVersion, cert_delay: SimDuration, seed: u64) -> Self {
+        ServerNode {
+            conn: Rc::new(RefCell::new(None)),
+            cfg,
+            http,
+            cert_delay,
+            client: None,
+            request_buf: Vec::new(),
+            responded: false,
+            settings_sent: false,
+            cert_timer_at: None,
+            seed,
+        }
+    }
+
+    fn ensure_conn(&mut self, payload: &[u8]) {
+        if self.conn.borrow().is_some() {
+            return;
+        }
+        // Derive the Initial keys from the client's DCID (first header).
+        let dcid = rq_wire::PlainPacket::decode(payload, 8)
+            .map(|(pkt, _, _)| pkt.header.dcid)
+            .unwrap_or(ConnectionId::EMPTY);
+        let conn = Connection::server(self.cfg.clone(), self.seed ^ 0x5EED, dcid);
+        *self.conn.borrow_mut() = Some(conn);
+    }
+
+    fn with_conn<R>(&self, f: impl FnOnce(&mut Connection) -> R) -> Option<R> {
+        self.conn.borrow_mut().as_mut().map(f)
+    }
+
+    fn flush(&mut self, ctx: &mut Context<'_>) {
+        let Some(client) = self.client else { return };
+        let now = ctx.now();
+        loop {
+            let out = self.with_conn(|c| c.poll_transmit(now)).flatten();
+            match out {
+                Some(d) => ctx.send(client, d),
+                None => break,
+            }
+        }
+        if let Some(t) = self.with_conn(|c| c.poll_timeout()).flatten() {
+            ctx.set_timer(t.max(now), TOKEN_CONN);
+        }
+    }
+
+    fn maybe_send_settings(&mut self) {
+        if self.settings_sent || self.http != HttpVersion::H3 {
+            return;
+        }
+        let ready = self.with_conn(|c| c.app_keys_available()).unwrap_or(false);
+        if ready {
+            self.settings_sent = true;
+            self.with_conn(|c| {
+                c.send_stream_data(stream_id::SERVER_UNI_0, &h3::control_stream_prelude(), false);
+            });
+        }
+    }
+
+    fn drain_events(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.me();
+        let now = ctx.now();
+        loop {
+            let ev = self.with_conn(|c| c.poll_event()).flatten();
+            let Some(ev) = ev else { break };
+            match ev {
+                ConnEvent::CertificateNeeded => {
+                    ctx.trace().milestone(me, now, milestones::CERT_REQUESTED);
+                    if self.cert_delay == SimDuration::ZERO {
+                        self.with_conn(|c| c.certificate_ready(now));
+                        ctx.trace().milestone(me, now, milestones::CERT_READY);
+                        self.maybe_send_settings();
+                    } else {
+                        let at = now + self.cert_delay;
+                        self.cert_timer_at = Some(at);
+                        ctx.set_timer(at, TOKEN_CERT);
+                    }
+                }
+                ConnEvent::StreamData { id, data, .. } => {
+                    if id == stream_id::CLIENT_BIDI_0 && !self.responded {
+                        self.request_buf.extend_from_slice(&data);
+                        self.try_respond();
+                    }
+                }
+                ConnEvent::Closed { .. } => {
+                    ctx.trace().milestone(me, now, milestones::CLOSED);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn try_respond(&mut self) {
+        let body_len = match self.http {
+            HttpVersion::H1 => match h1::H1Request::decode(&self.request_buf) {
+                Some(req) => req.path.trim_start_matches('/').parse::<usize>().ok(),
+                None => None,
+            },
+            HttpVersion::H3 => match h3::parse_request_path(&self.request_buf) {
+                Some(path) => path.trim_start_matches('/').parse::<usize>().ok(),
+                None => None,
+            },
+        };
+        let Some(body_len) = body_len else { return };
+        self.responded = true;
+        let response = match self.http {
+            HttpVersion::H1 => h1::H1Response::ok(body_len).encode(),
+            HttpVersion::H3 => h3::response_bytes(body_len),
+        };
+        self.with_conn(|c| c.send_stream_data(stream_id::CLIENT_BIDI_0, &response, true));
+    }
+}
+
+impl Node for ServerNode {
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &[u8]) {
+        self.client = Some(from);
+        self.ensure_conn(payload);
+        self.with_conn(|c| c.handle_datagram(ctx.now(), payload));
+        self.drain_events(ctx);
+        self.maybe_send_settings();
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        let now = ctx.now();
+        match token {
+            TOKEN_CERT => {
+                if let Some(at) = self.cert_timer_at {
+                    if now >= at {
+                        self.cert_timer_at = None;
+                        let me = ctx.me();
+                        ctx.trace().milestone(me, now, milestones::CERT_READY);
+                        self.with_conn(|c| c.certificate_ready(now));
+                        self.maybe_send_settings();
+                    }
+                }
+            }
+            TOKEN_CONN => {
+                let due = self
+                    .with_conn(|c| c.poll_timeout().map(|t| t <= now).unwrap_or(false))
+                    .unwrap_or(false);
+                if due {
+                    self.with_conn(|c| c.handle_timeout(now));
+                    self.drain_events(ctx);
+                }
+            }
+            _ => {}
+        }
+        self.flush(ctx);
+    }
+
+    fn name(&self) -> &str {
+        "server"
+    }
+}

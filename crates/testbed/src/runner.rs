@@ -1,0 +1,353 @@
+//! Scenario execution and metric extraction.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rq_qlog::{first_pto_ms, EventData, EventLog, MetricsExposure, QlogEvent};
+use rq_quic::Connection;
+use rq_sim::{LinkConfig, Network, SimDuration, SimRng};
+
+use crate::nodes::{milestones, ClientNode, ServerNode};
+use crate::scenario::Scenario;
+
+/// Metrics extracted from one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Scenario label.
+    pub label: String,
+    /// The response body arrived in full.
+    pub completed: bool,
+    /// The connection died (e.g. the quiche duplicate-CID abort).
+    pub aborted: bool,
+    /// Time to first byte (first STREAM byte at the client), ms.
+    pub ttfb_ms: Option<f64>,
+    /// Time to full response, ms.
+    pub response_ms: Option<f64>,
+    /// Handshake completion at the client, ms.
+    pub handshake_ms: Option<f64>,
+    /// First client PTO (from the *full* metrics stream), ms.
+    pub first_pto_ms: Option<f64>,
+    /// First client smoothed-RTT sample, ms.
+    pub first_srtt_ms: Option<f64>,
+    /// Client RTT samples absorbed (ground truth).
+    pub client_rtt_samples: usize,
+    /// Received packets that newly acked data at the client (Fig. 11's
+    /// "packets with new ACKs").
+    pub client_new_ack_packets: usize,
+    /// recovery:metrics updates visible after applying this client's qlog
+    /// exposure fidelity (Fig. 11's "recovery:metric updates").
+    pub exposed_metric_updates: usize,
+    /// The server hit the anti-amplification limit at least once.
+    pub server_amp_blocked: bool,
+    /// The client observed an instant ACK.
+    pub iack_observed: bool,
+    /// Datagrams the client sent / the server sent.
+    pub client_datagrams: usize,
+    /// Server-sent datagram count.
+    pub server_datagrams: usize,
+    /// Datagrams dropped by the loss rule.
+    pub dropped_datagrams: usize,
+    /// Full client qlog.
+    pub client_log: EventLog,
+    /// Full server qlog.
+    pub server_log: EventLog,
+}
+
+/// Applies a qlog exposure policy to a log: drops unexposed metrics
+/// updates, hides the variance, quantizes timestamps (Appendix E).
+pub fn apply_exposure(log: &EventLog, exposure: MetricsExposure) -> EventLog {
+    let mut out = EventLog::new(log.vantage.clone());
+    let mut metric_idx = 0usize;
+    for ev in &log.events {
+        match &ev.data {
+            EventData::MetricsUpdated { smoothed_rtt_ms, rtt_variance_ms, latest_rtt_ms, pto_count } => {
+                let keep = exposure.exposes_update(metric_idx);
+                metric_idx += 1;
+                if !keep {
+                    continue;
+                }
+                out.events.push(QlogEvent {
+                    time_ms: exposure.quantize_ms(ev.time_ms),
+                    data: EventData::MetricsUpdated {
+                        smoothed_rtt_ms: *smoothed_rtt_ms,
+                        rtt_variance_ms: if exposure.exposes_variance {
+                            *rtt_variance_ms
+                        } else {
+                            None
+                        },
+                        latest_rtt_ms: *latest_rtt_ms,
+                        pto_count: *pto_count,
+                    },
+                });
+            }
+            other => out.events.push(QlogEvent {
+                time_ms: exposure.quantize_ms(ev.time_ms),
+                data: other.clone(),
+            }),
+        }
+    }
+    out
+}
+
+/// Runs one scenario to completion (or abort/time limit).
+pub fn run_scenario(sc: &Scenario) -> RunResult {
+    run_scenario_with_trace(sc).0
+}
+
+/// Like [`run_scenario`], additionally returning the full simulation trace
+/// (packet capture + milestones) for content-level analyses.
+pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
+    let mut rng = SimRng::new(sc.seed ^ 0xBEEF_CAFE);
+    let rtt_quirk_applies = sc
+        .client
+        .buggy_rtt_preinit
+        .map(|(_, p)| rng.gen_bool(p))
+        .unwrap_or(false);
+
+    let mut net = Network::new(sc.capture_payloads);
+    let mut server_cfg = rq_profiles::server::testbed_server(sc.ack_mode, sc.cert_len);
+    if let Some(pto) = sc.server_default_pto {
+        server_cfg.default_pto = pto;
+    }
+    let server_node = ServerNode::new(server_cfg, sc.http, sc.cert_delay, sc.seed);
+    let server_conn: Rc<RefCell<Option<Connection>>> = Rc::clone(&server_node.conn);
+    let server_id = net.add_node(Box::new(server_node));
+
+    let mut client_cfg = sc.client.endpoint_config(sc.http);
+    if let Some(policy) = sc.probe_policy_override {
+        client_cfg.probe_policy = policy;
+    }
+    let client_node = ClientNode::new(
+        client_cfg,
+        server_id,
+        sc.http,
+        sc.file_size,
+        sc.seed.wrapping_mul(2654435761).wrapping_add(1),
+        rtt_quirk_applies,
+    );
+    let client_conn: Rc<RefCell<Connection>> = Rc::clone(&client_node.conn);
+    let client_id = net.add_node(Box::new(client_node));
+
+    // Direction AtoB = client → server (connect order below).
+    let link = LinkConfig::paper_default(sc.one_way_delay());
+    let mut link = link;
+    link.loss = sc.loss_rule();
+    net.connect(client_id, server_id, link);
+
+    // 10 MB at 10 Mbit/s takes ~8.4 s; loss + 300 ms RTT backoffs can add
+    // several more. 120 s of virtual time bounds every paper scenario.
+    let _outcome = net.run(SimDuration::from_secs(120));
+
+    let trace = &net.trace;
+    let started = trace.first(milestones::CLIENT_HELLO_SENT).expect("client start");
+    let rel = |label: &str| {
+        trace
+            .first(label)
+            .map(|t| t.since(started).as_millis_f64())
+    };
+    let completed = trace.first(milestones::RESPONSE_COMPLETE).is_some();
+    let aborted = trace.first(milestones::CLOSED).is_some() && !completed;
+
+    let client_log = std::mem::take(&mut client_conn.borrow_mut().log);
+    let server_log = server_conn
+        .borrow_mut()
+        .as_mut()
+        .map(|c| std::mem::take(&mut c.log))
+        .unwrap_or_default();
+
+    let client = client_conn.borrow();
+    let first_srtt_ms = client_log
+        .metrics_updates()
+        .next()
+        .map(|(_, srtt, _)| srtt);
+    let exposure = sc.client.metrics_exposure();
+    let exposed = apply_exposure(&client_log, exposure);
+    let exposed_metric_updates = exposed.metrics_updates().count();
+
+    let result = RunResult {
+        label: sc.label(),
+        completed,
+        aborted,
+        ttfb_ms: rel(milestones::TTFB),
+        response_ms: rel(milestones::RESPONSE_COMPLETE),
+        handshake_ms: rel(milestones::HANDSHAKE_COMPLETE),
+        first_pto_ms: first_pto_ms(&client_log),
+        first_srtt_ms,
+        client_rtt_samples: client.rtt().sample_count(),
+        client_new_ack_packets: client.new_ack_packets(),
+        exposed_metric_updates,
+        server_amp_blocked: server_log
+            .first(|d| matches!(d, EventData::AmplificationBlocked { .. }))
+            .is_some(),
+        iack_observed: client_log
+            .first(|d| matches!(d, EventData::InstantAck { sent: false }))
+            .is_some(),
+        client_datagrams: trace.sent_count(client_id, server_id),
+        server_datagrams: trace.sent_count(server_id, client_id),
+        dropped_datagrams: trace.dropped_count(client_id, server_id)
+            + trace.dropped_count(server_id, client_id),
+        client_log,
+        server_log,
+    };
+    (result, std::mem::take(&mut net.trace))
+}
+
+/// Runs `n` repetitions with distinct seeds.
+pub fn run_repetitions(sc: &Scenario, n: usize) -> Vec<RunResult> {
+    (0..n)
+        .map(|i| {
+            let mut s = sc.clone();
+            s.seed = sc.seed.wrapping_add(i as u64 * 7919);
+            run_scenario(&s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::LossSpec;
+    use rq_http::HttpVersion;
+    use rq_profiles::client_by_name;
+    use rq_quic::ServerAckMode;
+
+    const IACK: ServerAckMode = ServerAckMode::InstantAck { pad_to_mtu: false };
+    const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;
+
+    fn base(name: &str, mode: ServerAckMode, http: HttpVersion) -> Scenario {
+        Scenario::base(client_by_name(name).unwrap(), mode, http)
+    }
+
+    #[test]
+    fn clean_h1_transfer_completes() {
+        let res = run_scenario(&base("quic-go", WFC, HttpVersion::H1));
+        assert!(res.completed, "{res:?}");
+        assert!(!res.aborted);
+        // 9 ms RTT, no Δt: handshake ~1 RTT, response within ~3 RTTs.
+        let ttfb = res.ttfb_ms.unwrap();
+        assert!(ttfb > 17.0 && ttfb < 40.0, "ttfb {ttfb}");
+    }
+
+    #[test]
+    fn clean_h3_transfer_completes_one_rtt_earlier() {
+        let h1 = run_scenario(&base("quic-go", WFC, HttpVersion::H1));
+        let h3 = run_scenario(&base("quic-go", WFC, HttpVersion::H3));
+        assert!(h3.completed);
+        // H3 TTFB is the control-stream SETTINGS: one RTT before the H1
+        // response body (paper Fig. 5 caption).
+        let h1_ttfb = h1.ttfb_ms.unwrap();
+        let h3_ttfb = h3.ttfb_ms.unwrap();
+        assert!(
+            h3_ttfb + 4.0 < h1_ttfb,
+            "expected H3 ({h3_ttfb}) ≳1 RTT before H1 ({h1_ttfb})"
+        );
+    }
+
+    #[test]
+    fn iack_observed_only_under_instant_ack() {
+        let mut sc = base("quic-go", WFC, HttpVersion::H1);
+        sc.cert_delay = rq_sim::SimDuration::from_millis(20);
+        let wfc = run_scenario(&sc);
+        assert!(!wfc.iack_observed);
+        sc.ack_mode = IACK;
+        let iack = run_scenario(&sc);
+        assert!(iack.iack_observed);
+        assert!(iack.completed);
+    }
+
+    #[test]
+    fn wfc_inflates_first_srtt_by_cert_delay() {
+        let mut sc = base("quic-go", WFC, HttpVersion::H1);
+        sc.cert_delay = rq_sim::SimDuration::from_millis(25);
+        let wfc = run_scenario(&sc);
+        sc.ack_mode = IACK;
+        let iack = run_scenario(&sc);
+        let wfc_srtt = wfc.first_srtt_ms.unwrap();
+        let iack_srtt = iack.first_srtt_ms.unwrap();
+        assert!(wfc_srtt >= 33.0, "WFC first srtt ≈ RTT + Δt, got {wfc_srtt}");
+        assert!(iack_srtt <= 10.0, "IACK first srtt ≈ RTT, got {iack_srtt}");
+        // First PTO differs by ~3Δt (Figure 2).
+        let dpto = wfc.first_pto_ms.unwrap() - iack.first_pto_ms.unwrap();
+        assert!((dpto - 75.0).abs() < 8.0, "ΔPTO ≈ 3x25 ms, got {dpto}");
+    }
+
+    #[test]
+    fn large_cert_blocks_server_on_amplification() {
+        let mut sc = base("neqo", WFC, HttpVersion::H1);
+        sc.cert_len = rq_tls::CERT_LARGE;
+        sc.cert_delay = rq_sim::SimDuration::from_millis(200);
+        let res = run_scenario(&sc);
+        assert!(res.completed, "{res:?}");
+        assert!(res.server_amp_blocked, "5113 B cert must exceed 3x1200 budget");
+    }
+
+    #[test]
+    fn fig5_shape_iack_beats_wfc_for_neqo_when_blocked() {
+        // Paper Fig. 5: with the large certificate and Δt = 200 ms, IACK
+        // lowers neqo's/ngtcp2's TTFB by ~1 RTT.
+        for name in ["neqo", "ngtcp2"] {
+            let mut sc = base(name, WFC, HttpVersion::H1);
+            sc.cert_len = rq_tls::CERT_LARGE;
+            sc.cert_delay = rq_sim::SimDuration::from_millis(200);
+            let wfc = run_scenario(&sc);
+            sc.ack_mode = IACK;
+            let iack = run_scenario(&sc);
+            let (w, i) = (wfc.ttfb_ms.unwrap(), iack.ttfb_ms.unwrap());
+            assert!(i < w, "{name}: IACK {i} must beat WFC {w}");
+        }
+    }
+
+    #[test]
+    fn fig6_shape_wfc_beats_iack_on_server_flight_tail_loss() {
+        // Paper Fig. 6: IACK needs ~180 ms longer because the server holds
+        // no RTT sample and falls back to its 200 ms default PTO.
+        let mut sc = base("quic-go", WFC, HttpVersion::H1);
+        sc.loss = LossSpec::ServerFlightTail;
+        let wfc = run_scenario(&sc);
+        sc.ack_mode = IACK;
+        let iack = run_scenario(&sc);
+        assert!(wfc.completed && iack.completed, "wfc {wfc:?} iack {iack:?}");
+        let (w, i) = (wfc.ttfb_ms.unwrap(), iack.ttfb_ms.unwrap());
+        assert!(
+            i > w + 100.0,
+            "IACK ({i}) must trail WFC ({w}) by roughly the server default PTO"
+        );
+    }
+
+    #[test]
+    fn fig7_shape_iack_beats_wfc_on_second_client_flight_loss() {
+        // Paper Fig. 7: the smaller PTO lets the client resend sooner.
+        let mut sc = base("quic-go", WFC, HttpVersion::H1);
+        sc.loss = LossSpec::SecondClientFlight;
+        let wfc = run_scenario(&sc);
+        sc.ack_mode = IACK;
+        let iack = run_scenario(&sc);
+        assert!(wfc.completed && iack.completed);
+        let (w, i) = (wfc.ttfb_ms.unwrap(), iack.ttfb_ms.unwrap());
+        assert!(i < w, "IACK ({i}) must beat WFC ({w}) under client-flight loss");
+    }
+
+    #[test]
+    fn repetitions_vary_seed_but_stay_deterministic() {
+        let sc = base("quic-go", WFC, HttpVersion::H1);
+        let a = run_repetitions(&sc, 3);
+        let b = run_repetitions(&sc, 3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.ttfb_ms, y.ttfb_ms, "same seed ⇒ identical run");
+        }
+    }
+
+    #[test]
+    fn exposure_filter_reduces_updates() {
+        let mut sc = base("picoquic", WFC, HttpVersion::H1);
+        sc.file_size = 100 * 1024;
+        let res = run_scenario(&sc);
+        assert!(res.completed);
+        assert!(
+            res.exposed_metric_updates <= res.client_rtt_samples,
+            "exposed ({}) cannot exceed ground truth ({})",
+            res.exposed_metric_updates,
+            res.client_rtt_samples
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Scenario definitions: the parameter space of the paper's §3.
+
+use rq_http::HttpVersion;
+use rq_profiles::ClientProfile;
+use rq_quic::ServerAckMode;
+use rq_sim::{Direction, DropIndices, LossRule, NoLoss, SimDuration};
+
+/// Which datagrams are dropped (paper §4.2 / Appendix E/F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossSpec {
+    /// No loss.
+    None,
+    /// Loss of the first server flight except its first datagram:
+    /// datagrams 2 and 3 under IACK, datagram 2 under WFC (1-based;
+    /// Figure 6 / Figure 12).
+    ServerFlightTail,
+    /// Loss of the entire second client flight, using the static
+    /// per-implementation datagram mapping of Table 4 (Figure 7 /
+    /// Figure 13).
+    SecondClientFlight,
+}
+
+/// One testbed run configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Client implementation profile.
+    pub client: ClientProfile,
+    /// Server ACK behaviour (WFC or IACK).
+    pub ack_mode: ServerAckMode,
+    /// HTTP flavour.
+    pub http: HttpVersion,
+    /// Path round-trip time (composed of two symmetric one-way delays).
+    pub rtt: SimDuration,
+    /// TLS certificate size in bytes.
+    pub cert_len: usize,
+    /// Frontend ↔ certificate store delay Δt.
+    pub cert_delay: SimDuration,
+    /// Response body size in bytes (paper: 10 KB and 10 MB).
+    pub file_size: usize,
+    /// Loss specification.
+    pub loss: LossSpec,
+    /// Seed for per-run randomness (go-x-net quirk resolution etc.).
+    pub seed: u64,
+    /// Store full datagram payloads in the trace (needed by analyses that
+    /// classify datagram contents, e.g. the Table 4 regenerator).
+    pub capture_payloads: bool,
+    /// Override for the server's default PTO (the `exp_ablation_server_pto`
+    /// sweep); `None` keeps the quic-go 200 ms default.
+    pub server_default_pto: Option<SimDuration>,
+    /// Override for the client's PTO probe content (the
+    /// `exp_ablation_probe_policy` study); `None` keeps the stock PING.
+    pub probe_policy_override: Option<rq_quic::ProbePolicy>,
+}
+
+impl Scenario {
+    /// The paper's base configuration: 10 KB transfer, small certificate,
+    /// no extra Δt, no loss.
+    pub fn base(client: ClientProfile, ack_mode: ServerAckMode, http: HttpVersion) -> Self {
+        Scenario {
+            client,
+            ack_mode,
+            http,
+            rtt: SimDuration::from_millis(9),
+            cert_len: rq_tls::CERT_SMALL,
+            cert_delay: SimDuration::ZERO,
+            file_size: 10 * 1024,
+            loss: LossSpec::None,
+            seed: 1,
+            capture_payloads: false,
+            server_default_pto: None,
+            probe_policy_override: None,
+        }
+    }
+
+    /// Builds the loss rule for this scenario.
+    ///
+    /// Direction `AtoB` is client→server in the runner's topology.
+    /// Index mappings follow the paper exactly:
+    /// * `ServerFlightTail`: server→client datagram indices 1,2 (IACK) or
+    ///   1 (WFC), 0-based — "loss of the second and third UDP datagram
+    ///   (IACK) and loss of the second UDP datagram (WFC)".
+    /// * `SecondClientFlight`: client→server datagram indices 1..=N where
+    ///   N is the client's Table 4 second-flight datagram count; the
+    ///   static mapping is intentional (Appendix E).
+    pub fn loss_rule(&self) -> Box<dyn LossRule> {
+        match self.loss {
+            LossSpec::None => Box::new(NoLoss),
+            LossSpec::ServerFlightTail => {
+                let indices: &[usize] = match self.ack_mode {
+                    ServerAckMode::InstantAck { .. } => &[1, 2],
+                    ServerAckMode::WaitForCertificate => &[1],
+                };
+                Box::new(DropIndices::new(Direction::BtoA, indices))
+            }
+            LossSpec::SecondClientFlight => {
+                let n = self.client.flight2_datagrams;
+                let indices: Vec<usize> = (1..=n).collect();
+                Box::new(DropIndices::new(Direction::AtoB, &indices))
+            }
+        }
+    }
+
+    /// One-way link delay (half the RTT).
+    pub fn one_way_delay(&self) -> SimDuration {
+        SimDuration::from_nanos(self.rtt.as_nanos() / 2)
+    }
+
+    /// Human-readable scenario id for tables.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/rtt{}ms/{:?}",
+            self.client.name,
+            self.ack_mode.label(),
+            self.http.label(),
+            self.rtt.as_millis(),
+            self.loss
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_profiles::client_by_name;
+    use rq_sim::loss::DatagramMeta;
+    use rq_sim::SimTime;
+
+    fn meta(direction: Direction, index: usize) -> DatagramMeta<'static> {
+        DatagramMeta { direction, index, payload: b"", now: SimTime::ZERO }
+    }
+
+    #[test]
+    fn server_flight_tail_differs_by_mode() {
+        let mut iack = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::InstantAck { pad_to_mtu: false },
+            HttpVersion::H1,
+        );
+        iack.loss = LossSpec::ServerFlightTail;
+        let mut rule = iack.loss_rule();
+        assert!(!rule.should_drop(&meta(Direction::BtoA, 0)));
+        assert!(rule.should_drop(&meta(Direction::BtoA, 1)));
+        assert!(rule.should_drop(&meta(Direction::BtoA, 2)));
+        assert!(!rule.should_drop(&meta(Direction::BtoA, 3)));
+
+        let mut wfc = iack.clone();
+        wfc.ack_mode = ServerAckMode::WaitForCertificate;
+        let mut rule = wfc.loss_rule();
+        assert!(rule.should_drop(&meta(Direction::BtoA, 1)));
+        assert!(!rule.should_drop(&meta(Direction::BtoA, 2)));
+    }
+
+    #[test]
+    fn second_client_flight_respects_table4() {
+        for (name, n) in [("quiche", 1usize), ("neqo", 2), ("quic-go", 3), ("picoquic", 4)] {
+            let mut sc = Scenario::base(
+                client_by_name(name).unwrap(),
+                ServerAckMode::WaitForCertificate,
+                HttpVersion::H1,
+            );
+            sc.loss = LossSpec::SecondClientFlight;
+            let mut rule = sc.loss_rule();
+            assert!(!rule.should_drop(&meta(Direction::AtoB, 0)), "{name}: CH survives");
+            for i in 1..=n {
+                assert!(rule.should_drop(&meta(Direction::AtoB, i)), "{name} idx {i}");
+            }
+            assert!(!rule.should_drop(&meta(Direction::AtoB, n + 1)), "{name}");
+        }
+    }
+
+    #[test]
+    fn one_way_delay_is_half_rtt() {
+        let sc = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            HttpVersion::H1,
+        );
+        assert_eq!(sc.one_way_delay().as_millis_f64(), 4.5);
+    }
+}

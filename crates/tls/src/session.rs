@@ -1,0 +1,598 @@
+//! The TLS handshake state machine (sans-IO).
+//!
+//! The QUIC connection feeds contiguous crypto-stream bytes per encryption
+//! level into [`TlsSession::read_crypto`] and drains flight bytes with
+//! [`TlsSession::take_output`]. The server pauses after the ClientHello
+//! until [`TlsSession::provide_certificate`] is called — this is the hook
+//! the paper's Δt (frontend ↔ certificate store delay) attaches to, and
+//! what makes WFC vs IACK observable.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::keys::{application_keys, handshake_keys, LevelKeys, Level};
+use crate::messages::{HandshakeMessage, HandshakeType, DEFAULT_CLIENT_HELLO_LEN};
+use crate::sha256::Sha256;
+use crate::TlsError;
+
+/// Endpoint role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Connection initiator.
+    Client,
+    /// Connection responder.
+    Server,
+}
+
+/// Client-side handshake parameters.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total ClientHello size in bytes.
+    pub client_hello_len: usize,
+    /// 32-byte client random (drawn from the simulation RNG upstream).
+    pub random: [u8; 32],
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { client_hello_len: DEFAULT_CLIENT_HELLO_LEN, random: [0x11; 32] }
+    }
+}
+
+/// Server-side handshake parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Total Certificate message size in bytes (the paper's 1,212 B small
+    /// and 5,113 B large chains are in `messages::CERT_SMALL/_LARGE`).
+    pub cert_len: usize,
+    /// 32-byte server random.
+    pub random: [u8; 32],
+    /// If true the certificate is already on the frontend (cache hit):
+    /// the ServerHello flight is produced immediately on ClientHello.
+    pub cert_preprovisioned: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cert_len: crate::messages::CERT_SMALL,
+            random: [0x22; 32],
+            cert_preprovisioned: false,
+        }
+    }
+}
+
+/// Events surfaced to the QUIC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsEvent {
+    /// Keys for a level are now available; install them before processing
+    /// further packets at that level.
+    KeysReady(Level),
+    /// Server only: the ClientHello was parsed but no certificate is
+    /// provisioned. Fetch it (after Δt) and call `provide_certificate`.
+    NeedCertificate,
+    /// The handshake is complete at this endpoint.
+    HandshakeComplete,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    Start,
+    WaitServerHello,
+    WaitEncryptedExtensions,
+    WaitCertificate,
+    WaitCertificateVerify,
+    WaitFinished,
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerState {
+    WaitClientHello,
+    WaitCertProvision,
+    WaitClientFinished,
+    Complete,
+}
+
+#[derive(Debug)]
+enum StateMachine {
+    Client(ClientState),
+    Server(ServerState),
+}
+
+/// A sans-IO TLS 1.3 handshake session.
+pub struct TlsSession {
+    role: Role,
+    state: StateMachine,
+    client_cfg: ClientConfig,
+    server_cfg: ServerConfig,
+    transcript: Sha256,
+    /// Pending output bytes per level: Initial, Handshake.
+    out_initial: BytesMut,
+    out_handshake: BytesMut,
+    /// Reassembled-but-unparsed input per level.
+    in_initial: BytesMut,
+    in_handshake: BytesMut,
+    handshake_keys: Option<LevelKeys>,
+    application_keys: Option<LevelKeys>,
+    complete: bool,
+}
+
+impl TlsSession {
+    /// Creates a client session. Call [`TlsSession::start`] to queue the
+    /// ClientHello.
+    pub fn client(cfg: ClientConfig) -> Self {
+        TlsSession {
+            role: Role::Client,
+            state: StateMachine::Client(ClientState::Start),
+            client_cfg: cfg,
+            server_cfg: ServerConfig::default(),
+            transcript: Sha256::new(),
+            out_initial: BytesMut::new(),
+            out_handshake: BytesMut::new(),
+            in_initial: BytesMut::new(),
+            in_handshake: BytesMut::new(),
+            handshake_keys: None,
+            application_keys: None,
+            complete: false,
+        }
+    }
+
+    /// Creates a server session.
+    pub fn server(cfg: ServerConfig) -> Self {
+        TlsSession {
+            role: Role::Server,
+            state: StateMachine::Server(ServerState::WaitClientHello),
+            client_cfg: ClientConfig::default(),
+            server_cfg: cfg,
+            transcript: Sha256::new(),
+            out_initial: BytesMut::new(),
+            out_handshake: BytesMut::new(),
+            in_initial: BytesMut::new(),
+            in_handshake: BytesMut::new(),
+            handshake_keys: None,
+            application_keys: None,
+            complete: false,
+        }
+    }
+
+    /// Endpoint role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Queues the ClientHello (client only). Idempotent.
+    pub fn start(&mut self) {
+        if let StateMachine::Client(state @ ClientState::Start) = &mut self.state {
+            let ch = HandshakeMessage::client_hello(
+                self.client_cfg.random,
+                self.client_cfg.client_hello_len,
+            );
+            let mut enc = BytesMut::new();
+            ch.encode(&mut enc);
+            self.transcript.update(&enc);
+            self.out_initial.extend_from_slice(&enc);
+            *state = ClientState::WaitServerHello;
+        }
+    }
+
+    /// Re-queues the ClientHello after a Retry packet (RFC 9000 §17.2.5):
+    /// the transcript restarts and the CH is resent with the server token
+    /// carried at the QUIC layer.
+    pub fn reset_for_retry(&mut self) {
+        assert_eq!(self.role, Role::Client, "only clients process Retry");
+        self.state = StateMachine::Client(ClientState::Start);
+        self.transcript = Sha256::new();
+        self.out_initial.clear();
+        self.out_handshake.clear();
+        self.in_initial.clear();
+        self.in_handshake.clear();
+        self.start();
+    }
+
+    /// Feeds contiguous crypto bytes received at `level`.
+    pub fn read_crypto(&mut self, level: Level, data: &[u8]) -> Result<Vec<TlsEvent>, TlsError> {
+        match level {
+            Level::Initial => self.in_initial.extend_from_slice(data),
+            Level::Handshake => self.in_handshake.extend_from_slice(data),
+            Level::Application => return Err(TlsError::UnexpectedMessage("crypto at 1-RTT")),
+        }
+        let mut events = Vec::new();
+        loop {
+            let before = (self.in_initial.len(), self.in_handshake.len());
+            self.advance(level, &mut events)?;
+            let after = (self.in_initial.len(), self.in_handshake.len());
+            if before == after {
+                break;
+            }
+        }
+        Ok(events)
+    }
+
+    fn advance(&mut self, level: Level, events: &mut Vec<TlsEvent>) -> Result<(), TlsError> {
+        let buf = match level {
+            Level::Initial => &mut self.in_initial,
+            Level::Handshake => &mut self.in_handshake,
+            Level::Application => unreachable!(),
+        };
+        let mut peek = Bytes::copy_from_slice(buf);
+        let Some(msg) = HandshakeMessage::decode(&mut peek)? else {
+            return Ok(());
+        };
+        // Consume the parsed bytes from the real buffer.
+        let consumed = buf.len() - peek.len();
+        let _ = buf.split_to(consumed);
+
+        match (&mut self.state, level) {
+            (StateMachine::Client(state), _) => {
+                Self::client_handle(
+                    state,
+                    &msg,
+                    level,
+                    &mut self.transcript,
+                    &mut self.out_handshake,
+                    &mut self.handshake_keys,
+                    &mut self.application_keys,
+                    &mut self.complete,
+                    events,
+                )?;
+            }
+            (StateMachine::Server(state), lvl) => {
+                Self::server_handle(
+                    state,
+                    &msg,
+                    lvl,
+                    &self.server_cfg,
+                    &mut self.transcript,
+                    &mut self.out_initial,
+                    &mut self.out_handshake,
+                    &mut self.handshake_keys,
+                    &mut self.application_keys,
+                    &mut self.complete,
+                    events,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn client_handle(
+        state: &mut ClientState,
+        msg: &HandshakeMessage,
+        level: Level,
+        transcript: &mut Sha256,
+        out_handshake: &mut BytesMut,
+        hs_keys: &mut Option<LevelKeys>,
+        app_keys: &mut Option<LevelKeys>,
+        complete: &mut bool,
+        events: &mut Vec<TlsEvent>,
+    ) -> Result<(), TlsError> {
+        let expect_err = |got: HandshakeType| {
+            Err(TlsError::UnexpectedMessage(match got {
+                HandshakeType::ClientHello => "ClientHello at client",
+                _ => "out-of-order handshake message",
+            }))
+        };
+        let mut enc = BytesMut::new();
+        msg.encode(&mut enc);
+        match (*state, msg.ty, level) {
+            (ClientState::WaitServerHello, HandshakeType::ServerHello, Level::Initial) => {
+                transcript.update(&enc);
+                let th = transcript.clone().finalize();
+                *hs_keys = Some(handshake_keys(&th));
+                events.push(TlsEvent::KeysReady(Level::Handshake));
+                *state = ClientState::WaitEncryptedExtensions;
+            }
+            (ClientState::WaitEncryptedExtensions, HandshakeType::EncryptedExtensions, Level::Handshake) => {
+                transcript.update(&enc);
+                *state = ClientState::WaitCertificate;
+            }
+            (ClientState::WaitCertificate, HandshakeType::Certificate, Level::Handshake) => {
+                transcript.update(&enc);
+                *state = ClientState::WaitCertificateVerify;
+            }
+            (ClientState::WaitCertificateVerify, HandshakeType::CertificateVerify, Level::Handshake) => {
+                transcript.update(&enc);
+                *state = ClientState::WaitFinished;
+            }
+            (ClientState::WaitFinished, HandshakeType::Finished, Level::Handshake) => {
+                transcript.update(&enc);
+                let th = transcript.clone().finalize();
+                *app_keys = Some(application_keys(&th));
+                events.push(TlsEvent::KeysReady(Level::Application));
+                // Client Finished: verify-data = transcript hash.
+                let fin = HandshakeMessage::finished(th);
+                let mut fin_enc = BytesMut::new();
+                fin.encode(&mut fin_enc);
+                transcript.update(&fin_enc);
+                out_handshake.extend_from_slice(&fin_enc);
+                *state = ClientState::Complete;
+                *complete = true;
+                events.push(TlsEvent::HandshakeComplete);
+            }
+            (_, got, _) => return expect_err(got),
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn server_handle(
+        state: &mut ServerState,
+        msg: &HandshakeMessage,
+        level: Level,
+        cfg: &ServerConfig,
+        transcript: &mut Sha256,
+        out_initial: &mut BytesMut,
+        out_handshake: &mut BytesMut,
+        hs_keys: &mut Option<LevelKeys>,
+        app_keys: &mut Option<LevelKeys>,
+        complete: &mut bool,
+        events: &mut Vec<TlsEvent>,
+    ) -> Result<(), TlsError> {
+        let mut enc = BytesMut::new();
+        msg.encode(&mut enc);
+        match (*state, msg.ty, level) {
+            (ServerState::WaitClientHello, HandshakeType::ClientHello, Level::Initial) => {
+                transcript.update(&enc);
+                if cfg.cert_preprovisioned {
+                    Self::emit_server_flight(
+                        cfg, transcript, out_initial, out_handshake, hs_keys, app_keys, events,
+                    );
+                    *state = ServerState::WaitClientFinished;
+                } else {
+                    events.push(TlsEvent::NeedCertificate);
+                    *state = ServerState::WaitCertProvision;
+                }
+            }
+            (ServerState::WaitClientFinished, HandshakeType::Finished, Level::Handshake) => {
+                // Verify-data check: must equal our transcript hash at the
+                // point the client computed it (before its own Finished).
+                *state = ServerState::Complete;
+                *complete = true;
+                events.push(TlsEvent::HandshakeComplete);
+            }
+            (_, _, _) => return Err(TlsError::UnexpectedMessage("out-of-order at server")),
+        }
+        Ok(())
+    }
+
+    fn emit_server_flight(
+        cfg: &ServerConfig,
+        transcript: &mut Sha256,
+        out_initial: &mut BytesMut,
+        out_handshake: &mut BytesMut,
+        hs_keys: &mut Option<LevelKeys>,
+        app_keys: &mut Option<LevelKeys>,
+        events: &mut Vec<TlsEvent>,
+    ) {
+        // ServerHello at Initial level.
+        let sh = HandshakeMessage::server_hello(cfg.random);
+        let mut enc = BytesMut::new();
+        sh.encode(&mut enc);
+        transcript.update(&enc);
+        out_initial.extend_from_slice(&enc);
+        let th = transcript.clone().finalize();
+        *hs_keys = Some(handshake_keys(&th));
+        events.push(TlsEvent::KeysReady(Level::Handshake));
+
+        // EE, CERT, CV, FIN at Handshake level.
+        for m in [
+            HandshakeMessage::encrypted_extensions(),
+            HandshakeMessage::certificate(cfg.cert_len),
+            HandshakeMessage::certificate_verify(),
+        ] {
+            let mut e = BytesMut::new();
+            m.encode(&mut e);
+            transcript.update(&e);
+            out_handshake.extend_from_slice(&e);
+        }
+        let th_fin = transcript.clone().finalize();
+        let fin = HandshakeMessage::finished(th_fin);
+        let mut e = BytesMut::new();
+        fin.encode(&mut e);
+        transcript.update(&e);
+        out_handshake.extend_from_slice(&e);
+        // Server can send 1-RTT data once its Finished is queued.
+        let th_app = transcript.clone().finalize();
+        *app_keys = Some(application_keys(&th_app));
+        events.push(TlsEvent::KeysReady(Level::Application));
+    }
+
+    /// Server only: the certificate arrived from the store. Produces the
+    /// ServerHello flight. Returns the resulting events.
+    pub fn provide_certificate(&mut self) -> Vec<TlsEvent> {
+        let mut events = Vec::new();
+        if let StateMachine::Server(state @ ServerState::WaitCertProvision) = &mut self.state {
+            Self::emit_server_flight(
+                &self.server_cfg,
+                &mut self.transcript,
+                &mut self.out_initial,
+                &mut self.out_handshake,
+                &mut self.handshake_keys,
+                &mut self.application_keys,
+                &mut events,
+            );
+            *state = ServerState::WaitClientFinished;
+        }
+        events
+    }
+
+    /// Drains pending outgoing crypto bytes for `level`.
+    pub fn take_output(&mut self, level: Level) -> Option<Bytes> {
+        let buf = match level {
+            Level::Initial => &mut self.out_initial,
+            Level::Handshake => &mut self.out_handshake,
+            Level::Application => return None,
+        };
+        if buf.is_empty() {
+            None
+        } else {
+            Some(buf.split().freeze())
+        }
+    }
+
+    /// Peeks at the number of pending output bytes for `level`.
+    pub fn pending_output(&self, level: Level) -> usize {
+        match level {
+            Level::Initial => self.out_initial.len(),
+            Level::Handshake => self.out_handshake.len(),
+            Level::Application => 0,
+        }
+    }
+
+    /// Keys for a level once available.
+    pub fn keys(&self, level: Level) -> Option<&LevelKeys> {
+        match level {
+            Level::Initial => None, // derived from DCID by the QUIC layer
+            Level::Handshake => self.handshake_keys.as_ref(),
+            Level::Application => self.application_keys.as_ref(),
+        }
+    }
+
+    /// Whether the handshake is complete at this endpoint.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{CERT_LARGE, CERT_SMALL};
+
+    /// Runs a full in-memory handshake, shuttling crypto bytes directly.
+    fn run_handshake(cert_len: usize, preprovisioned: bool) -> (TlsSession, TlsSession) {
+        let mut client = TlsSession::client(ClientConfig::default());
+        let mut server = TlsSession::server(ServerConfig {
+            cert_len,
+            cert_preprovisioned: preprovisioned,
+            ..ServerConfig::default()
+        });
+        client.start();
+        let ch = client.take_output(Level::Initial).unwrap();
+        let ev = server.read_crypto(Level::Initial, &ch).unwrap();
+        if !preprovisioned {
+            assert_eq!(ev, vec![TlsEvent::NeedCertificate]);
+            let ev2 = server.provide_certificate();
+            assert!(ev2.contains(&TlsEvent::KeysReady(Level::Handshake)));
+            assert!(ev2.contains(&TlsEvent::KeysReady(Level::Application)));
+        } else {
+            assert!(ev.contains(&TlsEvent::KeysReady(Level::Handshake)));
+        }
+        let sh = server.take_output(Level::Initial).unwrap();
+        let flight = server.take_output(Level::Handshake).unwrap();
+        let ev = client.read_crypto(Level::Initial, &sh).unwrap();
+        assert_eq!(ev, vec![TlsEvent::KeysReady(Level::Handshake)]);
+        let ev = client.read_crypto(Level::Handshake, &flight).unwrap();
+        assert!(ev.contains(&TlsEvent::KeysReady(Level::Application)));
+        assert!(ev.contains(&TlsEvent::HandshakeComplete));
+        let client_fin = client.take_output(Level::Handshake).unwrap();
+        let ev = server.read_crypto(Level::Handshake, &client_fin).unwrap();
+        assert!(ev.contains(&TlsEvent::HandshakeComplete));
+        (client, server)
+    }
+
+    #[test]
+    fn full_handshake_small_cert() {
+        let (client, server) = run_handshake(CERT_SMALL, false);
+        assert!(client.is_complete());
+        assert!(server.is_complete());
+    }
+
+    #[test]
+    fn full_handshake_large_cert() {
+        let (client, server) = run_handshake(CERT_LARGE, false);
+        assert!(client.is_complete());
+        assert!(server.is_complete());
+    }
+
+    #[test]
+    fn preprovisioned_cert_skips_need_certificate() {
+        let (client, server) = run_handshake(CERT_SMALL, true);
+        assert!(client.is_complete());
+        assert!(server.is_complete());
+    }
+
+    #[test]
+    fn both_sides_derive_identical_keys() {
+        let (client, server) = run_handshake(CERT_SMALL, false);
+        assert_eq!(client.keys(Level::Handshake), server.keys(Level::Handshake));
+        assert_eq!(client.keys(Level::Application), server.keys(Level::Application));
+    }
+
+    #[test]
+    fn server_flight_size_scales_with_cert() {
+        let mut client = TlsSession::client(ClientConfig::default());
+        client.start();
+        let ch = client.take_output(Level::Initial).unwrap();
+
+        let mut small = TlsSession::server(ServerConfig {
+            cert_len: CERT_SMALL,
+            cert_preprovisioned: true,
+            ..ServerConfig::default()
+        });
+        small.read_crypto(Level::Initial, &ch).unwrap();
+        let small_len = small.pending_output(Level::Handshake);
+
+        let mut large = TlsSession::server(ServerConfig {
+            cert_len: CERT_LARGE,
+            cert_preprovisioned: true,
+            ..ServerConfig::default()
+        });
+        large.read_crypto(Level::Initial, &ch).unwrap();
+        let large_len = large.pending_output(Level::Handshake);
+
+        assert_eq!(large_len - small_len, CERT_LARGE - CERT_SMALL);
+    }
+
+    #[test]
+    fn fragmented_delivery_still_completes() {
+        let mut client = TlsSession::client(ClientConfig::default());
+        let mut server = TlsSession::server(ServerConfig {
+            cert_preprovisioned: true,
+            ..ServerConfig::default()
+        });
+        client.start();
+        let ch = client.take_output(Level::Initial).unwrap();
+        // Deliver CH one byte at a time.
+        for b in ch.iter() {
+            server.read_crypto(Level::Initial, &[*b]).unwrap();
+        }
+        let sh = server.take_output(Level::Initial).unwrap();
+        let flight = server.take_output(Level::Handshake).unwrap();
+        client.read_crypto(Level::Initial, &sh).unwrap();
+        // Deliver the handshake flight in 100-byte chunks.
+        for chunk in flight.chunks(100) {
+            client.read_crypto(Level::Handshake, chunk).unwrap();
+        }
+        assert!(client.is_complete());
+    }
+
+    #[test]
+    fn out_of_order_message_rejected() {
+        let mut client = TlsSession::client(ClientConfig::default());
+        client.start();
+        // Server Finished before ServerHello is a protocol violation.
+        let fin = HandshakeMessage::finished([0; 32]);
+        let mut enc = BytesMut::new();
+        fin.encode(&mut enc);
+        assert!(client.read_crypto(Level::Initial, &enc).is_err());
+    }
+
+    #[test]
+    fn retry_resets_and_requeues_client_hello() {
+        let mut client = TlsSession::client(ClientConfig::default());
+        client.start();
+        let ch1 = client.take_output(Level::Initial).unwrap();
+        client.reset_for_retry();
+        let ch2 = client.take_output(Level::Initial).unwrap();
+        assert_eq!(ch1, ch2);
+    }
+
+    #[test]
+    fn provide_certificate_is_noop_before_client_hello() {
+        let mut server = TlsSession::server(ServerConfig::default());
+        assert!(server.provide_certificate().is_empty());
+        assert_eq!(server.pending_output(Level::Initial), 0);
+    }
+}

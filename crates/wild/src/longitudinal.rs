@@ -1,0 +1,224 @@
+//! The one-week Cloudflare longitudinal study (paper §3/§4.3,
+//! Figures 9 and 15).
+//!
+//! Models the frontend certificate cache that explains the paper's
+//! coalescing observations: a colo spreads requests across many frontend
+//! servers; a frontend that served a domain within the cache TTL answers
+//! with a *coalesced* ACK–ServerHello (certificate on hand, Δt ≈ 0), while
+//! a cache miss yields an instant ACK followed by the ServerHello after
+//! the store round trip. Popularity therefore controls the coalescing
+//! rate — the mechanism behind "our domains at 60/min coalesce 7.5% of
+//! the time while discord.com coalesces 91.9%".
+
+use rq_sim::SimRng;
+
+use crate::vantage::Vantage;
+
+/// Frontends per colo the cache model spreads requests over.
+pub const FRONTENDS_PER_COLO: f64 = 128.0;
+/// Certificate cache residency in seconds.
+pub const CACHE_TTL_S: f64 = 10.0;
+
+/// A domain under longitudinal observation.
+#[derive(Debug, Clone)]
+pub struct StudyDomain {
+    /// Label ("own-1", "discord.com", ...).
+    pub name: String,
+    /// Our probing rate in requests per minute.
+    pub probe_rate_per_min: f64,
+    /// Background (third-party) request rate at the colo, per second.
+    pub background_rate_per_s: f64,
+}
+
+impl StudyDomain {
+    /// Probability that a probe hits a frontend with the certificate
+    /// cached: `1 - exp(-λ_total/frontends * TTL)`.
+    pub fn cache_hit_probability(&self) -> f64 {
+        let total_per_s = self.probe_rate_per_min / 60.0 + self.background_rate_per_s;
+        1.0 - (-total_per_s / FRONTENDS_PER_COLO * CACHE_TTL_S).exp()
+    }
+}
+
+/// One minute's observation from one vantage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinuteObservation {
+    /// Minute since study start.
+    pub minute: u64,
+    /// Time from ClientHello to first ACK, ms (None if the response was
+    /// coalesced — then only `time_to_coalesced_ms` is set).
+    pub time_to_ack_ms: Option<f64>,
+    /// Time from ClientHello to a separate ServerHello, ms.
+    pub time_to_sh_ms: Option<f64>,
+    /// Time from ClientHello to a coalesced ACK–SH, ms.
+    pub time_to_coalesced_ms: Option<f64>,
+    /// The responding colo matched our vantage (Cf-Ray IATA filter).
+    pub same_colo: bool,
+}
+
+/// The longitudinal study driver.
+#[derive(Debug)]
+pub struct LongitudinalStudy {
+    /// Vantage point.
+    pub vantage: Vantage,
+    /// Domain under test.
+    pub domain: StudyDomain,
+    /// Median Δt (frontend ↔ certificate store) in ms at night.
+    pub delta_t_night_ms: f64,
+    /// Peak extra Δt at local mid-day, in ms (diurnal load; Fig. 9 shows
+    /// larger IACK→SH gaps during the day).
+    pub delta_t_diurnal_amplitude_ms: f64,
+}
+
+impl LongitudinalStudy {
+    /// A Cloudflare-free-tier study with the paper's operating point:
+    /// ~2.1–2.6 ms median IACK→SH gap, day-time inflation.
+    pub fn cloudflare(vantage: Vantage, domain: StudyDomain) -> Self {
+        LongitudinalStudy {
+            vantage,
+            domain,
+            delta_t_night_ms: 1.8,
+            delta_t_diurnal_amplitude_ms: 1.4,
+        }
+    }
+
+    /// Median Δt at `minute` of the study (diurnal sine, period 24 h,
+    /// peak at 14:00 local).
+    pub fn delta_t_at(&self, minute: u64) -> f64 {
+        let hour = (minute as f64 / 60.0) % 24.0;
+        let phase = (hour - 14.0) / 24.0 * std::f64::consts::TAU;
+        self.delta_t_night_ms + self.delta_t_diurnal_amplitude_ms * (0.5 + 0.5 * phase.cos())
+    }
+
+    /// Runs the study for `minutes`, one probe per minute.
+    pub fn run(&self, minutes: u64, seed: u64) -> Vec<MinuteObservation> {
+        let mut rng = SimRng::new(seed ^ 0x10_0D_CAFE);
+        let rtt_median = self.vantage.rtt_median_ms(crate::cdn::Cdn::Cloudflare);
+        let hit_p = self.domain.cache_hit_probability();
+        let mut out = Vec::with_capacity(minutes as usize);
+        for minute in 0..minutes {
+            // ~3% of responses come from a different colo and are dropped
+            // by the Cf-Ray filter; ~0.5% lose the first ACK.
+            let same_colo = rng.gen_bool(0.97);
+            if !same_colo {
+                out.push(MinuteObservation {
+                    minute,
+                    time_to_ack_ms: None,
+                    time_to_sh_ms: None,
+                    time_to_coalesced_ms: None,
+                    same_colo: false,
+                });
+                continue;
+            }
+            let rtt = rng.gen_lognormal(rtt_median, 0.15).max(0.3);
+            let coalesced = rng.gen_bool(hit_p);
+            if coalesced {
+                out.push(MinuteObservation {
+                    minute,
+                    time_to_ack_ms: None,
+                    time_to_sh_ms: None,
+                    time_to_coalesced_ms: Some(rtt + rng.gen_lognormal(0.3, 0.4)),
+                    same_colo: true,
+                });
+            } else {
+                let ack = rtt + rng.gen_lognormal(0.2, 0.4);
+                let dt = rng.gen_lognormal(self.delta_t_at(minute), 0.35);
+                out.push(MinuteObservation {
+                    minute,
+                    time_to_ack_ms: Some(ack),
+                    time_to_sh_ms: Some(ack + dt),
+                    time_to_coalesced_ms: None,
+                    same_colo: true,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Median helper for observation streams.
+pub fn median_of(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(f64::total_cmp);
+    Some(v[v.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn own_domain(rate: f64) -> StudyDomain {
+        StudyDomain {
+            name: "own".into(),
+            probe_rate_per_min: rate,
+            background_rate_per_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn slow_probing_rarely_hits_cache() {
+        // 1/min own domains: 99.9% instant ACK in the paper.
+        let p = own_domain(1.0).cache_hit_probability();
+        assert!(p < 0.005, "hit probability {p}");
+    }
+
+    #[test]
+    fn fast_probing_hits_cache_sometimes() {
+        // 60/min own domains: coalesced 7.5% in the paper.
+        let p = own_domain(60.0).cache_hit_probability();
+        assert!((0.04..=0.12).contains(&p), "hit probability {p}");
+    }
+
+    #[test]
+    fn popular_domains_mostly_coalesce() {
+        // discord.com: 91.9% coalesced responses.
+        let discord = StudyDomain {
+            name: "discord.com".into(),
+            probe_rate_per_min: 1.0,
+            background_rate_per_s: 32.0,
+        };
+        let p = discord.cache_hit_probability();
+        assert!(p > 0.85, "hit probability {p}");
+    }
+
+    #[test]
+    fn study_medians_match_cloudflare_operating_point() {
+        let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, own_domain(1.0));
+        let obs = study.run(60 * 24 * 7, 1);
+        let gaps: Vec<f64> = obs
+            .iter()
+            .filter_map(|o| match (o.time_to_ack_ms, o.time_to_sh_ms) {
+                (Some(a), Some(s)) => Some(s - a),
+                _ => None,
+            })
+            .collect();
+        let med = median_of(gaps.into_iter()).unwrap();
+        // §4.3: the IACK arrives on median 2.1 ms (Sao Paulo) before SH.
+        assert!((1.5..=3.5).contains(&med), "median gap {med}");
+    }
+
+    #[test]
+    fn diurnal_pattern_visible() {
+        let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, own_domain(1.0));
+        // Δt at 14:00 exceeds Δt at 02:00.
+        let day = study.delta_t_at(14 * 60);
+        let night = study.delta_t_at(2 * 60);
+        assert!(day > night + 0.5, "day {day} night {night}");
+    }
+
+    #[test]
+    fn cf_ray_filter_removes_other_colos() {
+        let study = LongitudinalStudy::cloudflare(Vantage::Hamburg, own_domain(1.0));
+        let obs = study.run(2000, 2);
+        let other = obs.iter().filter(|o| !o.same_colo).count();
+        assert!(other > 0 && other < 200, "other-colo count {other}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, own_domain(1.0));
+        assert_eq!(study.run(100, 9), study.run(100, 9));
+    }
+}

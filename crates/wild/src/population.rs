@@ -1,0 +1,120 @@
+//! The synthetic Tranco-like domain population.
+
+use rq_sim::SimRng;
+
+use crate::cdn::{profiles, Cdn};
+
+/// One domain in the population.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Rank in the toplist (1-based).
+    pub rank: usize,
+    /// Hosting CDN, if the domain resolved to a known AS and speaks QUIC.
+    pub cdn: Option<Cdn>,
+    /// Whether this domain's deployment has instant ACK enabled (drawn
+    /// once per domain; per-measurement flips model operator churn).
+    pub iack_enabled: bool,
+    /// Per-domain Δt scale factor (deployment-specific backend distance).
+    pub delta_t_scale: f64,
+}
+
+/// The full scan population.
+#[derive(Debug)]
+pub struct Population {
+    /// All domains, rank order.
+    pub domains: Vec<Domain>,
+}
+
+impl Population {
+    /// Synthesizes a population of `total` domains with the paper's
+    /// per-CDN counts scaled proportionally (Table 1 counts assume 1M).
+    pub fn synthesize(total: usize, rng: &mut SimRng) -> Population {
+        let scale = total as f64 / 1_000_000.0;
+        let mut domains: Vec<Domain> = Vec::with_capacity(total);
+        // Assign CDN blocks first, then fill with unreachable/non-QUIC.
+        for profile in profiles() {
+            let count = (profile.domains as f64 * scale).round() as usize;
+            for _ in 0..count {
+                let iack_enabled = rng.gen_bool(profile.iack_share);
+                domains.push(Domain {
+                    rank: 0,
+                    cdn: Some(profile.cdn),
+                    iack_enabled,
+                    delta_t_scale: rng.gen_lognormal(1.0, 0.4),
+                });
+            }
+        }
+        while domains.len() < total {
+            domains.push(Domain {
+                rank: 0,
+                cdn: None, // no QUIC or unmapped AS
+                iack_enabled: false,
+                delta_t_scale: 1.0,
+            });
+        }
+        rng.shuffle(&mut domains);
+        domains.truncate(total);
+        for (i, d) in domains.iter_mut().enumerate() {
+            d.rank = i + 1;
+        }
+        Population { domains }
+    }
+
+    /// Domains hosted by `cdn`.
+    pub fn hosted_by(&self, cdn: Cdn) -> impl Iterator<Item = &Domain> {
+        self.domains.iter().filter(move |d| d.cdn == Some(cdn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_has_requested_size() {
+        let mut rng = SimRng::new(1);
+        let p = Population::synthesize(10_000, &mut rng);
+        assert_eq!(p.domains.len(), 10_000);
+    }
+
+    #[test]
+    fn cdn_counts_scale() {
+        let mut rng = SimRng::new(2);
+        let p = Population::synthesize(100_000, &mut rng);
+        // Cloudflare: 247,407 per 1M → ~24,741 per 100k.
+        let cf = p.hosted_by(Cdn::Cloudflare).count();
+        assert!((24_000..=25_500).contains(&cf), "cloudflare {cf}");
+        let meta = p.hosted_by(Cdn::Meta).count();
+        assert!((5..=20).contains(&meta), "meta {meta}");
+    }
+
+    #[test]
+    fn iack_shares_approximate_table1() {
+        let mut rng = SimRng::new(3);
+        let p = Population::synthesize(200_000, &mut rng);
+        let cf: Vec<&Domain> = p.hosted_by(Cdn::Cloudflare).collect();
+        let share = cf.iter().filter(|d| d.iack_enabled).count() as f64 / cf.len() as f64;
+        assert!(share > 0.99, "cloudflare share {share}");
+        let fastly: Vec<&Domain> = p.hosted_by(Cdn::Fastly).collect();
+        assert!(fastly.iter().all(|d| !d.iack_enabled));
+    }
+
+    #[test]
+    fn ranks_are_sequential() {
+        let mut rng = SimRng::new(4);
+        let p = Population::synthesize(100, &mut rng);
+        for (i, d) in p.domains.iter().enumerate() {
+            assert_eq!(d.rank, i + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p1 = Population::synthesize(1000, &mut SimRng::new(9));
+        let p2 = Population::synthesize(1000, &mut SimRng::new(9));
+        for (a, b) in p1.domains.iter().zip(p2.domains.iter()) {
+            assert_eq!(a.cdn, b.cdn);
+            assert_eq!(a.iack_enabled, b.iack_enabled);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The QScanner-like prober: one QUIC handshake observation per domain.
+//!
+//! The prober synthesizes the wire-level observables of a handshake —
+//! arrival times of the first ACK and the ServerHello, the ack-delay
+//! fields — from the domain's CDN profile, then classifies them exactly
+//! the way the paper's pipeline does (ACK preceding the SH in a separate
+//! datagram ⇒ instant ACK; same datagram ⇒ coalesced).
+
+use rq_sim::SimRng;
+
+use crate::cdn::{profile_of, Cdn};
+use crate::population::Domain;
+use crate::vantage::Vantage;
+
+/// The classified outcome of probing one domain once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeObservation {
+    /// CDN serving the domain.
+    pub cdn: Cdn,
+    /// The handshake succeeded and the first ACK was captured.
+    pub handshake_ok: bool,
+    /// The first ACK arrived in its own datagram before the SH.
+    pub instant_ack: bool,
+    /// Delay between the first ACK and the ServerHello in ms
+    /// (0.0 for coalesced ACK–SH, Figure 8's convention).
+    pub ack_sh_delay_ms: f64,
+    /// Measured client-frontend RTT in ms.
+    pub rtt_ms: f64,
+    /// The ack-delay field of the first ACK, in ms.
+    pub ack_delay_field_ms: f64,
+    /// Time from ClientHello to the first ACK, in ms.
+    pub time_to_ack_ms: f64,
+    /// Time from ClientHello to the ServerHello, in ms.
+    pub time_to_sh_ms: f64,
+}
+
+impl ProbeObservation {
+    /// Figure 10's x-axis: client-frontend RTT minus the ack-delay field.
+    pub fn rtt_minus_ack_delay_ms(&self) -> f64 {
+        self.rtt_ms - self.ack_delay_field_ms
+    }
+}
+
+/// Loss probability applied to probe handshakes (the paper filters out
+/// responses missing the first ACK).
+const PROBE_LOSS: f64 = 0.005;
+
+/// Probes `domain` from `vantage` at measurement epoch `epoch`
+/// (epoch feeds day-to-day deployment jitter).
+pub fn probe(
+    domain: &Domain,
+    vantage: Vantage,
+    epoch: u64,
+    rng: &mut SimRng,
+) -> Option<ProbeObservation> {
+    let cdn = domain.cdn?;
+    let profile = profile_of(cdn);
+    // Per-epoch deployment churn: a domain's IACK setting can differ
+    // between days/vantage points (Table 1's "Variation" column).
+    let mut iack_enabled = domain.iack_enabled;
+    if profile.iack_share_jitter > 0.0 {
+        let flip = rng.gen_bool(profile.iack_share_jitter);
+        if flip {
+            iack_enabled = !iack_enabled;
+        }
+    }
+    let _ = epoch;
+    // Reachability quirk (Google from non-Sao-Paulo vantage points).
+    if iack_enabled && !profile.reachable_from[vantage.index()] {
+        return None;
+    }
+    if rng.gen_bool(PROBE_LOSS) {
+        return Some(ProbeObservation {
+            cdn,
+            handshake_ok: false,
+            instant_ack: false,
+            ack_sh_delay_ms: 0.0,
+            rtt_ms: 0.0,
+            ack_delay_field_ms: 0.0,
+            time_to_ack_ms: 0.0,
+            time_to_sh_ms: 0.0,
+        });
+    }
+
+    let rtt = rng.gen_lognormal(vantage.rtt_median_ms(cdn), 0.25).max(0.5);
+    // Frontend-to-store delay for this handshake.
+    let delta_t = rng
+        .gen_lognormal(profile.ack_sh_delay_median_ms * domain.delta_t_scale, profile.ack_sh_delay_sigma)
+        .max(0.05);
+
+    // Certificate cache hit ⇒ coalesced ACK–SH regardless of IACK config.
+    let coalesced = !iack_enabled || rng.gen_bool(profile.coalesced_share);
+
+    let (instant_ack, ack_sh_delay, time_to_ack, time_to_sh, ack_delay_field) = if coalesced {
+        let t = rtt + if iack_enabled { 0.0 } else { delta_t };
+        let field = rtt * rng.gen_lognormal(profile.coalesced_ack_delay_rtt_factor, 0.3);
+        (false, 0.0, t, t, field)
+    } else {
+        let t_ack = rtt + rng.gen_lognormal(0.3, 0.5); // stack processing
+        let t_sh = t_ack + delta_t;
+        let field = rtt * rng.gen_lognormal(profile.iack_ack_delay_rtt_factor, 0.3);
+        (true, t_sh - t_ack, t_ack, t_sh, field)
+    };
+
+    Some(ProbeObservation {
+        cdn,
+        handshake_ok: true,
+        instant_ack,
+        ack_sh_delay_ms: ack_sh_delay,
+        rtt_ms: rtt,
+        ack_delay_field_ms: ack_delay_field,
+        time_to_ack_ms: time_to_ack,
+        time_to_sh_ms: time_to_sh,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+
+    fn sample_domain(cdn: Cdn, iack: bool) -> Domain {
+        Domain { rank: 1, cdn: Some(cdn), iack_enabled: iack, delta_t_scale: 1.0 }
+    }
+
+    #[test]
+    fn non_quic_domain_yields_none() {
+        let d = Domain { rank: 1, cdn: None, iack_enabled: false, delta_t_scale: 1.0 };
+        assert!(probe(&d, Vantage::Hamburg, 0, &mut SimRng::new(1)).is_none());
+    }
+
+    #[test]
+    fn iack_domains_mostly_show_instant_acks() {
+        let d = sample_domain(Cdn::Cloudflare, true);
+        let mut rng = SimRng::new(2);
+        let mut iack = 0;
+        let mut ok = 0;
+        for _ in 0..1000 {
+            if let Some(obs) = probe(&d, Vantage::SaoPaulo, 0, &mut rng) {
+                if obs.handshake_ok {
+                    ok += 1;
+                    if obs.instant_ack {
+                        iack += 1;
+                    }
+                }
+            }
+        }
+        let share = iack as f64 / ok as f64;
+        assert!(share > 0.9, "share {share}");
+    }
+
+    #[test]
+    fn wfc_domains_never_show_instant_acks() {
+        let d = sample_domain(Cdn::Meta, false);
+        let mut rng = SimRng::new(3);
+        for _ in 0..200 {
+            if let Some(obs) = probe(&d, Vantage::Hamburg, 0, &mut rng) {
+                if obs.handshake_ok {
+                    assert!(!obs.instant_ack);
+                    assert_eq!(obs.ack_sh_delay_ms, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instant_ack_precedes_sh() {
+        let d = sample_domain(Cdn::Cloudflare, true);
+        let mut rng = SimRng::new(4);
+        for _ in 0..500 {
+            if let Some(obs) = probe(&d, Vantage::SaoPaulo, 0, &mut rng) {
+                if obs.handshake_ok && obs.instant_ack {
+                    assert!(obs.time_to_ack_ms < obs.time_to_sh_ms);
+                    assert!(obs.ack_sh_delay_ms > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn google_unreachable_from_hamburg_when_iack() {
+        let d = sample_domain(Cdn::Google, true);
+        let mut rng = SimRng::new(5);
+        assert!(probe(&d, Vantage::Hamburg, 0, &mut rng).is_none());
+        // With IACK disabled the domain is reachable.
+        let d2 = sample_domain(Cdn::Google, false);
+        let mut found = false;
+        for _ in 0..20 {
+            if probe(&d2, Vantage::Hamburg, 0, &mut rng).is_some() {
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn population_probe_round_is_deterministic() {
+        let pop = Population::synthesize(500, &mut SimRng::new(6));
+        let run = |seed: u64| -> Vec<Option<ProbeObservation>> {
+            let mut rng = SimRng::new(seed);
+            pop.domains.iter().map(|d| probe(d, Vantage::SaoPaulo, 0, &mut rng)).collect()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

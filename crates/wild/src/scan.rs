@@ -1,0 +1,212 @@
+//! Scan aggregation: Table 1 and the ACK→SH / ack-delay CDFs
+//! (Figures 8, 10, 14).
+
+use std::collections::BTreeMap;
+
+use rq_sim::SimRng;
+
+use crate::cdn::Cdn;
+use crate::population::Population;
+use crate::prober::{probe, ProbeObservation};
+use crate::vantage::{Vantage, VANTAGES};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct CdnScanRow {
+    /// CDN.
+    pub cdn: Cdn,
+    /// QUIC-reachable domains observed.
+    pub domains: usize,
+    /// Share of domains with instant ACK: the *maximum* across vantage
+    /// points and repetitions (Table 1's column is "enabled (max.)").
+    pub iack_share: f64,
+    /// Maximum difference of the IACK share across vantage points and
+    /// repetitions (Table 1 "Variation").
+    pub max_variation: f64,
+}
+
+/// A full scan: per-CDN rows plus raw observations for the CDF figures.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// Table 1 rows in CDN order.
+    pub rows: Vec<CdnScanRow>,
+    /// All successful observations, keyed by vantage.
+    pub observations: BTreeMap<&'static str, Vec<ProbeObservation>>,
+}
+
+impl ScanReport {
+    /// ACK→SH delays (ms) for one CDN at one vantage, IACK handshakes with
+    /// coalesced shown as 0 (Figure 8's convention).
+    pub fn ack_sh_delays(&self, vantage: Vantage, cdn: Cdn) -> Vec<f64> {
+        self.observations
+            .get(vantage.name())
+            .map(|obs| {
+                obs.iter()
+                    .filter(|o| o.cdn == cdn && o.handshake_ok)
+                    .map(|o| o.ack_sh_delay_ms)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// `RTT − ack_delay` values split into (coalesced, iack) populations
+    /// for one CDN across all vantages (Figure 10).
+    pub fn rtt_minus_ack_delay(&self, cdn: Cdn) -> (Vec<f64>, Vec<f64>) {
+        let mut coalesced = Vec::new();
+        let mut iack = Vec::new();
+        for obs in self.observations.values() {
+            for o in obs.iter().filter(|o| o.cdn == cdn && o.handshake_ok) {
+                if o.instant_ack {
+                    iack.push(o.rtt_minus_ack_delay_ms());
+                } else {
+                    coalesced.push(o.rtt_minus_ack_delay_ms());
+                }
+            }
+        }
+        (coalesced, iack)
+    }
+}
+
+/// Scans `population` from every vantage point, `repetitions` times
+/// (the paper scans on four subsequent days), and aggregates Table 1.
+pub fn scan(population: &Population, repetitions: usize, seed: u64) -> ScanReport {
+    let mut per_measurement_share: BTreeMap<Cdn, Vec<f64>> = BTreeMap::new();
+    let mut total_iack: BTreeMap<Cdn, (usize, usize)> = BTreeMap::new();
+    let mut observations: BTreeMap<&'static str, Vec<ProbeObservation>> = BTreeMap::new();
+
+    for (v_idx, vantage) in VANTAGES.iter().enumerate() {
+        for rep in 0..repetitions {
+            let mut rng = SimRng::new(
+                seed ^ (v_idx as u64) << 32 ^ (rep as u64) << 16 ^ 0xA11CE,
+            );
+            let mut counts: BTreeMap<Cdn, (usize, usize)> = BTreeMap::new();
+            for domain in &population.domains {
+                let Some(obs) = probe(domain, *vantage, rep as u64, &mut rng) else {
+                    continue;
+                };
+                if !obs.handshake_ok {
+                    continue;
+                }
+                let e = counts.entry(obs.cdn).or_default();
+                e.0 += 1;
+                if obs.instant_ack {
+                    e.1 += 1;
+                }
+                let t = total_iack.entry(obs.cdn).or_default();
+                t.0 += 1;
+                if obs.instant_ack {
+                    t.1 += 1;
+                }
+                // Keep raw observations from the last repetition per
+                // vantage (one day's worth, like the paper's CDF figures).
+                if rep == repetitions - 1 {
+                    observations.entry(vantage.name()).or_default().push(obs);
+                }
+            }
+            for (cdn, (n, k)) in counts {
+                if n > 0 {
+                    per_measurement_share
+                        .entry(cdn)
+                        .or_default()
+                        .push(k as f64 / n as f64);
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for cdn in Cdn::ALL {
+        let (n, _k) = total_iack.get(&cdn).copied().unwrap_or((0, 0));
+        let shares = per_measurement_share.get(&cdn).cloned().unwrap_or_default();
+        let max_share = shares.iter().cloned().fold(0.0f64, f64::max);
+        let max_variation = if shares.len() >= 2 {
+            let min = shares.iter().cloned().fold(f64::MAX, f64::min);
+            max_share - min
+        } else {
+            0.0
+        };
+        rows.push(CdnScanRow {
+            cdn,
+            domains: population.hosted_by(cdn).count(),
+            iack_share: if n > 0 { max_share } else { 0.0 },
+            max_variation,
+        });
+    }
+    ScanReport { rows, observations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scan() -> ScanReport {
+        let pop = Population::synthesize(20_000, &mut SimRng::new(42));
+        scan(&pop, 2, 7)
+    }
+
+    #[test]
+    fn table1_shape_reproduced() {
+        let report = small_scan();
+        let row = |c: Cdn| report.rows.iter().find(|r| r.cdn == c).unwrap().clone();
+        assert!(row(Cdn::Cloudflare).iack_share > 0.98, "{:?}", row(Cdn::Cloudflare));
+        assert!(row(Cdn::Fastly).iack_share < 0.02);
+        assert!(row(Cdn::Meta).iack_share < 0.05);
+        let amazon = row(Cdn::Amazon).iack_share;
+        assert!((0.25..=0.60).contains(&amazon), "amazon {amazon}");
+        let akamai = row(Cdn::Akamai).iack_share;
+        assert!((0.15..=0.50).contains(&akamai), "akamai {akamai}");
+    }
+
+    #[test]
+    fn variation_largest_for_amazon_smallest_for_cloudflare() {
+        let report = small_scan();
+        let var = |c: Cdn| report.rows.iter().find(|r| r.cdn == c).unwrap().max_variation;
+        assert!(var(Cdn::Cloudflare) < 0.02, "cf {}", var(Cdn::Cloudflare));
+        assert!(var(Cdn::Amazon) > var(Cdn::Cloudflare));
+    }
+
+    #[test]
+    fn ack_sh_delay_ordering_matches_fig8() {
+        // Fig. 8: Akamai is significantly slower to deliver the SH than
+        // Cloudflare; Cloudflare's median IACK gap is a few ms.
+        let report = small_scan();
+        let med = |c: Cdn| {
+            let mut v: Vec<f64> = report
+                .ack_sh_delays(Vantage::SaoPaulo, c)
+                .into_iter()
+                .filter(|d| *d > 0.0)
+                .collect();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let cf = med(Cdn::Cloudflare);
+        let ak = med(Cdn::Akamai);
+        assert!(cf < 10.0, "cloudflare median {cf}");
+        assert!(ak > cf, "akamai {ak} vs cloudflare {cf}");
+    }
+
+    #[test]
+    fn fig10_iack_below_rtt_more_often_for_akamai_than_cloudflare() {
+        let report = small_scan();
+        let below_share = |c: Cdn| {
+            let (_, iack) = report.rtt_minus_ack_delay(c);
+            if iack.is_empty() {
+                return 0.0;
+            }
+            iack.iter().filter(|d| **d > 0.0).count() as f64 / iack.len() as f64
+        };
+        // Fig. 10b: Akamai IACK ack delays are below the RTT for ~61%,
+        // Cloudflare's mostly exceed it.
+        assert!(below_share(Cdn::Akamai) > below_share(Cdn::Cloudflare));
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let pop = Population::synthesize(5_000, &mut SimRng::new(1));
+        let a = scan(&pop, 1, 5);
+        let b = scan(&pop, 1, 5);
+        for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+            assert_eq!(ra.iack_share, rb.iack_share);
+        }
+    }
+}

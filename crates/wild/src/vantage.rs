@@ -1,0 +1,94 @@
+//! Measurement vantage points (paper §3: Hamburg, Hong Kong, Los Angeles,
+//! Sao Paulo).
+
+use crate::cdn::Cdn;
+
+/// One measurement location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vantage {
+    /// European university network, Hamburg, DE.
+    Hamburg,
+    /// Google Cloud, Hong Kong, HK.
+    HongKong,
+    /// Google Cloud, Los Angeles, US.
+    LosAngeles,
+    /// Google Cloud, Sao Paulo, BR.
+    SaoPaulo,
+}
+
+/// All four vantage points in a stable order (indices used by
+/// `CdnProfile::reachable_from`).
+pub const VANTAGES: [Vantage; 4] =
+    [Vantage::Hamburg, Vantage::HongKong, Vantage::LosAngeles, Vantage::SaoPaulo];
+
+impl Vantage {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vantage::Hamburg => "Hamburg",
+            Vantage::HongKong => "Hong Kong",
+            Vantage::LosAngeles => "Los Angeles",
+            Vantage::SaoPaulo => "Sao Paulo",
+        }
+    }
+
+    /// Index into per-vantage arrays.
+    pub fn index(self) -> usize {
+        VANTAGES.iter().position(|v| *v == self).unwrap()
+    }
+
+    /// IATA code of the co-located anycast PoP (the Cf-Ray location the
+    /// longitudinal study filters on).
+    pub fn iata(self) -> &'static str {
+        match self {
+            Vantage::Hamburg => "HAM",
+            Vantage::HongKong => "HKG",
+            Vantage::LosAngeles => "LAX",
+            Vantage::SaoPaulo => "GRU",
+        }
+    }
+
+    /// Median RTT in ms from this vantage to a CDN's nearest PoP.
+    ///
+    /// Anycast CDNs terminate nearby (§4.3: Cloudflare RTT medians around
+    /// 3–9 ms; "up to 79% of the median RTT" for a 6.3–7.2 ms PTO
+    /// inflation implies ~8–9 ms RTTs); origin-pull CDNs and hosting
+    /// providers sit farther away.
+    pub fn rtt_median_ms(self, cdn: Cdn) -> f64 {
+        let anycast = match self {
+            Vantage::Hamburg => 4.0,
+            Vantage::HongKong => 5.0,
+            Vantage::LosAngeles => 4.5,
+            Vantage::SaoPaulo => 8.5,
+        };
+        match cdn {
+            Cdn::Cloudflare | Cdn::Fastly => anycast,
+            Cdn::Akamai | Cdn::Amazon | Cdn::Google | Cdn::Meta | Cdn::Microsoft => anycast * 2.0,
+            Cdn::Others => anycast * 6.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(Vantage::Hamburg.index(), 0);
+        assert_eq!(Vantage::SaoPaulo.index(), 3);
+    }
+
+    #[test]
+    fn iata_codes() {
+        assert_eq!(Vantage::SaoPaulo.iata(), "GRU");
+        assert_eq!(Vantage::Hamburg.iata(), "HAM");
+    }
+
+    #[test]
+    fn anycast_is_closer_than_hosting() {
+        for v in VANTAGES {
+            assert!(v.rtt_median_ms(Cdn::Cloudflare) < v.rtt_median_ms(Cdn::Others));
+        }
+    }
+}

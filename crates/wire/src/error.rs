@@ -1,0 +1,55 @@
+//! Error type for wire-format parsing and serialization.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding QUIC packets and frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a complete field could be read.
+    UnexpectedEnd,
+    /// A variable-length integer exceeded the encodable range (2^62 - 1).
+    VarIntRange,
+    /// The first byte did not describe a known packet type.
+    InvalidPacketType(u8),
+    /// An unknown or unsupported frame type was encountered.
+    InvalidFrameType(u64),
+    /// A connection ID longer than 20 bytes was encountered.
+    CidTooLong(usize),
+    /// The version field did not contain a supported version.
+    UnsupportedVersion(u32),
+    /// A length prefix pointed outside the datagram.
+    BadLength,
+    /// A frame appeared in a packet type where it is prohibited
+    /// (RFC 9000 §12.4, Table 3).
+    FrameNotPermitted {
+        /// The offending frame type byte.
+        frame_type: u64,
+        /// Human-readable packet type name.
+        packet_type: &'static str,
+    },
+    /// An ACK frame encoded an invalid range structure.
+    MalformedAck,
+    /// Generic semantic violation with a static description.
+    Semantic(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "buffer too short"),
+            WireError::VarIntRange => write!(f, "varint out of range"),
+            WireError::InvalidPacketType(b) => write!(f, "invalid packet type byte {b:#04x}"),
+            WireError::InvalidFrameType(t) => write!(f, "invalid frame type {t:#x}"),
+            WireError::CidTooLong(n) => write!(f, "connection id too long: {n} bytes"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported version {v:#010x}"),
+            WireError::BadLength => write!(f, "length prefix out of bounds"),
+            WireError::FrameNotPermitted { frame_type, packet_type } => {
+                write!(f, "frame {frame_type:#x} not permitted in {packet_type} packet")
+            }
+            WireError::MalformedAck => write!(f, "malformed ACK frame"),
+            WireError::Semantic(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

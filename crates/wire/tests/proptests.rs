@@ -1,0 +1,132 @@
+//! Property-based tests for the QUIC wire format.
+
+use bytes::{Bytes, BytesMut};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rq_wire::{
+    coalesce::coalesce, classify_datagram, AckFrame, ConnectionId, Frame, Header, PlainPacket,
+    VarInt,
+};
+
+proptest! {
+    /// Every 62-bit value round-trips through the varint codec and uses the
+    /// shortest valid encoding length.
+    #[test]
+    fn varint_roundtrip(v in 0u64..(1 << 62)) {
+        let vi = VarInt::new(v).unwrap();
+        let mut buf = BytesMut::new();
+        vi.encode(&mut buf);
+        prop_assert_eq!(buf.len(), vi.encoded_len());
+        let mut slice = &buf[..];
+        let out = VarInt::decode(&mut slice).unwrap();
+        prop_assert_eq!(out.value(), v);
+        prop_assert!(slice.is_empty());
+    }
+
+    /// ACK frames built from arbitrary packet-number sets reproduce exactly
+    /// that set through encode/decode/iterate.
+    #[test]
+    fn ack_frame_reconstructs_pn_set(pns in pvec(0u64..10_000, 1..50)) {
+        let mut sorted: Vec<u64> = pns;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.dedup();
+        let ack = AckFrame::from_sorted_desc(&sorted, 0);
+        let frame = Frame::Ack(ack);
+        let mut buf = BytesMut::new();
+        frame.encode(&mut buf);
+        let mut slice = &buf[..];
+        let out = Frame::decode(&mut slice).unwrap();
+        let decoded = match out {
+            Frame::Ack(a) => a.iter_acked().collect::<Vec<u64>>(),
+            other => return Err(TestCaseError::fail(format!("decoded {other:?}"))),
+        };
+        prop_assert_eq!(decoded, sorted);
+    }
+
+    /// CRYPTO frames round-trip for arbitrary offsets and payloads.
+    #[test]
+    fn crypto_frame_roundtrip(offset in 0u64..1_000_000, data in pvec(any::<u8>(), 0..2000)) {
+        let f = Frame::Crypto { offset, data: Bytes::from(data) };
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        prop_assert_eq!(buf.len(), f.encoded_len());
+        let mut slice = &buf[..];
+        prop_assert_eq!(Frame::decode(&mut slice).unwrap(), f);
+    }
+
+    /// STREAM frames round-trip across id/offset/fin combinations.
+    #[test]
+    fn stream_frame_roundtrip(
+        id in 0u64..1000,
+        offset in 0u64..1_000_000,
+        data in pvec(any::<u8>(), 0..1500),
+        fin in any::<bool>(),
+    ) {
+        let f = Frame::Stream { id, offset, data: Bytes::from(data), fin };
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        prop_assert_eq!(buf.len(), f.encoded_len());
+        let mut slice = &buf[..];
+        prop_assert_eq!(Frame::decode(&mut slice).unwrap(), f);
+    }
+
+    /// Coalesced datagrams decode to exactly the packets that were encoded,
+    /// in order, with sizes summing to the datagram size.
+    #[test]
+    fn coalesced_datagram_classification(
+        crypto_len in 1usize..800,
+        hs_len in 1usize..800,
+        pn in 0u64..100,
+    ) {
+        let dcid = ConnectionId::from_u64(0xAA);
+        let scid = ConnectionId::from_u64(0xBB);
+        let initial = PlainPacket::new(
+            Header::initial(dcid, scid, vec![], pn),
+            vec![Frame::Crypto { offset: 0, data: Bytes::from(vec![1u8; crypto_len]) }],
+        ).unwrap();
+        let hs = PlainPacket::new(
+            Header::handshake(dcid, scid, pn),
+            vec![Frame::Crypto { offset: 0, data: Bytes::from(vec![2u8; hs_len]) }],
+        ).unwrap();
+        let tag = [0u8; 16];
+        let dgram = coalesce(&[(initial, tag), (hs, tag)]);
+        let info = classify_datagram(&dgram, 8).unwrap();
+        prop_assert_eq!(info.packets.len(), 2);
+        prop_assert_eq!(info.packets[0].crypto_bytes, crypto_len);
+        prop_assert_eq!(info.packets[1].crypto_bytes, hs_len);
+        prop_assert_eq!(info.size, dgram.len());
+    }
+
+    /// Arbitrary byte soup never panics the decoder (errors are fine).
+    #[test]
+    fn decoder_never_panics(data in pvec(any::<u8>(), 0..1500)) {
+        let _ = classify_datagram(&data, 8);
+        let mut slice = &data[..];
+        let _ = Frame::decode(&mut slice);
+    }
+
+    /// Packet encoded_len always equals the serialized size.
+    #[test]
+    fn packet_encoded_len_exact(
+        n_pad in 0usize..500,
+        crypto_len in 0usize..900,
+        pn in 0u64..1_000_000,
+    ) {
+        let mut frames = vec![Frame::Ack(AckFrame::single(pn, 0))];
+        if crypto_len > 0 {
+            frames.push(Frame::Crypto { offset: 0, data: Bytes::from(vec![3u8; crypto_len]) });
+        }
+        if n_pad > 0 {
+            frames.push(Frame::Padding { len: n_pad });
+        }
+        let pkt = PlainPacket::new(
+            Header::initial(ConnectionId::from_u64(1), ConnectionId::from_u64(2), vec![], pn),
+            frames,
+        ).unwrap();
+        let bytes = pkt.to_bytes(&[9u8; 16]);
+        prop_assert_eq!(bytes.len(), pkt.encoded_len());
+        let (decoded, _, used) = PlainPacket::decode(&bytes, 8).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, pkt);
+    }
+}

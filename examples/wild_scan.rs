@@ -1,0 +1,59 @@
+//! Macroscopic scan: probe a synthetic Tranco-like population and derive
+//! the per-CDN instant-ACK deployment table, like the paper's Table 1.
+//!
+//! Run with: `cargo run --example wild_scan`
+
+use reacked_quicer::prelude::*;
+use reacked_quicer::sim::SimRng;
+use reacked_quicer::wild::Cdn;
+
+fn main() {
+    println!("== Synthetic Tranco scan (paper Table 1 pipeline) ==\n");
+    let mut rng = SimRng::new(2024);
+    let population = Population::synthesize(50_000, &mut rng);
+    let report = scan(&population, 2, 7);
+
+    println!("{:<12} {:>8} {:>14} {:>14}", "CDN", "domains", "IACK (max) [%]", "variation [%]");
+    for row in &report.rows {
+        println!(
+            "{:<12} {:>8} {:>14.1} {:>14.1}",
+            row.cdn.name(),
+            row.domains,
+            row.iack_share * 100.0,
+            row.max_variation * 100.0
+        );
+    }
+
+    // The ACK→SH gap distribution for Cloudflare from Sao Paulo.
+    let mut gaps: Vec<f64> = report
+        .ack_sh_delays(Vantage::SaoPaulo, Cdn::Cloudflare)
+        .into_iter()
+        .filter(|d| *d > 0.0)
+        .collect();
+    gaps.sort_by(f64::total_cmp);
+    if !gaps.is_empty() {
+        println!(
+            "\nCloudflare IACK→ServerHello gap from Sao Paulo: median {:.2} ms over {} handshakes \
+             (paper: 3.2 ms across vantage points)",
+            gaps[gaps.len() / 2],
+            gaps.len()
+        );
+    }
+
+    // And the longitudinal cache story behind coalesced ACK–SH responses.
+    use reacked_quicer::wild::longitudinal::StudyDomain;
+    println!("\nFrontend-cache model (coalescing probability by popularity):");
+    for (name, probe_rate, background) in [
+        ("own domain @ 1/min", 1.0, 0.0),
+        ("own domain @ 60/min", 60.0, 0.0),
+        ("tinyurl.com-like", 1.0, 2.5),
+        ("discord.com-like", 1.0, 32.0),
+    ] {
+        let d = StudyDomain {
+            name: name.into(),
+            probe_rate_per_min: probe_rate,
+            background_rate_per_s: background,
+        };
+        println!("   {name:<22} → {:5.1}% coalesced ACK–SH", d.cache_hit_probability() * 100.0);
+    }
+}
