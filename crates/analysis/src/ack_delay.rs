@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn subtract_at_init_needs_accurate_reports() {
         let perfect = first_pto_with_strategy(AckDelayStrategy::SubtractAtInit, 9.0, 25.0, 1.0);
-        assert!((perfect - 27.0).abs() < 1e-9, "perfect report recovers 3xRTT, got {perfect}");
+        assert!(
+            (perfect - 27.0).abs() < 1e-9,
+            "perfect report recovers 3xRTT, got {perfect}"
+        );
         // Zero-reporting stacks (Table 3 majority) leave the inflation.
         let zeros = first_pto_with_strategy(AckDelayStrategy::SubtractAtInit, 9.0, 25.0, 0.0);
         assert!((zeros - 102.0).abs() < 1e-9);
@@ -99,7 +102,8 @@ mod tests {
 
     #[test]
     fn reinit_gets_clean_pto_but_one_exchange_late() {
-        let reinit = first_pto_with_strategy(AckDelayStrategy::ReinitializeSecondSample, 9.0, 25.0, 0.0);
+        let reinit =
+            first_pto_with_strategy(AckDelayStrategy::ReinitializeSecondSample, 9.0, 25.0, 0.0);
         assert!((reinit - 27.0).abs() < 1e-9);
         // The *first* PTO is still the inflated RFC one — the benefit is
         // "limited to subsequent exchanges" (Appendix D).
@@ -122,6 +126,9 @@ mod tests {
         // Reported delay exceeding the sample-minus-min_rtt is unusable.
         assert!(ack_delay_plausible(34.0, 25.0, 9.0));
         assert!(!ack_delay_plausible(34.0, 30.0, 9.0));
-        assert!(!ack_delay_plausible(10.0, 15.0, 9.0), "delay above the RTT itself");
+        assert!(
+            !ack_delay_plausible(10.0, 15.0, 9.0),
+            "delay above the RTT itself"
+        );
     }
 }

@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn table2_row2_large_cert_always_iack() {
-        for loss in [ExpectedLoss::None, ExpectedLoss::ServerFlightTail, ExpectedLoss::SecondClientFlight] {
+        for loss in [
+            ExpectedLoss::None,
+            ExpectedLoss::ServerFlightTail,
+            ExpectedLoss::SecondClientFlight,
+        ] {
             for dt in [1.0, 100.0, 1000.0] {
                 assert_eq!(recommend(&scenario(true, 10.0, dt, loss)), Advice::Iack);
             }
@@ -94,7 +98,12 @@ mod tests {
     #[test]
     fn table2_row1_client_flight_loss_prefers_iack() {
         assert_eq!(
-            recommend(&scenario(false, 10.0, 5.0, ExpectedLoss::SecondClientFlight)),
+            recommend(&scenario(
+                false,
+                10.0,
+                5.0,
+                ExpectedLoss::SecondClientFlight
+            )),
             Advice::Iack
         );
     }
@@ -102,14 +111,23 @@ mod tests {
     #[test]
     fn table2_row1_no_loss_depends_on_delta_t() {
         // Δt < 3 RTT: IACK; Δt ≥ 3 RTT: WFC (spurious retransmits).
-        assert_eq!(recommend(&scenario(false, 10.0, 20.0, ExpectedLoss::None)), Advice::Iack);
-        assert_eq!(recommend(&scenario(false, 10.0, 40.0, ExpectedLoss::None)), Advice::Wfc);
+        assert_eq!(
+            recommend(&scenario(false, 10.0, 20.0, ExpectedLoss::None)),
+            Advice::Iack
+        );
+        assert_eq!(
+            recommend(&scenario(false, 10.0, 40.0, ExpectedLoss::None)),
+            Advice::Wfc
+        );
     }
 
     #[test]
     fn cloudflare_operating_point_is_iack() {
         // §4.3: median IACK→SH gap ~2.1-2.6 ms at RTTs of ~8-9 ms — well
         // inside the IACK-beneficial zone.
-        assert_eq!(recommend(&scenario(false, 8.0, 2.5, ExpectedLoss::None)), Advice::Iack);
+        assert_eq!(
+            recommend(&scenario(false, 8.0, 2.5, ExpectedLoss::None)),
+            Advice::Iack
+        );
     }
 }

@@ -8,6 +8,8 @@ pub mod ack_delay;
 pub mod guidelines;
 pub mod pto_model;
 
-pub use ack_delay::{ack_delay_plausible, first_pto_with_strategy, rtts_until_converged, AckDelayStrategy};
+pub use ack_delay::{
+    ack_delay_plausible, first_pto_with_strategy, rtts_until_converged, AckDelayStrategy,
+};
 pub use guidelines::{recommend, Advice, DeploymentScenario};
 pub use pto_model::{first_pto_reduction_rtt, pto_evolution, spurious_retransmit, PtoPoint};

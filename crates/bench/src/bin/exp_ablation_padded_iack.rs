@@ -28,8 +28,10 @@ fn main() {
             let mut sc = Scenario::base(client.clone(), mode, HttpVersion::H1);
             sc.cert_len = rq_tls::CERT_LARGE;
             sc.cert_delay = SimDuration::from_millis(200);
-            let v: Vec<f64> =
-                run_repetitions(&sc, reps).into_iter().filter_map(|r| r.ttfb_ms).collect();
+            let v: Vec<f64> = run_repetitions(&sc, reps)
+                .into_iter()
+                .filter_map(|r| r.ttfb_ms)
+                .collect();
             median(&v)
         };
         let wfc = run(WFC);
@@ -48,5 +50,7 @@ fn main() {
             cost
         );
     }
-    println!("\nexpected: padding costs ≈1150 B of a 3600 B budget — up to one extra probe round trip.");
+    println!(
+        "\nexpected: padding costs ≈1150 B of a 3600 B budget — up to one extra probe round trip."
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
         "TTFB [ms] under server-flight tail loss + IACK: PING probes vs ClientHello retransmit.",
     );
     let reps = repetitions();
-    println!("{:<10} {:>12} {:>12} {:>12}", "client", "PING", "re-CH", "saving");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "client", "PING", "re-CH", "saving"
+    );
     for name in ["quic-go", "neqo", "aioquic", "ngtcp2"] {
         let client = client_by_name(name).unwrap();
         let run = |policy: Option<ProbePolicy>| {
@@ -38,7 +41,15 @@ fn main() {
             (Some(p), Some(r)) => format!("{:+11.1}", p - r),
             _ => format!("{:>11}", "-"),
         };
-        println!("{:<10} {} {} {}", name, ms_cell(ping), ms_cell(rech), saving);
+        println!(
+            "{:<10} {} {} {}",
+            name,
+            ms_cell(ping),
+            ms_cell(rech),
+            saving
+        );
     }
-    println!("\nexpected: the re-CH policy recovers roughly a server default PTO (~150-200 ms) sooner.");
+    println!(
+        "\nexpected: the re-CH policy recovers roughly a server default PTO (~150-200 ms) sooner."
+    );
 }

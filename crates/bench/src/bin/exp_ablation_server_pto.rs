@@ -18,14 +18,19 @@ fn main() {
     );
     let reps = repetitions();
     let client = client_by_name("quic-go").unwrap();
-    println!("{:<16} {:>12} {:>12} {:>12}", "server PTO [ms]", "WFC", "IACK", "IACK-WFC");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "server PTO [ms]", "WFC", "IACK", "IACK-WFC"
+    );
     for pto_ms in [50u64, 100, 200, 400, 800] {
         let run = |mode| {
             let mut sc = Scenario::base(client.clone(), mode, HttpVersion::H1);
             sc.loss = LossSpec::ServerFlightTail;
             sc.server_default_pto = Some(SimDuration::from_millis(pto_ms));
-            let v: Vec<f64> =
-                run_repetitions(&sc, reps).into_iter().filter_map(|r| r.ttfb_ms).collect();
+            let v: Vec<f64> = run_repetitions(&sc, reps)
+                .into_iter()
+                .filter_map(|r| r.ttfb_ms)
+                .collect();
             median(&v)
         };
         let wfc = run(WFC);
@@ -34,7 +39,13 @@ fn main() {
             (Some(w), Some(i)) => format!("{:+11.1}", i - w),
             _ => format!("{:>11}", "-"),
         };
-        println!("{:<16} {} {} {}", pto_ms, ms_cell(wfc), ms_cell(iack), delta);
+        println!(
+            "{:<16} {} {} {}",
+            pto_ms,
+            ms_cell(wfc),
+            ms_cell(iack),
+            delta
+        );
     }
     println!(
         "\nexpected: the IACK penalty scales with the server default PTO — \

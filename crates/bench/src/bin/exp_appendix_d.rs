@@ -4,8 +4,8 @@
 //! (2) most server stacks report 0 (Table 3), (3) wild reports frequently
 //! exceed the RTT and must be discarded (Figure 10).
 
-use rq_analysis::{first_pto_with_strategy, rtts_until_converged, AckDelayStrategy};
 use rq_analysis::ack_delay::ack_delay_plausible;
+use rq_analysis::{first_pto_with_strategy, rtts_until_converged, AckDelayStrategy};
 use rq_bench::banner;
 use rq_profiles::all_servers;
 use rq_sim::SimDuration;
@@ -23,7 +23,10 @@ fn main() {
     for (label, strategy) in [
         ("RFC 9002 (ignore at init)", AckDelayStrategy::Rfc9002),
         ("subtract at init", AckDelayStrategy::SubtractAtInit),
-        ("re-init from 2nd sample", AckDelayStrategy::ReinitializeSecondSample),
+        (
+            "re-init from 2nd sample",
+            AckDelayStrategy::ReinitializeSecondSample,
+        ),
     ] {
         let exact = first_pto_with_strategy(strategy, 9.0, 25.0, 1.0);
         let zero = first_pto_with_strategy(strategy, 9.0, 25.0, 0.0);
@@ -42,7 +45,9 @@ fn main() {
     let zero_or_none = servers
         .iter()
         .filter(|s| {
-            s.initial_ack_delay.map(|d| d == SimDuration::ZERO).unwrap_or(true)
+            s.initial_ack_delay
+                .map(|d| d == SimDuration::ZERO)
+                .unwrap_or(true)
         })
         .count();
     println!(
@@ -53,7 +58,11 @@ fn main() {
 
     // Strike 3: plausibility of wild reports (Figure 10 shape).
     println!("\nPlausibility (Figure 10): a report is usable only if sample − delay ≥ min_rtt:");
-    for (cdn, factor) in [("Cloudflare IACK", 1.4), ("Akamai IACK", 0.7), ("Meta coalesced", 1.5)] {
+    for (cdn, factor) in [
+        ("Cloudflare IACK", 1.4),
+        ("Akamai IACK", 0.7),
+        ("Meta coalesced", 1.5),
+    ] {
         let rtt = 9.0f64;
         let report = rtt * factor;
         println!(

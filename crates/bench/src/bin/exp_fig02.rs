@@ -13,7 +13,10 @@ fn main() {
     );
     for rtt in [9.0f64, 25.0] {
         println!("\nClient-Frontend RTT {rtt} ms:");
-        println!("{:>6} {:>12} {:>12} {:>12}", "index", "WFC PTO[ms]", "IACK PTO[ms]", "diff[ms]");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12}",
+            "index", "WFC PTO[ms]", "IACK PTO[ms]", "diff[ms]"
+        );
         let wfc = pto_evolution(rtt + 4.0, rtt, 50);
         let iack = pto_evolution(rtt, rtt, 50);
         for i in [0usize, 1, 2, 5, 10, 20, 30, 49] {

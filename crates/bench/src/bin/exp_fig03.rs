@@ -34,9 +34,15 @@ fn print_capture(mode: ServerAckMode) {
     let (res, trace) = run_scenario_with_trace(&sc);
     assert!(res.completed);
     for d in trace.datagrams.iter().take(9) {
-        let dir = if d.from.index() == 1 { "C→S" } else { "S→C" };
+        let dir = if d.from.index() == 1 {
+            "C→S"
+        } else {
+            "S→C"
+        };
         let Some(payload) = &d.payload else { continue };
-        let Ok(info) = classify_datagram(payload, 8) else { continue };
+        let Ok(info) = classify_datagram(payload, 8) else {
+            continue;
+        };
         let desc: Vec<String> = info
             .packets
             .iter()

@@ -21,7 +21,11 @@ fn main() {
             .iter()
             .map(|&dt| {
                 let red = first_pto_reduction_rtt(rtt, dt);
-                let zone = if spurious_retransmit(rtt, dt) { " (spurious!)" } else { "" };
+                let zone = if spurious_retransmit(rtt, dt) {
+                    " (spurious!)"
+                } else {
+                    ""
+                };
                 format!("{red:>10.3}{zone:<10}")
             })
             .collect();

@@ -15,7 +15,14 @@ fn main() {
     );
     let reps = repetitions();
     for http in [HttpVersion::H1, HttpVersion::H3] {
-        println!("\n({}) {:>10} {:>10} {:>10} {:>8}", http.label(), "WFC", "IACK", "IACK-WFC", "aborts");
+        println!(
+            "\n({}) {:>10} {:>10} {:>10} {:>8}",
+            http.label(),
+            "WFC",
+            "IACK",
+            "IACK-WFC",
+            "aborts"
+        );
         for client in clients_for(http) {
             let mut sc = Scenario::base(client.clone(), WFC, http);
             sc.cert_len = rq_tls::CERT_LARGE;

@@ -14,7 +14,10 @@ fn main() {
         "TTFB [ms], 10 KB @ 9 ms RTT, server-flight tail loss. WFC outperforms IACK.",
     );
     let reps = repetitions();
-    println!("{:<10} {:>10} {:>10} {:>10} {:>8}", "client", "WFC", "IACK", "IACK-WFC", "aborts");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>8}",
+        "client", "WFC", "IACK", "IACK-WFC", "aborts"
+    );
     for client in clients_for(HttpVersion::H1) {
         let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
         sc.loss = LossSpec::ServerFlightTail;
@@ -23,7 +26,14 @@ fn main() {
             (Some(w), Some(i)) => format!("{:+9.1}", i - w),
             _ => format!("{:>9}", "-"),
         };
-        println!("{:<10} {} {} {} {:>8}", client.name, ms_cell(wfc), ms_cell(iack), delta, aborts);
+        println!(
+            "{:<10} {} {} {} {:>8}",
+            client.name,
+            ms_cell(wfc),
+            ms_cell(iack),
+            delta,
+            aborts
+        );
     }
     println!("\npaper: IACK requires ≈177–188 ms more (server default PTO); quiche aborts under IACK (HTTP/1.1).");
 }

@@ -14,7 +14,10 @@ fn main() {
         "TTFB [ms], 10 KB @ 9 ms RTT, loss of the entire second client flight. IACK wins.",
     );
     let reps = repetitions();
-    println!("{:<10} {:>10} {:>10} {:>10}", "client", "WFC", "IACK", "WFC-IACK");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "client", "WFC", "IACK", "WFC-IACK"
+    );
     for client in clients_for(HttpVersion::H1) {
         let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
         sc.loss = LossSpec::SecondClientFlight;
@@ -27,7 +30,13 @@ fn main() {
             (Some(w), Some(i)) => format!("{:+9.1}", w - i),
             _ => format!("{:>9}", "-"),
         };
-        println!("{:<10} {} {} {}", client.name, ms_cell(wfc), ms_cell(iack), delta);
+        println!(
+            "{:<10} {} {} {}",
+            client.name,
+            ms_cell(wfc),
+            ms_cell(iack),
+            delta
+        );
     }
     println!("\npaper: median improvements 10–28 ms; picoquic unchanged (ignores the IACK RTT).");
 }

@@ -17,7 +17,13 @@ fn main() {
         "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
         "CDN", "n", "p10", "p25", "p50", "p75", "p90", "IACK median"
     );
-    for cdn in [Cdn::Akamai, Cdn::Amazon, Cdn::Cloudflare, Cdn::Google, Cdn::Others] {
+    for cdn in [
+        Cdn::Akamai,
+        Cdn::Amazon,
+        Cdn::Cloudflare,
+        Cdn::Google,
+        Cdn::Others,
+    ] {
         let mut delays = report.ack_sh_delays(Vantage::SaoPaulo, cdn);
         delays.sort_by(f64::total_cmp);
         if delays.is_empty() {

@@ -29,7 +29,10 @@ fn main() {
         let ack = median_of(bin.iter().filter_map(|o| o.time_to_ack_ms));
         let sh = median_of(bin.iter().filter_map(|o| o.time_to_sh_ms));
         let coal = median_of(bin.iter().filter_map(|o| o.time_to_coalesced_ms));
-        let f = |v: Option<f64>| v.map(|x| format!("{x:10.2}")).unwrap_or(format!("{:>10}", "-"));
+        let f = |v: Option<f64>| {
+            v.map(|x| format!("{x:10.2}"))
+                .unwrap_or(format!("{:>10}", "-"))
+        };
         println!("{:>6} {} {} {}", bin_start, f(ack), f(sh), f(coal));
     }
     let gaps: Vec<f64> = obs

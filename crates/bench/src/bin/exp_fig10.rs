@@ -30,7 +30,12 @@ fn main() {
             let exceed = v.iter().filter(|d| **d < 0.0).count() as f64 / v.len() as f64;
             format!("{med:>10.2}ms {:>7.1}%", exceed * 100.0)
         };
-        println!("{:<12} {:>24} {:>24}", cdn.name(), stats(&coalesced), stats(&iack));
+        println!(
+            "{:<12} {:>24} {:>24}",
+            cdn.name(),
+            stats(&coalesced),
+            stats(&iack)
+        );
     }
     println!(
         "\npaper: coalesced ACK–SH ack delays exceed the RTT for ≥87% of Akamai/Amazon/\

@@ -33,7 +33,13 @@ fn main() {
                     (Some(w), Some(i)) => format!("{:+9.1}", w - i),
                     _ => format!("{:>9}", "-"),
                 };
-                println!("{:<10} {} {} {}", client.name, ms_cell(wfc), ms_cell(iack), delta);
+                println!(
+                    "{:<10} {} {} {}",
+                    client.name,
+                    ms_cell(wfc),
+                    ms_cell(iack),
+                    delta
+                );
             }
         }
     }

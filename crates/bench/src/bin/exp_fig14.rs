@@ -17,7 +17,13 @@ fn main() {
         print!(" {:>13}", v.name());
     }
     println!();
-    for cdn in [Cdn::Akamai, Cdn::Amazon, Cdn::Cloudflare, Cdn::Google, Cdn::Others] {
+    for cdn in [
+        Cdn::Akamai,
+        Cdn::Amazon,
+        Cdn::Cloudflare,
+        Cdn::Google,
+        Cdn::Others,
+    ] {
         print!("{:<12}", cdn.name());
         for v in VANTAGES {
             let mut delays: Vec<f64> = report

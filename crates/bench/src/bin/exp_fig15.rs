@@ -25,11 +25,17 @@ fn main() {
         let ack = median_of(obs.iter().filter_map(|o| o.time_to_ack_ms));
         let sh = median_of(obs.iter().filter_map(|o| o.time_to_sh_ms));
         let coal = median_of(obs.iter().filter_map(|o| o.time_to_coalesced_ms));
-        let gap = median_of(obs.iter().filter_map(|o| match (o.time_to_ack_ms, o.time_to_sh_ms) {
-            (Some(a), Some(s)) => Some(s - a),
-            _ => None,
-        }));
-        let f = |v: Option<f64>| v.map(|x| format!("{x:10.2}")).unwrap_or(format!("{:>10}", "-"));
+        let gap = median_of(
+            obs.iter()
+                .filter_map(|o| match (o.time_to_ack_ms, o.time_to_sh_ms) {
+                    (Some(a), Some(s)) => Some(s - a),
+                    _ => None,
+                }),
+        );
+        let f = |v: Option<f64>| {
+            v.map(|x| format!("{x:10.2}"))
+                .unwrap_or(format!("{:>10}", "-"))
+        };
         println!(
             "{:<14} {} {} {} {}",
             vantage.name(),

@@ -1,8 +1,8 @@
 //! Table 2: deployment suggestions — the guideline matrix, cross-validated
 //! against the emulation testbed.
 
-use rq_analysis::{recommend, Advice, DeploymentScenario};
 use rq_analysis::guidelines::ExpectedLoss;
+use rq_analysis::{recommend, Advice, DeploymentScenario};
 use rq_bench::{banner, repetitions, wfc_iack_pair, WFC};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
@@ -21,22 +21,28 @@ fn main() {
         "", "cert ≤ ampl. limit", "cert > ampl. limit"
     );
     let cells: [(&str, ExpectedLoss, f64); 4] = [
-        ("loss: server flight except 1st datagram", ExpectedLoss::ServerFlightTail, 5.0),
-        ("loss: second client flight", ExpectedLoss::SecondClientFlight, 5.0),
+        (
+            "loss: server flight except 1st datagram",
+            ExpectedLoss::ServerFlightTail,
+            5.0,
+        ),
+        (
+            "loss: second client flight",
+            ExpectedLoss::SecondClientFlight,
+            5.0,
+        ),
         ("no loss, Δt < 3 RTT (PTO)", ExpectedLoss::None, 5.0),
         ("no loss, Δt ≥ 3 RTT (PTO)", ExpectedLoss::None, 40.0),
     ];
     for (label, loss, dt) in cells {
-        let advise = |big| {
-            match recommend(&DeploymentScenario {
-                cert_exceeds_amplification: big,
-                rtt_ms: 9.0,
-                delta_t_ms: dt,
-                loss,
-            }) {
-                Advice::Wfc => "WFC",
-                Advice::Iack => "IACK",
-            }
+        let advise = |big| match recommend(&DeploymentScenario {
+            cert_exceeds_amplification: big,
+            rtt_ms: 9.0,
+            delta_t_ms: dt,
+            loss,
+        }) {
+            Advice::Wfc => "WFC",
+            Advice::Iack => "IACK",
         };
         println!("{:<42} {:>18} {:>18}", label, advise(false), advise(true));
     }
@@ -54,12 +60,26 @@ fn main() {
         let matches = winner == expect;
         println!(
             "  {label:<44} WFC {w:7.1} ms  IACK {i:7.1} ms  → {} (predicted {:?}, {})",
-            if winner == Advice::Iack { "IACK" } else { "WFC" },
+            if winner == Advice::Iack {
+                "IACK"
+            } else {
+                "WFC"
+            },
             expect,
             if matches { "match" } else { "MISMATCH" }
         );
     };
-    check("server-flight tail loss", LossSpec::ServerFlightTail, 5, Advice::Wfc);
-    check("second-client-flight loss", LossSpec::SecondClientFlight, 5, Advice::Iack);
+    check(
+        "server-flight tail loss",
+        LossSpec::ServerFlightTail,
+        5,
+        Advice::Wfc,
+    );
+    check(
+        "second-client-flight loss",
+        LossSpec::SecondClientFlight,
+        5,
+        Advice::Iack,
+    );
     check("no loss, Δt = 5 ms", LossSpec::None, 5, Advice::Iack);
 }

@@ -24,7 +24,10 @@ fn main() {
             initial.push(d.initial_ms);
             handshake.push(d.handshake_ms);
         }
-        let f = |v: Option<f64>| v.map(|x| format!("{x:8.1}")).unwrap_or(format!("{:>8}", "-"));
+        let f = |v: Option<f64>| {
+            v.map(|x| format!("{x:8.1}"))
+                .unwrap_or(format!("{:>8}", "-"))
+        };
         println!(
             "{:<10} {} {} {}   {} {} {}",
             server.name,

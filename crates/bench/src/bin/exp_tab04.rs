@@ -17,7 +17,10 @@ fn main() {
         "Measured default PTO [ms] and second-client-flight datagram indices (1-based; \
          datagram 1 is the ClientHello).",
     );
-    println!("{:<10} {:>14} {:>22}", "client", "default PTO", "2nd flight datagrams");
+    println!(
+        "{:<10} {:>14} {:>22}",
+        "client", "default PTO", "2nd flight datagrams"
+    );
     for client in all_clients() {
         // Default PTO: arm a client against a black-hole server and read
         // the first probe deadline.
@@ -45,10 +48,19 @@ fn main() {
             0
         } else {
             let t = client_sends[1].sent;
-            client_sends.iter().skip(1).take_while(|d| d.sent == t).count()
+            client_sends
+                .iter()
+                .skip(1)
+                .take_while(|d| d.sent == t)
+                .count()
         };
         let indices: Vec<String> = (2..2 + flight_len).map(|i| i.to_string()).collect();
-        println!("{:<10} {:>14.0} {:>22}", client.name, pto_ms, indices.join(","));
+        println!(
+            "{:<10} {:>14.0} {:>22}",
+            client.name,
+            pto_ms,
+            indices.join(",")
+        );
     }
     println!(
         "\npaper Table 4: aioquic 200/2-4, go-x-net 999/2-4, mvfst 100/2-4, neqo 300/2-3, \

@@ -9,7 +9,7 @@ use rq_http::HttpVersion;
 use rq_profiles::{all_clients, ClientProfile};
 use rq_quic::ServerAckMode;
 use rq_sim::SimDuration;
-use rq_testbed::{run_repetitions, median, Scenario};
+use rq_testbed::{median, run_repetitions, Scenario};
 
 /// WFC mode shorthand.
 pub const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;
@@ -84,7 +84,10 @@ pub fn clients_for(http: HttpVersion) -> Vec<ClientProfile> {
 
 /// The RTT grid of Figures 12/13.
 pub fn loss_rtt_grid() -> Vec<SimDuration> {
-    [1u64, 9, 20, 100, 300].into_iter().map(SimDuration::from_millis).collect()
+    [1u64, 9, 20, 100, 300]
+        .into_iter()
+        .map(SimDuration::from_millis)
+        .collect()
 }
 
 pub mod tab3;

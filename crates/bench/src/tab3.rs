@@ -41,7 +41,9 @@ pub fn measure_first_ack_delays(server_profile: &ServerProfile, seed: u64) -> Fi
     for _ in 0..60 {
         while let Some(d) = client.poll_transmit(now) {
             let srv = server.get_or_insert_with(|| {
-                let dcid = PlainPacket::decode(&d, 8).map(|(p, _, _)| p.header.dcid).unwrap();
+                let dcid = PlainPacket::decode(&d, 8)
+                    .map(|(p, _, _)| p.header.dcid)
+                    .unwrap();
                 Connection::server(server_cfg.clone(), seed ^ 0xABCD, dcid)
             });
             srv.handle_datagram(now, &d);
@@ -71,13 +73,18 @@ pub fn measure_first_ack_delays(server_profile: &ServerProfile, seed: u64) -> Fi
             }
         }
     }
-    FirstAckDelays { initial_ms, handshake_ms }
+    FirstAckDelays {
+        initial_ms,
+        handshake_ms,
+    }
 }
 
 fn scan_for_acks(datagram: &[u8], initial_ms: &mut Option<f64>, handshake_ms: &mut Option<f64>) {
     let mut rest = datagram;
     while !rest.is_empty() {
-        let Ok((pkt, _, used)) = PlainPacket::decode(rest, 8) else { return };
+        let Ok((pkt, _, used)) = PlainPacket::decode(rest, 8) else {
+            return;
+        };
         rest = &rest[used..];
         for f in &pkt.frames {
             if let Frame::Ack(a) = f {

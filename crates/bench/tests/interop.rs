@@ -9,7 +9,10 @@ use rq_sim::{SimDuration, SimTime};
 use rq_wire::PlainPacket;
 
 /// Drives one client/server pair in-memory until confirmation or timeout.
-fn handshake_completes(client_cfg: rq_quic::EndpointConfig, server_cfg: rq_quic::EndpointConfig) -> bool {
+fn handshake_completes(
+    client_cfg: rq_quic::EndpointConfig,
+    server_cfg: rq_quic::EndpointConfig,
+) -> bool {
     let mut client = Connection::client(client_cfg, 42, false);
     client.send_stream_data(0, b"GET /64 HTTP/1.1\r\n\r\n", true);
     let mut server: Option<Connection> = None;
@@ -17,7 +20,9 @@ fn handshake_completes(client_cfg: rq_quic::EndpointConfig, server_cfg: rq_quic:
     for _ in 0..200 {
         while let Some(d) = client.poll_transmit(now) {
             let srv = server.get_or_insert_with(|| {
-                let dcid = PlainPacket::decode(&d, 8).map(|(p, _, _)| p.header.dcid).unwrap();
+                let dcid = PlainPacket::decode(&d, 8)
+                    .map(|(p, _, _)| p.header.dcid)
+                    .unwrap();
                 Connection::server(server_cfg.clone(), 43, dcid)
             });
             srv.handle_datagram(now, &d);

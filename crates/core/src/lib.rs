@@ -137,7 +137,13 @@ mod tests {
 
     #[test]
     fn compare_modes_basic() {
-        let c = compare_modes("quic-go", CompareOptions { cert_delay_ms: 25, ..Default::default() });
+        let c = compare_modes(
+            "quic-go",
+            CompareOptions {
+                cert_delay_ms: 25,
+                ..Default::default()
+            },
+        );
         assert!(c.wfc.completed);
         assert!(c.iack.completed);
         let wfc_pto = c.wfc.first_pto_ms.unwrap();
@@ -152,11 +158,38 @@ mod tests {
     }
 
     #[test]
+    fn scenario_base_matches_compare_defaults() {
+        // `compare_modes` builds scenarios from `CompareOptions`; the two
+        // sets of defaults must agree so `Scenario::base(..)` and
+        // `compare_modes(.., CompareOptions::default())` describe the
+        // same experiment.
+        let opts = CompareOptions::default();
+        let sc = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            opts.http,
+        );
+        assert_eq!(sc.rtt, SimDuration::from_millis(opts.rtt_ms));
+        assert_eq!(sc.cert_delay, SimDuration::from_millis(opts.cert_delay_ms));
+        assert_eq!(sc.cert_len, opts.cert_len);
+        assert_eq!(sc.file_size, opts.file_size);
+        assert_eq!(sc.loss, opts.loss);
+        assert_eq!(sc.seed, opts.seed);
+    }
+
+    #[test]
     fn ttfb_delta_sign() {
         let c = compare_modes(
             "quic-go",
-            CompareOptions { loss: LossSpec::SecondClientFlight, cert_delay_ms: 4, ..Default::default() },
+            CompareOptions {
+                loss: LossSpec::SecondClientFlight,
+                cert_delay_ms: 4,
+                ..Default::default()
+            },
         );
-        assert!(c.ttfb_delta_ms().unwrap() < 0.0, "IACK wins under client-flight loss");
+        assert!(
+            c.ttfb_delta_ms().unwrap() < 0.0,
+            "IACK wins under client-flight loss"
+        );
     }
 }

@@ -12,7 +12,10 @@ pub struct H1Request {
 impl H1Request {
     /// Builds a GET request.
     pub fn get(path: &str, host: &str) -> Self {
-        H1Request { path: path.into(), host: host.into() }
+        H1Request {
+            path: path.into(),
+            host: host.into(),
+        }
     }
 
     /// Serializes the request.
@@ -60,7 +63,10 @@ pub struct H1Response {
 impl H1Response {
     /// Builds a 200 response carrying `body_len` bytes.
     pub fn ok(body_len: usize) -> Self {
-        H1Response { status: 200, body_len }
+        H1Response {
+            status: 200,
+            body_len,
+        }
     }
 
     /// Serialized header block (before the body).

@@ -133,8 +133,13 @@ impl H3Frame {
 /// the stream type then SETTINGS.
 pub fn control_stream_prelude() -> Vec<u8> {
     let mut out = BytesMut::new();
-    VarInt::new(StreamType::Control.code()).unwrap().encode(&mut out);
-    H3Frame::Settings { payload: Bytes::from_static(SETTINGS_PAYLOAD) }.encode(&mut out);
+    VarInt::new(StreamType::Control.code())
+        .unwrap()
+        .encode(&mut out);
+    H3Frame::Settings {
+        payload: Bytes::from_static(SETTINGS_PAYLOAD),
+    }
+    .encode(&mut out);
     out.to_vec()
 }
 
@@ -154,7 +159,10 @@ pub fn response_bytes(body_len: usize) -> Vec<u8> {
     let block = format!(":status: 200\ncontent-length: {body_len}");
     let mut out = BytesMut::new();
     H3Frame::Headers { block }.encode(&mut out);
-    H3Frame::Data { payload: Bytes::from(crate::h1::body_bytes(body_len)) }.encode(&mut out);
+    H3Frame::Data {
+        payload: Bytes::from(crate::h1::body_bytes(body_len)),
+    }
+    .encode(&mut out);
     out.to_vec()
 }
 
@@ -180,9 +188,15 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         for frame in [
-            H3Frame::Data { payload: Bytes::from_static(b"hello") },
-            H3Frame::Headers { block: ":status: 200".into() },
-            H3Frame::Settings { payload: Bytes::from_static(SETTINGS_PAYLOAD) },
+            H3Frame::Data {
+                payload: Bytes::from_static(b"hello"),
+            },
+            H3Frame::Headers {
+                block: ":status: 200".into(),
+            },
+            H3Frame::Settings {
+                payload: Bytes::from_static(SETTINGS_PAYLOAD),
+            },
         ] {
             let mut buf = BytesMut::new();
             frame.encode(&mut buf);
@@ -195,7 +209,9 @@ mod tests {
 
     #[test]
     fn partial_frame_not_consumed() {
-        let frame = H3Frame::Data { payload: Bytes::from(vec![1u8; 100]) };
+        let frame = H3Frame::Data {
+            payload: Bytes::from(vec![1u8; 100]),
+        };
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
         let mut partial = Bytes::copy_from_slice(&buf[..50]);
@@ -239,7 +255,10 @@ mod tests {
         VarInt::new(0x07).unwrap().encode(&mut buf);
         VarInt::new(1).unwrap().encode(&mut buf);
         buf.put_u8(0);
-        H3Frame::Data { payload: Bytes::from_static(b"x") }.encode(&mut buf);
+        H3Frame::Data {
+            payload: Bytes::from_static(b"x"),
+        }
+        .encode(&mut buf);
         let mut bytes = buf.freeze();
         match H3Frame::decode(&mut bytes).unwrap() {
             H3Frame::Data { payload } => assert_eq!(&payload[..], b"x"),

@@ -281,7 +281,10 @@ mod tests {
     #[test]
     fn appendix_e_variance_exposure() {
         for name in ["neqo", "mvfst", "picoquic"] {
-            assert!(!client_by_name(name).unwrap().exposes_rtt_variance, "{name}");
+            assert!(
+                !client_by_name(name).unwrap().exposes_rtt_variance,
+                "{name}"
+            );
         }
         for name in ["aioquic", "go-x-net", "quiche", "quic-go", "ngtcp2"] {
             assert!(client_by_name(name).unwrap().exposes_rtt_variance, "{name}");

@@ -51,22 +51,86 @@ fn us(v: u64) -> SimDuration {
 /// All sixteen servers of Table 3 with their first-repetition delays.
 pub fn all_servers() -> Vec<ServerProfile> {
     vec![
-        ServerProfile { name: "aioquic", initial_ack_delay: Some(us(3300)), handshake_ack_delay: None },
-        ServerProfile { name: "go-x-net", initial_ack_delay: Some(us(0)), handshake_ack_delay: None },
-        ServerProfile { name: "haproxy", initial_ack_delay: Some(us(1000)), handshake_ack_delay: Some(us(0)) },
-        ServerProfile { name: "kwik", initial_ack_delay: Some(us(0)), handshake_ack_delay: None },
-        ServerProfile { name: "lsquic", initial_ack_delay: Some(us(1200)), handshake_ack_delay: Some(us(200)) },
-        ServerProfile { name: "msquic", initial_ack_delay: None, handshake_ack_delay: None },
-        ServerProfile { name: "mvfst", initial_ack_delay: Some(us(800)), handshake_ack_delay: Some(us(200)) },
-        ServerProfile { name: "neqo", initial_ack_delay: Some(us(0)), handshake_ack_delay: Some(us(0)) },
-        ServerProfile { name: "nginx", initial_ack_delay: Some(us(0)), handshake_ack_delay: None },
-        ServerProfile { name: "ngtcp2", initial_ack_delay: Some(us(0)), handshake_ack_delay: None },
-        ServerProfile { name: "picoquic", initial_ack_delay: Some(us(800)), handshake_ack_delay: None },
-        ServerProfile { name: "quic-go", initial_ack_delay: Some(us(0)), handshake_ack_delay: None },
-        ServerProfile { name: "quiche", initial_ack_delay: Some(us(1400)), handshake_ack_delay: None },
-        ServerProfile { name: "quinn", initial_ack_delay: Some(us(400)), handshake_ack_delay: None },
-        ServerProfile { name: "s2n-quic", initial_ack_delay: Some(us(14_000)), handshake_ack_delay: None },
-        ServerProfile { name: "xquic", initial_ack_delay: Some(us(1300)), handshake_ack_delay: Some(us(500)) },
+        ServerProfile {
+            name: "aioquic",
+            initial_ack_delay: Some(us(3300)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "go-x-net",
+            initial_ack_delay: Some(us(0)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "haproxy",
+            initial_ack_delay: Some(us(1000)),
+            handshake_ack_delay: Some(us(0)),
+        },
+        ServerProfile {
+            name: "kwik",
+            initial_ack_delay: Some(us(0)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "lsquic",
+            initial_ack_delay: Some(us(1200)),
+            handshake_ack_delay: Some(us(200)),
+        },
+        ServerProfile {
+            name: "msquic",
+            initial_ack_delay: None,
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "mvfst",
+            initial_ack_delay: Some(us(800)),
+            handshake_ack_delay: Some(us(200)),
+        },
+        ServerProfile {
+            name: "neqo",
+            initial_ack_delay: Some(us(0)),
+            handshake_ack_delay: Some(us(0)),
+        },
+        ServerProfile {
+            name: "nginx",
+            initial_ack_delay: Some(us(0)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "ngtcp2",
+            initial_ack_delay: Some(us(0)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "picoquic",
+            initial_ack_delay: Some(us(800)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "quic-go",
+            initial_ack_delay: Some(us(0)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "quiche",
+            initial_ack_delay: Some(us(1400)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "quinn",
+            initial_ack_delay: Some(us(400)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "s2n-quic",
+            initial_ack_delay: Some(us(14_000)),
+            handshake_ack_delay: None,
+        },
+        ServerProfile {
+            name: "xquic",
+            initial_ack_delay: Some(us(1300)),
+            handshake_ack_delay: Some(us(500)),
+        },
     ]
 }
 
@@ -136,7 +200,10 @@ mod tests {
     fn testbed_server_modes() {
         let wfc = testbed_server(ServerAckMode::WaitForCertificate, rq_tls::CERT_SMALL);
         assert_eq!(wfc.name, "quic-go-wfc");
-        let iack = testbed_server(ServerAckMode::InstantAck { pad_to_mtu: false }, rq_tls::CERT_LARGE);
+        let iack = testbed_server(
+            ServerAckMode::InstantAck { pad_to_mtu: false },
+            rq_tls::CERT_LARGE,
+        );
         assert_eq!(iack.name, "quic-go-iack");
         assert_eq!(iack.cert_len, rq_tls::CERT_LARGE);
         assert_eq!(iack.default_pto, SimDuration::from_millis(200));

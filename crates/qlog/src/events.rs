@@ -1,11 +1,10 @@
 //! Event model: a simplified qlog main-schema event stream.
 
+use crate::json::Json;
 use rq_sim::SimTime;
-use serde::Serialize;
 
 /// Packet number space names, matching qlog's packet types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpaceName {
     /// Initial packets.
     Initial,
@@ -15,8 +14,19 @@ pub enum SpaceName {
     ApplicationData,
 }
 
+impl SpaceName {
+    /// qlog's snake_case name for the space.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpaceName::Initial => "initial",
+            SpaceName::Handshake => "handshake",
+            SpaceName::ApplicationData => "application_data",
+        }
+    }
+}
+
 /// Compact per-frame summary recorded with packet events.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameSummary {
     /// Frame name ("ack", "crypto", "stream", "ping", ...).
     pub name: &'static str,
@@ -25,8 +35,8 @@ pub struct FrameSummary {
 }
 
 /// Event payloads (subset of qlog's transport and recovery categories).
-#[derive(Debug, Clone, PartialEq, Serialize)]
-#[serde(tag = "name", rename_all = "snake_case")]
+/// JSON form is internally tagged: `{"name": "<snake_case variant>", ...fields}`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventData {
     /// transport:packet_sent
     PacketSent {
@@ -114,18 +124,18 @@ pub enum EventData {
     HandshakeConfirmed,
 }
 
-/// One timestamped event.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// One timestamped event. JSON form flattens the payload next to
+/// `time_ms`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QlogEvent {
     /// Virtual time in milliseconds (qlog uses relative ms).
     pub time_ms: f64,
     /// Payload.
-    #[serde(flatten)]
     pub data: EventData,
 }
 
 /// An endpoint's event log for one connection.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct EventLog {
     /// Vantage point label ("client:quic-go", "server:quic-go-iack", ...).
     pub vantage: String,
@@ -136,20 +146,28 @@ pub struct EventLog {
 impl EventLog {
     /// Creates a log for the given vantage label.
     pub fn new(vantage: impl Into<String>) -> Self {
-        EventLog { vantage: vantage.into(), events: Vec::new() }
+        EventLog {
+            vantage: vantage.into(),
+            events: Vec::new(),
+        }
     }
 
     /// Records an event at `at`.
     pub fn push(&mut self, at: SimTime, data: EventData) {
-        self.events.push(QlogEvent { time_ms: at.as_millis_f64(), data });
+        self.events.push(QlogEvent {
+            time_ms: at.as_millis_f64(),
+            data,
+        });
     }
 
     /// All metrics updates in time order.
     pub fn metrics_updates(&self) -> impl Iterator<Item = (&QlogEvent, f64, Option<f64>)> {
         self.events.iter().filter_map(|e| match &e.data {
-            EventData::MetricsUpdated { smoothed_rtt_ms, rtt_variance_ms, .. } => {
-                Some((e, *smoothed_rtt_ms, *rtt_variance_ms))
-            }
+            EventData::MetricsUpdated {
+                smoothed_rtt_ms,
+                rtt_variance_ms,
+                ..
+            } => Some((e, *smoothed_rtt_ms, *rtt_variance_ms)),
             _ => None,
         })
     }
@@ -166,7 +184,125 @@ impl EventLog {
 
     /// Serializes to qlog-flavoured JSON (one trace).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("qlog serialization cannot fail")
+        Json::Object(vec![
+            ("vantage".into(), Json::str(&self.vantage)),
+            (
+                "events".into(),
+                Json::Array(self.events.iter().map(QlogEvent::to_json_value).collect()),
+            ),
+        ])
+        .to_string_pretty()
+    }
+}
+
+impl QlogEvent {
+    /// The event as a JSON object: `time_ms` plus the flattened payload.
+    fn to_json_value(&self) -> Json {
+        let mut fields = vec![("time_ms".into(), Json::float(self.time_ms))];
+        fields.extend(self.data.to_json_fields());
+        Json::Object(fields)
+    }
+}
+
+impl FrameSummary {
+    fn to_json_value(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::str(self.name)),
+            ("len".into(), Json::size(self.len)),
+        ])
+    }
+}
+
+impl EventData {
+    /// qlog's snake_case event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventData::PacketSent { .. } => "packet_sent",
+            EventData::PacketReceived { .. } => "packet_received",
+            EventData::PacketLost { .. } => "packet_lost",
+            EventData::MetricsUpdated { .. } => "metrics_updated",
+            EventData::PtoExpired { .. } => "pto_expired",
+            EventData::AmplificationBlocked { .. } => "amplification_blocked",
+            EventData::KeyInstalled { .. } => "key_installed",
+            EventData::CertificateRequested => "certificate_requested",
+            EventData::CertificateReady => "certificate_ready",
+            EventData::InstantAck { .. } => "instant_ack",
+            EventData::ConnectionClosed { .. } => "connection_closed",
+            EventData::HandshakeComplete => "handshake_complete",
+            EventData::HandshakeConfirmed => "handshake_confirmed",
+        }
+    }
+
+    /// Internally tagged representation: `name` first, then the
+    /// variant's fields in declaration order.
+    fn to_json_fields(&self) -> Vec<(String, Json)> {
+        let mut fields = vec![("name".into(), Json::str(self.name()))];
+        match self {
+            EventData::PacketSent {
+                space,
+                pn,
+                size,
+                ack_eliciting,
+                frames,
+            }
+            | EventData::PacketReceived {
+                space,
+                pn,
+                size,
+                ack_eliciting,
+                frames,
+            } => {
+                fields.push(("space".into(), Json::str(space.as_str())));
+                fields.push(("pn".into(), Json::uint(*pn)));
+                fields.push(("size".into(), Json::size(*size)));
+                fields.push(("ack_eliciting".into(), Json::Bool(*ack_eliciting)));
+                fields.push((
+                    "frames".into(),
+                    Json::Array(frames.iter().map(FrameSummary::to_json_value).collect()),
+                ));
+            }
+            EventData::PacketLost { space, pn } => {
+                fields.push(("space".into(), Json::str(space.as_str())));
+                fields.push(("pn".into(), Json::uint(*pn)));
+            }
+            EventData::MetricsUpdated {
+                smoothed_rtt_ms,
+                rtt_variance_ms,
+                latest_rtt_ms,
+                pto_count,
+            } => {
+                fields.push(("smoothed_rtt_ms".into(), Json::float(*smoothed_rtt_ms)));
+                fields.push((
+                    "rtt_variance_ms".into(),
+                    rtt_variance_ms.map_or(Json::Null, Json::float),
+                ));
+                fields.push(("latest_rtt_ms".into(), Json::float(*latest_rtt_ms)));
+                fields.push(("pto_count".into(), Json::uint(*pto_count)));
+            }
+            EventData::PtoExpired { space, pto_count } => {
+                fields.push(("space".into(), Json::str(space.as_str())));
+                fields.push(("pto_count".into(), Json::uint(*pto_count)));
+            }
+            EventData::AmplificationBlocked { budget, wanted } => {
+                fields.push(("budget".into(), Json::size(*budget)));
+                fields.push(("wanted".into(), Json::size(*wanted)));
+            }
+            EventData::KeyInstalled { space } => {
+                fields.push(("space".into(), Json::str(space.as_str())));
+            }
+            EventData::InstantAck { sent } => {
+                fields.push(("sent".into(), Json::Bool(*sent)));
+            }
+            EventData::ConnectionClosed { error_code, reason } => {
+                fields.push(("error_code".into(), Json::uint(*error_code)));
+                fields.push(("reason".into(), Json::str(reason)));
+            }
+            EventData::CertificateRequested
+            | EventData::CertificateReady
+            | EventData::HandshakeComplete
+            | EventData::HandshakeConfirmed => {}
+        }
+        fields
     }
 }
 
@@ -194,7 +330,9 @@ mod tests {
         );
         assert_eq!(log.events.len(), 2);
         assert_eq!(log.metrics_updates().count(), 1);
-        assert!(log.first(|d| matches!(d, EventData::HandshakeComplete)).is_some());
+        assert!(log
+            .first(|d| matches!(d, EventData::HandshakeComplete))
+            .is_some());
         assert_eq!(log.count(|d| matches!(d, EventData::PacketLost { .. })), 0);
     }
 
@@ -208,7 +346,10 @@ mod tests {
                 pn: 0,
                 size: 1200,
                 ack_eliciting: true,
-                frames: vec![FrameSummary { name: "crypto", len: 320 }],
+                frames: vec![FrameSummary {
+                    name: "crypto",
+                    len: 320,
+                }],
             },
         );
         let json = log.to_json();

@@ -21,7 +21,11 @@ pub struct MetricsExposure {
 
 impl Default for MetricsExposure {
     fn default() -> Self {
-        MetricsExposure { update_share: 1.0, exposes_variance: true, timestamp_resolution_us: 1 }
+        MetricsExposure {
+            update_share: 1.0,
+            exposes_variance: true,
+            timestamp_resolution_us: 1,
+        }
     }
 }
 
@@ -69,20 +73,29 @@ mod tests {
 
     #[test]
     fn zero_share_exposes_nothing() {
-        let e = MetricsExposure { update_share: 0.0, ..MetricsExposure::default() };
+        let e = MetricsExposure {
+            update_share: 0.0,
+            ..MetricsExposure::default()
+        };
         assert!(!(0..100).any(|n| e.exposes_update(n)));
     }
 
     #[test]
     fn half_share_exposes_half() {
-        let e = MetricsExposure { update_share: 0.5, ..MetricsExposure::default() };
+        let e = MetricsExposure {
+            update_share: 0.5,
+            ..MetricsExposure::default()
+        };
         let count = (0..1000).filter(|&n| e.exposes_update(n)).count();
         assert_eq!(count, 500);
     }
 
     #[test]
     fn exposed_subset_is_spread_evenly() {
-        let e = MetricsExposure { update_share: 0.25, ..MetricsExposure::default() };
+        let e = MetricsExposure {
+            update_share: 0.25,
+            ..MetricsExposure::default()
+        };
         let idx: Vec<usize> = (0..40).filter(|&n| e.exposes_update(n)).collect();
         assert_eq!(idx.len(), 10);
         // Gaps of exactly 4 between consecutive exposed updates.
@@ -93,11 +106,17 @@ mod tests {
 
     #[test]
     fn timestamp_quantization() {
-        let ms_res = MetricsExposure { timestamp_resolution_us: 1000, ..Default::default() };
+        let ms_res = MetricsExposure {
+            timestamp_resolution_us: 1000,
+            ..Default::default()
+        };
         assert_eq!(ms_res.quantize_ms(12.73), 12.0);
         let us_res = MetricsExposure::full();
         assert_eq!(us_res.quantize_ms(12.73), 12.73);
-        let s_res = MetricsExposure { timestamp_resolution_us: 1_000_000, ..Default::default() };
+        let s_res = MetricsExposure {
+            timestamp_resolution_us: 1_000_000,
+            ..Default::default()
+        };
         assert_eq!(s_res.quantize_ms(1234.0), 1000.0);
     }
 }

@@ -1,0 +1,168 @@
+//! Hand-rolled JSON emission.
+//!
+//! The build environment has no registry access, so instead of pulling
+//! in `serde`/`serde_json` the qlog export builds a tiny value tree and
+//! pretty-prints it in `serde_json::to_string_pretty` style (2-space
+//! indent, `"key": value`), which the tests and downstream tooling
+//! expect.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, pre-rendered (keeps u64 exact and floats `Debug`-formatted).
+    Number(String),
+    /// A string (escaped at render time).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An ordered object (insertion order preserved).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Unsigned integer value.
+    pub fn uint(v: impl Into<u64>) -> Json {
+        Json::Number(v.into().to_string())
+    }
+
+    /// `usize` value.
+    pub fn size(v: usize) -> Json {
+        Json::Number(v.to_string())
+    }
+
+    /// Float value, rendered like serde_json (`3.0`, not `3`;
+    /// non-finite values become `null`).
+    pub fn float(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Number(format!("{v:?}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// String value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Renders with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Number(n) => out.push_str(n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_format_matches_serde_style() {
+        let v = Json::Object(vec![
+            ("name".into(), Json::str("packet_sent")),
+            ("pn".into(), Json::uint(0u64)),
+            ("rtt".into(), Json::float(3.0)),
+            ("none".into(), Json::Null),
+            ("list".into(), Json::Array(vec![Json::Bool(true)])),
+        ]);
+        let s = v.to_string_pretty();
+        assert!(s.contains("\"pn\": 0"));
+        assert!(s.contains("\"rtt\": 3.0"));
+        assert!(s.contains("\"none\": null"));
+        assert_eq!(Json::float(f64::NAN), Json::Null);
+        assert_eq!(Json::float(f64::INFINITY), Json::Null);
+        assert!(s.contains("\"list\": [\n    true\n  ]"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd").to_string_pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        assert_eq!(Json::Array(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Json::Object(vec![]).to_string_pretty(), "{}");
+    }
+}

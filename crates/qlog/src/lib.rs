@@ -10,6 +10,7 @@
 
 pub mod events;
 pub mod exposure;
+pub mod json;
 pub mod metrics;
 
 pub use events::{EventData, EventLog, FrameSummary, QlogEvent, SpaceName};

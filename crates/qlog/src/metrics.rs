@@ -92,7 +92,10 @@ mod tests {
         push_update(&mut log, 9, 9.0, Some(4.5), 9.0);
         let series = pto_series(&log);
         assert_eq!(series.len(), 1);
-        assert!((series[0].pto_ms - 27.0).abs() < 1e-9, "first PTO = 3x sample");
+        assert!(
+            (series[0].pto_ms - 27.0).abs() < 1e-9,
+            "first PTO = 3x sample"
+        );
         assert_eq!(first_pto_ms(&log), Some(27.0));
     }
 
@@ -113,7 +116,10 @@ mod tests {
         let mut log = EventLog::new("c");
         push_update(&mut log, 1, 0.5, Some(0.05), 0.5);
         let series = pto_series(&log);
-        assert!((series[0].pto_ms - 1.5).abs() < 1e-9, "4*var < 1ms floors to 1ms");
+        assert!(
+            (series[0].pto_ms - 1.5).abs() < 1e-9,
+            "4*var < 1ms floors to 1ms"
+        );
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(ServerAckMode::WaitForCertificate.label(), "WFC");
-        assert_eq!(ServerAckMode::InstantAck { pad_to_mtu: false }.label(), "IACK");
+        assert_eq!(
+            ServerAckMode::InstantAck { pad_to_mtu: false }.label(),
+            "IACK"
+        );
     }
 
     #[test]

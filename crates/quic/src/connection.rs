@@ -166,7 +166,11 @@ impl Connection {
         let mut tls = TlsSession::client(TlsClientConfig::default());
         tls.start();
         let initial = initial_keys(original_dcid.as_slice());
-        let ping_budget = if cfg.quirks.drop_ping_reply_coalesced { 1 } else { 0 };
+        let ping_budget = if cfg.quirks.drop_ping_reply_coalesced {
+            1
+        } else {
+            0
+        };
         let mut conn = Connection {
             role: Role::Client,
             pto: PtoState::new(cfg.default_pto),
@@ -407,7 +411,8 @@ impl Connection {
                     let token = retry_token_for(&pkt.header.scid);
                     let hdr = Header::retry(self.peer_cid, self.local_cid, token);
                     let retry = PlainPacket::new(hdr, Vec::new()).expect("retry has no frames");
-                    self.ready_datagrams.push_back(retry.to_bytes(&[0u8; 16]).to_vec());
+                    self.ready_datagrams
+                        .push_back(retry.to_bytes(&[0u8; 16]).to_vec());
                 }
                 return; // drop the tokenless Initial
             }
@@ -453,7 +458,10 @@ impl Connection {
         let idx = space.index();
         let ack_eliciting = pkt.is_ack_eliciting();
         let is_ack_only = pkt.is_ack_only();
-        if !self.spaces[idx].recv.on_packet(pkt.header.pn, ack_eliciting, now) {
+        if !self.spaces[idx]
+            .recv
+            .on_packet(pkt.header.pn, ack_eliciting, now)
+        {
             return; // duplicate
         }
         self.log.push(
@@ -540,7 +548,9 @@ impl Connection {
                     for sp in [PacketNumberSpace::Initial, PacketNumberSpace::Handshake] {
                         let i = sp.index();
                         if let Some(oldest) = self.trackers[i].oldest_ack_eliciting() {
-                            if let Some(content) = self.spaces[i].retx.get(&oldest.retx_token).cloned() {
+                            if let Some(content) =
+                                self.spaces[i].retx.get(&oldest.retx_token).cloned()
+                            {
                                 self.spaces[i].queue_retx(content);
                             }
                         }
@@ -574,7 +584,12 @@ impl Connection {
                     }
                 }
             }
-            Frame::Stream { id, offset, data, fin } => {
+            Frame::Stream {
+                id,
+                offset,
+                data,
+                fin,
+            } => {
                 let rs = self.streams.recv_stream(*id);
                 let newly = rs.on_frame(*offset, data, *fin);
                 let complete = rs.is_complete();
@@ -611,14 +626,21 @@ impl Connection {
                     self.discard_space(now, PacketNumberSpace::Handshake);
                 }
             }
-            Frame::ConnectionClose { error_code, reason, .. } => {
+            Frame::ConnectionClose {
+                error_code, reason, ..
+            } => {
                 self.closed = true;
                 self.log.push(
                     now,
-                    EventData::ConnectionClosed { error_code: *error_code, reason: reason.clone() },
+                    EventData::ConnectionClosed {
+                        error_code: *error_code,
+                        reason: reason.clone(),
+                    },
                 );
-                self.events
-                    .push_back(ConnEvent::Closed { error_code: *error_code, reason: reason.clone() });
+                self.events.push_back(ConnEvent::Closed {
+                    error_code: *error_code,
+                    reason: reason.clone(),
+                });
             }
         }
     }
@@ -670,7 +692,13 @@ impl Connection {
 
     fn on_packet_lost(&mut self, now: SimTime, space: PacketNumberSpace, p: &SentPacket) {
         let idx = space.index();
-        self.log.push(now, EventData::PacketLost { space: space_name(space), pn: p.pn });
+        self.log.push(
+            now,
+            EventData::PacketLost {
+                space: space_name(space),
+                pn: p.pn,
+            },
+        );
         if p.in_flight {
             self.cc.on_loss(&[p.size], p.time_sent, now);
         }
@@ -685,7 +713,12 @@ impl Connection {
                 let space = space_of(level);
                 let idx = space.index();
                 self.keys[idx] = self.tls.keys(level).cloned();
-                self.log.push(now, EventData::KeyInstalled { space: space_name(space) });
+                self.log.push(
+                    now,
+                    EventData::KeyInstalled {
+                        space: space_name(space),
+                    },
+                );
                 // Newly decryptable packets may be buffered.
                 self.flush_pending(now);
             }
@@ -761,7 +794,9 @@ impl Connection {
         let mut frames = vec![Frame::Ack(ack)];
         if pad_to_mtu {
             let base = 1 + 4 + 1 + 8 + 1 + 8 + 1 + 2 + 4 + frames[0].encoded_len() + 16;
-            frames.push(Frame::Padding { len: MIN_INITIAL_DATAGRAM.saturating_sub(base) });
+            frames.push(Frame::Padding {
+                len: MIN_INITIAL_DATAGRAM.saturating_sub(base),
+            });
         }
         let pn = self.spaces[idx].alloc_pn();
         let header = Header::initial(self.peer_cid, self.local_cid, Vec::new(), pn);
@@ -796,7 +831,9 @@ impl Connection {
 
     fn report_ack_delay(&self, now: SimTime, space_idx: usize) -> u64 {
         let policy = if space_idx == 1 {
-            self.cfg.handshake_ack_delay_report.unwrap_or(self.cfg.ack_delay_report)
+            self.cfg
+                .handshake_ack_delay_report
+                .unwrap_or(self.cfg.ack_delay_report)
         } else {
             self.cfg.ack_delay_report
         };
@@ -851,9 +888,15 @@ impl Connection {
         self.close_frame_pending = Some((error_code, reason.to_string()));
         self.log.push(
             now,
-            EventData::ConnectionClosed { error_code, reason: reason.to_string() },
+            EventData::ConnectionClosed {
+                error_code,
+                reason: reason.to_string(),
+            },
         );
-        self.events.push_back(ConnEvent::Closed { error_code, reason: reason.to_string() });
+        self.events.push_back(ConnEvent::Closed {
+            error_code,
+            reason: reason.to_string(),
+        });
     }
 
     /// Application API: closes the connection with an application error.
@@ -958,7 +1001,8 @@ impl Connection {
             planned.push(pkt);
         }
         if planned.is_empty() {
-            if !self.amp_blocked_logged && self.amplification_budget() < MAX_DATAGRAM_SIZE
+            if !self.amp_blocked_logged
+                && self.amplification_budget() < MAX_DATAGRAM_SIZE
                 && self.wants_to_send()
             {
                 self.amp_blocked_logged = true;
@@ -981,8 +1025,7 @@ impl Connection {
                 let last = planned.last_mut().unwrap();
                 last.frames.push(Frame::Padding { len: pad });
                 // A grown length varint can leave us 1-2 bytes short; fix up.
-                let total: usize =
-                    planned.iter().map(PlainPacket::encoded_len).sum::<usize>();
+                let total: usize = planned.iter().map(PlainPacket::encoded_len).sum::<usize>();
                 if total < MIN_INITIAL_DATAGRAM {
                     if let Some(Frame::Padding { len }) =
                         planned.last_mut().unwrap().frames.last_mut()
@@ -1033,7 +1076,11 @@ impl Connection {
         //    handshake-space ACKs for a short window (see handshake-space
         //    deadline arming above).
         let deadline_passed = self.spaces[idx].recv.ack_overdue
-            || self.spaces[idx].recv.ack_deadline.map(|d| now >= d).unwrap_or(false);
+            || self.spaces[idx]
+                .recv
+                .ack_deadline
+                .map(|d| now >= d)
+                .unwrap_or(false);
         let ack_due = self.spaces[idx].recv.ack_pending
             && if space == PacketNumberSpace::Application {
                 self.spaces[idx].recv.unacked_eliciting >= self.cfg.ack_eliciting_threshold
@@ -1043,8 +1090,8 @@ impl Connection {
             } else {
                 true
             };
-        let mut attach_ack = ack_due
-            || (self.spaces[idx].recv.ack_pending && self.spaces[idx].has_data_to_send());
+        let mut attach_ack =
+            ack_due || (self.spaces[idx].recv.ack_pending && self.spaces[idx].has_data_to_send());
         // msquic (Table 3): no ACK frames in Initial/Handshake spaces.
         if self.cfg.no_initial_acks
             && self.role == Role::Server
@@ -1088,7 +1135,10 @@ impl Connection {
                     let head = data.slice(..room);
                     let tail = data.slice(room..);
                     used += 10 + head.len();
-                    frames.push(Frame::Crypto { offset: off, data: head });
+                    frames.push(Frame::Crypto {
+                        offset: off,
+                        data: head,
+                    });
                     leftover.crypto.push((off + room as u64, tail));
                     probe_only = false;
                 }
@@ -1101,13 +1151,23 @@ impl Connection {
                 }
                 if data.len() <= room {
                     used += 12 + data.len();
-                    frames.push(Frame::Stream { id: sid, offset: off, data, fin });
+                    frames.push(Frame::Stream {
+                        id: sid,
+                        offset: off,
+                        data,
+                        fin,
+                    });
                     probe_only = false;
                 } else {
                     let head = data.slice(..room);
                     let tail = data.slice(room..);
                     used += 12 + head.len();
-                    frames.push(Frame::Stream { id: sid, offset: off, data: head, fin: false });
+                    frames.push(Frame::Stream {
+                        id: sid,
+                        offset: off,
+                        data: head,
+                        fin: false,
+                    });
                     leftover.stream.push((sid, off + room as u64, tail, fin));
                     probe_only = false;
                 }
@@ -1132,7 +1192,11 @@ impl Connection {
                 probe_only = false;
             }
             for (seq, rpt, cid) in item.new_cids {
-                frames.push(Frame::NewConnectionId { seq, retire_prior_to: rpt, cid });
+                frames.push(Frame::NewConnectionId {
+                    seq,
+                    retire_prior_to: rpt,
+                    cid,
+                });
                 used += 30;
                 probe_only = false;
             }
@@ -1172,7 +1236,10 @@ impl Connection {
                 if used + 12 > max_payload {
                     break;
                 }
-                frames.push(Frame::MaxStreamData { id: sid, max: grant });
+                frames.push(Frame::MaxStreamData {
+                    id: sid,
+                    max: grant,
+                });
                 used += 12;
                 probe_only = false;
             }
@@ -1199,7 +1266,12 @@ impl Connection {
                     if let Some((off, data, fin)) = ss.take(room) {
                         self.streams.data_sent += data.len() as u64;
                         used += 12 + data.len();
-                        frames.push(Frame::Stream { id: sid, offset: off, data, fin });
+                        frames.push(Frame::Stream {
+                            id: sid,
+                            offset: off,
+                            data,
+                            fin,
+                        });
                         probe_only = false;
                     }
                 }
@@ -1244,7 +1316,11 @@ impl Connection {
         let tag = seal_tag(key, pkt.header.pn, &packet_auth_bytes(&pkt));
         let bytes = pkt.to_bytes(&tag);
         let ack_eliciting = pkt.is_ack_eliciting();
-        let in_flight = ack_eliciting || pkt.frames.iter().any(|f| matches!(f, Frame::Padding { .. }));
+        let in_flight = ack_eliciting
+            || pkt
+                .frames
+                .iter()
+                .any(|f| matches!(f, Frame::Padding { .. }));
         // Track PING probes for the quiche quirk.
         if space == PacketNumberSpace::Initial
             && pkt.frames.iter().any(|f| matches!(f, Frame::Ping))
@@ -1296,14 +1372,18 @@ impl Connection {
 
         // Packet A: Initial ACK (if Initial space still alive).
         let pkt_a = if !self.spaces[0].discarded && self.keys[0].is_some() {
-            self.spaces[0].recv.ack_list().map(<[u64]>::to_vec).map(|list| {
-                let delay = self.report_ack_delay(now, 0);
-                self.spaces[0].recv.on_ack_sent();
-                (
-                    PacketNumberSpace::Initial,
-                    vec![Frame::Ack(AckFrame::from_sorted_desc(&list, delay))],
-                )
-            })
+            self.spaces[0]
+                .recv
+                .ack_list()
+                .map(<[u64]>::to_vec)
+                .map(|list| {
+                    let delay = self.report_ack_delay(now, 0);
+                    self.spaces[0].recv.on_ack_sent();
+                    (
+                        PacketNumberSpace::Initial,
+                        vec![Frame::Ack(AckFrame::from_sorted_desc(&list, delay))],
+                    )
+                })
         } else {
             None
         };
@@ -1332,12 +1412,16 @@ impl Connection {
                 let ss = self.streams.send_stream(sid);
                 if let Some((off, data, fin)) = ss.take(1000) {
                     self.streams.data_sent += data.len() as u64;
-                    c_frames.push(Frame::Stream { id: sid, offset: off, data, fin });
+                    c_frames.push(Frame::Stream {
+                        id: sid,
+                        offset: off,
+                        data,
+                        fin,
+                    });
                 }
             }
         }
-        let pkt_c =
-            (!c_frames.is_empty()).then_some((PacketNumberSpace::Application, c_frames));
+        let pkt_c = (!c_frames.is_empty()).then_some((PacketNumberSpace::Application, c_frames));
 
         // Distribute packets over datagrams per the layout.
         match self.cfg.flight2_datagrams {
@@ -1414,10 +1498,9 @@ impl Connection {
             if has_initial {
                 let total: usize = pkts.iter().map(PlainPacket::encoded_len).sum();
                 if total < MIN_INITIAL_DATAGRAM {
-                    pkts.last_mut()
-                        .unwrap()
-                        .frames
-                        .push(Frame::Padding { len: MIN_INITIAL_DATAGRAM - total });
+                    pkts.last_mut().unwrap().frames.push(Frame::Padding {
+                        len: MIN_INITIAL_DATAGRAM - total,
+                    });
                     let total2: usize = pkts.iter().map(PlainPacket::encoded_len).sum();
                     if total2 < MIN_INITIAL_DATAGRAM {
                         if let Some(Frame::Padding { len }) =
@@ -1460,7 +1543,9 @@ impl Connection {
                 if self.role == Role::Client && space == PacketNumberSpace::Initial {
                     let len = pkt.encoded_len();
                     if len < MIN_INITIAL_DATAGRAM {
-                        pkt.frames.push(Frame::Padding { len: MIN_INITIAL_DATAGRAM - len });
+                        pkt.frames.push(Frame::Padding {
+                            len: MIN_INITIAL_DATAGRAM - len,
+                        });
                     }
                 }
                 return self.seal_and_register(now, pkt, false);
@@ -1632,7 +1717,10 @@ impl Connection {
         self.pto.on_pto_expired();
         self.log.push(
             now,
-            EventData::PtoExpired { space: space_name(space), pto_count: self.pto.pto_count },
+            EventData::PtoExpired {
+                space: space_name(space),
+                pto_count: self.pto.pto_count,
+            },
         );
         // Queue probe content (RFC 9002 §6.2.4): retransmit oldest unacked
         // data when available, else PING.
@@ -1720,22 +1808,62 @@ fn frame_summaries(frames: &[Frame]) -> Vec<FrameSummary> {
     frames
         .iter()
         .map(|f| match f {
-            Frame::Padding { len } => FrameSummary { name: "padding", len: *len },
-            Frame::Ping => FrameSummary { name: "ping", len: 0 },
-            Frame::Ack(_) => FrameSummary { name: "ack", len: 0 },
-            Frame::Crypto { data, .. } => FrameSummary { name: "crypto", len: data.len() },
-            Frame::NewToken { token } => FrameSummary { name: "new_token", len: token.len() },
-            Frame::Stream { data, .. } => FrameSummary { name: "stream", len: data.len() },
-            Frame::MaxData { .. } => FrameSummary { name: "max_data", len: 0 },
-            Frame::MaxStreamData { .. } => FrameSummary { name: "max_stream_data", len: 0 },
-            Frame::MaxStreams { .. } => FrameSummary { name: "max_streams", len: 0 },
-            Frame::DataBlocked { .. } => FrameSummary { name: "data_blocked", len: 0 },
-            Frame::NewConnectionId { .. } => FrameSummary { name: "new_connection_id", len: 0 },
-            Frame::RetireConnectionId { .. } => {
-                FrameSummary { name: "retire_connection_id", len: 0 }
-            }
-            Frame::ConnectionClose { .. } => FrameSummary { name: "connection_close", len: 0 },
-            Frame::HandshakeDone => FrameSummary { name: "handshake_done", len: 0 },
+            Frame::Padding { len } => FrameSummary {
+                name: "padding",
+                len: *len,
+            },
+            Frame::Ping => FrameSummary {
+                name: "ping",
+                len: 0,
+            },
+            Frame::Ack(_) => FrameSummary {
+                name: "ack",
+                len: 0,
+            },
+            Frame::Crypto { data, .. } => FrameSummary {
+                name: "crypto",
+                len: data.len(),
+            },
+            Frame::NewToken { token } => FrameSummary {
+                name: "new_token",
+                len: token.len(),
+            },
+            Frame::Stream { data, .. } => FrameSummary {
+                name: "stream",
+                len: data.len(),
+            },
+            Frame::MaxData { .. } => FrameSummary {
+                name: "max_data",
+                len: 0,
+            },
+            Frame::MaxStreamData { .. } => FrameSummary {
+                name: "max_stream_data",
+                len: 0,
+            },
+            Frame::MaxStreams { .. } => FrameSummary {
+                name: "max_streams",
+                len: 0,
+            },
+            Frame::DataBlocked { .. } => FrameSummary {
+                name: "data_blocked",
+                len: 0,
+            },
+            Frame::NewConnectionId { .. } => FrameSummary {
+                name: "new_connection_id",
+                len: 0,
+            },
+            Frame::RetireConnectionId { .. } => FrameSummary {
+                name: "retire_connection_id",
+                len: 0,
+            },
+            Frame::ConnectionClose { .. } => FrameSummary {
+                name: "connection_close",
+                len: 0,
+            },
+            Frame::HandshakeDone => FrameSummary {
+                name: "handshake_done",
+                len: 0,
+            },
         })
         .collect()
 }
@@ -1846,7 +1974,11 @@ mod tests {
         assert!(s.is_established());
         assert!(c.handshake_confirmed);
         // WFC: no instant ACK anywhere.
-        assert_eq!(s.log.count(|d| matches!(d, EventData::InstantAck { sent: true })), 0);
+        assert_eq!(
+            s.log
+                .count(|d| matches!(d, EventData::InstantAck { sent: true })),
+            0
+        );
         assert!(!c.iack_received);
     }
 
@@ -1857,7 +1989,11 @@ mod tests {
         run_handshake(&mut c, &mut s, ms(50));
         assert!(c.is_established());
         assert!(s.is_established());
-        assert_eq!(s.log.count(|d| matches!(d, EventData::InstantAck { sent: true })), 1);
+        assert_eq!(
+            s.log
+                .count(|d| matches!(d, EventData::InstantAck { sent: true })),
+            1
+        );
         assert!(c.iack_received, "client must see the instant ACK");
     }
 
@@ -1883,15 +2019,25 @@ mod tests {
             .next()
             .map(|(_, s, _)| s)
             .expect("iack client has a sample");
-        assert!(wfc_first >= 50.0, "WFC first sample inflated by Δt, got {wfc_first}");
-        assert!(iack_first < 10.0, "IACK first sample near true RTT, got {iack_first}");
+        assert!(
+            wfc_first >= 50.0,
+            "WFC first sample inflated by Δt, got {wfc_first}"
+        );
+        assert!(
+            iack_first < 10.0,
+            "IACK first sample near true RTT, got {iack_first}"
+        );
     }
 
     #[test]
     fn client_initial_datagram_padded() {
         let mut c = client();
         let d = c.poll_transmit(SimTime::ZERO).expect("client hello");
-        assert!(d.len() >= MIN_INITIAL_DATAGRAM, "client Initial padded to 1200, got {}", d.len());
+        assert!(
+            d.len() >= MIN_INITIAL_DATAGRAM,
+            "client Initial padded to 1200, got {}",
+            d.len()
+        );
     }
 
     #[test]
@@ -1914,8 +2060,15 @@ mod tests {
         }
         assert!(sent <= 3 * ch_len, "server sent {sent} > 3x{ch_len}");
         // The server must be blocked with data still pending.
-        assert!(s.wants_to_send(), "large cert cannot fit the amplification budget");
-        assert!(s.log.count(|d| matches!(d, EventData::AmplificationBlocked { .. })) > 0);
+        assert!(
+            s.wants_to_send(),
+            "large cert cannot fit the amplification budget"
+        );
+        assert!(
+            s.log
+                .count(|d| matches!(d, EventData::AmplificationBlocked { .. }))
+                > 0
+        );
     }
 
     #[test]
@@ -2004,7 +2157,11 @@ mod tests {
         s2.handle_datagram(at(0), &ch2);
         while s2.poll_event().is_some() {}
         let padded = s2.poll_transmit(at(0)).unwrap();
-        assert!(small.len() < 100, "unpadded IACK is tiny, got {}", small.len());
+        assert!(
+            small.len() < 100,
+            "unpadded IACK is tiny, got {}",
+            small.len()
+        );
         assert_eq!(padded.len(), MIN_INITIAL_DATAGRAM);
     }
 
@@ -2012,7 +2169,11 @@ mod tests {
     fn stream_data_flows_after_handshake() {
         let mut c = client();
         let mut s = server(ServerAckMode::WaitForCertificate);
-        c.send_stream_data(stream_id::CLIENT_BIDI_0, b"GET /index.html HTTP/1.1\r\n\r\n", true);
+        c.send_stream_data(
+            stream_id::CLIENT_BIDI_0,
+            b"GET /index.html HTTP/1.1\r\n\r\n",
+            true,
+        );
         run_handshake(&mut c, &mut s, SimDuration::ZERO);
         // Server must have received the request (events were drained by the
         // helper, so inspect the stream state directly).
@@ -2022,7 +2183,10 @@ mod tests {
             .get(&stream_id::CLIENT_BIDI_0)
             .map(|r| r.delivered)
             .unwrap_or(0);
-        assert!(delivered > 0, "server received the HTTP request in flight 2");
+        assert!(
+            delivered > 0,
+            "server received the HTTP request in flight 2"
+        );
     }
 
     #[test]
@@ -2105,9 +2269,13 @@ mod tests {
         let info = rq_wire::classify_datagram(&flight, 8).unwrap();
         assert!(info.packets.len() > 1, "flight must be coalesced");
         assert!(info.packets[0].has_ack, "leading Initial acks the ping");
-        let received_before = c.log.count(|d| matches!(d, EventData::PacketReceived { .. }));
+        let received_before = c
+            .log
+            .count(|d| matches!(d, EventData::PacketReceived { .. }));
         c.handle_datagram(pto + ms(5), &flight);
-        let received_after = c.log.count(|d| matches!(d, EventData::PacketReceived { .. }));
+        let received_after = c
+            .log
+            .count(|d| matches!(d, EventData::PacketReceived { .. }));
         assert_eq!(
             received_before, received_after,
             "quiche must drop the entire coalesced ping-reply datagram"
@@ -2126,9 +2294,13 @@ mod tests {
         s2.handle_datagram(pto2, &probe2);
         s2.certificate_ready(pto2);
         let flight2 = s2.poll_transmit(pto2).unwrap();
-        let before = ok.log.count(|d| matches!(d, EventData::PacketReceived { .. }));
+        let before = ok
+            .log
+            .count(|d| matches!(d, EventData::PacketReceived { .. }));
         ok.handle_datagram(pto2 + ms(5), &flight2);
-        let after = ok.log.count(|d| matches!(d, EventData::PacketReceived { .. }));
+        let after = ok
+            .log
+            .count(|d| matches!(d, EventData::PacketReceived { .. }));
         assert!(after > before, "well-behaved client processes the flight");
     }
 
@@ -2151,6 +2323,10 @@ mod tests {
         c.handle_timeout(pto);
         let probe = c.poll_transmit(pto).unwrap();
         s.handle_datagram(pto + ms(5), &probe);
-        assert_eq!(s.rtt().sample_count(), 0, "server must have no RTT sample under IACK");
+        assert_eq!(
+            s.rtt().sample_count(),
+            0,
+            "server must have no RTT sample under IACK"
+        );
     }
 }

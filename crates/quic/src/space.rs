@@ -238,13 +238,18 @@ pub fn retx_content_of(frames: &[Frame]) -> RetxContent {
     for f in frames {
         match f {
             Frame::Crypto { offset, data } => c.crypto.push((*offset, data.clone())),
-            Frame::Stream { id, offset, data, fin } => {
-                c.stream.push((*id, *offset, data.clone(), *fin))
-            }
+            Frame::Stream {
+                id,
+                offset,
+                data,
+                fin,
+            } => c.stream.push((*id, *offset, data.clone(), *fin)),
             Frame::HandshakeDone => c.handshake_done = true,
-            Frame::NewConnectionId { seq, retire_prior_to, cid } => {
-                c.new_cids.push((*seq, *retire_prior_to, cid.clone()))
-            }
+            Frame::NewConnectionId {
+                seq,
+                retire_prior_to,
+                cid,
+            } => c.new_cids.push((*seq, *retire_prior_to, cid.clone())),
             Frame::MaxData { max } => c.max_data = Some(*max),
             Frame::MaxStreamData { id, max } => c.max_stream_data.push((*id, *max)),
             _ => {}
@@ -336,8 +341,16 @@ mod tests {
     fn retx_content_extraction() {
         let frames = vec![
             Frame::Ping,
-            Frame::Crypto { offset: 10, data: Bytes::from_static(b"abc") },
-            Frame::Stream { id: 0, offset: 0, data: Bytes::from_static(b"req"), fin: true },
+            Frame::Crypto {
+                offset: 10,
+                data: Bytes::from_static(b"abc"),
+            },
+            Frame::Stream {
+                id: 0,
+                offset: 0,
+                data: Bytes::from_static(b"req"),
+                fin: true,
+            },
             Frame::HandshakeDone,
             Frame::MaxData { max: 4096 },
         ];

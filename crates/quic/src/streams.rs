@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn send_stream_respects_limit() {
-        let mut s = SendStream { max_stream_data: 10, ..SendStream::default() };
+        let mut s = SendStream {
+            max_stream_data: 10,
+            ..SendStream::default()
+        };
         s.write(&[9u8; 20], true);
         let (off, data, fin) = s.take(100).unwrap();
         assert_eq!((off, data.len(), fin), (0, 10, false));
@@ -260,7 +263,10 @@ mod tests {
 
     #[test]
     fn send_stream_fin_only_frame() {
-        let mut s = SendStream { max_stream_data: 100, ..SendStream::default() };
+        let mut s = SendStream {
+            max_stream_data: 100,
+            ..SendStream::default()
+        };
         s.write(b"x", false);
         let _ = s.take(10).unwrap();
         s.write(&[], true);

@@ -29,7 +29,11 @@ pub struct PtoState {
 impl PtoState {
     /// Creates PTO state with a per-implementation default PTO.
     pub fn new(default_pto: SimDuration) -> Self {
-        PtoState { default_pto, pto_count: 0, max_backoff: 10 }
+        PtoState {
+            default_pto,
+            pto_count: 0,
+            max_backoff: 10,
+        }
     }
 
     /// The backoff multiplier, `2^pto_count`.
@@ -122,7 +126,10 @@ mod tests {
         let rtt = RttEstimator::new(SimDuration::ZERO);
         assert_eq!(p.deadline(&rtt, false, None), None);
         let sent = SimTime::ZERO + ms(50);
-        assert_eq!(p.deadline(&rtt, false, Some(sent)), Some(SimTime::ZERO + ms(150)));
+        assert_eq!(
+            p.deadline(&rtt, false, Some(sent)),
+            Some(SimTime::ZERO + ms(150))
+        );
     }
 
     #[test]

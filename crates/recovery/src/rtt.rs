@@ -103,7 +103,11 @@ impl RttEstimator {
                 }
                 // Only subtract the ack delay if it leaves at least min_rtt.
                 let candidate = sample.saturating_sub(delay);
-                let adjusted = if candidate >= self.min_rtt { candidate } else { sample };
+                let adjusted = if candidate >= self.min_rtt {
+                    candidate
+                } else {
+                    sample
+                };
                 self.blend(adjusted, SimDuration::ZERO);
             }
         }
@@ -113,7 +117,11 @@ impl RttEstimator {
         let smoothed = self.smoothed.expect("blend requires initialized estimator");
         match self.variant {
             RttVariant::Rfc9002 => {
-                let diff = if smoothed > adjusted { smoothed - adjusted } else { adjusted - smoothed };
+                let diff = if smoothed > adjusted {
+                    smoothed - adjusted
+                } else {
+                    adjusted - smoothed
+                };
                 self.rttvar = self.rttvar.mul_f64(0.75) + diff.mul_f64(0.25);
                 self.smoothed = Some(smoothed.mul_f64(0.875) + adjusted.mul_f64(0.125));
             }
@@ -164,7 +172,8 @@ impl RttEstimator {
     /// kGranularity)` (RFC 9002 §6.2.1), before any `max_ack_delay` or
     /// backoff multipliers. `None` until a sample exists.
     pub fn pto_base(&self) -> Option<SimDuration> {
-        self.smoothed.map(|s| s + self.rttvar.mul(4).max(GRANULARITY))
+        self.smoothed
+            .map(|s| s + self.rttvar.mul(4).max(GRANULARITY))
     }
 
     /// PTO for a space: base plus `max_ack_delay` in the Application space

@@ -133,7 +133,10 @@ impl SentTracker {
         if !(newly_acked_largest && any_ack_eliciting) {
             out.rtt_sample = None;
         }
-        self.largest_acked = Some(self.largest_acked.map_or(largest_in_frame, |l| l.max(largest_in_frame)));
+        self.largest_acked = Some(
+            self.largest_acked
+                .map_or(largest_in_frame, |l| l.max(largest_in_frame)),
+        );
 
         // Loss detection (RFC 9002 §6.1): packets below largest_acked by
         // kPacketThreshold, or older than the time threshold, are lost.

@@ -23,9 +23,18 @@ pub enum RunOutcome {
 
 #[derive(Debug, PartialEq, Eq)]
 enum EventKind {
-    Datagram { from: NodeId, to: NodeId, payload: Vec<u8> },
-    Timer { node: NodeId, token: u64 },
-    Start { node: NodeId },
+    Datagram {
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Start {
+        node: NodeId,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -156,12 +165,23 @@ impl Network {
                     self.nodes[node.0].on_start(&mut ctx);
                 }
             }
-            let Context { sends, timers, stop, .. } = ctx;
+            let Context {
+                sends,
+                timers,
+                stop,
+                ..
+            } = ctx;
             for (to, payload) in sends {
                 self.dispatch_send(node_id, to, payload);
             }
             for (at, token) in timers {
-                self.push_event(at, EventKind::Timer { node: node_id, token });
+                self.push_event(
+                    at,
+                    EventKind::Timer {
+                        node: node_id,
+                        token,
+                    },
+                );
             }
             if stop {
                 return RunOutcome::Stopped;
@@ -177,7 +197,11 @@ impl Network {
             .find(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
             .unwrap_or_else(|| panic!("no link between {from:?} and {to:?}"));
         let (result, index) = link.transmit(from, &payload, self.now);
-        let record_payload = if self.trace.capture_payloads { Some(payload.clone()) } else { None };
+        let record_payload = if self.trace.capture_payloads {
+            Some(payload.clone())
+        } else {
+            None
+        };
         match result {
             TransmitResult::Deliver(at) => {
                 self.trace.datagrams.push(CaptureRecord {
@@ -230,7 +254,8 @@ mod tests {
         fn on_datagram(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &[u8]) {
             let me = ctx.me();
             let now = ctx.now();
-            ctx.trace().milestone(me, now, String::from_utf8_lossy(payload).into_owned());
+            ctx.trace()
+                .milestone(me, now, String::from_utf8_lossy(payload).into_owned());
             if self.remaining > 0 {
                 self.remaining -= 1;
                 ctx.send(from, b"pong".to_vec());
@@ -243,18 +268,35 @@ mod tests {
     #[test]
     fn ping_pong_round_trips() {
         let mut net = Network::new(false);
-        let a = net.add_node(Box::new(Ponger { peer: None, remaining: 3, initiate: false }));
-        let b = net.add_node(Box::new(Ponger { peer: Some(a), remaining: 3, initiate: true }));
-        net.connect(a, b, LinkConfig {
-            one_way_delay: SimDuration::from_millis(10),
-            bandwidth_bps: None,
-            loss: Box::new(crate::loss::NoLoss),
-            mtu: 1500,
-        });
+        let a = net.add_node(Box::new(Ponger {
+            peer: None,
+            remaining: 3,
+            initiate: false,
+        }));
+        let b = net.add_node(Box::new(Ponger {
+            peer: Some(a),
+            remaining: 3,
+            initiate: true,
+        }));
+        net.connect(
+            a,
+            b,
+            LinkConfig {
+                one_way_delay: SimDuration::from_millis(10),
+                bandwidth_bps: None,
+                loss: Box::new(crate::loss::NoLoss),
+                mtu: 1500,
+            },
+        );
         let outcome = net.run(SimDuration::from_secs(5));
         assert_eq!(outcome, RunOutcome::Stopped);
         // b sends ping at t=0; arrival at a t=10ms; pong arrives back t=20ms...
-        let times: Vec<u64> = net.trace.milestones.iter().map(|m| m.at.as_millis_f64() as u64).collect();
+        let times: Vec<u64> = net
+            .trace
+            .milestones
+            .iter()
+            .map(|m| m.at.as_millis_f64() as u64)
+            .collect();
         assert_eq!(times, vec![10, 20, 30, 40, 50, 60, 70]);
     }
 
@@ -288,8 +330,16 @@ mod tests {
     #[test]
     fn drops_are_recorded_not_delivered() {
         let mut net = Network::new(false);
-        let a = net.add_node(Box::new(Ponger { peer: None, remaining: 9, initiate: false }));
-        let b = net.add_node(Box::new(Ponger { peer: Some(a), remaining: 9, initiate: true }));
+        let a = net.add_node(Box::new(Ponger {
+            peer: None,
+            remaining: 9,
+            initiate: false,
+        }));
+        let b = net.add_node(Box::new(Ponger {
+            peer: Some(a),
+            remaining: 9,
+            initiate: true,
+        }));
         net.connect(
             a,
             b,
@@ -317,7 +367,10 @@ mod tests {
         }
         let mut net = Network::new(false);
         net.add_node(Box::new(Forever));
-        assert_eq!(net.run(SimDuration::from_millis(100)), RunOutcome::TimeLimit);
+        assert_eq!(
+            net.run(SimDuration::from_millis(100)),
+            RunOutcome::TimeLimit
+        );
         assert_eq!(net.now().as_millis_f64(), 100.0);
     }
 
@@ -343,7 +396,12 @@ mod tests {
         let mut net = Network::new(false);
         net.add_node(Box::new(TwoTimers { order: Vec::new() }));
         net.run(SimDuration::from_secs(1));
-        let labels: Vec<&str> = net.trace.milestones.iter().map(|m| m.label.as_str()).collect();
+        let labels: Vec<&str> = net
+            .trace
+            .milestones
+            .iter()
+            .map(|m| m.label.as_str())
+            .collect();
         assert_eq!(labels, vec!["tok101", "tok102"]);
     }
 

@@ -136,7 +136,12 @@ impl Link {
         self.stats.sent += 1;
         self.stats.bytes += payload.len();
 
-        let meta = DatagramMeta { direction, index, payload, now };
+        let meta = DatagramMeta {
+            direction,
+            index,
+            payload,
+            now,
+        };
         if self.config.loss.should_drop(&meta) {
             self.stats.dropped += 1;
             return (TransmitResult::Drop, index);
@@ -223,9 +228,10 @@ mod tests {
 
     #[test]
     fn loss_rule_consulted_with_direction() {
-        let mut l = link(LinkConfig::paper_default(SimDuration::ZERO).with_loss(
-            DropIndices::new(Direction::BtoA, &[0]),
-        ));
+        let mut l = link(
+            LinkConfig::paper_default(SimDuration::ZERO)
+                .with_loss(DropIndices::new(Direction::BtoA, &[0])),
+        );
         let (r_a, _) = l.transmit(NodeId(0), &[0u8; 10], SimTime::ZERO);
         assert!(matches!(r_a, TransmitResult::Deliver(_)));
         let (r_b, _) = l.transmit(NodeId(1), &[0u8; 10], SimTime::ZERO);

@@ -63,7 +63,10 @@ impl DropIndices {
     /// Drops the datagrams with the given 0-based indices travelling in
     /// `direction`.
     pub fn new(direction: Direction, indices: &[usize]) -> Self {
-        DropIndices { direction, indices: indices.to_vec() }
+        DropIndices {
+            direction,
+            indices: indices.to_vec(),
+        }
     }
 }
 
@@ -162,7 +165,12 @@ mod tests {
     use super::*;
 
     fn meta(direction: Direction, index: usize, payload: &[u8]) -> DatagramMeta<'_> {
-        DatagramMeta { direction, index, payload, now: SimTime::ZERO }
+        DatagramMeta {
+            direction,
+            index,
+            payload,
+            now: SimTime::ZERO,
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@ impl SimRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        SimRng { s: [next_sm(), next_sm(), next_sm(), next_sm()] }
+        SimRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
     }
 
     /// Derives an independent child stream (for per-node or per-repetition

@@ -146,7 +146,11 @@ impl SimTime {
 
     /// Duration since an earlier instant. Panics if `earlier` is later.
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(earlier.0).expect("SimTime::since underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since underflow"),
+        )
     }
 
     /// Saturating version of [`SimTime::since`].

@@ -62,17 +62,28 @@ impl Trace {
     /// Creates a trace; `capture_payloads` controls whether payload bytes
     /// are stored in each record.
     pub fn new(capture_payloads: bool) -> Self {
-        Trace { datagrams: Vec::new(), milestones: Vec::new(), capture_payloads }
+        Trace {
+            datagrams: Vec::new(),
+            milestones: Vec::new(),
+            capture_payloads,
+        }
     }
 
     /// Records a milestone.
     pub fn milestone(&mut self, node: NodeId, at: SimTime, label: impl Into<String>) {
-        self.milestones.push(Milestone { node, at, label: label.into() });
+        self.milestones.push(Milestone {
+            node,
+            at,
+            label: label.into(),
+        });
     }
 
     /// First occurrence time of a milestone with `label` (any node).
     pub fn first(&self, label: &str) -> Option<SimTime> {
-        self.milestones.iter().find(|m| m.label == label).map(|m| m.at)
+        self.milestones
+            .iter()
+            .find(|m| m.label == label)
+            .map(|m| m.at)
     }
 
     /// First occurrence time of `label` recorded by `node`.
@@ -94,7 +105,10 @@ impl Trace {
 
     /// Number of datagrams sent from `from` to `to` (delivered or not).
     pub fn sent_count(&self, from: NodeId, to: NodeId) -> usize {
-        self.datagrams.iter().filter(|d| d.from == from && d.to == to).count()
+        self.datagrams
+            .iter()
+            .filter(|d| d.from == from && d.to == to)
+            .count()
     }
 
     /// Number of datagrams dropped from `from` to `to`.

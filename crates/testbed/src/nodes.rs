@@ -108,10 +108,12 @@ impl ClientNode {
             let Some(ev) = ev else { break };
             match ev {
                 ConnEvent::HandshakeComplete => {
-                    ctx.trace().milestone(me, now, milestones::HANDSHAKE_COMPLETE);
+                    ctx.trace()
+                        .milestone(me, now, milestones::HANDSHAKE_COMPLETE);
                 }
                 ConnEvent::HandshakeConfirmed => {
-                    ctx.trace().milestone(me, now, milestones::HANDSHAKE_CONFIRMED);
+                    ctx.trace()
+                        .milestone(me, now, milestones::HANDSHAKE_CONFIRMED);
                 }
                 ConnEvent::StreamData { data, fin, id } => {
                     if !data.is_empty() && !self.got_first_byte {
@@ -126,7 +128,8 @@ impl ClientNode {
                         };
                         if complete && !self.done {
                             self.done = true;
-                            ctx.trace().milestone(me, now, milestones::RESPONSE_COMPLETE);
+                            ctx.trace()
+                                .milestone(me, now, milestones::RESPONSE_COMPLETE);
                             ctx.stop();
                         }
                     }
@@ -145,7 +148,8 @@ impl Node for ClientNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.me();
         let now = ctx.now();
-        ctx.trace().milestone(me, now, milestones::CLIENT_HELLO_SENT);
+        ctx.trace()
+            .milestone(me, now, milestones::CLIENT_HELLO_SENT);
         self.flush(ctx);
     }
 
@@ -247,7 +251,11 @@ impl ServerNode {
         if ready {
             self.settings_sent = true;
             self.with_conn(|c| {
-                c.send_stream_data(stream_id::SERVER_UNI_0, &h3::control_stream_prelude(), false);
+                c.send_stream_data(
+                    stream_id::SERVER_UNI_0,
+                    &h3::control_stream_prelude(),
+                    false,
+                );
             });
         }
     }

@@ -60,7 +60,12 @@ pub fn apply_exposure(log: &EventLog, exposure: MetricsExposure) -> EventLog {
     let mut metric_idx = 0usize;
     for ev in &log.events {
         match &ev.data {
-            EventData::MetricsUpdated { smoothed_rtt_ms, rtt_variance_ms, latest_rtt_ms, pto_count } => {
+            EventData::MetricsUpdated {
+                smoothed_rtt_ms,
+                rtt_variance_ms,
+                latest_rtt_ms,
+                pto_count,
+            } => {
                 let keep = exposure.exposes_update(metric_idx);
                 metric_idx += 1;
                 if !keep {
@@ -139,12 +144,10 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
     let _outcome = net.run(SimDuration::from_secs(120));
 
     let trace = &net.trace;
-    let started = trace.first(milestones::CLIENT_HELLO_SENT).expect("client start");
-    let rel = |label: &str| {
-        trace
-            .first(label)
-            .map(|t| t.since(started).as_millis_f64())
-    };
+    let started = trace
+        .first(milestones::CLIENT_HELLO_SENT)
+        .expect("client start");
+    let rel = |label: &str| trace.first(label).map(|t| t.since(started).as_millis_f64());
     let completed = trace.first(milestones::RESPONSE_COMPLETE).is_some();
     let aborted = trace.first(milestones::CLOSED).is_some() && !completed;
 
@@ -156,10 +159,7 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
         .unwrap_or_default();
 
     let client = client_conn.borrow();
-    let first_srtt_ms = client_log
-        .metrics_updates()
-        .next()
-        .map(|(_, srtt, _)| srtt);
+    let first_srtt_ms = client_log.metrics_updates().next().map(|(_, srtt, _)| srtt);
     let exposure = sc.client.metrics_exposure();
     let exposed = apply_exposure(&client_log, exposure);
     let exposed_metric_updates = exposed.metrics_updates().count();
@@ -264,7 +264,10 @@ mod tests {
         let iack = run_scenario(&sc);
         let wfc_srtt = wfc.first_srtt_ms.unwrap();
         let iack_srtt = iack.first_srtt_ms.unwrap();
-        assert!(wfc_srtt >= 33.0, "WFC first srtt ≈ RTT + Δt, got {wfc_srtt}");
+        assert!(
+            wfc_srtt >= 33.0,
+            "WFC first srtt ≈ RTT + Δt, got {wfc_srtt}"
+        );
         assert!(iack_srtt <= 10.0, "IACK first srtt ≈ RTT, got {iack_srtt}");
         // First PTO differs by ~3Δt (Figure 2).
         let dpto = wfc.first_pto_ms.unwrap() - iack.first_pto_ms.unwrap();
@@ -278,7 +281,10 @@ mod tests {
         sc.cert_delay = rq_sim::SimDuration::from_millis(200);
         let res = run_scenario(&sc);
         assert!(res.completed, "{res:?}");
-        assert!(res.server_amp_blocked, "5113 B cert must exceed 3x1200 budget");
+        assert!(
+            res.server_amp_blocked,
+            "5113 B cert must exceed 3x1200 budget"
+        );
     }
 
     #[test]
@@ -324,7 +330,10 @@ mod tests {
         let iack = run_scenario(&sc);
         assert!(wfc.completed && iack.completed);
         let (w, i) = (wfc.ttfb_ms.unwrap(), iack.ttfb_ms.unwrap());
-        assert!(i < w, "IACK ({i}) must beat WFC ({w}) under client-flight loss");
+        assert!(
+            i < w,
+            "IACK ({i}) must beat WFC ({w}) under client-flight loss"
+        );
     }
 
     #[test]

@@ -126,7 +126,12 @@ mod tests {
     use rq_sim::SimTime;
 
     fn meta(direction: Direction, index: usize) -> DatagramMeta<'static> {
-        DatagramMeta { direction, index, payload: b"", now: SimTime::ZERO }
+        DatagramMeta {
+            direction,
+            index,
+            payload: b"",
+            now: SimTime::ZERO,
+        }
     }
 
     #[test]
@@ -152,7 +157,12 @@ mod tests {
 
     #[test]
     fn second_client_flight_respects_table4() {
-        for (name, n) in [("quiche", 1usize), ("neqo", 2), ("quic-go", 3), ("picoquic", 4)] {
+        for (name, n) in [
+            ("quiche", 1usize),
+            ("neqo", 2),
+            ("quic-go", 3),
+            ("picoquic", 4),
+        ] {
             let mut sc = Scenario::base(
                 client_by_name(name).unwrap(),
                 ServerAckMode::WaitForCertificate,
@@ -160,9 +170,15 @@ mod tests {
             );
             sc.loss = LossSpec::SecondClientFlight;
             let mut rule = sc.loss_rule();
-            assert!(!rule.should_drop(&meta(Direction::AtoB, 0)), "{name}: CH survives");
+            assert!(
+                !rule.should_drop(&meta(Direction::AtoB, 0)),
+                "{name}: CH survives"
+            );
             for i in 1..=n {
-                assert!(rule.should_drop(&meta(Direction::AtoB, i)), "{name} idx {i}");
+                assert!(
+                    rule.should_drop(&meta(Direction::AtoB, i)),
+                    "{name} idx {i}"
+                );
             }
             assert!(!rule.should_drop(&meta(Direction::AtoB, n + 1)), "{name}");
         }

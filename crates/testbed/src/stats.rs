@@ -8,7 +8,11 @@ pub fn median(values: &[f64]) -> Option<f64> {
     let mut v = values.to_vec();
     v.sort_by(f64::total_cmp);
     let n = v.len();
-    Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
 }
 
 /// The `p`-th percentile (0..=100) using nearest-rank interpolation.

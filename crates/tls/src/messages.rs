@@ -108,7 +108,10 @@ impl HandshakeMessage {
         let chunk = buf.chunk();
         // Peek without consuming in case the body is incomplete.
         let (ty_code, len) = if chunk.len() >= 4 {
-            (chunk[0], ((chunk[1] as usize) << 16) | ((chunk[2] as usize) << 8) | chunk[3] as usize)
+            (
+                chunk[0],
+                ((chunk[1] as usize) << 16) | ((chunk[2] as usize) << 8) | chunk[3] as usize,
+            )
         } else {
             let mut head = [0u8; 4];
             let mut peek = buf.chunk();
@@ -118,14 +121,20 @@ impl HandshakeMessage {
                 peek = &peek[1..];
                 copied += 1;
             }
-            (head[0], ((head[1] as usize) << 16) | ((head[2] as usize) << 8) | head[3] as usize)
+            (
+                head[0],
+                ((head[1] as usize) << 16) | ((head[2] as usize) << 8) | head[3] as usize,
+            )
         };
         if buf.remaining() < 4 + len {
             return Ok(None);
         }
         buf.advance(4);
         let body = buf.copy_to_bytes(len);
-        Ok(Some(HandshakeMessage { ty: HandshakeType::from_code(ty_code)?, body }))
+        Ok(Some(HandshakeMessage {
+            ty: HandshakeType::from_code(ty_code)?,
+            body,
+        }))
     }
 
     /// Builds a ClientHello of `total_len` bytes carrying a 32-byte random.
@@ -134,7 +143,10 @@ impl HandshakeMessage {
         let mut body = BytesMut::with_capacity(total_len - 4);
         body.put_slice(&random);
         body.resize(total_len - 4, 0x43); // 'C' filler standing in for extensions
-        HandshakeMessage { ty: HandshakeType::ClientHello, body: body.freeze() }
+        HandshakeMessage {
+            ty: HandshakeType::ClientHello,
+            body: body.freeze(),
+        }
     }
 
     /// Builds a ServerHello carrying a 32-byte random.
@@ -142,7 +154,10 @@ impl HandshakeMessage {
         let mut body = BytesMut::with_capacity(SERVER_HELLO_LEN - 4);
         body.put_slice(&random);
         body.resize(SERVER_HELLO_LEN - 4, 0x53); // 'S'
-        HandshakeMessage { ty: HandshakeType::ServerHello, body: body.freeze() }
+        HandshakeMessage {
+            ty: HandshakeType::ServerHello,
+            body: body.freeze(),
+        }
     }
 
     /// Builds EncryptedExtensions.
@@ -173,7 +188,10 @@ impl HandshakeMessage {
 
     /// Builds Finished with the given 32-byte verify-data.
     pub fn finished(verify_data: [u8; 32]) -> Self {
-        HandshakeMessage { ty: HandshakeType::Finished, body: Bytes::copy_from_slice(&verify_data) }
+        HandshakeMessage {
+            ty: HandshakeType::Finished,
+            body: Bytes::copy_from_slice(&verify_data),
+        }
     }
 
     /// Extracts the 32-byte random from a CH/SH body.
@@ -203,7 +221,10 @@ mod tests {
 
     #[test]
     fn all_messages_roundtrip() {
-        roundtrip(HandshakeMessage::client_hello([1; 32], DEFAULT_CLIENT_HELLO_LEN));
+        roundtrip(HandshakeMessage::client_hello(
+            [1; 32],
+            DEFAULT_CLIENT_HELLO_LEN,
+        ));
         roundtrip(HandshakeMessage::server_hello([2; 32]));
         roundtrip(HandshakeMessage::encrypted_extensions());
         roundtrip(HandshakeMessage::certificate(CERT_SMALL));
@@ -218,10 +239,22 @@ mod tests {
             HandshakeMessage::client_hello([0; 32], DEFAULT_CLIENT_HELLO_LEN).wire_len(),
             DEFAULT_CLIENT_HELLO_LEN
         );
-        assert_eq!(HandshakeMessage::server_hello([0; 32]).wire_len(), SERVER_HELLO_LEN);
-        assert_eq!(HandshakeMessage::certificate(CERT_SMALL).wire_len(), CERT_SMALL);
-        assert_eq!(HandshakeMessage::certificate(CERT_LARGE).wire_len(), CERT_LARGE);
-        assert_eq!(HandshakeMessage::certificate_verify().wire_len(), CERTIFICATE_VERIFY_LEN);
+        assert_eq!(
+            HandshakeMessage::server_hello([0; 32]).wire_len(),
+            SERVER_HELLO_LEN
+        );
+        assert_eq!(
+            HandshakeMessage::certificate(CERT_SMALL).wire_len(),
+            CERT_SMALL
+        );
+        assert_eq!(
+            HandshakeMessage::certificate(CERT_LARGE).wire_len(),
+            CERT_LARGE
+        );
+        assert_eq!(
+            HandshakeMessage::certificate_verify().wire_len(),
+            CERTIFICATE_VERIFY_LEN
+        );
         assert_eq!(HandshakeMessage::finished([0; 32]).wire_len(), FINISHED_LEN);
     }
 
@@ -258,6 +291,9 @@ mod tests {
     #[test]
     fn unknown_type_rejected() {
         let mut raw = Bytes::copy_from_slice(&[99, 0, 0, 1, 0]);
-        assert!(matches!(HandshakeMessage::decode(&mut raw), Err(TlsError::UnknownMessage(99))));
+        assert!(matches!(
+            HandshakeMessage::decode(&mut raw),
+            Err(TlsError::UnknownMessage(99))
+        ));
     }
 }

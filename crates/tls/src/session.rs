@@ -9,7 +9,7 @@
 
 use bytes::{Bytes, BytesMut};
 
-use crate::keys::{application_keys, handshake_keys, LevelKeys, Level};
+use crate::keys::{application_keys, handshake_keys, Level, LevelKeys};
 use crate::messages::{HandshakeMessage, HandshakeType, DEFAULT_CLIENT_HELLO_LEN};
 use crate::sha256::Sha256;
 use crate::TlsError;
@@ -34,7 +34,10 @@ pub struct ClientConfig {
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        ClientConfig { client_hello_len: DEFAULT_CLIENT_HELLO_LEN, random: [0x11; 32] }
+        ClientConfig {
+            client_hello_len: DEFAULT_CLIENT_HELLO_LEN,
+            random: [0x11; 32],
+        }
     }
 }
 
@@ -283,7 +286,11 @@ impl TlsSession {
                 events.push(TlsEvent::KeysReady(Level::Handshake));
                 *state = ClientState::WaitEncryptedExtensions;
             }
-            (ClientState::WaitEncryptedExtensions, HandshakeType::EncryptedExtensions, Level::Handshake) => {
+            (
+                ClientState::WaitEncryptedExtensions,
+                HandshakeType::EncryptedExtensions,
+                Level::Handshake,
+            ) => {
                 transcript.update(&enc);
                 *state = ClientState::WaitCertificate;
             }
@@ -291,7 +298,11 @@ impl TlsSession {
                 transcript.update(&enc);
                 *state = ClientState::WaitCertificateVerify;
             }
-            (ClientState::WaitCertificateVerify, HandshakeType::CertificateVerify, Level::Handshake) => {
+            (
+                ClientState::WaitCertificateVerify,
+                HandshakeType::CertificateVerify,
+                Level::Handshake,
+            ) => {
                 transcript.update(&enc);
                 *state = ClientState::WaitFinished;
             }
@@ -336,7 +347,13 @@ impl TlsSession {
                 transcript.update(&enc);
                 if cfg.cert_preprovisioned {
                     Self::emit_server_flight(
-                        cfg, transcript, out_initial, out_handshake, hs_keys, app_keys, events,
+                        cfg,
+                        transcript,
+                        out_initial,
+                        out_handshake,
+                        hs_keys,
+                        app_keys,
+                        events,
                     );
                     *state = ServerState::WaitClientFinished;
                 } else {
@@ -517,7 +534,10 @@ mod tests {
     fn both_sides_derive_identical_keys() {
         let (client, server) = run_handshake(CERT_SMALL, false);
         assert_eq!(client.keys(Level::Handshake), server.keys(Level::Handshake));
-        assert_eq!(client.keys(Level::Application), server.keys(Level::Application));
+        assert_eq!(
+            client.keys(Level::Application),
+            server.keys(Level::Application)
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ pub fn profiles() -> Vec<CdnProfile> {
 
 /// Looks up the profile for a CDN.
 pub fn profile_of(cdn: Cdn) -> CdnProfile {
-    profiles().into_iter().find(|p| p.cdn == cdn).expect("all CDNs profiled")
+    profiles()
+        .into_iter()
+        .find(|p| p.cdn == cdn)
+        .expect("all CDNs profiled")
 }
 
 #[cfg(test)]

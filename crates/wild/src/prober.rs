@@ -85,7 +85,10 @@ pub fn probe(
     let rtt = rng.gen_lognormal(vantage.rtt_median_ms(cdn), 0.25).max(0.5);
     // Frontend-to-store delay for this handshake.
     let delta_t = rng
-        .gen_lognormal(profile.ack_sh_delay_median_ms * domain.delta_t_scale, profile.ack_sh_delay_sigma)
+        .gen_lognormal(
+            profile.ack_sh_delay_median_ms * domain.delta_t_scale,
+            profile.ack_sh_delay_sigma,
+        )
         .max(0.05);
 
     // Certificate cache hit ⇒ coalesced ACK–SH regardless of IACK config.
@@ -120,12 +123,22 @@ mod tests {
     use crate::population::Population;
 
     fn sample_domain(cdn: Cdn, iack: bool) -> Domain {
-        Domain { rank: 1, cdn: Some(cdn), iack_enabled: iack, delta_t_scale: 1.0 }
+        Domain {
+            rank: 1,
+            cdn: Some(cdn),
+            iack_enabled: iack,
+            delta_t_scale: 1.0,
+        }
     }
 
     #[test]
     fn non_quic_domain_yields_none() {
-        let d = Domain { rank: 1, cdn: None, iack_enabled: false, delta_t_scale: 1.0 };
+        let d = Domain {
+            rank: 1,
+            cdn: None,
+            iack_enabled: false,
+            delta_t_scale: 1.0,
+        };
         assert!(probe(&d, Vantage::Hamburg, 0, &mut SimRng::new(1)).is_none());
     }
 
@@ -198,7 +211,10 @@ mod tests {
         let pop = Population::synthesize(500, &mut SimRng::new(6));
         let run = |seed: u64| -> Vec<Option<ProbeObservation>> {
             let mut rng = SimRng::new(seed);
-            pop.domains.iter().map(|d| probe(d, Vantage::SaoPaulo, 0, &mut rng)).collect()
+            pop.domains
+                .iter()
+                .map(|d| probe(d, Vantage::SaoPaulo, 0, &mut rng))
+                .collect()
         };
         assert_eq!(run(7), run(7));
     }

@@ -76,9 +76,7 @@ pub fn scan(population: &Population, repetitions: usize, seed: u64) -> ScanRepor
 
     for (v_idx, vantage) in VANTAGES.iter().enumerate() {
         for rep in 0..repetitions {
-            let mut rng = SimRng::new(
-                seed ^ (v_idx as u64) << 32 ^ (rep as u64) << 16 ^ 0xA11CE,
-            );
+            let mut rng = SimRng::new(seed ^ (v_idx as u64) << 32 ^ (rep as u64) << 16 ^ 0xA11CE);
             let mut counts: BTreeMap<Cdn, (usize, usize)> = BTreeMap::new();
             for domain in &population.domains {
                 let Some(obs) = probe(domain, *vantage, rep as u64, &mut rng) else {
@@ -148,7 +146,11 @@ mod tests {
     fn table1_shape_reproduced() {
         let report = small_scan();
         let row = |c: Cdn| report.rows.iter().find(|r| r.cdn == c).unwrap().clone();
-        assert!(row(Cdn::Cloudflare).iack_share > 0.98, "{:?}", row(Cdn::Cloudflare));
+        assert!(
+            row(Cdn::Cloudflare).iack_share > 0.98,
+            "{:?}",
+            row(Cdn::Cloudflare)
+        );
         assert!(row(Cdn::Fastly).iack_share < 0.02);
         assert!(row(Cdn::Meta).iack_share < 0.05);
         let amazon = row(Cdn::Amazon).iack_share;
@@ -160,7 +162,14 @@ mod tests {
     #[test]
     fn variation_largest_for_amazon_smallest_for_cloudflare() {
         let report = small_scan();
-        let var = |c: Cdn| report.rows.iter().find(|r| r.cdn == c).unwrap().max_variation;
+        let var = |c: Cdn| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.cdn == c)
+                .unwrap()
+                .max_variation
+        };
         assert!(var(Cdn::Cloudflare) < 0.02, "cf {}", var(Cdn::Cloudflare));
         assert!(var(Cdn::Amazon) > var(Cdn::Cloudflare));
     }

@@ -18,8 +18,12 @@ pub enum Vantage {
 
 /// All four vantage points in a stable order (indices used by
 /// `CdnProfile::reachable_from`).
-pub const VANTAGES: [Vantage; 4] =
-    [Vantage::Hamburg, Vantage::HongKong, Vantage::LosAngeles, Vantage::SaoPaulo];
+pub const VANTAGES: [Vantage; 4] = [
+    Vantage::Hamburg,
+    Vantage::HongKong,
+    Vantage::LosAngeles,
+    Vantage::SaoPaulo,
+];
 
 impl Vantage {
     /// Display name.

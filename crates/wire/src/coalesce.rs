@@ -106,9 +106,9 @@ impl DatagramInfo {
     /// True if the datagram carries CRYPTO bytes in the Initial space
     /// starting at offset 0 from the server side — i.e. the ServerHello.
     pub fn carries_server_hello(&self) -> bool {
-        self.packets.iter().any(|p| {
-            p.ty == PacketType::Initial && p.crypto_bytes > 0
-        })
+        self.packets
+            .iter()
+            .any(|p| p.ty == PacketType::Initial && p.crypto_bytes > 0)
     }
 
     /// Total CRYPTO bytes in `space` within this datagram.
@@ -149,7 +149,10 @@ pub fn classify_datagram(datagram: &[u8], short_dcid_len: usize) -> Result<Datag
         packets.push(PacketSummary::of(&pkt, consumed));
         rest = &rest[consumed..];
     }
-    Ok(DatagramInfo { packets, size: datagram.len() })
+    Ok(DatagramInfo {
+        packets,
+        size: datagram.len(),
+    })
 }
 
 /// Assembles multiple packets into one datagram buffer (coalescing).
@@ -192,7 +195,10 @@ mod tests {
             Header::initial(cid(1), cid(2), vec![], 1),
             vec![
                 Frame::Ack(AckFrame::single(0, 0)),
-                Frame::Crypto { offset: 0, data: Bytes::from(vec![2u8; 90]) },
+                Frame::Crypto {
+                    offset: 0,
+                    data: Bytes::from(vec![2u8; 90]),
+                },
             ],
         )
         .unwrap()
@@ -201,7 +207,10 @@ mod tests {
     fn handshake_flight() -> PlainPacket {
         PlainPacket::new(
             Header::handshake(cid(1), cid(2), 0),
-            vec![Frame::Crypto { offset: 0, data: Bytes::from(vec![11u8; 700]) }],
+            vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from(vec![11u8; 700]),
+            }],
         )
         .unwrap()
     }
@@ -209,7 +218,12 @@ mod tests {
     fn one_rtt_data() -> PlainPacket {
         PlainPacket::new(
             Header::one_rtt(cid(1), 0),
-            vec![Frame::Stream { id: 3, offset: 0, data: Bytes::from(vec![5u8; 200]), fin: false }],
+            vec![Frame::Stream {
+                id: 3,
+                offset: 0,
+                data: Bytes::from(vec![5u8; 200]),
+                fin: false,
+            }],
         )
         .unwrap()
     }
@@ -255,7 +269,10 @@ mod tests {
         let dgram = coalesce(&[(initial_sh(), TAG), (handshake_flight(), TAG)]);
         let info = classify_datagram(&dgram, 8).unwrap();
         assert_eq!(info.size, dgram.len());
-        assert_eq!(info.packets.iter().map(|p| p.size).sum::<usize>(), dgram.len());
+        assert_eq!(
+            info.packets.iter().map(|p| p.size).sum::<usize>(),
+            dgram.len()
+        );
     }
 
     #[test]

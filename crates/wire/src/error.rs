@@ -43,8 +43,14 @@ impl fmt::Display for WireError {
             WireError::CidTooLong(n) => write!(f, "connection id too long: {n} bytes"),
             WireError::UnsupportedVersion(v) => write!(f, "unsupported version {v:#010x}"),
             WireError::BadLength => write!(f, "length prefix out of bounds"),
-            WireError::FrameNotPermitted { frame_type, packet_type } => {
-                write!(f, "frame {frame_type:#x} not permitted in {packet_type} packet")
+            WireError::FrameNotPermitted {
+                frame_type,
+                packet_type,
+            } => {
+                write!(
+                    f,
+                    "frame {frame_type:#x} not permitted in {packet_type} packet"
+                )
             }
             WireError::MalformedAck => write!(f, "malformed ACK frame"),
             WireError::Semantic(msg) => write!(f, "{msg}"),

@@ -44,7 +44,12 @@ pub struct AckFrame {
 impl AckFrame {
     /// Builds an ACK for a single packet number.
     pub fn single(pn: u64, ack_delay_us: u64) -> Self {
-        AckFrame { largest: pn, ack_delay_us, first_range: 0, ranges: Vec::new() }
+        AckFrame {
+            largest: pn,
+            ack_delay_us,
+            first_range: 0,
+            ranges: Vec::new(),
+        }
     }
 
     /// Builds an ACK frame from a sorted-descending list of distinct packet
@@ -63,7 +68,10 @@ impl AckFrame {
             // smallest acked so far:
             let smallest_prev = pns[i - 1];
             let next = pns[i];
-            assert!(next < smallest_prev, "pns must be sorted descending and distinct");
+            assert!(
+                next < smallest_prev,
+                "pns must be sorted descending and distinct"
+            );
             let gap = smallest_prev - next - 2; // RFC 9000 §19.3.1 gap encoding
             let mut len = 0u64;
             let mut j = i + 1;
@@ -74,7 +82,12 @@ impl AckFrame {
             ranges.push(AckRange { gap, len });
             i = j;
         }
-        AckFrame { largest, ack_delay_us, first_range, ranges }
+        AckFrame {
+            largest,
+            ack_delay_us,
+            first_range,
+            ranges,
+        }
     }
 
     /// Iterates over all acknowledged packet numbers, highest first.
@@ -244,7 +257,10 @@ impl Frame {
             ),
             PacketType::ZeroRtt => !matches!(
                 self,
-                Frame::Ack(_) | Frame::Crypto { .. } | Frame::NewToken { .. } | Frame::HandshakeDone
+                Frame::Ack(_)
+                    | Frame::Crypto { .. }
+                    | Frame::NewToken { .. }
+                    | Frame::HandshakeDone
             ),
             PacketType::Retry => false,
             PacketType::OneRtt => true,
@@ -274,7 +290,9 @@ impl Frame {
                 1 + vlen(*offset) + vlen(data.len() as u64) + data.len()
             }
             Frame::NewToken { token } => 1 + vlen(token.len() as u64) + token.len(),
-            Frame::Stream { id, offset, data, .. } => {
+            Frame::Stream {
+                id, offset, data, ..
+            } => {
                 let mut n = 1 + vlen(*id) + vlen(data.len() as u64) + data.len();
                 if *offset > 0 {
                     n += vlen(*offset);
@@ -285,11 +303,17 @@ impl Frame {
             Frame::MaxStreamData { id, max } => 1 + vlen(*id) + vlen(*max),
             Frame::MaxStreams { max, .. } => 1 + vlen(*max),
             Frame::DataBlocked { limit } => 1 + vlen(*limit),
-            Frame::NewConnectionId { seq, retire_prior_to, cid } => {
-                1 + vlen(*seq) + vlen(*retire_prior_to) + 1 + cid.len() + 16
-            }
+            Frame::NewConnectionId {
+                seq,
+                retire_prior_to,
+                cid,
+            } => 1 + vlen(*seq) + vlen(*retire_prior_to) + 1 + cid.len() + 16,
             Frame::RetireConnectionId { seq } => 1 + vlen(*seq),
-            Frame::ConnectionClose { error_code, reason, app } => {
+            Frame::ConnectionClose {
+                error_code,
+                reason,
+                app,
+            } => {
                 1 + vlen(*error_code)
                     + if *app { 0 } else { 1 }
                     + vlen(reason.len() as u64)
@@ -311,7 +335,9 @@ impl Frame {
             Frame::Ack(a) => {
                 buf.put_u8(0x02);
                 VarInt::new(a.largest).unwrap().encode(buf);
-                VarInt::new(a.ack_delay_us / ACK_DELAY_UNIT_US).unwrap().encode(buf);
+                VarInt::new(a.ack_delay_us / ACK_DELAY_UNIT_US)
+                    .unwrap()
+                    .encode(buf);
                 VarInt::new(a.ranges.len() as u64).unwrap().encode(buf);
                 VarInt::new(a.first_range).unwrap().encode(buf);
                 for r in &a.ranges {
@@ -330,7 +356,12 @@ impl Frame {
                 VarInt::new(token.len() as u64).unwrap().encode(buf);
                 buf.put_slice(token);
             }
-            Frame::Stream { id, offset, data, fin } => {
+            Frame::Stream {
+                id,
+                offset,
+                data,
+                fin,
+            } => {
                 buf.put_u8(self.type_id() as u8);
                 VarInt::new(*id).unwrap().encode(buf);
                 if *offset > 0 {
@@ -357,7 +388,11 @@ impl Frame {
                 buf.put_u8(0x14);
                 VarInt::new(*limit).unwrap().encode(buf);
             }
-            Frame::NewConnectionId { seq, retire_prior_to, cid } => {
+            Frame::NewConnectionId {
+                seq,
+                retire_prior_to,
+                cid,
+            } => {
                 buf.put_u8(0x18);
                 VarInt::new(*seq).unwrap().encode(buf);
                 VarInt::new(*retire_prior_to).unwrap().encode(buf);
@@ -370,7 +405,11 @@ impl Frame {
                 buf.put_u8(0x19);
                 VarInt::new(*seq).unwrap().encode(buf);
             }
-            Frame::ConnectionClose { error_code, reason, app } => {
+            Frame::ConnectionClose {
+                error_code,
+                reason,
+                app,
+            } => {
                 buf.put_u8(if *app { 0x1d } else { 0x1c });
                 VarInt::new(*error_code).unwrap().encode(buf);
                 if !*app {
@@ -402,8 +441,9 @@ impl Frame {
                 let largest = VarInt::decode(buf)?.value();
                 // Saturate: a hostile 62-bit delay field must not overflow
                 // (found by the decoder_never_panics fuzz property).
-                let ack_delay_us =
-                    VarInt::decode(buf)?.value().saturating_mul(ACK_DELAY_UNIT_US);
+                let ack_delay_us = VarInt::decode(buf)?
+                    .value()
+                    .saturating_mul(ACK_DELAY_UNIT_US);
                 let range_count = VarInt::decode(buf)?.value();
                 let first_range = VarInt::decode(buf)?.value();
                 if first_range > largest {
@@ -421,29 +461,50 @@ impl Frame {
                         VarInt::decode(buf)?;
                     }
                 }
-                Ok(Frame::Ack(AckFrame { largest, ack_delay_us, first_range, ranges }))
+                Ok(Frame::Ack(AckFrame {
+                    largest,
+                    ack_delay_us,
+                    first_range,
+                    ranges,
+                }))
             }
             0x06 => {
                 let offset = VarInt::decode(buf)?.value();
                 let len = VarInt::decode(buf)?.value() as usize;
-                Ok(Frame::Crypto { offset, data: take_bytes(buf, len)? })
+                Ok(Frame::Crypto {
+                    offset,
+                    data: take_bytes(buf, len)?,
+                })
             }
             0x07 => {
                 let len = VarInt::decode(buf)?.value() as usize;
-                Ok(Frame::NewToken { token: take_bytes(buf, len)? })
+                Ok(Frame::NewToken {
+                    token: take_bytes(buf, len)?,
+                })
             }
             0x08..=0x0f => {
                 let id = VarInt::decode(buf)?.value();
-                let offset = if ty & 0x02 != 0 { VarInt::decode(buf)?.value() } else { 0 };
+                let offset = if ty & 0x02 != 0 {
+                    VarInt::decode(buf)?.value()
+                } else {
+                    0
+                };
                 let data = if ty & 0x04 != 0 {
                     let len = VarInt::decode(buf)?.value() as usize;
                     take_bytes(buf, len)?
                 } else {
                     take_bytes(buf, buf.remaining())?
                 };
-                Ok(Frame::Stream { id, offset, data, fin: ty & 0x01 != 0 })
+                Ok(Frame::Stream {
+                    id,
+                    offset,
+                    data,
+                    fin: ty & 0x01 != 0,
+                })
             }
-            0x10 => Ok(Frame::MaxData { max: VarInt::decode(buf)?.value() }),
+            0x10 => Ok(Frame::MaxData {
+                max: VarInt::decode(buf)?.value(),
+            }),
             0x11 => {
                 let id = VarInt::decode(buf)?.value();
                 let max = VarInt::decode(buf)?.value();
@@ -453,7 +514,9 @@ impl Frame {
                 bidi: ty == 0x12,
                 max: VarInt::decode(buf)?.value(),
             }),
-            0x14 => Ok(Frame::DataBlocked { limit: VarInt::decode(buf)?.value() }),
+            0x14 => Ok(Frame::DataBlocked {
+                limit: VarInt::decode(buf)?.value(),
+            }),
             0x18 => {
                 let seq = VarInt::decode(buf)?.value();
                 let retire_prior_to = VarInt::decode(buf)?.value();
@@ -470,9 +533,15 @@ impl Frame {
                     return Err(WireError::UnexpectedEnd);
                 }
                 buf.advance(16);
-                Ok(Frame::NewConnectionId { seq, retire_prior_to, cid })
+                Ok(Frame::NewConnectionId {
+                    seq,
+                    retire_prior_to,
+                    cid,
+                })
             }
-            0x19 => Ok(Frame::RetireConnectionId { seq: VarInt::decode(buf)?.value() }),
+            0x19 => Ok(Frame::RetireConnectionId {
+                seq: VarInt::decode(buf)?.value(),
+            }),
             0x1c | 0x1d => {
                 let error_code = VarInt::decode(buf)?.value();
                 if ty == 0x1c {
@@ -482,7 +551,11 @@ impl Frame {
                 let len = VarInt::decode(buf)?.value() as usize;
                 let reason_bytes = take_bytes(buf, len)?;
                 let reason = String::from_utf8_lossy(&reason_bytes).into_owned();
-                Ok(Frame::ConnectionClose { error_code, reason, app: ty == 0x1d })
+                Ok(Frame::ConnectionClose {
+                    error_code,
+                    reason,
+                    app: ty == 0x1d,
+                })
             }
             0x1e => Ok(Frame::HandshakeDone),
             other => Err(WireError::InvalidFrameType(other)),
@@ -509,10 +582,18 @@ mod tests {
     fn roundtrip(frame: Frame) -> Frame {
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
-        assert_eq!(buf.len(), frame.encoded_len(), "encoded_len mismatch for {frame:?}");
+        assert_eq!(
+            buf.len(),
+            frame.encoded_len(),
+            "encoded_len mismatch for {frame:?}"
+        );
         let mut slice = &buf[..];
         let out = Frame::decode(&mut slice).unwrap();
-        assert!(slice.is_empty(), "decode left {} bytes for {frame:?}", slice.len());
+        assert!(
+            slice.is_empty(),
+            "decode left {} bytes for {frame:?}",
+            slice.len()
+        );
         out
     }
 
@@ -529,19 +610,32 @@ mod tests {
 
     #[test]
     fn crypto_roundtrip() {
-        let f = Frame::Crypto { offset: 1200, data: Bytes::from(vec![7u8; 333]) };
+        let f = Frame::Crypto {
+            offset: 1200,
+            data: Bytes::from(vec![7u8; 333]),
+        };
         assert_eq!(roundtrip(f.clone()), f);
     }
 
     #[test]
     fn stream_roundtrip_with_offset_and_fin() {
-        let f = Frame::Stream { id: 4, offset: 65536, data: Bytes::from_static(b"hello"), fin: true };
+        let f = Frame::Stream {
+            id: 4,
+            offset: 65536,
+            data: Bytes::from_static(b"hello"),
+            fin: true,
+        };
         assert_eq!(roundtrip(f.clone()), f);
     }
 
     #[test]
     fn stream_roundtrip_zero_offset() {
-        let f = Frame::Stream { id: 0, offset: 0, data: Bytes::from_static(b"GET /"), fin: false };
+        let f = Frame::Stream {
+            id: 0,
+            offset: 0,
+            data: Bytes::from_static(b"GET /"),
+            fin: false,
+        };
         assert_eq!(roundtrip(f.clone()), f);
     }
 
@@ -605,13 +699,21 @@ mod tests {
             app: false,
         };
         assert_eq!(roundtrip(f.clone()), f);
-        let g = Frame::ConnectionClose { error_code: 0x100, reason: String::new(), app: true };
+        let g = Frame::ConnectionClose {
+            error_code: 0x100,
+            reason: String::new(),
+            app: true,
+        };
         assert_eq!(roundtrip(g.clone()), g);
     }
 
     #[test]
     fn new_connection_id_roundtrip() {
-        let f = Frame::NewConnectionId { seq: 3, retire_prior_to: 1, cid: vec![1, 2, 3, 4, 5, 6, 7, 8] };
+        let f = Frame::NewConnectionId {
+            seq: 3,
+            retire_prior_to: 1,
+            cid: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
         assert_eq!(roundtrip(f.clone()), f);
     }
 
@@ -627,10 +729,18 @@ mod tests {
             Frame::HandshakeDone,
             Frame::MaxData { max: 1 << 20 },
             Frame::MaxStreamData { id: 4, max: 99999 },
-            Frame::MaxStreams { bidi: true, max: 16 },
-            Frame::MaxStreams { bidi: false, max: 3 },
+            Frame::MaxStreams {
+                bidi: true,
+                max: 16,
+            },
+            Frame::MaxStreams {
+                bidi: false,
+                max: 3,
+            },
             Frame::DataBlocked { limit: 4096 },
-            Frame::NewToken { token: Bytes::from_static(&[9; 32]) },
+            Frame::NewToken {
+                token: Bytes::from_static(&[9; 32]),
+            },
         ] {
             assert_eq!(roundtrip(f.clone()), f);
         }
@@ -640,10 +750,18 @@ mod tests {
     fn ack_eliciting_classification() {
         assert!(!Frame::Ack(AckFrame::single(0, 0)).is_ack_eliciting());
         assert!(!Frame::Padding { len: 4 }.is_ack_eliciting());
-        assert!(!Frame::ConnectionClose { error_code: 0, reason: String::new(), app: false }
-            .is_ack_eliciting());
+        assert!(!Frame::ConnectionClose {
+            error_code: 0,
+            reason: String::new(),
+            app: false
+        }
+        .is_ack_eliciting());
         assert!(Frame::Ping.is_ack_eliciting());
-        assert!(Frame::Crypto { offset: 0, data: Bytes::new() }.is_ack_eliciting());
+        assert!(Frame::Crypto {
+            offset: 0,
+            data: Bytes::new()
+        }
+        .is_ack_eliciting());
         assert!(Frame::HandshakeDone.is_ack_eliciting());
     }
 
@@ -651,18 +769,34 @@ mod tests {
     fn frame_permissions_initial() {
         use crate::header::PacketType::*;
         assert!(Frame::Ping.permitted_in(Initial));
-        assert!(Frame::Crypto { offset: 0, data: Bytes::new() }.permitted_in(Initial));
-        assert!(!Frame::Stream { id: 0, offset: 0, data: Bytes::new(), fin: false }
-            .permitted_in(Initial));
+        assert!(Frame::Crypto {
+            offset: 0,
+            data: Bytes::new()
+        }
+        .permitted_in(Initial));
+        assert!(!Frame::Stream {
+            id: 0,
+            offset: 0,
+            data: Bytes::new(),
+            fin: false
+        }
+        .permitted_in(Initial));
         assert!(!Frame::HandshakeDone.permitted_in(Handshake));
         assert!(Frame::HandshakeDone.permitted_in(OneRtt));
-        assert!(!Frame::ConnectionClose { error_code: 0, reason: String::new(), app: true }
-            .permitted_in(Initial));
+        assert!(!Frame::ConnectionClose {
+            error_code: 0,
+            reason: String::new(),
+            app: true
+        }
+        .permitted_in(Initial));
     }
 
     #[test]
     fn unknown_frame_type_rejected() {
         let mut slice: &[u8] = &[0x21];
-        assert_eq!(Frame::decode(&mut slice), Err(WireError::InvalidFrameType(0x21)));
+        assert_eq!(
+            Frame::decode(&mut slice),
+            Err(WireError::InvalidFrameType(0x21))
+        );
     }
 }

@@ -27,11 +27,17 @@ impl ConnectionId {
         }
         let mut bytes = [0u8; MAX_CID_LEN];
         bytes[..data.len()].copy_from_slice(data);
-        Ok(ConnectionId { len: data.len() as u8, bytes })
+        Ok(ConnectionId {
+            len: data.len() as u8,
+            bytes,
+        })
     }
 
     /// The zero-length connection ID.
-    pub const EMPTY: ConnectionId = ConnectionId { len: 0, bytes: [0; MAX_CID_LEN] };
+    pub const EMPTY: ConnectionId = ConnectionId {
+        len: 0,
+        bytes: [0; MAX_CID_LEN],
+    };
 
     /// Builds an 8-byte connection ID from a `u64` (handy for simulations
     /// that want readable, unique CIDs).
@@ -130,22 +136,50 @@ pub struct Header {
 impl Header {
     /// Builds an Initial header.
     pub fn initial(dcid: ConnectionId, scid: ConnectionId, token: Vec<u8>, pn: u64) -> Self {
-        Header { ty: PacketType::Initial, version: QUIC_V1, dcid, scid, token, pn }
+        Header {
+            ty: PacketType::Initial,
+            version: QUIC_V1,
+            dcid,
+            scid,
+            token,
+            pn,
+        }
     }
 
     /// Builds a Handshake header.
     pub fn handshake(dcid: ConnectionId, scid: ConnectionId, pn: u64) -> Self {
-        Header { ty: PacketType::Handshake, version: QUIC_V1, dcid, scid, token: Vec::new(), pn }
+        Header {
+            ty: PacketType::Handshake,
+            version: QUIC_V1,
+            dcid,
+            scid,
+            token: Vec::new(),
+            pn,
+        }
     }
 
     /// Builds a 0-RTT header.
     pub fn zero_rtt(dcid: ConnectionId, scid: ConnectionId, pn: u64) -> Self {
-        Header { ty: PacketType::ZeroRtt, version: QUIC_V1, dcid, scid, token: Vec::new(), pn }
+        Header {
+            ty: PacketType::ZeroRtt,
+            version: QUIC_V1,
+            dcid,
+            scid,
+            token: Vec::new(),
+            pn,
+        }
     }
 
     /// Builds a Retry header carrying `token`.
     pub fn retry(dcid: ConnectionId, scid: ConnectionId, token: Vec<u8>) -> Self {
-        Header { ty: PacketType::Retry, version: QUIC_V1, dcid, scid, token, pn: 0 }
+        Header {
+            ty: PacketType::Retry,
+            version: QUIC_V1,
+            dcid,
+            scid,
+            token,
+            pn: 0,
+        }
     }
 
     /// Builds a short (1-RTT) header.
@@ -166,7 +200,9 @@ impl Header {
         match self.ty {
             PacketType::OneRtt => 1 + self.dcid.len() + 4,
             // Retry tokens extend to the end of the packet: no length prefix.
-            PacketType::Retry => 1 + 4 + 1 + self.dcid.len() + 1 + self.scid.len() + self.token.len(),
+            PacketType::Retry => {
+                1 + 4 + 1 + self.dcid.len() + 1 + self.scid.len() + self.token.len()
+            }
             PacketType::Initial => {
                 1 + 4
                     + 1
@@ -281,14 +317,34 @@ impl Header {
             buf.copy_to_slice(&mut token);
         }
         if ty == PacketType::Retry {
-            return Ok((Header { ty, version, dcid, scid, token, pn: 0 }, Some(0)));
+            return Ok((
+                Header {
+                    ty,
+                    version,
+                    dcid,
+                    scid,
+                    token,
+                    pn: 0,
+                },
+                Some(0),
+            ));
         }
         let length = VarInt::decode(buf)?.value() as usize;
         if length < 4 || buf.remaining() < length {
             return Err(WireError::BadLength);
         }
         let pn = u64::from(buf.get_u32());
-        Ok((Header { ty, version, dcid, scid, token, pn }, Some(length - 4)))
+        Ok((
+            Header {
+                ty,
+                version,
+                dcid,
+                scid,
+                token,
+                pn,
+            },
+            Some(length - 4),
+        ))
     }
 }
 
@@ -391,7 +447,10 @@ mod tests {
 
     #[test]
     fn rejects_oversized_cid() {
-        assert!(matches!(ConnectionId::new(&[0u8; 21]), Err(WireError::CidTooLong(21))));
+        assert!(matches!(
+            ConnectionId::new(&[0u8; 21]),
+            Err(WireError::CidTooLong(21))
+        ));
     }
 
     #[test]
@@ -407,6 +466,9 @@ mod tests {
         let mut buf = BytesMut::new();
         h.encode(&mut buf, 2).unwrap(); // invalid: < 4
         let mut slice = &buf[..];
-        assert!(matches!(Header::decode(&mut slice, 8), Err(WireError::BadLength)));
+        assert!(matches!(
+            Header::decode(&mut slice, 8),
+            Err(WireError::BadLength)
+        ));
     }
 }

@@ -157,23 +157,34 @@ impl PlainPacket {
     /// Serializes into a fresh buffer.
     pub fn to_bytes(&self, tag: &[u8; AEAD_TAG_LEN]) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
-        self.encode(&mut buf, tag).expect("encode cannot fail after construction");
+        self.encode(&mut buf, tag)
+            .expect("encode cannot fail after construction");
         buf.freeze()
     }
 
     /// Decodes one packet from the front of `datagram`, returning the packet,
     /// its tag, and the number of bytes consumed. `short_dcid_len` is the
     /// receiver's CID length for short headers.
-    pub fn decode(datagram: &[u8], short_dcid_len: usize) -> Result<(PlainPacket, [u8; AEAD_TAG_LEN], usize)> {
+    pub fn decode(
+        datagram: &[u8],
+        short_dcid_len: usize,
+    ) -> Result<(PlainPacket, [u8; AEAD_TAG_LEN], usize)> {
         let mut buf = datagram;
         let (header, body) = Header::decode(&mut buf, short_dcid_len)?;
         let consumed_header = datagram.len() - buf.len();
         let body_len = match body {
-            Some(n) => n,                 // long header: explicit length
-            None => buf.len(),            // short header: rest of datagram
+            Some(n) => n,      // long header: explicit length
+            None => buf.len(), // short header: rest of datagram
         };
         if header.ty == PacketType::Retry {
-            return Ok((PlainPacket { header, frames: Vec::new() }, [0; AEAD_TAG_LEN], consumed_header));
+            return Ok((
+                PlainPacket {
+                    header,
+                    frames: Vec::new(),
+                },
+                [0; AEAD_TAG_LEN],
+                consumed_header,
+            ));
         }
         if body_len < AEAD_TAG_LEN || buf.len() < body_len {
             return Err(WireError::BadLength);
@@ -193,7 +204,11 @@ impl PlainPacket {
             }
             frames.push(f);
         }
-        Ok((PlainPacket { header, frames }, tag, consumed_header + body_len))
+        Ok((
+            PlainPacket { header, frames },
+            tag,
+            consumed_header + body_len,
+        ))
     }
 }
 
@@ -215,7 +230,10 @@ mod tests {
         let pkt = PlainPacket::new(
             Header::initial(cid(1), cid(2), vec![], 0),
             vec![
-                Frame::Crypto { offset: 0, data: Bytes::from(vec![0x16; 300]) },
+                Frame::Crypto {
+                    offset: 0,
+                    data: Bytes::from(vec![0x16; 300]),
+                },
                 Frame::Padding { len: 850 },
             ],
         )
@@ -233,7 +251,12 @@ mod tests {
         let pkt = PlainPacket::new(
             Header::one_rtt(cid(7), 3),
             vec![
-                Frame::Stream { id: 0, offset: 0, data: Bytes::from_static(b"GET / HTTP/1.1\r\n"), fin: false },
+                Frame::Stream {
+                    id: 0,
+                    offset: 0,
+                    data: Bytes::from_static(b"GET / HTTP/1.1\r\n"),
+                    fin: false,
+                },
                 Frame::Ack(AckFrame::single(1, 0)),
             ],
         )
@@ -250,7 +273,12 @@ mod tests {
     fn stream_frame_rejected_in_initial() {
         let err = PlainPacket::new(
             Header::initial(cid(1), cid(2), vec![], 0),
-            vec![Frame::Stream { id: 0, offset: 0, data: Bytes::new(), fin: false }],
+            vec![Frame::Stream {
+                id: 0,
+                offset: 0,
+                data: Bytes::new(),
+                fin: false,
+            }],
         )
         .unwrap_err();
         assert!(matches!(err, WireError::FrameNotPermitted { .. }));
@@ -268,7 +296,10 @@ mod tests {
 
         let padded_iack = PlainPacket::new(
             Header::initial(cid(1), cid(2), vec![], 0),
-            vec![Frame::Ack(AckFrame::single(0, 0)), Frame::Padding { len: 1100 }],
+            vec![
+                Frame::Ack(AckFrame::single(0, 0)),
+                Frame::Padding { len: 1100 },
+            ],
         )
         .unwrap();
         assert!(padded_iack.is_ack_only());
@@ -278,7 +309,10 @@ mod tests {
             Header::initial(cid(1), cid(2), vec![], 1),
             vec![
                 Frame::Ack(AckFrame::single(0, 0)),
-                Frame::Crypto { offset: 0, data: Bytes::from_static(&[2; 90]) },
+                Frame::Crypto {
+                    offset: 0,
+                    data: Bytes::from_static(&[2; 90]),
+                },
             ],
         )
         .unwrap();
@@ -288,10 +322,22 @@ mod tests {
 
     #[test]
     fn space_mapping() {
-        assert_eq!(PacketNumberSpace::for_type(PacketType::Initial), PacketNumberSpace::Initial);
-        assert_eq!(PacketNumberSpace::for_type(PacketType::Handshake), PacketNumberSpace::Handshake);
-        assert_eq!(PacketNumberSpace::for_type(PacketType::OneRtt), PacketNumberSpace::Application);
-        assert_eq!(PacketNumberSpace::for_type(PacketType::ZeroRtt), PacketNumberSpace::Application);
+        assert_eq!(
+            PacketNumberSpace::for_type(PacketType::Initial),
+            PacketNumberSpace::Initial
+        );
+        assert_eq!(
+            PacketNumberSpace::for_type(PacketType::Handshake),
+            PacketNumberSpace::Handshake
+        );
+        assert_eq!(
+            PacketNumberSpace::for_type(PacketType::OneRtt),
+            PacketNumberSpace::Application
+        );
+        assert_eq!(
+            PacketNumberSpace::for_type(PacketType::ZeroRtt),
+            PacketNumberSpace::Application
+        );
     }
 
     #[test]
@@ -308,7 +354,10 @@ mod tests {
     fn truncated_packet_rejected() {
         let pkt = PlainPacket::new(
             Header::handshake(cid(1), cid(2), 0),
-            vec![Frame::Crypto { offset: 0, data: Bytes::from_static(&[1; 64]) }],
+            vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from_static(&[1; 64]),
+            }],
         )
         .unwrap();
         let bytes = pkt.to_bytes(&TAG);

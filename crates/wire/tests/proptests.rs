@@ -4,7 +4,7 @@ use bytes::{Bytes, BytesMut};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use rq_wire::{
-    coalesce::coalesce, classify_datagram, AckFrame, ConnectionId, Frame, Header, PlainPacket,
+    classify_datagram, coalesce::coalesce, AckFrame, ConnectionId, Frame, Header, PlainPacket,
     VarInt,
 };
 

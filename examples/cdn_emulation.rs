@@ -32,20 +32,30 @@ fn main() {
     // Timeline of the IACK handshake for neqo.
     println!("\nneqo + IACK event timeline (client qlog):");
     let client = client_by_name("neqo").unwrap();
-    let mut sc = Scenario::base(client, ServerAckMode::InstantAck { pad_to_mtu: false }, HttpVersion::H3);
+    let mut sc = Scenario::base(
+        client,
+        ServerAckMode::InstantAck { pad_to_mtu: false },
+        HttpVersion::H3,
+    );
     sc.cert_len = reacked_quicer::tls::CERT_LARGE;
     sc.cert_delay = SimDuration::from_millis(200);
     let res = run_scenario(&sc);
     for ev in res.client_log.events.iter().take(24) {
         let line = match &ev.data {
-            EventData::PacketSent { space, pn, size, .. } => {
+            EventData::PacketSent {
+                space, pn, size, ..
+            } => {
                 format!("TX {:?} pn={pn} ({size} B)", space)
             }
-            EventData::PacketReceived { space, pn, size, .. } => {
+            EventData::PacketReceived {
+                space, pn, size, ..
+            } => {
                 format!("RX {:?} pn={pn} ({size} B)", space)
             }
             EventData::InstantAck { .. } => "observed instant ACK".to_string(),
-            EventData::MetricsUpdated { smoothed_rtt_ms, .. } => {
+            EventData::MetricsUpdated {
+                smoothed_rtt_ms, ..
+            } => {
                 format!("RTT sample → smoothed {smoothed_rtt_ms:.2} ms")
             }
             EventData::PtoExpired { space, pto_count } => {

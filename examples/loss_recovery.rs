@@ -21,36 +21,80 @@ fn main() {
         run_scenario(&sc)
     };
 
-    let wfc = run(ServerAckMode::WaitForCertificate, LossSpec::ServerFlightTail, None);
-    let iack = run(ServerAckMode::InstantAck { pad_to_mtu: false }, LossSpec::ServerFlightTail, None);
+    let wfc = run(
+        ServerAckMode::WaitForCertificate,
+        LossSpec::ServerFlightTail,
+        None,
+    );
+    let iack = run(
+        ServerAckMode::InstantAck { pad_to_mtu: false },
+        LossSpec::ServerFlightTail,
+        None,
+    );
     println!("A. First server flight lost except datagram 1 (paper Fig. 6):");
-    println!("   WFC  TTFB {:>7.1} ms   (server learned the RTT from its coalesced ACK+SH)", wfc.ttfb_ms.unwrap());
-    println!("   IACK TTFB {:>7.1} ms   (server had no RTT sample -> full default PTO)", iack.ttfb_ms.unwrap());
+    println!(
+        "   WFC  TTFB {:>7.1} ms   (server learned the RTT from its coalesced ACK+SH)",
+        wfc.ttfb_ms.unwrap()
+    );
+    println!(
+        "   IACK TTFB {:>7.1} ms   (server had no RTT sample -> full default PTO)",
+        iack.ttfb_ms.unwrap()
+    );
 
     // Scenario B: the second client flight is lost (Fig. 7). Now the
     // *client's* PTO matters, and the IACK made it 3xΔt smaller.
-    let wfc = run(ServerAckMode::WaitForCertificate, LossSpec::SecondClientFlight, None);
-    let iack = run(ServerAckMode::InstantAck { pad_to_mtu: false }, LossSpec::SecondClientFlight, None);
+    let wfc = run(
+        ServerAckMode::WaitForCertificate,
+        LossSpec::SecondClientFlight,
+        None,
+    );
+    let iack = run(
+        ServerAckMode::InstantAck { pad_to_mtu: false },
+        LossSpec::SecondClientFlight,
+        None,
+    );
     println!("\nB. Entire second client flight lost (paper Fig. 7):");
-    println!("   WFC  TTFB {:>7.1} ms   (client PTO inflated by 3xΔt)", wfc.ttfb_ms.unwrap());
-    println!("   IACK TTFB {:>7.1} ms   (client resends sooner)", iack.ttfb_ms.unwrap());
+    println!(
+        "   WFC  TTFB {:>7.1} ms   (client PTO inflated by 3xΔt)",
+        wfc.ttfb_ms.unwrap()
+    );
+    println!(
+        "   IACK TTFB {:>7.1} ms   (client resends sooner)",
+        iack.ttfb_ms.unwrap()
+    );
 
     // Scenario C: the §5 improvement — retransmit the ClientHello on PTO
     // instead of a PING, so the probe itself repairs the server's loss.
-    let ping = run(ServerAckMode::InstantAck { pad_to_mtu: false }, LossSpec::ServerFlightTail, Some(ProbePolicy::Ping));
+    let ping = run(
+        ServerAckMode::InstantAck { pad_to_mtu: false },
+        LossSpec::ServerFlightTail,
+        Some(ProbePolicy::Ping),
+    );
     let rech = run(
         ServerAckMode::InstantAck { pad_to_mtu: false },
         LossSpec::ServerFlightTail,
         Some(ProbePolicy::RetransmitOldest),
     );
     println!("\nC. Scenario A with the paper's suggested client fix (§5):");
-    println!("   PING probes              TTFB {:>7.1} ms", ping.ttfb_ms.unwrap());
-    println!("   ClientHello retransmit   TTFB {:>7.1} ms", rech.ttfb_ms.unwrap());
+    println!(
+        "   PING probes              TTFB {:>7.1} ms",
+        ping.ttfb_ms.unwrap()
+    );
+    println!(
+        "   ClientHello retransmit   TTFB {:>7.1} ms",
+        rech.ttfb_ms.unwrap()
+    );
 
     println!("\nThe Table 2 guidance captures exactly this asymmetry:");
     for (label, loss) in [
-        ("server-flight loss", reacked_quicer::analysis::guidelines::ExpectedLoss::ServerFlightTail),
-        ("client-flight loss", reacked_quicer::analysis::guidelines::ExpectedLoss::SecondClientFlight),
+        (
+            "server-flight loss",
+            reacked_quicer::analysis::guidelines::ExpectedLoss::ServerFlightTail,
+        ),
+        (
+            "client-flight loss",
+            reacked_quicer::analysis::guidelines::ExpectedLoss::SecondClientFlight,
+        ),
     ] {
         let advice = recommend(&reacked_quicer::analysis::DeploymentScenario {
             cert_exceeds_amplification: false,

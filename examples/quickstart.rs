@@ -9,7 +9,11 @@ use reacked_quicer::{compare_modes, CompareOptions};
 fn main() {
     // The paper's Figure 1 setup: a CDN frontend 9 ms from the client,
     // 25 ms from its certificate store.
-    let opts = CompareOptions { rtt_ms: 9, cert_delay_ms: 25, ..CompareOptions::default() };
+    let opts = CompareOptions {
+        rtt_ms: 9,
+        cert_delay_ms: 25,
+        ..CompareOptions::default()
+    };
     let c = compare_modes("quic-go", opts);
 
     println!("== ReACKed QUICer quickstart ==");

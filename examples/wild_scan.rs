@@ -13,7 +13,10 @@ fn main() {
     let population = Population::synthesize(50_000, &mut rng);
     let report = scan(&population, 2, 7);
 
-    println!("{:<12} {:>8} {:>14} {:>14}", "CDN", "domains", "IACK (max) [%]", "variation [%]");
+    println!(
+        "{:<12} {:>8} {:>14} {:>14}",
+        "CDN", "domains", "IACK (max) [%]", "variation [%]"
+    );
     for row in &report.rows {
         println!(
             "{:<12} {:>8} {:>14.1} {:>14.1}",
@@ -54,6 +57,9 @@ fn main() {
             probe_rate_per_min: probe_rate,
             background_rate_per_s: background,
         };
-        println!("   {name:<22} → {:5.1}% coalesced ACK–SH", d.cache_hit_probability() * 100.0);
+        println!(
+            "   {name:<22} → {:5.1}% coalesced ACK–SH",
+            d.cache_hit_probability() * 100.0
+        );
     }
 }

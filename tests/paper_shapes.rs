@@ -13,7 +13,11 @@ fn first_pto_improvement_is_three_delta_t_across_rtts() {
     for rtt_ms in [9u64, 25, 100] {
         let c = compare_modes(
             "quic-go",
-            CompareOptions { rtt_ms, cert_delay_ms: 10, ..CompareOptions::default() },
+            CompareOptions {
+                rtt_ms,
+                cert_delay_ms: 10,
+                ..CompareOptions::default()
+            },
         );
         let delta = c.wfc.first_pto_ms.unwrap() - c.iack.first_pto_ms.unwrap();
         assert!(
@@ -50,7 +54,10 @@ fn amplification_blocked_scenario_favours_iack_for_probing_clients() {
         },
     );
     let d = pico.ttfb_delta_ms().unwrap();
-    assert!(d.abs() < 4.0, "picoquic: equal performance expected, delta {d:.1}");
+    assert!(
+        d.abs() < 4.0,
+        "picoquic: equal performance expected, delta {d:.1}"
+    );
 }
 
 /// Figure 5 caption: HTTP/3's TTFB (control-stream SETTINGS) is one RTT
@@ -58,10 +65,20 @@ fn amplification_blocked_scenario_favours_iack_for_probing_clients() {
 #[test]
 fn http3_ttfb_one_rtt_below_http11() {
     for rtt_ms in [9u64, 20] {
-        let h1 = compare_modes("quic-go", CompareOptions { rtt_ms, ..CompareOptions::default() });
+        let h1 = compare_modes(
+            "quic-go",
+            CompareOptions {
+                rtt_ms,
+                ..CompareOptions::default()
+            },
+        );
         let h3 = compare_modes(
             "quic-go",
-            CompareOptions { rtt_ms, http: HttpVersion::H3, ..CompareOptions::default() },
+            CompareOptions {
+                rtt_ms,
+                http: HttpVersion::H3,
+                ..CompareOptions::default()
+            },
         );
         let gap = h1.wfc.ttfb_ms.unwrap() - h3.wfc.ttfb_ms.unwrap();
         assert!(
@@ -77,7 +94,10 @@ fn http3_ttfb_one_rtt_below_http11() {
 fn server_flight_loss_penalizes_iack_by_server_default_pto() {
     let c = compare_modes(
         "quic-go",
-        CompareOptions { loss: LossSpec::ServerFlightTail, ..CompareOptions::default() },
+        CompareOptions {
+            loss: LossSpec::ServerFlightTail,
+            ..CompareOptions::default()
+        },
     );
     let d = c.ttfb_delta_ms().unwrap();
     assert!(
@@ -92,10 +112,16 @@ fn server_flight_loss_penalizes_iack_by_server_default_pto() {
 fn quiche_aborts_only_under_iack_with_server_flight_loss_http1() {
     let c = compare_modes(
         "quiche",
-        CompareOptions { loss: LossSpec::ServerFlightTail, ..CompareOptions::default() },
+        CompareOptions {
+            loss: LossSpec::ServerFlightTail,
+            ..CompareOptions::default()
+        },
     );
     assert!(c.wfc.completed, "quiche WFC completes");
-    assert!(c.iack.aborted, "quiche IACK aborts (duplicate CID retirement)");
+    assert!(
+        c.iack.aborted,
+        "quiche IACK aborts (duplicate CID retirement)"
+    );
     // HTTP/3 does not hit the bug (§4.2).
     let h3 = compare_modes(
         "quiche",
@@ -170,15 +196,31 @@ fn guideline_matrix_matches_testbed() {
     use reacked_quicer::analysis::{recommend, Advice, DeploymentScenario};
 
     let cases = [
-        (LossSpec::ServerFlightTail, ExpectedLoss::ServerFlightTail, 5u64),
-        (LossSpec::SecondClientFlight, ExpectedLoss::SecondClientFlight, 5),
+        (
+            LossSpec::ServerFlightTail,
+            ExpectedLoss::ServerFlightTail,
+            5u64,
+        ),
+        (
+            LossSpec::SecondClientFlight,
+            ExpectedLoss::SecondClientFlight,
+            5,
+        ),
     ];
     for (loss, expected_loss, dt) in cases {
         let c = compare_modes(
             "quic-go",
-            CompareOptions { loss, cert_delay_ms: dt, ..CompareOptions::default() },
+            CompareOptions {
+                loss,
+                cert_delay_ms: dt,
+                ..CompareOptions::default()
+            },
         );
-        let measured = if c.ttfb_delta_ms().unwrap() < 0.0 { Advice::Iack } else { Advice::Wfc };
+        let measured = if c.ttfb_delta_ms().unwrap() < 0.0 {
+            Advice::Iack
+        } else {
+            Advice::Wfc
+        };
         let predicted = recommend(&DeploymentScenario {
             cert_exceeds_amplification: false,
             rtt_ms: 9.0,
@@ -225,7 +267,10 @@ fn padded_iack_never_faster_when_amplification_blocked() {
     };
     let plain = run(false).ttfb_ms.unwrap();
     let padded = run(true).ttfb_ms.unwrap();
-    assert!(padded >= plain - 1.0, "padding must not speed things up: {plain:.1} vs {padded:.1}");
+    assert!(
+        padded >= plain - 1.0,
+        "padding must not speed things up: {plain:.1} vs {padded:.1}"
+    );
 }
 
 /// go-x-net's erratic behaviour: across seeds, some runs carry the bogus
@@ -247,6 +292,9 @@ fn go_x_net_mis_initializes_in_part_of_runs() {
             clean += 1;
         }
     }
-    assert!(buggy >= 3, "expected some mis-initialized runs, got {buggy}");
+    assert!(
+        buggy >= 3,
+        "expected some mis-initialized runs, got {buggy}"
+    );
     assert!(clean >= 10, "expected mostly clean runs, got {clean}");
 }

@@ -172,7 +172,9 @@ fn retry_handshake_completes_with_extra_round_trip() {
     for _ in 0..100 {
         while let Some(d) = client.poll_transmit(now) {
             let srv = server.get_or_insert_with(|| {
-                let dcid = PlainPacket::decode(&d, 8).map(|(p, _, _)| p.header.dcid).unwrap();
+                let dcid = PlainPacket::decode(&d, 8)
+                    .map(|(p, _, _)| p.header.dcid)
+                    .unwrap();
                 let mut s = Connection::server(EndpointConfig::rfc_default(), 8, dcid);
                 s.use_retry = true;
                 s

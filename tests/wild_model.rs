@@ -42,7 +42,11 @@ fn google_iack_share_depends_on_vantage() {
     // reachable from Sao Paulo, producing Table 1's 11.5% variation.
     let report = standard_scan();
     let google = report.rows.iter().find(|r| r.cdn == Cdn::Google).unwrap();
-    assert!(google.max_variation > 0.05, "variation {:.3}", google.max_variation);
+    assert!(
+        google.max_variation > 0.05,
+        "variation {:.3}",
+        google.max_variation
+    );
 }
 
 #[test]
@@ -120,7 +124,10 @@ fn longitudinal_coalescing_rates_match_paper() {
     };
     assert!(own_slow.cache_hit_probability() < 0.01); // 99.9% IACK
     let fast = own_fast.cache_hit_probability();
-    assert!((0.03..0.15).contains(&fast), "60/min → ~7.5% coalesced, got {fast}");
+    assert!(
+        (0.03..0.15).contains(&fast),
+        "60/min → ~7.5% coalesced, got {fast}"
+    );
     assert!(discord.cache_hit_probability() > 0.85); // 91.9% coalesced
 }
 
@@ -128,7 +135,11 @@ fn longitudinal_coalescing_rates_match_paper() {
 fn longitudinal_diurnal_gap_and_median() {
     let study = LongitudinalStudy::cloudflare(
         Vantage::SaoPaulo,
-        StudyDomain { name: "own".into(), probe_rate_per_min: 1.0, background_rate_per_s: 0.0 },
+        StudyDomain {
+            name: "own".into(),
+            probe_rate_per_min: 1.0,
+            background_rate_per_s: 0.0,
+        },
     );
     let obs = study.run(7 * 24 * 60, 99);
     // Median IACK→SH gap ≈ 2.1 ms (§4.3).

@@ -1,0 +1,37 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy that picks uniformly from a fixed set of options.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Draws one of `options` uniformly; panics on an empty set.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_yields_options() {
+        let strat = select(vec![1u64, 9, 20, 100]);
+        let mut rng = TestRng::deterministic(4);
+        for _ in 0..100 {
+            assert!([1, 9, 20, 100].contains(&strat.generate(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Deterministic case runner plumbing: RNG, config, and failure type.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration (subset of the real crate's).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for struct-update compatibility; shrinking is not
+    /// implemented in this stub, so the value is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            // Match real proptest's default so suites written against it
+            // keep their intended coverage.
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (not used by the stub's strategies, kept
+    /// for API compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Property violation with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Input rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// SplitMix64: tiny, deterministic, and plenty for drawing test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG whose stream depends only on the case index.
+    pub fn deterministic(case: u64) -> Self {
+        TestRng {
+            state: 0x9E37_79B9_7F4A_7C15u64.wrapping_add(case.wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-input quality.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::deterministic(7);
+        let mut b = TestRng::deterministic(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::deterministic(0);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+}
