@@ -1,0 +1,111 @@
+//! Timed sequential-vs-parallel sweep smoke benchmark.
+//!
+//! Runs a small repetition sweep for each scenario class once through the
+//! sequential `run_repetitions` path and once through the parallel sweep
+//! engine, asserts the results are identical (the engine's core
+//! guarantee), and writes the wall-clock numbers to `BENCH_sweep.json` —
+//! the repo's perf trajectory. CI runs this on every push.
+//!
+//! Knobs: `REACKED_REPS` (repetitions per class, default 15),
+//! `REACKED_THREADS` (parallel worker count, default: all cores),
+//! `REACKED_BENCH_OUT` (output path, default `BENCH_sweep.json`).
+
+use std::time::Instant;
+
+use rq_bench::{repetitions, IACK, WFC};
+use rq_http::HttpVersion;
+use rq_profiles::client_by_name;
+use rq_sim::SimDuration;
+use rq_testbed::{
+    run_repetitions, run_repetitions_parallel, LossSpec, RunResult, Scenario, SweepRunner,
+};
+
+/// The scenario classes the paper sweeps most: clean handshake, both
+/// content-matched loss patterns, and the anti-amplification case.
+fn scenario_classes() -> Vec<(&'static str, Scenario)> {
+    let client = client_by_name("quic-go").unwrap();
+    let base = Scenario::base(client, WFC, HttpVersion::H1);
+    let mut tail = base.clone();
+    tail.ack_mode = IACK;
+    tail.loss = LossSpec::ServerFlightTail;
+    let mut flight = base.clone();
+    flight.loss = LossSpec::SecondClientFlight;
+    let mut amp = base.clone();
+    amp.cert_len = rq_tls::CERT_LARGE;
+    amp.cert_delay = SimDuration::from_millis(200);
+    vec![
+        ("clean_handshake", base),
+        ("server_flight_tail_iack", tail),
+        ("second_client_flight", flight),
+        ("large_cert_amplification", amp),
+    ]
+}
+
+/// The observable outcome of a run, for sequential/parallel comparison.
+fn fingerprint(r: &RunResult) -> (Option<f64>, Option<f64>, bool, bool, usize, usize) {
+    (
+        r.ttfb_ms,
+        r.response_ms,
+        r.completed,
+        r.aborted,
+        r.client_datagrams,
+        r.client_log.events.len(),
+    )
+}
+
+fn json_num(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn main() {
+    let reps = repetitions();
+    let threads = SweepRunner::from_env().threads();
+    let out_path = std::env::var("REACKED_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+
+    println!("bench_sweep: {reps} reps/class, {threads} threads");
+    println!(
+        "{:<26} {:>12} {:>12} {:>9}",
+        "scenario class", "seq [ms]", "par [ms]", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for (label, sc) in scenario_classes() {
+        // Untimed warm-up so one-time costs (allocator, lazy init, page
+        // faults) don't land on whichever path happens to run first.
+        let _ = run_repetitions(&sc, 1.min(reps));
+        let _ = run_repetitions_parallel(&sc, threads.min(reps), threads);
+
+        let t0 = Instant::now();
+        let seq = run_repetitions(&sc, reps);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t1 = Instant::now();
+        let par = run_repetitions_parallel(&sc, reps, threads);
+        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+        assert_eq!(seq.len(), par.len(), "{label}: result count");
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "{label}: parallel rep {i} diverged from sequential"
+            );
+        }
+
+        let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
+        println!("{label:<26} {seq_ms:>12.1} {par_ms:>12.1} {speedup:>8.2}x");
+        rows.push(format!(
+            "    {{\n      \"label\": \"{label}\",\n      \"sequential_ms\": {},\n      \"parallel_ms\": {},\n      \"speedup\": {}\n    }}",
+            json_num(seq_ms),
+            json_num(par_ms),
+            json_num(speedup)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"reps_per_class\": {reps},\n  \"threads\": {threads},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path} (parallel results verified identical to sequential)");
+}

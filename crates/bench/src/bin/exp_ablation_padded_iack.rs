@@ -9,7 +9,7 @@ use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_quic::ServerAckMode;
 use rq_sim::SimDuration;
-use rq_testbed::{median, run_repetitions, Scenario};
+use rq_testbed::{median, Scenario, SweepRunner};
 
 fn main() {
     banner(
@@ -18,6 +18,7 @@ fn main() {
         "TTFB [ms], large cert + Δt = 200 ms (the Figure 5 setup): unpadded vs MTU-padded IACK.",
     );
     let reps = repetitions();
+    let runner = SweepRunner::from_env();
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>14}",
         "client", "WFC", "IACK plain", "IACK padded", "padding cost"
@@ -28,7 +29,8 @@ fn main() {
             let mut sc = Scenario::base(client.clone(), mode, HttpVersion::H1);
             sc.cert_len = rq_tls::CERT_LARGE;
             sc.cert_delay = SimDuration::from_millis(200);
-            let v: Vec<f64> = run_repetitions(&sc, reps)
+            let v: Vec<f64> = runner
+                .run_repetitions(&sc, reps)
                 .into_iter()
                 .filter_map(|r| r.ttfb_ms)
                 .collect();

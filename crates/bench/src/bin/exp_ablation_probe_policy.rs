@@ -10,7 +10,7 @@ use rq_bench::{banner, ms_cell, repetitions, IACK};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_quic::ProbePolicy;
-use rq_testbed::{median, run_repetitions, LossSpec, Scenario};
+use rq_testbed::{median, LossSpec, Scenario, SweepRunner};
 
 fn main() {
     banner(
@@ -19,6 +19,7 @@ fn main() {
         "TTFB [ms] under server-flight tail loss + IACK: PING probes vs ClientHello retransmit.",
     );
     let reps = repetitions();
+    let runner = SweepRunner::from_env();
     println!(
         "{:<10} {:>12} {:>12} {:>12}",
         "client", "PING", "re-CH", "saving"
@@ -29,7 +30,8 @@ fn main() {
             let mut sc = Scenario::base(client.clone(), IACK, HttpVersion::H1);
             sc.loss = LossSpec::ServerFlightTail;
             sc.probe_policy_override = policy;
-            let results: Vec<f64> = run_repetitions(&sc, reps)
+            let results: Vec<f64> = runner
+                .run_repetitions(&sc, reps)
                 .into_iter()
                 .filter_map(|r| r.ttfb_ms)
                 .collect();

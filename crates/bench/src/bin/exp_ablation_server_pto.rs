@@ -8,7 +8,7 @@ use rq_bench::{banner, ms_cell, repetitions, IACK, WFC};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_sim::SimDuration;
-use rq_testbed::{median, run_repetitions, LossSpec, Scenario};
+use rq_testbed::{median, LossSpec, Scenario, SweepRunner};
 
 fn main() {
     banner(
@@ -17,6 +17,7 @@ fn main() {
         "TTFB [ms] under server-flight tail loss, sweeping the server default PTO (quic-go client).",
     );
     let reps = repetitions();
+    let runner = SweepRunner::from_env();
     let client = client_by_name("quic-go").unwrap();
     println!(
         "{:<16} {:>12} {:>12} {:>12}",
@@ -27,7 +28,8 @@ fn main() {
             let mut sc = Scenario::base(client.clone(), mode, HttpVersion::H1);
             sc.loss = LossSpec::ServerFlightTail;
             sc.server_default_pto = Some(SimDuration::from_millis(pto_ms));
-            let v: Vec<f64> = run_repetitions(&sc, reps)
+            let v: Vec<f64> = runner
+                .run_repetitions(&sc, reps)
                 .into_iter()
                 .filter_map(|r| r.ttfb_ms)
                 .collect();

@@ -4,7 +4,7 @@
 use rq_bench::{banner, clients_for, WFC};
 use rq_http::HttpVersion;
 use rq_sim::SimDuration;
-use rq_testbed::{run_scenario, Scenario};
+use rq_testbed::{run_scenario, Scenario, SweepRunner};
 
 fn main() {
     banner(
@@ -16,11 +16,16 @@ fn main() {
         "{:<10} {:>22} {:>22} {:>10}",
         "client", "recovery:metric upd.", "packets w/ new ACKs", "share"
     );
-    for client in clients_for(HttpVersion::H1) {
+    // One 10 MB transfer per client: the costliest figure — fan the
+    // eight clients out over the sweep pool, print rows in order.
+    let clients = clients_for(HttpVersion::H1);
+    let results = SweepRunner::from_env().map(&clients, |client| {
         let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
         sc.rtt = SimDuration::from_millis(100);
         sc.file_size = 10 * 1024 * 1024;
-        let res = run_scenario(&sc);
+        run_scenario(&sc)
+    });
+    for (client, res) in clients.iter().zip(results) {
         let share = if res.client_new_ack_packets > 0 {
             res.exposed_metric_updates as f64 / res.client_new_ack_packets as f64
         } else {

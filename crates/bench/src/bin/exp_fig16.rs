@@ -8,7 +8,7 @@
 use rq_bench::{banner, clients_for, repetitions, IACK, WFC};
 use rq_http::HttpVersion;
 use rq_sim::SimDuration;
-use rq_testbed::{median, run_repetitions, Scenario};
+use rq_testbed::{median, Scenario, SweepRunner};
 
 fn main() {
     banner(
@@ -17,6 +17,7 @@ fn main() {
         "Median first-PTO improvement (WFC − IACK) [ms] from qlog metrics, Δt = 4 ms.",
     );
     let reps = repetitions();
+    let runner = SweepRunner::from_env();
     let rtts: Vec<u64> = vec![1, 9, 20, 50, 100, 150, 200, 250, 300];
     print!("{:<10}", "client");
     for rtt in &rtts {
@@ -29,12 +30,14 @@ fn main() {
             let mut sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
             sc.rtt = SimDuration::from_millis(rtt);
             sc.cert_delay = SimDuration::from_millis(4);
-            let wfc_ptos: Vec<f64> = run_repetitions(&sc, reps)
+            let wfc_ptos: Vec<f64> = runner
+                .run_repetitions(&sc, reps)
                 .iter()
                 .filter_map(|r| r.first_pto_ms)
                 .collect();
             sc.ack_mode = IACK;
-            let iack_ptos: Vec<f64> = run_repetitions(&sc, reps)
+            let iack_ptos: Vec<f64> = runner
+                .run_repetitions(&sc, reps)
                 .iter()
                 .filter_map(|r| r.first_pto_ms)
                 .collect();

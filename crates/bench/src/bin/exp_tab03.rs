@@ -5,6 +5,7 @@
 use rq_bench::banner;
 use rq_bench::tab3::measure_first_ack_delays;
 use rq_profiles::all_servers;
+use rq_testbed::SweepRunner;
 
 fn main() {
     banner(
@@ -16,14 +17,18 @@ fn main() {
         "{:<10} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
         "server", "init#1", "init#2", "init#3", "hs#1", "hs#2", "hs#3"
     );
-    for server in all_servers() {
+    let servers = all_servers();
+    let rows = SweepRunner::from_env().map(&servers, |server| {
         let mut initial = Vec::new();
         let mut handshake = Vec::new();
         for rep in 0..3 {
-            let d = measure_first_ack_delays(&server, 100 + rep);
+            let d = measure_first_ack_delays(server, 100 + rep);
             initial.push(d.initial_ms);
             handshake.push(d.handshake_ms);
         }
+        (initial, handshake)
+    });
+    for (server, (initial, handshake)) in servers.iter().zip(rows) {
         let f = |v: Option<f64>| {
             v.map(|x| format!("{x:8.1}"))
                 .unwrap_or(format!("{:>8}", "-"))

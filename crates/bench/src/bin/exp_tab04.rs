@@ -8,7 +8,7 @@ use rq_http::HttpVersion;
 use rq_profiles::all_clients;
 use rq_quic::Connection;
 use rq_sim::SimTime;
-use rq_testbed::{run_scenario_with_trace, Scenario};
+use rq_testbed::{run_scenario_with_trace, Scenario, SweepRunner};
 
 fn main() {
     banner(
@@ -21,7 +21,10 @@ fn main() {
         "{:<10} {:>14} {:>22}",
         "client", "default PTO", "2nd flight datagrams"
     );
-    for client in all_clients() {
+    // One capture run per client, fanned out over the sweep pool; rows
+    // come back (and print) in client order.
+    let clients = all_clients();
+    let rows = SweepRunner::from_env().map(&clients, |client| {
         // Default PTO: arm a client against a black-hole server and read
         // the first probe deadline.
         let cfg = client.endpoint_config(HttpVersion::H1);
@@ -55,12 +58,10 @@ fn main() {
                 .count()
         };
         let indices: Vec<String> = (2..2 + flight_len).map(|i| i.to_string()).collect();
-        println!(
-            "{:<10} {:>14.0} {:>22}",
-            client.name,
-            pto_ms,
-            indices.join(",")
-        );
+        (pto_ms, indices.join(","))
+    });
+    for (client, (pto_ms, indices)) in clients.iter().zip(rows) {
+        println!("{:<10} {:>14.0} {:>22}", client.name, pto_ms, indices);
     }
     println!(
         "\npaper Table 4: aioquic 200/2-4, go-x-net 999/2-4, mvfst 100/2-4, neqo 300/2-3, \

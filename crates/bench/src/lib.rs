@@ -9,7 +9,7 @@ use rq_http::HttpVersion;
 use rq_profiles::{all_clients, ClientProfile};
 use rq_quic::ServerAckMode;
 use rq_sim::SimDuration;
-use rq_testbed::{median, run_repetitions, Scenario};
+use rq_testbed::{median, rep_scenario, run_scenario, RunResult, Scenario, SweepRunner};
 
 /// WFC mode shorthand.
 pub const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;
@@ -49,10 +49,10 @@ pub fn ms_cell(v: Option<f64>) -> String {
     }
 }
 
-/// Median TTFB in ms over `reps` repetitions of `sc`; `None` when fewer
-/// than half the runs completed (e.g. the quiche abort).
-pub fn median_ttfb(sc: &Scenario, reps: usize) -> (Option<f64>, usize) {
-    let results = run_repetitions(sc, reps);
+/// Aggregates one scenario cell's repetitions: `(median TTFB, aborts)`;
+/// the median is `None` when fewer than half the runs completed (e.g.
+/// the quiche abort).
+fn cell_median_ttfb(results: &[RunResult], reps: usize) -> (Option<f64>, usize) {
     let ttfbs: Vec<f64> = results.iter().filter_map(|r| r.ttfb_ms).collect();
     let aborted = results.iter().filter(|r| r.aborted).count();
     if ttfbs.len() * 2 < reps {
@@ -62,15 +62,31 @@ pub fn median_ttfb(sc: &Scenario, reps: usize) -> (Option<f64>, usize) {
     }
 }
 
+/// Median TTFB in ms over `reps` repetitions of `sc`; `None` when fewer
+/// than half the runs completed. Repetitions fan out over the
+/// `REACKED_THREADS` sweep pool; results are identical to a sequential
+/// run (seeds are per-repetition, order is preserved).
+pub fn median_ttfb(sc: &Scenario, reps: usize) -> (Option<f64>, usize) {
+    let results = SweepRunner::from_env().run_repetitions(sc, reps);
+    cell_median_ttfb(&results, reps)
+}
+
 /// Runs the WFC/IACK pair for one client in a loss scenario and returns
-/// `(wfc_median, iack_median, iack_aborts)`.
+/// `(wfc_median, iack_median, iack_aborts)`. Both modes' repetitions run
+/// in a single `2×reps` sweep so every worker stays busy.
 pub fn wfc_iack_pair(base: &Scenario, reps: usize) -> (Option<f64>, Option<f64>, usize) {
     let mut wfc = base.clone();
     wfc.ack_mode = WFC;
     let mut iack = base.clone();
     iack.ack_mode = IACK;
-    let (w, _) = median_ttfb(&wfc, reps);
-    let (i, ab) = median_ttfb(&iack, reps);
+    let cells: Vec<Scenario> = (0..reps)
+        .map(|i| rep_scenario(&wfc, i))
+        .chain((0..reps).map(|i| rep_scenario(&iack, i)))
+        .collect();
+    let mut results = SweepRunner::from_env().map(&cells, run_scenario);
+    let iack_results = results.split_off(reps);
+    let (w, _) = cell_median_ttfb(&results, reps);
+    let (i, ab) = cell_median_ttfb(&iack_results, reps);
     (w, i, ab)
 }
 

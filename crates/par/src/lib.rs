@@ -1,0 +1,226 @@
+//! A minimal scoped thread pool for deterministic parallel sweeps.
+//!
+//! The experiment harness runs thousands of independent scenario
+//! repetitions; each is a pure function of its index (the per-repetition
+//! seed is derived from it). This crate fans such index spaces out over a
+//! hand-rolled pool of `std::thread::scope` workers pulling chunks off a
+//! shared atomic counter, and returns the results **in index order** — so
+//! a parallel sweep is bit-identical to its sequential counterpart, just
+//! faster. No work stealing, no channels, no external dependencies.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable controlling the sweep thread count.
+pub const THREADS_ENV: &str = "REACKED_THREADS";
+
+/// Number of hardware threads available, with a safe fallback of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses a raw `REACKED_THREADS` value; `None`, empty, non-numeric or
+/// zero all fall back to [`available_parallelism`].
+pub fn parse_threads(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(available_parallelism)
+}
+
+/// Thread count from the `REACKED_THREADS` environment variable
+/// (default: available parallelism).
+pub fn threads_from_env() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// A chunked index queue: workers claim contiguous ranges of `0..len`
+/// off a shared counter. Chunking keeps counter contention negligible
+/// while still balancing uneven per-item cost across workers.
+struct IndexQueue {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl IndexQueue {
+    fn new(len: usize, threads: usize) -> Self {
+        // ~4 chunks per worker balances skewed item costs without
+        // hammering the counter.
+        let chunk = (len / (threads * 4)).max(1);
+        IndexQueue {
+            next: AtomicUsize::new(0),
+            len,
+            chunk,
+        }
+    }
+
+    fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` on up to `threads` scoped workers and
+/// returns the results in index order.
+///
+/// * Output order is always `0..n` regardless of scheduling, so results
+///   are bit-identical to the sequential `(0..n).map(f).collect()`.
+/// * `threads <= 1` (or `n <= 1`) runs inline without spawning.
+/// * A panic in any worker is propagated to the caller after the
+///   remaining workers finish.
+pub fn sweep<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let queue = IndexQueue::new(n, threads);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let filled = Mutex::new(&mut slots);
+    let mut panic_payload = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    while let Some(range) = queue.claim() {
+                        for i in range {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    // One lock per worker (not per item): merge results
+                    // into their index-ordered slots.
+                    let mut slots = filled.lock().unwrap();
+                    for (i, value) in local {
+                        slots[i] = Some(value);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// [`sweep`] over borrowed items instead of raw indices, preserving
+/// input order in the output.
+pub fn sweep_slice<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    sweep(items.len(), threads, |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 3, 7, 16] {
+            let got = sweep(100, threads, |i| i * 3);
+            let want: Vec<usize> = (0..100).map(|i| i * 3).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_item_sweep_is_empty() {
+        let got: Vec<usize> = sweep(0, 8, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(sweep(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(sweep(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_uneven_work() {
+        // Skewed per-item cost exercises chunk rebalancing.
+        let cost = |i: usize| {
+            let mut acc = i as u64;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let seq: Vec<u64> = (0..200).map(cost).collect();
+        assert_eq!(sweep(200, 5, cost), seq);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            sweep(16, 4, |i| {
+                if i == 9 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("sweep must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 9"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn sweep_slice_preserves_input_order() {
+        let items = ["a", "bb", "ccc", "dddd"];
+        assert_eq!(sweep_slice(&items, 4, |s| s.len()), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn index_queue_covers_every_index_once() {
+        let q = IndexQueue::new(10, 3);
+        let mut seen = Vec::new();
+        while let Some(r) = q.claim() {
+            seen.extend(r);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(parse_threads(Some("4")), 4);
+        assert_eq!(parse_threads(Some(" 2 ")), 2);
+        let auto = available_parallelism();
+        assert_eq!(parse_threads(None), auto);
+        assert_eq!(parse_threads(Some("0")), auto);
+        assert_eq!(parse_threads(Some("lots")), auto);
+        assert!(auto >= 1);
+    }
+}

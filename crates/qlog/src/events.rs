@@ -135,7 +135,7 @@ pub struct QlogEvent {
 }
 
 /// An endpoint's event log for one connection.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     /// Vantage point label ("client:quic-go", "server:quic-go-iack", ...).
     pub vantage: String,

@@ -35,6 +35,22 @@ impl MetricsExposure {
         Self::default()
     }
 
+    /// Whether this exposure is the identity transform: every update
+    /// kept, variance kept, timestamps at native (≤ 1 µs) resolution.
+    /// Callers can skip per-event filtering/quantization entirely.
+    pub fn is_identity(&self) -> bool {
+        self.update_share >= 1.0 && self.exposes_variance && self.timestamp_resolution_us <= 1
+    }
+
+    /// How many of `total` metric updates survive the exposure filter,
+    /// without materializing the filtered log.
+    pub fn exposed_update_count(&self, total: usize) -> usize {
+        if self.update_share >= 1.0 {
+            return total;
+        }
+        (0..total).filter(|&n| self.exposes_update(n)).count()
+    }
+
     /// Decides deterministically whether the `n`-th update is exposed.
     /// Uses a low-discrepancy accept rule so the exposed subset is spread
     /// evenly, like periodic logging in real stacks.
@@ -102,6 +118,40 @@ mod tests {
         for w in idx.windows(2) {
             assert_eq!(w[1] - w[0], 4);
         }
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(MetricsExposure::full().is_identity());
+        for tweaked in [
+            MetricsExposure {
+                update_share: 0.9,
+                ..Default::default()
+            },
+            MetricsExposure {
+                exposes_variance: false,
+                ..Default::default()
+            },
+            MetricsExposure {
+                timestamp_resolution_us: 1000,
+                ..Default::default()
+            },
+        ] {
+            assert!(!tweaked.is_identity(), "{tweaked:?}");
+        }
+    }
+
+    #[test]
+    fn exposed_count_matches_filter() {
+        for share in [0.0, 0.25, 0.5, 0.77, 1.0] {
+            let e = MetricsExposure {
+                update_share: share,
+                ..Default::default()
+            };
+            let explicit = (0..321).filter(|&n| e.exposes_update(n)).count();
+            assert_eq!(e.exposed_update_count(321), explicit, "share {share}");
+        }
+        assert_eq!(MetricsExposure::full().exposed_update_count(0), 0);
     }
 
     #[test]

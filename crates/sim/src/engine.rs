@@ -6,7 +6,7 @@ use std::collections::BinaryHeap;
 use crate::link::{Link, LinkConfig, LinkStats, TransmitResult};
 use crate::node::{Context, Node, NodeId};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{CaptureRecord, DatagramFate, Trace};
+use crate::trace::{DatagramFate, Trace};
 
 /// Why a simulation run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,10 @@ pub struct Network {
     pub trace: Trace,
     /// Hard ceiling on processed events (guards against livelock bugs).
     pub event_limit: u64,
+    /// Reused effect buffers handed to nodes via [`Context`]; keeping
+    /// them on the network avoids two Vec allocations per event.
+    scratch_sends: Vec<(NodeId, Vec<u8>)>,
+    scratch_timers: Vec<(SimTime, u64)>,
 }
 
 impl Network {
@@ -76,11 +80,13 @@ impl Network {
         Network {
             nodes: Vec::new(),
             links: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(1024),
             now: SimTime::ZERO,
             seq: 0,
             trace: Trace::new(capture_payloads),
             event_limit: 10_000_000,
+            scratch_sends: Vec::with_capacity(8),
+            scratch_timers: Vec::with_capacity(8),
         }
     }
 
@@ -141,16 +147,17 @@ impl Network {
                 return RunOutcome::EventLimit;
             }
             self.now = ev.at;
-            let (node_id, deliver) = match &ev.kind {
-                EventKind::Datagram { to, .. } => (*to, true),
-                EventKind::Timer { node, .. } | EventKind::Start { node } => (*node, false),
+            let node_id = match &ev.kind {
+                EventKind::Datagram { to, .. } => *to,
+                EventKind::Timer { node, .. } | EventKind::Start { node } => *node,
             };
-            let _ = deliver;
+            // Hand the node the reusable effect buffers instead of
+            // allocating fresh Vecs for every event.
             let mut ctx = Context {
                 now: self.now,
                 me: node_id,
-                sends: Vec::new(),
-                timers: Vec::new(),
+                sends: std::mem::take(&mut self.scratch_sends),
+                timers: std::mem::take(&mut self.scratch_timers),
                 stop: false,
                 trace: &mut self.trace,
             };
@@ -166,15 +173,15 @@ impl Network {
                 }
             }
             let Context {
-                sends,
-                timers,
+                mut sends,
+                mut timers,
                 stop,
                 ..
             } = ctx;
-            for (to, payload) in sends {
+            for (to, payload) in sends.drain(..) {
                 self.dispatch_send(node_id, to, payload);
             }
-            for (at, token) in timers {
+            for (at, token) in timers.drain(..) {
                 self.push_event(
                     at,
                     EventKind::Timer {
@@ -183,6 +190,8 @@ impl Network {
                     },
                 );
             }
+            self.scratch_sends = sends;
+            self.scratch_timers = timers;
             if stop {
                 return RunOutcome::Stopped;
             }
@@ -197,34 +206,27 @@ impl Network {
             .find(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
             .unwrap_or_else(|| panic!("no link between {from:?} and {to:?}"));
         let (result, index) = link.transmit(from, &payload, self.now);
-        let record_payload = if self.trace.capture_payloads {
-            Some(payload.clone())
-        } else {
-            None
-        };
         match result {
             TransmitResult::Deliver(at) => {
-                self.trace.datagrams.push(CaptureRecord {
+                self.trace.record_datagram(
                     from,
                     to,
-                    sent: self.now,
-                    fate: DatagramFate::Delivered(at),
-                    size: payload.len(),
+                    self.now,
+                    DatagramFate::Delivered(at),
+                    &payload,
                     index,
-                    payload: record_payload,
-                });
+                );
                 self.push_event(at, EventKind::Datagram { from, to, payload });
             }
             TransmitResult::Drop => {
-                self.trace.datagrams.push(CaptureRecord {
+                self.trace.record_datagram(
                     from,
                     to,
-                    sent: self.now,
-                    fate: DatagramFate::Dropped,
-                    size: payload.len(),
+                    self.now,
+                    DatagramFate::Dropped,
+                    &payload,
                     index,
-                    payload: record_payload,
-                });
+                );
             }
         }
     }

@@ -104,6 +104,7 @@ impl Link {
     }
 
     /// Direction of travel for a datagram from `from` on this link.
+    #[inline]
     pub(crate) fn direction_from(&self, from: NodeId) -> Direction {
         if from == self.a {
             Direction::AtoB
@@ -113,7 +114,9 @@ impl Link {
     }
 
     /// Offers a datagram for transmission at `now`, returning its fate and
-    /// the per-direction index it was assigned.
+    /// the per-direction index it was assigned. The payload is only ever
+    /// borrowed: links never buffer datagram bytes.
+    #[inline]
     pub(crate) fn transmit(
         &mut self,
         from: NodeId,

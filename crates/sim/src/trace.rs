@@ -60,13 +60,42 @@ pub struct Trace {
 
 impl Trace {
     /// Creates a trace; `capture_payloads` controls whether payload bytes
-    /// are stored in each record.
+    /// are stored in each record. Vectors are pre-sized for a typical
+    /// handshake-plus-transfer run so the hot path rarely reallocates.
     pub fn new(capture_payloads: bool) -> Self {
         Trace {
-            datagrams: Vec::new(),
-            milestones: Vec::new(),
+            datagrams: Vec::with_capacity(256),
+            milestones: Vec::with_capacity(16),
             capture_payloads,
         }
+    }
+
+    /// Records one datagram offered to a link. The payload bytes are
+    /// copied into the record only when `capture_payloads` is on; bulk
+    /// sweeps pay nothing per datagram beyond the fixed-size record.
+    pub fn record_datagram(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        sent: SimTime,
+        fate: DatagramFate,
+        payload: &[u8],
+        index: usize,
+    ) {
+        let stored = if self.capture_payloads {
+            Some(payload.to_vec())
+        } else {
+            None
+        };
+        self.datagrams.push(CaptureRecord {
+            from,
+            to,
+            sent,
+            fate,
+            size: payload.len(),
+            index,
+            payload: stored,
+        });
     }
 
     /// Records a milestone.
@@ -145,6 +174,26 @@ mod tests {
         assert_eq!(t.first_by(n1, "a"), Some(SimTime::from_nanos(9)));
         assert_eq!(t.first("missing"), None);
         assert_eq!(t.all("a").len(), 2);
+    }
+
+    #[test]
+    fn record_datagram_copies_payload_only_when_capturing() {
+        let (a, b) = (NodeId(0), NodeId(1));
+        let mut off = Trace::new(false);
+        off.record_datagram(a, b, SimTime::ZERO, DatagramFate::Dropped, &[7, 8, 9], 0);
+        assert_eq!(off.datagrams[0].size, 3);
+        assert!(off.datagrams[0].payload.is_none());
+
+        let mut on = Trace::new(true);
+        on.record_datagram(
+            a,
+            b,
+            SimTime::ZERO,
+            DatagramFate::Delivered(SimTime::from_nanos(1)),
+            &[7, 8, 9],
+            0,
+        );
+        assert_eq!(on.datagrams[0].payload.as_deref(), Some(&[7u8, 8, 9][..]));
     }
 
     #[test]

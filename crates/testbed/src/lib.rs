@@ -11,6 +11,9 @@ pub mod scenario;
 pub mod stats;
 
 pub use nodes::{ClientNode, ServerNode};
-pub use runner::{run_repetitions, run_scenario, run_scenario_with_trace, RunResult};
+pub use runner::{
+    apply_exposure, rep_scenario, run_repetitions, run_repetitions_parallel, run_scenario,
+    run_scenario_with_trace, RunResult, SweepRunner,
+};
 pub use scenario::{LossSpec, Scenario};
-pub use stats::{median, percentile, Summary};
+pub use stats::{median, median_sorted, percentile, percentile_sorted, Summary};

@@ -55,7 +55,13 @@ pub struct RunResult {
 
 /// Applies a qlog exposure policy to a log: drops unexposed metrics
 /// updates, hides the variance, quantizes timestamps (Appendix E).
+///
+/// Full-fidelity exposure is the identity transform, so it returns a
+/// plain copy without walking/quantizing every event.
 pub fn apply_exposure(log: &EventLog, exposure: MetricsExposure) -> EventLog {
+    if exposure.is_identity() {
+        return log.clone();
+    }
     let mut out = EventLog::new(log.vantage.clone());
     let mut metric_idx = 0usize;
     for ev in &log.events {
@@ -161,8 +167,10 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
     let client = client_conn.borrow();
     let first_srtt_ms = client_log.metrics_updates().next().map(|(_, srtt, _)| srtt);
     let exposure = sc.client.metrics_exposure();
-    let exposed = apply_exposure(&client_log, exposure);
-    let exposed_metric_updates = exposed.metrics_updates().count();
+    // Counting survivors needs no materialized filtered log (and for
+    // full-fidelity clients no filtering at all).
+    let exposed_metric_updates =
+        exposure.exposed_update_count(client_log.metrics_updates().count());
 
     let result = RunResult {
         label: sc.label(),
@@ -192,15 +200,76 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
     (result, std::mem::take(&mut net.trace))
 }
 
-/// Runs `n` repetitions with distinct seeds.
+/// The scenario for repetition `i` of `sc`: identical parameters, the
+/// per-repetition seed. Both the sequential and the parallel sweep
+/// derive repetitions through this single function, which is what makes
+/// their outputs bit-identical.
+pub fn rep_scenario(sc: &Scenario, i: usize) -> Scenario {
+    let mut s = sc.clone();
+    s.seed = sc.seed.wrapping_add(i as u64 * 7919);
+    s
+}
+
+/// Runs `n` repetitions with distinct seeds, sequentially.
 pub fn run_repetitions(sc: &Scenario, n: usize) -> Vec<RunResult> {
-    (0..n)
-        .map(|i| {
-            let mut s = sc.clone();
-            s.seed = sc.seed.wrapping_add(i as u64 * 7919);
-            run_scenario(&s)
-        })
-        .collect()
+    (0..n).map(|i| run_scenario(&rep_scenario(sc, i))).collect()
+}
+
+/// Runs `n` repetitions with distinct seeds across `threads` workers.
+/// Results come back in repetition order, so the output is identical to
+/// [`run_repetitions`] — each repetition is a pure function of its seed.
+pub fn run_repetitions_parallel(sc: &Scenario, n: usize, threads: usize) -> Vec<RunResult> {
+    rq_par::sweep(n, threads, |i| run_scenario(&rep_scenario(sc, i)))
+}
+
+/// A reusable parallel sweep configuration for experiment drivers.
+///
+/// Thread count comes from `REACKED_THREADS` (default: available
+/// parallelism); `REACKED_THREADS=1` forces the sequential path.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count (`0` is treated as `1`).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized by `REACKED_THREADS` / available parallelism.
+    pub fn from_env() -> Self {
+        SweepRunner::new(rq_par::threads_from_env())
+    }
+
+    /// Worker count this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel [`run_repetitions`]: same repetitions, same order.
+    pub fn run_repetitions(&self, sc: &Scenario, n: usize) -> Vec<RunResult> {
+        run_repetitions_parallel(sc, n, self.threads)
+    }
+
+    /// Fans an arbitrary per-item job out over the pool, preserving
+    /// input order (e.g. one scenario per client profile).
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        rq_par::sweep_slice(items, self.threads, f)
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::from_env()
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +413,59 @@ mod tests {
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.ttfb_ms, y.ttfb_ms, "same seed ⇒ identical run");
         }
+    }
+
+    #[test]
+    fn apply_exposure_identity_and_filter_agree_with_counts() {
+        // picoquic exposes a fraction of updates without variance; the
+        // materialized filtered log must agree with the count-only path
+        // the runner uses, and the identity path must be a plain copy.
+        let mut sc = base("picoquic", WFC, HttpVersion::H1);
+        sc.file_size = 50 * 1024;
+        let res = run_scenario(&sc);
+        let partial = sc.client.metrics_exposure();
+        assert!(!partial.is_identity());
+        let filtered = apply_exposure(&res.client_log, partial);
+        assert_eq!(
+            filtered.metrics_updates().count(),
+            res.exposed_metric_updates
+        );
+        assert_eq!(
+            partial.exposed_update_count(res.client_log.metrics_updates().count()),
+            res.exposed_metric_updates
+        );
+        // Filtered updates hide the variance.
+        assert!(filtered.metrics_updates().all(|(_, _, var)| var.is_none()));
+
+        let full = MetricsExposure::full();
+        let copied = apply_exposure(&res.client_log, full);
+        assert_eq!(copied.events.len(), res.client_log.events.len());
+        assert_eq!(copied.events, res.client_log.events);
+    }
+
+    #[test]
+    fn parallel_repetitions_match_sequential() {
+        let sc = base("quic-go", WFC, HttpVersion::H1);
+        let seq = run_repetitions(&sc, 5);
+        for threads in [1usize, 3] {
+            let par = run_repetitions_parallel(&sc, 5, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.label, b.label, "threads {threads}");
+                assert_eq!(a.ttfb_ms, b.ttfb_ms, "threads {threads}");
+                assert_eq!(a.client_log.events.len(), b.client_log.events.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_runner_map_preserves_order() {
+        let runner = SweepRunner::new(4);
+        assert_eq!(runner.threads(), 4);
+        let rtts = [1u64, 9, 20];
+        let out = runner.map(&rtts, |r| r * 2);
+        assert_eq!(out, vec![2, 18, 40]);
+        assert_eq!(SweepRunner::new(0).threads(), 1);
     }
 
     #[test]

@@ -2,31 +2,41 @@
 
 /// Median of a sample (averages the middle pair for even sizes).
 pub fn median(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
     let mut v = values.to_vec();
     v.sort_by(f64::total_cmp);
-    let n = v.len();
+    median_sorted(&v)
+}
+
+/// [`median`] over an already-sorted sample (no clone, no re-sort).
+pub fn median_sorted(sorted: &[f64]) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
     Some(if n % 2 == 1 {
-        v[n / 2]
+        sorted[n / 2]
     } else {
-        (v[n / 2 - 1] + v[n / 2]) / 2.0
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     })
 }
 
 /// The `p`-th percentile (0..=100) using nearest-rank interpolation.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
     let mut v = values.to_vec();
     v.sort_by(f64::total_cmp);
-    let rank = (p / 100.0) * (v.len() as f64 - 1.0);
+    percentile_sorted(&v, p)
+}
+
+/// [`percentile`] over an already-sorted sample (no clone, no re-sort).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
 /// Five-number summary of a sample.
@@ -47,7 +57,8 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes the summary; `None` for empty samples.
+    /// Computes the summary; `None` for empty samples. Sorts exactly
+    /// once and reads every quantile off the sorted sample.
     pub fn of(values: &[f64]) -> Option<Summary> {
         if values.is_empty() {
             return None;
@@ -57,9 +68,9 @@ impl Summary {
         Some(Summary {
             n: v.len(),
             min: v[0],
-            p25: percentile(&v, 25.0).unwrap(),
-            median: median(&v).unwrap(),
-            p75: percentile(&v, 75.0).unwrap(),
+            p25: percentile_sorted(&v, 25.0).unwrap(),
+            median: median_sorted(&v).unwrap(),
+            p75: percentile_sorted(&v, 75.0).unwrap(),
             max: v[v.len() - 1],
         })
     }
@@ -83,6 +94,19 @@ mod tests {
         assert_eq!(percentile(&v, 50.0), Some(30.0));
         assert_eq!(percentile(&v, 100.0), Some(50.0));
         assert_eq!(percentile(&v, 25.0), Some(20.0));
+    }
+
+    #[test]
+    fn sorted_variants_match_unsorted() {
+        let v = [7.0, 1.0, 4.0, 9.0, 2.0, 6.0];
+        let mut s = v.to_vec();
+        s.sort_by(f64::total_cmp);
+        assert_eq!(median_sorted(&s), median(&v));
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&s, p), percentile(&v, p));
+        }
+        assert_eq!(median_sorted(&[]), None);
+        assert_eq!(percentile_sorted(&[], 50.0), None);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_quic::ServerAckMode;
-use rq_testbed::{median, run_scenario, run_scenario_with_trace, LossSpec, RunResult, Scenario};
+use rq_testbed::{
+    median, run_repetitions, run_repetitions_parallel, run_scenario, run_scenario_with_trace,
+    LossSpec, RunResult, Scenario, SweepRunner,
+};
 
 /// Everything observable about a run, in comparable form.
 fn fingerprint(r: &RunResult) -> impl PartialEq + std::fmt::Debug {
@@ -51,6 +54,54 @@ fn same_seed_same_result_for_every_loss_spec() {
             let b = run_scenario(&sc);
             assert_eq!(fingerprint(&a), fingerprint(&b), "{loss:?}/{mode:?}");
         }
+    }
+}
+
+#[test]
+fn parallel_sweep_identical_to_sequential_for_every_spec() {
+    // The parallel engine's core guarantee: for every loss specification
+    // and both ACK modes, fanning repetitions out over 1 or 4 workers
+    // yields exactly the sequential results, in the same order.
+    for loss in [
+        LossSpec::None,
+        LossSpec::ServerFlightTail,
+        LossSpec::SecondClientFlight,
+    ] {
+        for mode in [
+            ServerAckMode::WaitForCertificate,
+            ServerAckMode::InstantAck { pad_to_mtu: false },
+        ] {
+            let mut sc = Scenario::base(client_by_name("quic-go").unwrap(), mode, HttpVersion::H1);
+            sc.loss = loss;
+            sc.seed = 7;
+            let reps = 6;
+            let seq = run_repetitions(&sc, reps);
+            for threads in [1usize, 4] {
+                let par = run_repetitions_parallel(&sc, reps, threads);
+                assert_eq!(par.len(), seq.len(), "{loss:?}/{mode:?} x{threads}");
+                for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                    assert_eq!(
+                        fingerprint(a),
+                        fingerprint(b),
+                        "{loss:?}/{mode:?} threads {threads} rep {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_runner_repetitions_match_free_function() {
+    let sc = Scenario::base(
+        client_by_name("neqo").unwrap(),
+        ServerAckMode::WaitForCertificate,
+        HttpVersion::H1,
+    );
+    let direct = run_repetitions_parallel(&sc, 4, 2);
+    let via_runner = SweepRunner::new(2).run_repetitions(&sc, 4);
+    for (a, b) in direct.iter().zip(&via_runner) {
+        assert_eq!(fingerprint(a), fingerprint(b));
     }
 }
 
