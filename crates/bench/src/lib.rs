@@ -49,17 +49,23 @@ pub fn ms_cell(v: Option<f64>) -> String {
     }
 }
 
-/// Aggregates one scenario cell's repetitions: `(median TTFB, aborts)`;
-/// the median is `None` when fewer than half the runs completed (e.g.
-/// the quiche abort).
+/// The paper tables' aggregation rule: the median of a cell's metric, or
+/// `None` when fewer than half of the `reps` repetitions produced it
+/// (e.g. the quiche abort).
+pub fn half_median(values: &[f64], reps: usize) -> Option<f64> {
+    if values.len() * 2 < reps {
+        None
+    } else {
+        median(values)
+    }
+}
+
+/// Aggregates one scenario cell's repetitions: `(median TTFB, aborts)`,
+/// with the [`half_median`] completion threshold.
 fn cell_median_ttfb(results: &[RunResult], reps: usize) -> (Option<f64>, usize) {
     let ttfbs: Vec<f64> = results.iter().filter_map(|r| r.ttfb_ms).collect();
     let aborted = results.iter().filter(|r| r.aborted).count();
-    if ttfbs.len() * 2 < reps {
-        (None, aborted)
-    } else {
-        (median(&ttfbs), aborted)
-    }
+    (half_median(&ttfbs, reps), aborted)
 }
 
 /// Median TTFB in ms over `reps` repetitions of `sc`; `None` when fewer

@@ -1,0 +1,83 @@
+//! Golden-output tests for the experiment regenerator binaries.
+//!
+//! Each binary's stdout is captured under pinned knobs (`REACKED_REPS=3`)
+//! and compared byte-for-byte against `tests/golden/*.txt`, so a refactor
+//! cannot silently shift the paper numbers. Every binary is additionally
+//! run at two thread counts (or the one `REACKED_THREADS` the environment
+//! pins, e.g. in CI's per-thread-count jobs): matching the same golden
+//! bytes at both counts proves the sweep engine's parallel == sequential
+//! guarantee end to end.
+//!
+//! Regenerate after an intentional output change with:
+//! `REACKED_REPS=3 REACKED_THREADS=1 cargo run --release --bin <exp> \
+//!  > crates/bench/tests/golden/<exp>.txt`
+
+use std::process::Command;
+
+/// Thread counts to exercise: the pinned `REACKED_THREADS` when the
+/// environment sets one (CI's determinism jobs), else both 1 and 4.
+fn thread_counts() -> Vec<String> {
+    match std::env::var("REACKED_THREADS") {
+        Ok(v) if !v.trim().is_empty() => vec![v],
+        _ => vec!["1".into(), "4".into()],
+    }
+}
+
+fn assert_matches_golden(bin_path: &str, name: &str, golden: &str) {
+    for threads in thread_counts() {
+        let out = Command::new(bin_path)
+            .env("REACKED_REPS", "3")
+            .env("REACKED_THREADS", &threads)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "{name} (threads={threads}) exited with {:?}\nstderr:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout)
+            .unwrap_or_else(|e| panic!("{name} wrote non-UTF8 output: {e}"));
+        assert!(
+            stdout == golden,
+            "{name} (threads={threads}) diverged from tests/golden/{name}.txt\n\
+             --- golden ---\n{golden}\n--- actual ---\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn exp_fig02_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig02"),
+        "exp_fig02",
+        include_str!("golden/exp_fig02.txt"),
+    );
+}
+
+#[test]
+fn exp_fig06_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig06"),
+        "exp_fig06",
+        include_str!("golden/exp_fig06.txt"),
+    );
+}
+
+#[test]
+fn exp_tab03_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_tab03"),
+        "exp_tab03",
+        include_str!("golden/exp_tab03.txt"),
+    );
+}
+
+#[test]
+fn exp_impairment_sweep_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_impairment_sweep"),
+        "exp_impairment_sweep",
+        include_str!("golden/exp_impairment_sweep.txt"),
+    );
+}

@@ -54,8 +54,10 @@ pub mod prelude {
     pub use rq_http::HttpVersion;
     pub use rq_profiles::{all_clients, all_servers, client_by_name, server_by_name};
     pub use rq_quic::{ProbePolicy, ServerAckMode};
-    pub use rq_sim::SimDuration;
-    pub use rq_testbed::{run_repetitions, run_scenario, LossSpec, Scenario};
+    pub use rq_sim::{ImpairmentSpec, SimDuration};
+    pub use rq_testbed::{
+        run_repetitions, run_scenario, LossSpec, MatrixCell, Scenario, ScenarioMatrix, SweepRunner,
+    };
     pub use rq_wild::{scan, Population, Vantage};
 }
 

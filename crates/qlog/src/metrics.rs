@@ -64,6 +64,24 @@ pub fn first_pto_ms(log: &EventLog) -> Option<f64> {
     pto_series(log).first().map(|p| p.pto_ms)
 }
 
+/// Number of `recovery:packet_lost` declarations in a log — how often
+/// loss recovery actually fired, the headline recovery-activity metric
+/// for stochastic-impairment sweeps.
+pub fn packets_lost(log: &EventLog) -> usize {
+    log.events
+        .iter()
+        .filter(|e| matches!(e.data, EventData::PacketLost { .. }))
+        .count()
+}
+
+/// Number of `recovery:loss_timer_updated` PTO expirations in a log.
+pub fn pto_expirations(log: &EventLog) -> usize {
+    log.events
+        .iter()
+        .filter(|e| matches!(e.data, EventData::PtoExpired { .. }))
+        .count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +145,37 @@ mod tests {
         let log = EventLog::new("c");
         assert_eq!(first_pto_ms(&log), None);
         assert!(pto_series(&log).is_empty());
+    }
+
+    #[test]
+    fn recovery_event_counters() {
+        use crate::events::SpaceName;
+        let mut log = EventLog::new("c");
+        assert_eq!(packets_lost(&log), 0);
+        assert_eq!(pto_expirations(&log), 0);
+        log.push(
+            t(5),
+            EventData::PacketLost {
+                space: SpaceName::Initial,
+                pn: 1,
+            },
+        );
+        log.push(
+            t(6),
+            EventData::PtoExpired {
+                space: SpaceName::Initial,
+                pto_count: 1,
+            },
+        );
+        log.push(
+            t(9),
+            EventData::PacketLost {
+                space: SpaceName::ApplicationData,
+                pn: 7,
+            },
+        );
+        push_update(&mut log, 10, 9.0, None, 9.0);
+        assert_eq!(packets_lost(&log), 2);
+        assert_eq!(pto_expirations(&log), 1);
     }
 }

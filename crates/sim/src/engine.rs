@@ -207,7 +207,7 @@ impl Network {
             .unwrap_or_else(|| panic!("no link between {from:?} and {to:?}"));
         let (result, index) = link.transmit(from, &payload, self.now);
         match result {
-            TransmitResult::Deliver(at) => {
+            TransmitResult::Deliver { at, duplicate } => {
                 self.trace.record_datagram(
                     from,
                     to,
@@ -215,7 +215,27 @@ impl Network {
                     DatagramFate::Delivered(at),
                     &payload,
                     index,
+                    false,
                 );
+                if let Some(dup_at) = duplicate {
+                    self.trace.record_datagram(
+                        from,
+                        to,
+                        self.now,
+                        DatagramFate::Delivered(dup_at),
+                        &payload,
+                        index,
+                        true,
+                    );
+                    self.push_event(
+                        dup_at,
+                        EventKind::Datagram {
+                            from,
+                            to,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
                 self.push_event(at, EventKind::Datagram { from, to, payload });
             }
             TransmitResult::Drop => {
@@ -226,6 +246,7 @@ impl Network {
                     DatagramFate::Dropped,
                     &payload,
                     index,
+                    false,
                 );
             }
         }
@@ -287,6 +308,7 @@ mod tests {
                 one_way_delay: SimDuration::from_millis(10),
                 bandwidth_bps: None,
                 loss: Box::new(crate::loss::NoLoss),
+                impairment: None,
                 mtu: 1500,
             },
         );
@@ -353,6 +375,44 @@ mod tests {
         assert_eq!(outcome, RunOutcome::QueueEmpty);
         assert_eq!(net.trace.dropped_count(b, a), 1);
         assert!(net.trace.milestones.is_empty());
+    }
+
+    #[test]
+    fn duplicating_channel_delivers_both_copies() {
+        use crate::impair::ImpairmentSpec;
+        // A always-duplicate channel: the sink sees b's ping twice, the
+        // trace attributes one send and one fabricated copy.
+        struct Sink;
+        impl Node for Sink {
+            fn on_datagram(&mut self, ctx: &mut Context<'_>, _: NodeId, _: &[u8]) {
+                let me = ctx.me();
+                let now = ctx.now();
+                ctx.trace().milestone(me, now, "rx");
+            }
+        }
+        struct OneShot {
+            peer: NodeId,
+        }
+        impl Node for OneShot {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.peer, b"ping".to_vec());
+            }
+            fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+        }
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Sink));
+        let b = net.add_node(Box::new(OneShot { peer: a }));
+        net.connect(
+            a,
+            b,
+            LinkConfig::paper_default(SimDuration::from_millis(2))
+                .with_impairment(ImpairmentSpec::none().with_duplication(1.0), 1),
+        );
+        assert_eq!(net.run(SimDuration::from_secs(1)), RunOutcome::QueueEmpty);
+        assert_eq!(net.trace.all("rx").len(), 2);
+        assert_eq!(net.trace.sent_count(b, a), 1);
+        assert_eq!(net.trace.duplicated_count(b, a), 1);
+        assert_eq!(net.link_stats(a, b).unwrap().duplicated, 1);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! This crate replaces the paper's Docker/QUIC-Interop-Runner testbed with a
 //! virtual-time simulation: nodes exchange UDP datagrams over links with a
 //! configurable one-way delay, serialization bandwidth (10 Mbit/s in the
-//! paper), and *content-matched* loss rules. All randomness comes from a
-//! seeded [`rng::SimRng`], so every run is exactly reproducible.
+//! paper), *content-matched* loss rules, and seeded stochastic impairments
+//! (i.i.d. or Gilbert–Elliott bursty loss, reordering, duplication, delay
+//! jitter — see [`impair`]). All randomness comes from a seeded
+//! [`rng::SimRng`], so every run is exactly reproducible.
 //!
 //! The design follows the sans-IO idiom: protocol endpoints implement
 //! [`node::Node`] and are driven purely by `on_datagram` / `on_timer`
@@ -12,6 +14,7 @@
 //! threads, no sockets.
 
 pub mod engine;
+pub mod impair;
 pub mod link;
 pub mod loss;
 pub mod node;
@@ -20,6 +23,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Network, RunOutcome};
+pub use impair::{ImpairedFate, Impairment, ImpairmentSpec, Jitter, LossModel};
 pub use link::{LinkConfig, LinkStats};
 pub use loss::{Direction, DropContentMatch, DropIndices, LossRule, NoLoss};
 pub use node::{Context, Node, NodeId};

@@ -5,6 +5,7 @@
 //! paper's testbed uses symmetric one-way delays between 0.5 ms and 150 ms
 //! and 10 Mbit/s of bandwidth; `LinkConfig` captures exactly those knobs.
 
+use crate::impair::{ImpairedFate, Impairment, ImpairmentSpec};
 use crate::loss::{DatagramMeta, Direction, LossRule, NoLoss};
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
@@ -18,6 +19,9 @@ pub struct LinkConfig {
     pub bandwidth_bps: Option<u64>,
     /// Loss rule applied to every datagram on this link.
     pub loss: Box<dyn LossRule>,
+    /// Optional seeded stochastic channel (random loss, reordering,
+    /// duplication, jitter) applied after the deterministic loss rule.
+    pub impairment: Option<Impairment>,
     /// Maximum UDP payload; larger sends panic (QUIC never exceeds this).
     pub mtu: usize,
 }
@@ -29,6 +33,7 @@ impl LinkConfig {
             one_way_delay,
             bandwidth_bps: Some(10_000_000),
             loss: Box::new(NoLoss),
+            impairment: None,
             mtu: 1500,
         }
     }
@@ -39,12 +44,19 @@ impl LinkConfig {
         self
     }
 
+    /// Attaches a seeded stochastic impairment channel.
+    pub fn with_impairment(mut self, spec: ImpairmentSpec, seed: u64) -> Self {
+        self.impairment = Some(Impairment::new(spec, seed));
+        self
+    }
+
     /// Ideal link: zero delay, infinite bandwidth (useful in unit tests).
     pub fn ideal() -> Self {
         LinkConfig {
             one_way_delay: SimDuration::ZERO,
             bandwidth_bps: None,
             loss: Box::new(NoLoss),
+            impairment: None,
             mtu: 65_535,
         }
     }
@@ -55,6 +67,7 @@ impl std::fmt::Debug for LinkConfig {
         f.debug_struct("LinkConfig")
             .field("one_way_delay", &self.one_way_delay)
             .field("bandwidth_bps", &self.bandwidth_bps)
+            .field("impairment", &self.impairment.as_ref().map(|i| i.spec()))
             .field("mtu", &self.mtu)
             .finish()
     }
@@ -65,8 +78,10 @@ impl std::fmt::Debug for LinkConfig {
 pub struct LinkStats {
     /// Datagrams accepted for transmission (including later drops).
     pub sent: usize,
-    /// Datagrams dropped by the loss rule.
+    /// Datagrams dropped by the loss rule or the random loss process.
     pub dropped: usize,
+    /// Extra datagram copies created by the impairment channel.
+    pub duplicated: usize,
     /// Bytes accepted for transmission.
     pub bytes: usize,
 }
@@ -85,9 +100,13 @@ pub(crate) struct Link {
 
 /// Result of offering a datagram to a link.
 pub(crate) enum TransmitResult {
-    /// Deliver at the given time.
-    Deliver(SimTime),
-    /// Dropped by the loss rule.
+    /// Deliver at the given time; the impairment channel may additionally
+    /// schedule a duplicate copy at its own arrival time.
+    Deliver {
+        at: SimTime,
+        duplicate: Option<SimTime>,
+    },
+    /// Dropped by the loss rule or the random loss process.
     Drop,
 }
 
@@ -149,6 +168,22 @@ impl Link {
             self.stats.dropped += 1;
             return (TransmitResult::Drop, index);
         }
+        // The stochastic channel decides after the deterministic rule, so
+        // paper-style content-matched drops never consume random draws.
+        let fate = match &mut self.config.impairment {
+            Some(imp) => imp.next_fate(direction),
+            None => ImpairedFate::Deliver {
+                extra: SimDuration::ZERO,
+                duplicate: None,
+            },
+        };
+        let (extra, dup_extra) = match fate {
+            ImpairedFate::Drop => {
+                self.stats.dropped += 1;
+                return (TransmitResult::Drop, index);
+            }
+            ImpairedFate::Deliver { extra, duplicate } => (extra, duplicate),
+        };
 
         // FIFO serialization: the transmitter finishes its queue first.
         let start = self.busy_until[dir_idx].max(now);
@@ -161,8 +196,21 @@ impl Link {
         };
         let tx_done = start + serialization;
         self.busy_until[dir_idx] = tx_done;
-        let arrival = tx_done + self.config.one_way_delay;
-        (TransmitResult::Deliver(arrival), index)
+        // Jitter / reorder hold-back / duplication happen downstream of the
+        // serializer: extra delays never occupy the transmitter, and every
+        // copy still travels at least one propagation delay.
+        let base = tx_done + self.config.one_way_delay;
+        let duplicate = dup_extra.map(|d| {
+            self.stats.duplicated += 1;
+            base + d
+        });
+        (
+            TransmitResult::Deliver {
+                at: base + extra,
+                duplicate,
+            },
+            index,
+        )
     }
 }
 
@@ -181,12 +229,13 @@ mod tests {
             one_way_delay: SimDuration::from_millis(5),
             bandwidth_bps: None,
             loss: Box::new(NoLoss),
+            impairment: None,
             mtu: 1500,
         });
         let (res, idx) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
         assert_eq!(idx, 0);
         match res {
-            TransmitResult::Deliver(at) => assert_eq!(at.as_millis_f64(), 5.0),
+            TransmitResult::Deliver { at, .. } => assert_eq!(at.as_millis_f64(), 5.0),
             TransmitResult::Drop => panic!(),
         }
     }
@@ -197,7 +246,7 @@ mod tests {
         let mut l = link(LinkConfig::paper_default(SimDuration::ZERO));
         let (res, _) = l.transmit(NodeId(0), &[0u8; 1250], SimTime::ZERO);
         match res {
-            TransmitResult::Deliver(at) => assert_eq!(at.as_millis_f64(), 1.0),
+            TransmitResult::Deliver { at, .. } => assert_eq!(at.as_millis_f64(), 1.0),
             TransmitResult::Drop => panic!(),
         }
     }
@@ -209,11 +258,11 @@ mod tests {
         let (r1, _) = l.transmit(NodeId(0), &[0u8; 1250], SimTime::ZERO);
         let (r2, _) = l.transmit(NodeId(0), &[0u8; 1250], SimTime::ZERO);
         let t1 = match r1 {
-            TransmitResult::Deliver(t) => t,
+            TransmitResult::Deliver { at, .. } => at,
             _ => panic!(),
         };
         let t2 = match r2 {
-            TransmitResult::Deliver(t) => t,
+            TransmitResult::Deliver { at, .. } => at,
             _ => panic!(),
         };
         assert_eq!(t1.as_millis_f64(), 1.0);
@@ -236,11 +285,66 @@ mod tests {
                 .with_loss(DropIndices::new(Direction::BtoA, &[0])),
         );
         let (r_a, _) = l.transmit(NodeId(0), &[0u8; 10], SimTime::ZERO);
-        assert!(matches!(r_a, TransmitResult::Deliver(_)));
+        assert!(matches!(r_a, TransmitResult::Deliver { .. }));
         let (r_b, _) = l.transmit(NodeId(1), &[0u8; 10], SimTime::ZERO);
         assert!(matches!(r_b, TransmitResult::Drop));
         assert_eq!(l.stats.dropped, 1);
         assert_eq!(l.stats.sent, 2);
+    }
+
+    #[test]
+    fn impaired_link_delays_stay_above_propagation() {
+        use crate::impair::ImpairmentSpec;
+        let owd = SimDuration::from_millis(5);
+        let spec = ImpairmentSpec::none()
+            .with_uniform_jitter(SimDuration::from_millis(3))
+            .with_reordering(0.5, SimDuration::from_millis(4))
+            .with_duplication(0.3);
+        let mut l = link(
+            LinkConfig {
+                one_way_delay: owd,
+                bandwidth_bps: None,
+                loss: Box::new(NoLoss),
+                impairment: None,
+                mtu: 1500,
+            }
+            .with_impairment(spec, 21),
+        );
+        let mut dups = 0;
+        for _ in 0..200 {
+            let (res, _) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
+            match res {
+                TransmitResult::Deliver { at, duplicate } => {
+                    assert!(at.since(SimTime::ZERO) >= owd);
+                    if let Some(d) = duplicate {
+                        assert!(d.since(SimTime::ZERO) >= owd);
+                        dups += 1;
+                    }
+                }
+                TransmitResult::Drop => panic!("lossless spec never drops"),
+            }
+        }
+        assert!(dups > 0);
+        assert_eq!(l.stats.duplicated, dups);
+        assert_eq!(l.stats.sent, 200);
+    }
+
+    #[test]
+    fn impaired_link_iid_loss_counts_drops() {
+        use crate::impair::ImpairmentSpec;
+        let mut l = link(
+            LinkConfig::paper_default(SimDuration::ZERO)
+                .with_impairment(ImpairmentSpec::none().with_iid_loss(0.5), 3),
+        );
+        let mut drops = 0;
+        for _ in 0..400 {
+            let (res, _) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
+            if matches!(res, TransmitResult::Drop) {
+                drops += 1;
+            }
+        }
+        assert_eq!(l.stats.dropped, drops);
+        assert!(drops > 100 && drops < 300, "drops {drops}");
     }
 
     #[test]

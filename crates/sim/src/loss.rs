@@ -6,6 +6,12 @@
 //! information (§3, Appendix E). [`DropIndices`] implements index-based
 //! drops; [`DropContentMatch`] implements content-matched drops using a
 //! caller-supplied classifier over the datagram bytes.
+//!
+//! These rules are deterministic by design. For *stochastic* channel
+//! behaviour — i.i.d. or Gilbert–Elliott random loss, reordering,
+//! duplication, jitter — attach a seeded [`crate::impair::ImpairmentSpec`]
+//! to the link instead; a link consults its loss rule first, then the
+//! impairment channel.
 
 use crate::time::SimTime;
 

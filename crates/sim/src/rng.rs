@@ -91,6 +91,14 @@ impl SimRng {
         median * (sigma * self.gen_normal()).exp()
     }
 
+    /// Uniform duration in `[0, max]` (nanosecond resolution).
+    pub fn gen_duration(&mut self, max: crate::time::SimDuration) -> crate::time::SimDuration {
+        if max == crate::time::SimDuration::ZERO {
+            return max;
+        }
+        crate::time::SimDuration::from_nanos(self.gen_range(max.as_nanos() + 1))
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -170,6 +178,17 @@ mod tests {
         let mut c2 = root.fork(2);
         let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_duration_bounded_inclusive() {
+        use crate::time::SimDuration;
+        let mut r = SimRng::new(4);
+        let max = SimDuration::from_nanos(10);
+        let draws: Vec<u64> = (0..2000).map(|_| r.gen_duration(max).as_nanos()).collect();
+        assert!(draws.iter().all(|&d| d <= 10));
+        assert!(draws.contains(&0) && draws.contains(&10), "range inclusive");
+        assert_eq!(r.gen_duration(SimDuration::ZERO), SimDuration::ZERO);
     }
 
     #[test]

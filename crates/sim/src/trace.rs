@@ -32,6 +32,9 @@ pub struct CaptureRecord {
     pub size: usize,
     /// 0-based index among datagrams sent in this direction on this link.
     pub index: usize,
+    /// True for the extra copy created by a duplicating impairment
+    /// channel; the original copy of the same `index` precedes it.
+    pub duplicate: bool,
     /// Full payload copy (present when capture is enabled).
     pub payload: Option<Vec<u8>>,
 }
@@ -73,6 +76,8 @@ impl Trace {
     /// Records one datagram offered to a link. The payload bytes are
     /// copied into the record only when `capture_payloads` is on; bulk
     /// sweeps pay nothing per datagram beyond the fixed-size record.
+    /// `duplicate` marks the extra copy created by a duplicating
+    /// impairment channel.
     pub fn record_datagram(
         &mut self,
         from: NodeId,
@@ -81,6 +86,7 @@ impl Trace {
         fate: DatagramFate,
         payload: &[u8],
         index: usize,
+        duplicate: bool,
     ) {
         let stored = if self.capture_payloads {
             Some(payload.to_vec())
@@ -94,6 +100,7 @@ impl Trace {
             fate,
             size: payload.len(),
             index,
+            duplicate,
             payload: stored,
         });
     }
@@ -133,10 +140,21 @@ impl Trace {
     }
 
     /// Number of datagrams sent from `from` to `to` (delivered or not).
+    /// Copies fabricated by a duplicating channel are not counted: the
+    /// sender offered them only once.
     pub fn sent_count(&self, from: NodeId, to: NodeId) -> usize {
         self.datagrams
             .iter()
-            .filter(|d| d.from == from && d.to == to)
+            .filter(|d| d.from == from && d.to == to && !d.duplicate)
+            .count()
+    }
+
+    /// Number of extra copies the impairment channel fabricated from
+    /// `from` to `to`.
+    pub fn duplicated_count(&self, from: NodeId, to: NodeId) -> usize {
+        self.datagrams
+            .iter()
+            .filter(|d| d.from == from && d.to == to && d.duplicate)
             .count()
     }
 
@@ -148,11 +166,12 @@ impl Trace {
             .count()
     }
 
-    /// Total bytes sent from `from` to `to`.
+    /// Total bytes sent from `from` to `to` (excluding fabricated
+    /// duplicate copies).
     pub fn bytes_sent(&self, from: NodeId, to: NodeId) -> usize {
         self.datagrams
             .iter()
-            .filter(|d| d.from == from && d.to == to)
+            .filter(|d| d.from == from && d.to == to && !d.duplicate)
             .map(|d| d.size)
             .sum()
     }
@@ -180,7 +199,15 @@ mod tests {
     fn record_datagram_copies_payload_only_when_capturing() {
         let (a, b) = (NodeId(0), NodeId(1));
         let mut off = Trace::new(false);
-        off.record_datagram(a, b, SimTime::ZERO, DatagramFate::Dropped, &[7, 8, 9], 0);
+        off.record_datagram(
+            a,
+            b,
+            SimTime::ZERO,
+            DatagramFate::Dropped,
+            &[7, 8, 9],
+            0,
+            false,
+        );
         assert_eq!(off.datagrams[0].size, 3);
         assert!(off.datagrams[0].payload.is_none());
 
@@ -192,6 +219,7 @@ mod tests {
             DatagramFate::Delivered(SimTime::from_nanos(1)),
             &[7, 8, 9],
             0,
+            false,
         );
         assert_eq!(on.datagrams[0].payload.as_deref(), Some(&[7u8, 8, 9][..]));
     }
@@ -207,6 +235,7 @@ mod tests {
             fate: DatagramFate::Delivered(SimTime::from_nanos(10)),
             size: 1200,
             index: 0,
+            duplicate: false,
             payload: None,
         });
         t.datagrams.push(CaptureRecord {
@@ -216,6 +245,7 @@ mod tests {
             fate: DatagramFate::Dropped,
             size: 300,
             index: 1,
+            duplicate: false,
             payload: None,
         });
         assert_eq!(t.sent_count(a, b), 2);

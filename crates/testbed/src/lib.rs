@@ -5,11 +5,13 @@
 //! loss), runs repetitions, and extracts the metrics the paper reports
 //! (TTFB, first PTO, RTT-sample counts, instant-ACK observations).
 
+pub mod matrix;
 pub mod nodes;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
 
+pub use matrix::{MatrixCell, ScenarioMatrix};
 pub use nodes::{ClientNode, ServerNode};
 pub use runner::{
     apply_exposure, rep_scenario, run_repetitions, run_repetitions_parallel, run_scenario,

@@ -41,12 +41,22 @@ pub struct RunResult {
     pub server_amp_blocked: bool,
     /// The client observed an instant ACK.
     pub iack_observed: bool,
+    /// Packets the client's loss recovery declared lost
+    /// (`recovery:packet_lost` events in its qlog).
+    pub client_packets_lost: usize,
+    /// Packets the server's loss recovery declared lost; under random
+    /// impairments most drops hit server flights, so this is where
+    /// recovery activity shows up.
+    pub server_packets_lost: usize,
     /// Datagrams the client sent / the server sent.
     pub client_datagrams: usize,
     /// Server-sent datagram count.
     pub server_datagrams: usize,
-    /// Datagrams dropped by the loss rule.
+    /// Datagrams dropped by the loss rule or the random loss process.
     pub dropped_datagrams: usize,
+    /// Extra datagram copies fabricated by a duplicating impairment
+    /// channel (0 unless `LossSpec::Random` enables duplication).
+    pub duplicated_datagrams: usize,
     /// Full client qlog.
     pub client_log: EventLog,
     /// Full server qlog.
@@ -143,6 +153,9 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
     let link = LinkConfig::paper_default(sc.one_way_delay());
     let mut link = link;
     link.loss = sc.loss_rule();
+    if let Some(spec) = sc.impairment() {
+        link = link.with_impairment(spec, sc.impairment_seed());
+    }
     net.connect(client_id, server_id, link);
 
     // 10 MB at 10 Mbit/s takes ~8.4 s; loss + 300 ms RTT backoffs can add
@@ -190,10 +203,14 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
         iack_observed: client_log
             .first(|d| matches!(d, EventData::InstantAck { sent: false }))
             .is_some(),
+        client_packets_lost: rq_qlog::packets_lost(&client_log),
+        server_packets_lost: rq_qlog::packets_lost(&server_log),
         client_datagrams: trace.sent_count(client_id, server_id),
         server_datagrams: trace.sent_count(server_id, client_id),
         dropped_datagrams: trace.dropped_count(client_id, server_id)
             + trace.dropped_count(server_id, client_id),
+        duplicated_datagrams: trace.duplicated_count(client_id, server_id)
+            + trace.duplicated_count(server_id, client_id),
         client_log,
         server_log,
     };

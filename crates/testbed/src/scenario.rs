@@ -3,10 +3,11 @@
 use rq_http::HttpVersion;
 use rq_profiles::ClientProfile;
 use rq_quic::ServerAckMode;
-use rq_sim::{Direction, DropIndices, LossRule, NoLoss, SimDuration};
+use rq_sim::{Direction, DropIndices, ImpairmentSpec, LossRule, NoLoss, SimDuration};
 
-/// Which datagrams are dropped (paper §4.2 / Appendix E/F).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which datagrams are dropped (paper §4.2 / Appendix E/F), or which
+/// stochastic channel the path emulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossSpec {
     /// No loss.
     None,
@@ -18,6 +19,11 @@ pub enum LossSpec {
     /// per-implementation datagram mapping of Table 4 (Figure 7 /
     /// Figure 13).
     SecondClientFlight,
+    /// Seeded stochastic impairments (random/bursty loss, reordering,
+    /// duplication, jitter) instead of a hand-picked pattern. The channel
+    /// seed is derived from [`Scenario::seed`] alone, so impaired runs
+    /// stay exactly reproducible.
+    Random(ImpairmentSpec),
 }
 
 /// One testbed run configuration.
@@ -97,7 +103,27 @@ impl Scenario {
                 let indices: Vec<usize> = (1..=n).collect();
                 Box::new(DropIndices::new(Direction::AtoB, &indices))
             }
+            // Random impairments are not a per-datagram rule; the runner
+            // attaches them to the link via `impairment()`.
+            LossSpec::Random(_) => Box::new(NoLoss),
         }
+    }
+
+    /// The stochastic channel spec for `LossSpec::Random` scenarios.
+    pub fn impairment(&self) -> Option<ImpairmentSpec> {
+        match self.loss {
+            LossSpec::Random(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Seed for the link's impairment channel, derived from the scenario
+    /// seed alone — an impaired run is a pure function of `self.seed`.
+    pub fn impairment_seed(&self) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ 0x1A1D_0F_1A1D_u64
     }
 
     /// One-way link delay (half the RTT).
@@ -182,6 +208,43 @@ mod tests {
             }
             assert!(!rule.should_drop(&meta(Direction::AtoB, n + 1)), "{name}");
         }
+    }
+
+    #[test]
+    fn random_loss_spec_uses_link_impairment_not_rule() {
+        let spec = ImpairmentSpec::none().with_iid_loss(0.1);
+        let mut sc = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            HttpVersion::H1,
+        );
+        assert!(sc.impairment().is_none());
+        sc.loss = LossSpec::Random(spec);
+        assert_eq!(sc.impairment(), Some(spec));
+        // The rule side is transparent; the channel handles the drops.
+        let mut rule = sc.loss_rule();
+        for i in 0..50 {
+            assert!(!rule.should_drop(&meta(Direction::BtoA, i)));
+        }
+    }
+
+    #[test]
+    fn impairment_seed_is_a_pure_function_of_scenario_seed() {
+        let mut a = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            HttpVersion::H1,
+        );
+        let mut b = Scenario::base(
+            client_by_name("neqo").unwrap(),
+            ServerAckMode::InstantAck { pad_to_mtu: false },
+            HttpVersion::H3,
+        );
+        a.seed = 77;
+        b.seed = 77;
+        assert_eq!(a.impairment_seed(), b.impairment_seed());
+        b.seed = 78;
+        assert_ne!(a.impairment_seed(), b.impairment_seed());
     }
 
     #[test]

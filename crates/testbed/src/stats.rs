@@ -20,18 +20,28 @@ pub fn median_sorted(sorted: &[f64]) -> Option<f64> {
     })
 }
 
-/// The `p`-th percentile (0..=100) using nearest-rank interpolation.
+/// The `p`-th percentile using linear interpolation between closest
+/// ranks.
+///
+/// Edge cases are explicit: an empty sample yields `None`; a
+/// single-element sample yields that element for every `p`; `p` outside
+/// `0..=100` is clamped into the range, so `percentile(v, -5.0)` is the
+/// minimum and `percentile(v, 250.0)` the maximum (NaN acts like 0).
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     let mut v = values.to_vec();
     v.sort_by(f64::total_cmp);
     percentile_sorted(&v, p)
 }
 
-/// [`percentile`] over an already-sorted sample (no clone, no re-sort).
+/// [`percentile`] over an already-sorted sample (no clone, no re-sort);
+/// same explicit edge-case behavior.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
+    // f64::clamp propagates NaN, so it needs its own arm to keep the
+    // rank arithmetic below NaN-free.
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -57,7 +67,8 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes the summary; `None` for empty samples. Sorts exactly
+    /// Computes the summary; `None` for empty samples (a single-element
+    /// sample collapses every quantile onto that element). Sorts exactly
     /// once and reads every quantile off the sorted sample.
     pub fn of(values: &[f64]) -> Option<Summary> {
         if values.is_empty() {
@@ -117,5 +128,35 @@ mod tests {
         assert_eq!(s.median, 3.0);
         assert_eq!(s.max, 5.0);
         assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_inputs_yield_none_everywhere() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median_sorted(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile_sorted(&[], 0.0), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_element_collapses_all_quantiles() {
+        for p in [-10.0, 0.0, 25.0, 50.0, 99.9, 100.0, 400.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5));
+        }
+        assert_eq!(median(&[7.5]), Some(7.5));
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(
+            (s.n, s.min, s.p25, s.median, s.p75, s.max),
+            (1, 7.5, 7.5, 7.5, 7.5, 7.5)
+        );
+    }
+
+    #[test]
+    fn out_of_range_p_clamps_to_extremes() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&v, -5.0), Some(10.0));
+        assert_eq!(percentile(&v, 250.0), Some(30.0));
+        assert_eq!(percentile(&v, f64::NAN), Some(10.0));
     }
 }
