@@ -15,10 +15,11 @@ use std::time::Instant;
 use rq_bench::{repetitions, IACK, WFC};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
-use rq_sim::SimDuration;
+use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
     run_repetitions, run_repetitions_parallel, LossSpec, RunResult, Scenario, SweepRunner,
 };
+use rq_wild::{scan_with, Population};
 
 /// The scenario classes the paper sweeps most: clean handshake, both
 /// content-matched loss patterns, and the anti-amplification case.
@@ -91,6 +92,34 @@ fn main() {
                 "{label}: parallel rep {i} diverged from sequential"
             );
         }
+
+        let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
+        println!("{label:<26} {seq_ms:>12.1} {par_ms:>12.1} {speedup:>8.2}x");
+        rows.push(format!(
+            "    {{\n      \"label\": \"{label}\",\n      \"sequential_ms\": {},\n      \"parallel_ms\": {},\n      \"speedup\": {}\n    }}",
+            json_num(seq_ms),
+            json_num(par_ms),
+            json_num(speedup)
+        ));
+    }
+
+    // The macroscopic scan class: shards the wild-scan domain loops
+    // instead of scenario repetitions (same engine, same identical-
+    // results guarantee).
+    {
+        let label = "wild_scan";
+        let pop = Population::synthesize(20_000, &mut SimRng::new(0xB5EED));
+        let _ = scan_with(&pop, 1, 0xD0_17, &SweepRunner::new(threads)); // warm-up
+
+        let t0 = Instant::now();
+        let seq = scan_with(&pop, 2, 0xD0_17, &SweepRunner::new(1));
+        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t1 = Instant::now();
+        let par = scan_with(&pop, 2, 0xD0_17, &SweepRunner::new(threads));
+        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+        assert_eq!(seq, par, "{label}: parallel scan diverged from sequential");
 
         let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
         println!("{label:<26} {seq_ms:>12.1} {par_ms:>12.1} {speedup:>8.2}x");

@@ -9,7 +9,7 @@ use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_quic::ServerAckMode;
 use rq_sim::SimDuration;
-use rq_testbed::{median, Scenario, SweepRunner};
+use rq_testbed::{median, Scenario, SweepRunner, SweepScenarios};
 
 fn main() {
     banner(

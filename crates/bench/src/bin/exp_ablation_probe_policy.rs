@@ -10,7 +10,7 @@ use rq_bench::{banner, ms_cell, repetitions, IACK};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_quic::ProbePolicy;
-use rq_testbed::{median, LossSpec, Scenario, SweepRunner};
+use rq_testbed::{median, LossSpec, Scenario, SweepRunner, SweepScenarios};
 
 fn main() {
     banner(

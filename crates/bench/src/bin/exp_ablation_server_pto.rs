@@ -8,7 +8,7 @@ use rq_bench::{banner, ms_cell, repetitions, IACK, WFC};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_sim::SimDuration;
-use rq_testbed::{median, LossSpec, Scenario, SweepRunner};
+use rq_testbed::{median, LossSpec, Scenario, SweepRunner, SweepScenarios};
 
 fn main() {
     banner(

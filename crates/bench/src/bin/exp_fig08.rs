@@ -3,7 +3,8 @@
 
 use rq_bench::{banner, scan_population};
 use rq_sim::SimRng;
-use rq_wild::{scan, Cdn, Population, Vantage};
+use rq_testbed::SweepRunner;
+use rq_wild::{scan_with, Cdn, Population, Vantage};
 
 fn main() {
     banner(
@@ -12,11 +13,15 @@ fn main() {
         "ACK→SH delay percentiles [ms] per CDN, Sao Paulo (coalesced ACK–SH counted as 0).",
     );
     let pop = Population::synthesize(scan_population(), &mut SimRng::new(0xF16_08));
-    let report = scan(&pop, 1, 0xF16_08);
+    let report = scan_with(&pop, 1, 0xF16_08, &SweepRunner::from_env());
     println!(
         "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
         "CDN", "n", "p10", "p25", "p50", "p75", "p90", "IACK median"
     );
+    let cell = |v: Option<f64>| match v {
+        Some(x) => format!("{x:8.2}"),
+        None => format!("{:>8}", "-"),
+    };
     for cdn in [
         Cdn::Akamai,
         Cdn::Amazon,
@@ -24,28 +29,22 @@ fn main() {
         Cdn::Google,
         Cdn::Others,
     ] {
-        let mut delays = report.ack_sh_delays(Vantage::SaoPaulo, cdn);
-        delays.sort_by(f64::total_cmp);
-        if delays.is_empty() {
-            continue;
-        }
-        let pct = |p: f64| delays[(p / 100.0 * (delays.len() - 1) as f64) as usize];
+        let v = Vantage::SaoPaulo;
+        let pct = |p: f64| report.ack_sh_delay_quantile(v, cdn, p);
         // The paper's quoted medians are over IACK handshakes (delay > 0).
-        let iack_only: Vec<f64> = delays.iter().copied().filter(|d| *d > 0.0).collect();
-        let iack_med = if iack_only.is_empty() {
-            "-".to_string()
-        } else {
-            format!("{:.2}", iack_only[iack_only.len() / 2])
+        let iack_med = match report.iack_gap_median(v, cdn) {
+            Some(m) => format!("{m:12.2}"),
+            None => format!("{:>12}", "-"),
         };
         println!(
-            "{:<12} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>12}",
+            "{:<12} {:>7} {} {} {} {} {} {}",
             cdn.name(),
-            delays.len(),
-            pct(10.0),
-            pct(25.0),
-            pct(50.0),
-            pct(75.0),
-            pct(90.0),
+            report.handshakes(v, cdn),
+            cell(pct(10.0)),
+            cell(pct(25.0)),
+            cell(pct(50.0)),
+            cell(pct(75.0)),
+            cell(pct(90.0)),
             iack_med
         );
     }

@@ -2,6 +2,7 @@
 //! from Cloudflare in Sao Paulo (one probe per minute, Cf-Ray-filtered).
 
 use rq_bench::banner;
+use rq_testbed::SweepRunner;
 use rq_wild::longitudinal::{median_of, LongitudinalStudy, StudyDomain};
 use rq_wild::Vantage;
 
@@ -17,7 +18,9 @@ fn main() {
         background_rate_per_s: 0.0,
     };
     let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, domain);
-    let obs = study.run(7 * 24 * 60, 0x5A0);
+    // Per-minute derived RNG: the week-long stream shards over the
+    // REACKED_THREADS pool with byte-identical output at any count.
+    let obs = study.run_with(7 * 24 * 60, 0x5A0, &SweepRunner::from_env());
     println!("{:>6} {:>10} {:>10} {:>10}", "hour", "ACK", "SH", "ACK,SH");
     for bin_start in (0..7 * 24).step_by(6) {
         let bin: Vec<_> = obs

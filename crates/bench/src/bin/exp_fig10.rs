@@ -3,7 +3,9 @@
 
 use rq_bench::{banner, scan_population};
 use rq_sim::SimRng;
-use rq_wild::{scan, Cdn, Population};
+use rq_testbed::SweepRunner;
+use rq_wild::aggregate::RttAckDeltaStats;
+use rq_wild::{scan_with, Cdn, Population};
 
 fn main() {
     banner(
@@ -13,23 +15,17 @@ fn main() {
          (the client would then ignore it or underestimate the path RTT, Appendix D).",
     );
     let pop = Population::synthesize(scan_population(), &mut SimRng::new(0xF16_10));
-    let report = scan(&pop, 1, 0xF16_10);
+    let report = scan_with(&pop, 1, 0xF16_10, &SweepRunner::from_env());
     println!(
         "{:<12} {:>24} {:>24}",
         "CDN", "coalesced: med / %>RTT", "IACK: med / %>RTT"
     );
+    let stats = |s: &RttAckDeltaStats| match (s.median(), s.exceed_rtt_share()) {
+        (Some(med), Some(exceed)) => format!("{med:>10.2}ms {:>7.1}%", exceed * 100.0),
+        _ => format!("{:>12} {:>8}", "-", "-"),
+    };
     for cdn in Cdn::ALL {
         let (coalesced, iack) = report.rtt_minus_ack_delay(cdn);
-        let stats = |v: &[f64]| {
-            if v.is_empty() {
-                return format!("{:>14} {:>8}", "-", "-");
-            }
-            let mut s = v.to_vec();
-            s.sort_by(f64::total_cmp);
-            let med = s[s.len() / 2];
-            let exceed = v.iter().filter(|d| **d < 0.0).count() as f64 / v.len() as f64;
-            format!("{med:>10.2}ms {:>7.1}%", exceed * 100.0)
-        };
         println!(
             "{:<12} {:>24} {:>24}",
             cdn.name(),

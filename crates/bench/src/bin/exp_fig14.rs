@@ -2,7 +2,8 @@
 
 use rq_bench::{banner, scan_population};
 use rq_sim::SimRng;
-use rq_wild::{scan, Cdn, Population, VANTAGES};
+use rq_testbed::SweepRunner;
+use rq_wild::{scan_with, Cdn, Population, VANTAGES};
 
 fn main() {
     banner(
@@ -11,7 +12,7 @@ fn main() {
         "ACK→SH delay medians [ms] per CDN and vantage point (IACK handshakes).",
     );
     let pop = Population::synthesize(scan_population(), &mut SimRng::new(0xF16_14));
-    let report = scan(&pop, 1, 0xF16_14);
+    let report = scan_with(&pop, 1, 0xF16_14, &SweepRunner::from_env());
     print!("{:<12}", "CDN");
     for v in VANTAGES {
         print!(" {:>13}", v.name());
@@ -26,16 +27,10 @@ fn main() {
     ] {
         print!("{:<12}", cdn.name());
         for v in VANTAGES {
-            let mut delays: Vec<f64> = report
-                .ack_sh_delays(v, cdn)
-                .into_iter()
-                .filter(|d| *d > 0.0)
-                .collect();
-            delays.sort_by(f64::total_cmp);
-            if delays.is_empty() {
-                print!(" {:>13}", "-");
-            } else {
-                print!(" {:>11.2}ms", delays[delays.len() / 2]);
+            // `None` (e.g. Google probed outside Sao Paulo) prints "-".
+            match report.iack_gap_median(v, cdn) {
+                Some(med) => print!(" {med:>11.2}ms"),
+                None => print!(" {:>13}", "-"),
             }
         }
         println!();

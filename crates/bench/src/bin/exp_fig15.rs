@@ -1,6 +1,7 @@
 //! Figure 15: the Cloudflare longitudinal study from all four locations.
 
 use rq_bench::banner;
+use rq_testbed::SweepRunner;
 use rq_wild::longitudinal::{median_of, LongitudinalStudy, StudyDomain};
 use rq_wild::VANTAGES;
 
@@ -21,7 +22,7 @@ fn main() {
             background_rate_per_s: 0.0,
         };
         let study = LongitudinalStudy::cloudflare(vantage, domain);
-        let obs = study.run(7 * 24 * 60, 0x5A0 + i as u64);
+        let obs = study.run_with(7 * 24 * 60, 0x5A0 + i as u64, &SweepRunner::from_env());
         let ack = median_of(obs.iter().filter_map(|o| o.time_to_ack_ms));
         let sh = median_of(obs.iter().filter_map(|o| o.time_to_sh_ms));
         let coal = median_of(obs.iter().filter_map(|o| o.time_to_coalesced_ms));

@@ -8,7 +8,7 @@
 use rq_bench::{banner, clients_for, repetitions, IACK, WFC};
 use rq_http::HttpVersion;
 use rq_sim::SimDuration;
-use rq_testbed::{median, Scenario, SweepRunner};
+use rq_testbed::{median, Scenario, SweepRunner, SweepScenarios};
 
 fn main() {
     banner(

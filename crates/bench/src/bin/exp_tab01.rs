@@ -1,9 +1,15 @@
 //! Table 1: CDN-hosted domains in the (synthetic) Tranco Top-1M, share of
 //! instant-ACK deployment, and maximum variation across measurements.
+//!
+//! The scan shards every (vantage, repetition) domain loop over the
+//! `REACKED_THREADS` sweep pool with streaming aggregation, so this
+//! binary's output is byte-identical at any thread count and scales to
+//! `REACKED_SCAN_DOMAINS=1000000` with bounded memory.
 
 use rq_bench::{banner, scan_population};
 use rq_sim::SimRng;
-use rq_wild::{scan, Population};
+use rq_testbed::SweepRunner;
+use rq_wild::{scan_with, Population};
 
 fn main() {
     let n = scan_population();
@@ -13,7 +19,7 @@ fn main() {
         &format!("IACK deployment by CDN; {n} synthetic domains, 4 vantage points, 2 repetitions"),
     );
     let pop = Population::synthesize(n, &mut SimRng::new(0x7A4C0));
-    let report = scan(&pop, 2, 0xD0_17);
+    let report = scan_with(&pop, 2, 0xD0_17, &SweepRunner::from_env());
     println!(
         "{:<12} {:>10} {:>12} {:>14}",
         "CDN", "Domains", "enabled [%]", "variation [%]"

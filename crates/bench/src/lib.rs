@@ -9,7 +9,9 @@ use rq_http::HttpVersion;
 use rq_profiles::{all_clients, ClientProfile};
 use rq_quic::ServerAckMode;
 use rq_sim::SimDuration;
-use rq_testbed::{median, rep_scenario, run_scenario, RunResult, Scenario, SweepRunner};
+use rq_testbed::{
+    median, rep_scenario, run_scenario, RunResult, Scenario, SweepRunner, SweepScenarios,
+};
 
 /// WFC mode shorthand.
 pub const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;

@@ -11,8 +11,14 @@
 //! Regenerate after an intentional output change with:
 //! `REACKED_REPS=3 REACKED_THREADS=1 cargo run --release --bin <exp> \
 //!  > crates/bench/tests/golden/<exp>.txt`
+//! (for the wild-scan binaries additionally pin
+//! `REACKED_SCAN_DOMAINS=20000` — the population the goldens use).
 
 use std::process::Command;
+
+/// Scan population the wild-pipeline goldens are pinned at (the
+/// binaries default to 100k, too slow for a debug-profile test run).
+const GOLDEN_SCAN_DOMAINS: &str = "20000";
 
 /// Thread counts to exercise: the pinned `REACKED_THREADS` when the
 /// environment sets one (CI's determinism jobs), else both 1 and 4.
@@ -27,6 +33,7 @@ fn assert_matches_golden(bin_path: &str, name: &str, golden: &str) {
     for threads in thread_counts() {
         let out = Command::new(bin_path)
             .env("REACKED_REPS", "3")
+            .env("REACKED_SCAN_DOMAINS", GOLDEN_SCAN_DOMAINS)
             .env("REACKED_THREADS", &threads)
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
@@ -79,5 +86,62 @@ fn exp_impairment_sweep_matches_golden() {
         env!("CARGO_BIN_EXE_exp_impairment_sweep"),
         "exp_impairment_sweep",
         include_str!("golden/exp_impairment_sweep.txt"),
+    );
+}
+
+// The wild pipeline: the sharded scan and the longitudinal study must
+// print the same bytes at every thread count.
+
+#[test]
+fn exp_tab01_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_tab01"),
+        "exp_tab01",
+        include_str!("golden/exp_tab01.txt"),
+    );
+}
+
+#[test]
+fn exp_fig08_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig08"),
+        "exp_fig08",
+        include_str!("golden/exp_fig08.txt"),
+    );
+}
+
+#[test]
+fn exp_fig09_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig09"),
+        "exp_fig09",
+        include_str!("golden/exp_fig09.txt"),
+    );
+}
+
+#[test]
+fn exp_fig10_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig10"),
+        "exp_fig10",
+        include_str!("golden/exp_fig10.txt"),
+    );
+}
+
+#[test]
+fn exp_fig14_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig14"),
+        "exp_fig14",
+        include_str!("golden/exp_fig14.txt"),
+    );
+}
+
+#[test]
+fn exp_fig15_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig15"),
+        "exp_fig15",
+        include_str!("golden/exp_fig15.txt"),
     );
 }

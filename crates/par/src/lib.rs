@@ -136,6 +136,63 @@ where
     sweep(items.len(), threads, |i| f(&items[i]))
 }
 
+/// A reusable parallel sweep configuration for experiment drivers.
+///
+/// Thread count comes from `REACKED_THREADS` (default: available
+/// parallelism); `REACKED_THREADS=1` forces the sequential path. The
+/// runner is just a thread count plus the [`sweep`]/[`sweep_slice`]
+/// order guarantee, so any index-keyed pure computation fanned through
+/// it is bit-identical at every worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count (`0` is treated as `1`).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized by `REACKED_THREADS` / available parallelism.
+    pub fn from_env() -> Self {
+        SweepRunner::new(threads_from_env())
+    }
+
+    /// Worker count this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fans `f(0..n)` out over the pool, results in index order.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        sweep(n, self.threads, f)
+    }
+
+    /// Fans an arbitrary per-item job out over the pool, preserving
+    /// input order (e.g. one scenario per client profile).
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        sweep_slice(items, self.threads, f)
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::from_env()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +268,17 @@ mod tests {
             seen.extend(r);
         }
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runner_run_and_map_preserve_order() {
+        let runner = SweepRunner::new(3);
+        assert_eq!(runner.threads(), 3);
+        assert_eq!(runner.run(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+        let items = [10, 20, 30];
+        assert_eq!(runner.map(&items, |x| x + 1), vec![11, 21, 31]);
+        // 0 workers degrades to 1, never panics.
+        assert_eq!(SweepRunner::new(0).threads(), 1);
     }
 
     #[test]

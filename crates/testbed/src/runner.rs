@@ -239,53 +239,20 @@ pub fn run_repetitions_parallel(sc: &Scenario, n: usize, threads: usize) -> Vec<
     rq_par::sweep(n, threads, |i| run_scenario(&rep_scenario(sc, i)))
 }
 
-/// A reusable parallel sweep configuration for experiment drivers.
-///
-/// Thread count comes from `REACKED_THREADS` (default: available
-/// parallelism); `REACKED_THREADS=1` forces the sequential path.
-#[derive(Debug, Clone, Copy)]
-pub struct SweepRunner {
-    threads: usize,
-}
+/// The generic sweep configuration now lives in `rq-par` (it is shared
+/// by the scenario harness here and the `rq-wild` macroscopic scan);
+/// re-exported so existing `rq_testbed::SweepRunner` users keep working.
+pub use rq_par::SweepRunner;
 
-impl SweepRunner {
-    /// A runner with an explicit worker count (`0` is treated as `1`).
-    pub fn new(threads: usize) -> Self {
-        SweepRunner {
-            threads: threads.max(1),
-        }
-    }
-
-    /// A runner sized by `REACKED_THREADS` / available parallelism.
-    pub fn from_env() -> Self {
-        SweepRunner::new(rq_par::threads_from_env())
-    }
-
-    /// Worker count this runner fans out to.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
+/// Scenario-specific sweeps on top of the generic [`SweepRunner`].
+pub trait SweepScenarios {
     /// Parallel [`run_repetitions`]: same repetitions, same order.
-    pub fn run_repetitions(&self, sc: &Scenario, n: usize) -> Vec<RunResult> {
-        run_repetitions_parallel(sc, n, self.threads)
-    }
-
-    /// Fans an arbitrary per-item job out over the pool, preserving
-    /// input order (e.g. one scenario per client profile).
-    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
-    where
-        I: Sync,
-        T: Send,
-        F: Fn(&I) -> T + Sync,
-    {
-        rq_par::sweep_slice(items, self.threads, f)
-    }
+    fn run_repetitions(&self, sc: &Scenario, n: usize) -> Vec<RunResult>;
 }
 
-impl Default for SweepRunner {
-    fn default() -> Self {
-        SweepRunner::from_env()
+impl SweepScenarios for SweepRunner {
+    fn run_repetitions(&self, sc: &Scenario, n: usize) -> Vec<RunResult> {
+        run_repetitions_parallel(sc, n, self.threads())
     }
 }
 

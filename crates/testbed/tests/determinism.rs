@@ -8,7 +8,7 @@ use rq_quic::ServerAckMode;
 use rq_sim::{ImpairmentSpec, SimDuration};
 use rq_testbed::{
     median, run_repetitions, run_repetitions_parallel, run_scenario, run_scenario_with_trace,
-    LossSpec, RunResult, Scenario, SweepRunner,
+    LossSpec, RunResult, Scenario, SweepRunner, SweepScenarios,
 };
 
 /// The stochastic spec used by the determinism suite: every impairment

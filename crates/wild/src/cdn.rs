@@ -34,6 +34,11 @@ impl Cdn {
         Cdn::Others,
     ];
 
+    /// Index into per-CDN aggregate arrays (position in [`Cdn::ALL`]).
+    pub fn index(self) -> usize {
+        Cdn::ALL.iter().position(|c| *c == self).unwrap()
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -264,5 +269,12 @@ mod tests {
     #[test]
     fn all_profiles_present() {
         assert_eq!(profiles().len(), Cdn::ALL.len());
+    }
+
+    #[test]
+    fn index_round_trips_through_all() {
+        for (i, cdn) in Cdn::ALL.into_iter().enumerate() {
+            assert_eq!(cdn.index(), i);
+        }
     }
 }

@@ -12,6 +12,13 @@
 //! failures, and the Cloudflare coalescing rates emerge from a frontend
 //! certificate-cache model, not from the target numbers themselves.
 
+//!
+//! The scan itself is sharded: per-probe randomness derives from
+//! `(seed, vantage, repetition, domain index)` alone, shards fold into
+//! streaming, mergeable aggregates (see [`aggregate`]), and results are
+//! byte-identical at every `REACKED_THREADS` setting.
+
+pub mod aggregate;
 pub mod cdn;
 pub mod longitudinal;
 pub mod population;
@@ -19,9 +26,10 @@ pub mod prober;
 pub mod scan;
 pub mod vantage;
 
+pub use aggregate::{FixedHistogram, Reservoir, ScanAggregates, VantageCdnAgg};
 pub use cdn::{Cdn, CdnProfile};
 pub use longitudinal::{LongitudinalStudy, MinuteObservation};
 pub use population::{Domain, Population};
-pub use prober::{probe, ProbeObservation};
-pub use scan::{scan, CdnScanRow, ScanReport};
+pub use prober::{probe, probe_rng, ProbeObservation};
+pub use scan::{scan, scan_with, CdnScanRow, ScanReport};
 pub use vantage::{Vantage, VANTAGES};

@@ -10,6 +10,7 @@
 //! rate — the mechanism behind "our domains at 60/min coalesce 7.5% of
 //! the time while discord.com coalesces 91.9%".
 
+use rq_par::SweepRunner;
 use rq_sim::SimRng;
 
 use crate::vantage::Vantage;
@@ -82,67 +83,98 @@ impl LongitudinalStudy {
     }
 
     /// Median Δt at `minute` of the study (diurnal sine, period 24 h,
-    /// peak at 14:00 local).
+    /// peak at 14:00 **local** — study minutes count UTC, so each
+    /// vantage's peak lands on a different study minute, shifted by
+    /// [`Vantage::utc_offset_hours`]).
     pub fn delta_t_at(&self, minute: u64) -> f64 {
-        let hour = (minute as f64 / 60.0) % 24.0;
-        let phase = (hour - 14.0) / 24.0 * std::f64::consts::TAU;
+        let utc_hour = minute as f64 / 60.0;
+        let local_hour = (utc_hour + self.vantage.utc_offset_hours() as f64).rem_euclid(24.0);
+        let phase = (local_hour - 14.0) / 24.0 * std::f64::consts::TAU;
         self.delta_t_night_ms + self.delta_t_diurnal_amplitude_ms * (0.5 + 0.5 * phase.cos())
     }
 
-    /// Runs the study for `minutes`, one probe per minute.
-    pub fn run(&self, minutes: u64, seed: u64) -> Vec<MinuteObservation> {
-        let mut rng = SimRng::new(seed ^ 0x10_0D_CAFE);
-        let rtt_median = self.vantage.rtt_median_ms(crate::cdn::Cdn::Cloudflare);
-        let hit_p = self.domain.cache_hit_probability();
-        let mut out = Vec::with_capacity(minutes as usize);
-        for minute in 0..minutes {
-            // ~3% of responses come from a different colo and are dropped
-            // by the Cf-Ray filter; ~0.5% lose the first ACK.
-            let same_colo = rng.gen_bool(0.97);
-            if !same_colo {
-                out.push(MinuteObservation {
-                    minute,
-                    time_to_ack_ms: None,
-                    time_to_sh_ms: None,
-                    time_to_coalesced_ms: None,
-                    same_colo: false,
-                });
-                continue;
+    /// The RNG for one study minute: a pure function of
+    /// `(seed, vantage, minute)`, so minutes can be sharded freely and
+    /// still reproduce the sequential observation stream exactly.
+    fn minute_rng(&self, seed: u64, minute: u64) -> SimRng {
+        SimRng::derive(seed ^ 0x10_0D_CAFE, &[self.vantage.index() as u64, minute])
+    }
+
+    /// One probe at `minute` of the study.
+    fn probe_minute(
+        &self,
+        minute: u64,
+        seed: u64,
+        hit_p: f64,
+        rtt_median: f64,
+    ) -> MinuteObservation {
+        let mut rng = self.minute_rng(seed, minute);
+        // ~3% of responses come from a different colo and are dropped
+        // by the Cf-Ray filter; ~0.5% lose the first ACK.
+        let same_colo = rng.gen_bool(0.97);
+        if !same_colo {
+            return MinuteObservation {
+                minute,
+                time_to_ack_ms: None,
+                time_to_sh_ms: None,
+                time_to_coalesced_ms: None,
+                same_colo: false,
+            };
+        }
+        let rtt = rng.gen_lognormal(rtt_median, 0.15).max(0.3);
+        let coalesced = rng.gen_bool(hit_p);
+        if coalesced {
+            MinuteObservation {
+                minute,
+                time_to_ack_ms: None,
+                time_to_sh_ms: None,
+                time_to_coalesced_ms: Some(rtt + rng.gen_lognormal(0.3, 0.4)),
+                same_colo: true,
             }
-            let rtt = rng.gen_lognormal(rtt_median, 0.15).max(0.3);
-            let coalesced = rng.gen_bool(hit_p);
-            if coalesced {
-                out.push(MinuteObservation {
-                    minute,
-                    time_to_ack_ms: None,
-                    time_to_sh_ms: None,
-                    time_to_coalesced_ms: Some(rtt + rng.gen_lognormal(0.3, 0.4)),
-                    same_colo: true,
-                });
-            } else {
-                let ack = rtt + rng.gen_lognormal(0.2, 0.4);
-                let dt = rng.gen_lognormal(self.delta_t_at(minute), 0.35);
-                out.push(MinuteObservation {
-                    minute,
-                    time_to_ack_ms: Some(ack),
-                    time_to_sh_ms: Some(ack + dt),
-                    time_to_coalesced_ms: None,
-                    same_colo: true,
-                });
+        } else {
+            let ack = rtt + rng.gen_lognormal(0.2, 0.4);
+            let dt = rng.gen_lognormal(self.delta_t_at(minute), 0.35);
+            MinuteObservation {
+                minute,
+                time_to_ack_ms: Some(ack),
+                time_to_sh_ms: Some(ack + dt),
+                time_to_coalesced_ms: None,
+                same_colo: true,
             }
         }
-        out
+    }
+
+    /// Runs the study for `minutes`, one probe per minute, sharding the
+    /// minute loop over `runner`. Each minute's randomness derives from
+    /// `(seed, vantage, minute)` alone, so the observation stream is
+    /// byte-identical at every thread count.
+    pub fn run_with(
+        &self,
+        minutes: u64,
+        seed: u64,
+        runner: &SweepRunner,
+    ) -> Vec<MinuteObservation> {
+        let rtt_median = self.vantage.rtt_median_ms(crate::cdn::Cdn::Cloudflare);
+        let hit_p = self.domain.cache_hit_probability();
+        runner.run(minutes as usize, |m| {
+            self.probe_minute(m as u64, seed, hit_p, rtt_median)
+        })
+    }
+
+    /// [`LongitudinalStudy::run_with`] on the `REACKED_THREADS`-sized
+    /// runner.
+    pub fn run(&self, minutes: u64, seed: u64) -> Vec<MinuteObservation> {
+        self.run_with(minutes, seed, &SweepRunner::from_env())
     }
 }
 
-/// Median helper for observation streams.
+/// Median helper for observation streams. Delegates to
+/// [`rq_testbed::median`], which averages the middle pair for
+/// even-length samples (the previous upper-median shortcut here
+/// disagreed with every other median in the workspace).
 pub fn median_of(values: impl Iterator<Item = f64>) -> Option<f64> {
-    let mut v: Vec<f64> = values.collect();
-    if v.is_empty() {
-        return None;
-    }
-    v.sort_by(f64::total_cmp);
-    Some(v[v.len() / 2])
+    let v: Vec<f64> = values.collect();
+    rq_testbed::median(&v)
 }
 
 #[cfg(test)]
@@ -202,10 +234,57 @@ mod tests {
     #[test]
     fn diurnal_pattern_visible() {
         let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, own_domain(1.0));
-        // Δt at 14:00 exceeds Δt at 02:00.
-        let day = study.delta_t_at(14 * 60);
-        let night = study.delta_t_at(2 * 60);
+        // Sao Paulo is UTC−3: the 14:00-local peak falls on 17:00 UTC
+        // study time, the 02:00-local trough on 05:00 UTC.
+        let day = study.delta_t_at(17 * 60);
+        let night = study.delta_t_at(5 * 60);
         assert!(day > night + 0.5, "day {day} night {night}");
+    }
+
+    #[test]
+    fn diurnal_peak_minute_depends_on_vantage() {
+        let peak_minute = |v: Vantage| {
+            let study = LongitudinalStudy::cloudflare(v, own_domain(1.0));
+            (0..24 * 60)
+                .max_by(|a, b| study.delta_t_at(*a).total_cmp(&study.delta_t_at(*b)))
+                .unwrap()
+        };
+        let ham = peak_minute(Vantage::Hamburg);
+        let lax = peak_minute(Vantage::LosAngeles);
+        assert_ne!(ham, lax, "Hamburg and Los Angeles share a peak minute");
+        // 14:00 local = 13:00 UTC in Hamburg (UTC+1), 22:00 UTC in Los
+        // Angeles (UTC−8).
+        assert_eq!(ham, 13 * 60, "hamburg peak at {ham}");
+        assert_eq!(lax, 22 * 60, "los angeles peak at {lax}");
+    }
+
+    #[test]
+    fn median_of_averages_even_length_samples() {
+        // Regression: the old helper returned the upper median for even
+        // sizes, disagreeing with rq_testbed::median.
+        assert_eq!(median_of([1.0, 2.0, 3.0, 4.0].into_iter()), Some(2.5));
+        assert_eq!(median_of([3.0, 1.0, 2.0].into_iter()), Some(2.0));
+        assert_eq!(median_of(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn run_is_thread_count_invariant() {
+        let study = LongitudinalStudy::cloudflare(Vantage::HongKong, own_domain(1.0));
+        let seq = study.run_with(500, 7, &SweepRunner::new(1));
+        let par = study.run_with(500, 7, &SweepRunner::new(4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn minute_observation_is_independent_of_minute_order() {
+        // A minute's observation is a pure function of (seed, vantage,
+        // minute): re-running a single minute in isolation reproduces it.
+        let study = LongitudinalStudy::cloudflare(Vantage::SaoPaulo, own_domain(1.0));
+        let all = study.run(200, 11);
+        for minute in [0u64, 1, 63, 199] {
+            let lone = study.run_with(minute + 1, 11, &SweepRunner::new(1));
+            assert_eq!(lone[minute as usize], all[minute as usize]);
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct Domain {
 }
 
 /// The full scan population.
+///
+/// Domains are stored in rank order with `rank == position + 1`; the
+/// sharded scan uses that invariant to key per-domain RNG streams and
+/// the reachable-domain bitset by vector index.
 #[derive(Debug)]
 pub struct Population {
     /// All domains, rank order.
@@ -58,6 +62,16 @@ impl Population {
             d.rank = i + 1;
         }
         Population { domains }
+    }
+
+    /// Number of domains in the population.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
     }
 
     /// Domains hosted by `cdn`.

@@ -45,14 +45,24 @@ impl ProbeObservation {
 /// responses missing the first ACK).
 const PROBE_LOSS: f64 = 0.005;
 
-/// Probes `domain` from `vantage` at measurement epoch `epoch`
-/// (epoch feeds day-to-day deployment jitter).
-pub fn probe(
-    domain: &Domain,
-    vantage: Vantage,
-    epoch: u64,
-    rng: &mut SimRng,
-) -> Option<ProbeObservation> {
+/// The RNG for probing one domain once: a pure function of
+/// `(scan_seed, vantage, repetition, domain index)`.
+///
+/// Every probe draws from its own derived stream instead of advancing a
+/// shared one, so an observation does not depend on how many domains
+/// were probed before it — the scan can be sharded arbitrarily and
+/// still produce byte-identical results at any thread count.
+pub fn probe_rng(scan_seed: u64, vantage: Vantage, rep: u64, domain_index: usize) -> SimRng {
+    SimRng::derive(
+        scan_seed,
+        &[vantage.index() as u64, rep, domain_index as u64],
+    )
+}
+
+/// Probes `domain` from `vantage`, consuming a derived per-probe RNG
+/// (see [`probe_rng`]). Day-to-day deployment jitter comes from the
+/// repetition coordinate baked into that stream.
+pub fn probe(domain: &Domain, vantage: Vantage, mut rng: SimRng) -> Option<ProbeObservation> {
     let cdn = domain.cdn?;
     let profile = profile_of(cdn);
     // Per-epoch deployment churn: a domain's IACK setting can differ
@@ -64,7 +74,6 @@ pub fn probe(
             iack_enabled = !iack_enabled;
         }
     }
-    let _ = epoch;
     // Reachability quirk (Google from non-Sao-Paulo vantage points).
     if iack_enabled && !profile.reachable_from[vantage.index()] {
         return None;
@@ -139,17 +148,17 @@ mod tests {
             iack_enabled: false,
             delta_t_scale: 1.0,
         };
-        assert!(probe(&d, Vantage::Hamburg, 0, &mut SimRng::new(1)).is_none());
+        assert!(probe(&d, Vantage::Hamburg, SimRng::new(1)).is_none());
     }
 
     #[test]
     fn iack_domains_mostly_show_instant_acks() {
         let d = sample_domain(Cdn::Cloudflare, true);
-        let mut rng = SimRng::new(2);
         let mut iack = 0;
         let mut ok = 0;
-        for _ in 0..1000 {
-            if let Some(obs) = probe(&d, Vantage::SaoPaulo, 0, &mut rng) {
+        for i in 0..1000 {
+            let rng = probe_rng(2, Vantage::SaoPaulo, 0, i);
+            if let Some(obs) = probe(&d, Vantage::SaoPaulo, rng) {
                 if obs.handshake_ok {
                     ok += 1;
                     if obs.instant_ack {
@@ -165,9 +174,9 @@ mod tests {
     #[test]
     fn wfc_domains_never_show_instant_acks() {
         let d = sample_domain(Cdn::Meta, false);
-        let mut rng = SimRng::new(3);
-        for _ in 0..200 {
-            if let Some(obs) = probe(&d, Vantage::Hamburg, 0, &mut rng) {
+        for i in 0..200 {
+            let rng = probe_rng(3, Vantage::Hamburg, 0, i);
+            if let Some(obs) = probe(&d, Vantage::Hamburg, rng) {
                 if obs.handshake_ok {
                     assert!(!obs.instant_ack);
                     assert_eq!(obs.ack_sh_delay_ms, 0.0);
@@ -179,9 +188,9 @@ mod tests {
     #[test]
     fn instant_ack_precedes_sh() {
         let d = sample_domain(Cdn::Cloudflare, true);
-        let mut rng = SimRng::new(4);
-        for _ in 0..500 {
-            if let Some(obs) = probe(&d, Vantage::SaoPaulo, 0, &mut rng) {
+        for i in 0..500 {
+            let rng = probe_rng(4, Vantage::SaoPaulo, 0, i);
+            if let Some(obs) = probe(&d, Vantage::SaoPaulo, rng) {
                 if obs.handshake_ok && obs.instant_ack {
                     assert!(obs.time_to_ack_ms < obs.time_to_sh_ms);
                     assert!(obs.ack_sh_delay_ms > 0.0);
@@ -193,13 +202,13 @@ mod tests {
     #[test]
     fn google_unreachable_from_hamburg_when_iack() {
         let d = sample_domain(Cdn::Google, true);
-        let mut rng = SimRng::new(5);
-        assert!(probe(&d, Vantage::Hamburg, 0, &mut rng).is_none());
+        assert!(probe(&d, Vantage::Hamburg, SimRng::new(5)).is_none());
         // With IACK disabled the domain is reachable.
         let d2 = sample_domain(Cdn::Google, false);
         let mut found = false;
-        for _ in 0..20 {
-            if probe(&d2, Vantage::Hamburg, 0, &mut rng).is_some() {
+        for i in 0..20 {
+            let rng = probe_rng(5, Vantage::Hamburg, 0, i);
+            if probe(&d2, Vantage::Hamburg, rng).is_some() {
                 found = true;
             }
         }
@@ -207,15 +216,21 @@ mod tests {
     }
 
     #[test]
-    fn population_probe_round_is_deterministic() {
+    fn observation_is_independent_of_probing_order() {
+        // The bugfix this file exists for: a probe's outcome is a pure
+        // function of (seed, vantage, rep, domain index), not of how
+        // many domains were probed before it.
         let pop = Population::synthesize(500, &mut SimRng::new(6));
-        let run = |seed: u64| -> Vec<Option<ProbeObservation>> {
-            let mut rng = SimRng::new(seed);
-            pop.domains
-                .iter()
-                .map(|d| probe(d, Vantage::SaoPaulo, 0, &mut rng))
-                .collect()
-        };
-        assert_eq!(run(7), run(7));
+        let in_order: Vec<Option<ProbeObservation>> = pop
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| probe(d, Vantage::SaoPaulo, probe_rng(7, Vantage::SaoPaulo, 1, i)))
+            .collect();
+        // Visit the same domains back to front: identical observations.
+        for (i, d) in pop.domains.iter().enumerate().rev() {
+            let obs = probe(d, Vantage::SaoPaulo, probe_rng(7, Vantage::SaoPaulo, 1, i));
+            assert_eq!(obs, in_order[i], "domain {i}");
+        }
     }
 }

@@ -1,21 +1,38 @@
 //! Scan aggregation: Table 1 and the ACK→SH / ack-delay CDFs
 //! (Figures 8, 10, 14).
+//!
+//! The scan is sharded: each (vantage, repetition) measurement's domain
+//! loop is cut into fixed-size chunks fanned out over an
+//! [`rq_par::SweepRunner`], and every chunk folds its probes into a
+//! compact [`ScanShard`] aggregate (see [`crate::aggregate`]). Shards
+//! merge in domain order, per-probe randomness is a pure function of
+//! `(seed, vantage, rep, domain index)` ([`probe_rng`]), and the chunk
+//! size is fixed — so the report is byte-identical at every thread
+//! count and memory stays bounded at Top-1M scale (no raw observation
+//! is ever buffered).
 
-use std::collections::BTreeMap;
+use rq_par::SweepRunner;
 
-use rq_sim::SimRng;
-
+use crate::aggregate::{RttAckDeltaStats, ScanAggregates, ScanShard, VantageCdnAgg};
 use crate::cdn::Cdn;
 use crate::population::Population;
-use crate::prober::{probe, ProbeObservation};
+use crate::prober::{probe, probe_rng};
 use crate::vantage::{Vantage, VANTAGES};
 
+/// Domains per shard. Fixed (rather than derived from the worker
+/// count) so the shard layout — and with it every merge — is identical
+/// no matter how many threads execute the sweep.
+const SHARD_DOMAINS: usize = 8192;
+
 /// One row of Table 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CdnScanRow {
     /// CDN.
     pub cdn: Cdn,
-    /// QUIC-reachable domains observed.
+    /// QUIC-reachable domains observed: domains that completed at least
+    /// one successful handshake from any vantage point in any
+    /// repetition (probe failures and unreachable deployments are not
+    /// counted, matching Table 1's semantics).
     pub domains: usize,
     /// Share of domains with instant ACK: the *maximum* across vantage
     /// points and repetitions (Table 1's column is "enabled (max.)").
@@ -25,97 +42,123 @@ pub struct CdnScanRow {
     pub max_variation: f64,
 }
 
-/// A full scan: per-CDN rows plus raw observations for the CDF figures.
-#[derive(Debug)]
+/// A full scan: per-CDN rows plus the streaming aggregates feeding the
+/// CDF figures.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanReport {
     /// Table 1 rows in CDN order.
     pub rows: Vec<CdnScanRow>,
-    /// All successful observations, keyed by vantage.
-    pub observations: BTreeMap<&'static str, Vec<ProbeObservation>>,
+    /// Merged per-cell aggregates (per-CDN counts, delay histograms,
+    /// bounded reservoirs) from the observation-retaining repetition.
+    pub aggregates: ScanAggregates,
 }
 
 impl ScanReport {
-    /// ACK→SH delays (ms) for one CDN at one vantage, IACK handshakes with
-    /// coalesced shown as 0 (Figure 8's convention).
-    pub fn ack_sh_delays(&self, vantage: Vantage, cdn: Cdn) -> Vec<f64> {
-        self.observations
-            .get(vantage.name())
-            .map(|obs| {
-                obs.iter()
-                    .filter(|o| o.cdn == cdn && o.handshake_ok)
-                    .map(|o| o.ack_sh_delay_ms)
-                    .collect()
-            })
-            .unwrap_or_default()
+    /// The aggregate cell for one (vantage, CDN) — counts, the ACK→SH
+    /// delay histogram, and the IACK delay reservoir (Figures 8/14).
+    pub fn cell(&self, vantage: Vantage, cdn: Cdn) -> &VantageCdnAgg {
+        self.aggregates.cell(vantage.index(), cdn)
     }
 
-    /// `RTT − ack_delay` values split into (coalesced, iack) populations
-    /// for one CDN across all vantages (Figure 10).
-    pub fn rtt_minus_ack_delay(&self, cdn: Cdn) -> (Vec<f64>, Vec<f64>) {
-        let mut coalesced = Vec::new();
-        let mut iack = Vec::new();
-        for obs in self.observations.values() {
-            for o in obs.iter().filter(|o| o.cdn == cdn && o.handshake_ok) {
-                if o.instant_ack {
-                    iack.push(o.rtt_minus_ack_delay_ms());
-                } else {
-                    coalesced.push(o.rtt_minus_ack_delay_ms());
-                }
-            }
-        }
-        (coalesced, iack)
+    /// Successful handshakes observed for one CDN at one vantage.
+    pub fn handshakes(&self, vantage: Vantage, cdn: Cdn) -> u64 {
+        self.cell(vantage, cdn).handshakes
+    }
+
+    /// Figure 8 quantile (`p` in `0..=100`) of the ACK→SH delay for one
+    /// CDN at one vantage, IACK handshakes with coalesced counted as an
+    /// exact mass at 0 ms; `None` when the CDN was never observed there
+    /// (e.g. unreachable from that vantage).
+    pub fn ack_sh_delay_quantile(&self, vantage: Vantage, cdn: Cdn, p: f64) -> Option<f64> {
+        self.cell(vantage, cdn).delay_quantile(p)
+    }
+
+    /// Bounded sample of the positive (IACK) ACK→SH delays for one CDN
+    /// at one vantage, in domain order (Figure 8's per-CDN gap sample).
+    pub fn ack_sh_delays(&self, vantage: Vantage, cdn: Cdn) -> &[f64] {
+        self.cell(vantage, cdn).iack_delays.sample()
+    }
+
+    /// Median IACK→SH gap for one CDN at one vantage; `None` when no
+    /// instant ACK was ever observed there.
+    pub fn iack_gap_median(&self, vantage: Vantage, cdn: Cdn) -> Option<f64> {
+        self.cell(vantage, cdn).iack_delays.median()
+    }
+
+    /// `RTT − ack_delay` statistics split into (coalesced, iack)
+    /// response classes for one CDN across all vantages (Figure 10).
+    pub fn rtt_minus_ack_delay(&self, cdn: Cdn) -> (RttAckDeltaStats, RttAckDeltaStats) {
+        self.aggregates.rtt_ack_delta(cdn)
     }
 }
 
-/// Scans `population` from every vantage point, `repetitions` times
-/// (the paper scans on four subsequent days), and aggregates Table 1.
-pub fn scan(population: &Population, repetitions: usize, seed: u64) -> ScanReport {
-    let mut per_measurement_share: BTreeMap<Cdn, Vec<f64>> = BTreeMap::new();
-    let mut total_iack: BTreeMap<Cdn, (usize, usize)> = BTreeMap::new();
-    let mut observations: BTreeMap<&'static str, Vec<ProbeObservation>> = BTreeMap::new();
+/// Scans one shard: the domains `start..end` of measurement
+/// `(vantage, rep)`. Pure — every probe derives its RNG from the scan
+/// coordinates, so the shard's aggregate is independent of whatever ran
+/// before it.
+fn scan_shard(
+    population: &Population,
+    vantage: Vantage,
+    rep: usize,
+    seed: u64,
+    start: usize,
+    end: usize,
+    retain_observations: bool,
+) -> ScanShard {
+    let mut shard = ScanShard::new(start, end - start, retain_observations);
+    for i in start..end {
+        let rng = probe_rng(seed, vantage, rep as u64, i);
+        let Some(obs) = probe(&population.domains[i], vantage, rng) else {
+            continue;
+        };
+        if !obs.handshake_ok {
+            continue;
+        }
+        shard.mark_ok(i - start);
+        let c = obs.cdn.index();
+        shard.counts[c].0 += 1;
+        shard.counts[c].1 += obs.instant_ack as u64;
+        if let Some(cells) = &mut shard.cells {
+            cells[c].record(&obs);
+        }
+    }
+    shard
+}
 
+/// Scans `population` from every vantage point, `repetitions` times
+/// (the paper scans on four subsequent days), and aggregates Table 1,
+/// sharding each measurement's domain loop over `runner`.
+pub fn scan_with(
+    population: &Population,
+    repetitions: usize,
+    seed: u64,
+    runner: &SweepRunner,
+) -> ScanReport {
+    let n = population.len();
+    let shards = n.div_ceil(SHARD_DOMAINS);
+    let mut agg = ScanAggregates::new(n, VANTAGES.len(), repetitions);
     for (v_idx, vantage) in VANTAGES.iter().enumerate() {
         for rep in 0..repetitions {
-            let mut rng = SimRng::new(seed ^ (v_idx as u64) << 32 ^ (rep as u64) << 16 ^ 0xA11CE);
-            let mut counts: BTreeMap<Cdn, (usize, usize)> = BTreeMap::new();
-            for domain in &population.domains {
-                let Some(obs) = probe(domain, *vantage, rep as u64, &mut rng) else {
-                    continue;
-                };
-                if !obs.handshake_ok {
-                    continue;
-                }
-                let e = counts.entry(obs.cdn).or_default();
-                e.0 += 1;
-                if obs.instant_ack {
-                    e.1 += 1;
-                }
-                let t = total_iack.entry(obs.cdn).or_default();
-                t.0 += 1;
-                if obs.instant_ack {
-                    t.1 += 1;
-                }
-                // Keep raw observations from the last repetition per
-                // vantage (one day's worth, like the paper's CDF figures).
-                if rep == repetitions - 1 {
-                    observations.entry(vantage.name()).or_default().push(obs);
-                }
-            }
-            for (cdn, (n, k)) in counts {
-                if n > 0 {
-                    per_measurement_share
-                        .entry(cdn)
-                        .or_default()
-                        .push(k as f64 / n as f64);
-                }
+            // Observations for the figures are retained from the last
+            // repetition per vantage (one day's worth, like the
+            // paper's CDF figures).
+            let retain = rep + 1 == repetitions;
+            let partials = runner.run(shards, |s| {
+                let start = s * SHARD_DOMAINS;
+                let end = (start + SHARD_DOMAINS).min(n);
+                scan_shard(population, *vantage, rep, seed, start, end, retain)
+            });
+            // Merge in shard (= domain) order; only this one
+            // measurement's partials are ever alive at once.
+            for shard in &partials {
+                agg.absorb(v_idx, rep, shard);
             }
         }
     }
 
     let mut rows = Vec::new();
     for cdn in Cdn::ALL {
-        let (n, _k) = total_iack.get(&cdn).copied().unwrap_or((0, 0));
-        let shares = per_measurement_share.get(&cdn).cloned().unwrap_or_default();
+        let shares = agg.measurement_shares(cdn);
         let max_share = shares.iter().cloned().fold(0.0f64, f64::max);
         let max_variation = if shares.len() >= 2 {
             let min = shares.iter().cloned().fold(f64::MAX, f64::min);
@@ -123,19 +166,32 @@ pub fn scan(population: &Population, repetitions: usize, seed: u64) -> ScanRepor
         } else {
             0.0
         };
+        let domains = population
+            .hosted_by(cdn)
+            .filter(|d| agg.domain_reachable(d.rank - 1))
+            .count();
         rows.push(CdnScanRow {
             cdn,
-            domains: population.hosted_by(cdn).count(),
-            iack_share: if n > 0 { max_share } else { 0.0 },
+            domains,
+            iack_share: max_share,
             max_variation,
         });
     }
-    ScanReport { rows, observations }
+    ScanReport {
+        rows,
+        aggregates: agg,
+    }
+}
+
+/// [`scan_with`] on the `REACKED_THREADS`-sized runner.
+pub fn scan(population: &Population, repetitions: usize, seed: u64) -> ScanReport {
+    scan_with(population, repetitions, seed, &SweepRunner::from_env())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rq_sim::SimRng;
 
     fn small_scan() -> ScanReport {
         let pop = Population::synthesize(20_000, &mut SimRng::new(42));
@@ -160,6 +216,40 @@ mod tests {
     }
 
     #[test]
+    fn domains_count_requires_a_successful_handshake() {
+        let pop = Population::synthesize(20_000, &mut SimRng::new(42));
+        let report = scan(&pop, 2, 7);
+        for row in &report.rows {
+            let hosted = pop.hosted_by(row.cdn).count();
+            assert!(
+                row.domains <= hosted,
+                "{:?}: {} reachable > {} hosted",
+                row.cdn,
+                row.domains,
+                hosted
+            );
+        }
+        // Cloudflare is reachable everywhere: nearly every hosted domain
+        // completes a handshake within 4 vantages × 2 reps.
+        let cf = report
+            .rows
+            .iter()
+            .find(|r| r.cdn == Cdn::Cloudflare)
+            .unwrap();
+        let hosted = pop.hosted_by(Cdn::Cloudflare).count();
+        assert!(
+            cf.domains as f64 > hosted as f64 * 0.99,
+            "cloudflare {} of {hosted}",
+            cf.domains
+        );
+        // Google IACK deployments answer only from Sao Paulo, and ~11.5%
+        // of its domains are IACK: still, WFC domains respond everywhere,
+        // so the reachable count stays positive but below hosted.
+        let goog = report.rows.iter().find(|r| r.cdn == Cdn::Google).unwrap();
+        assert!(goog.domains > 0);
+    }
+
+    #[test]
     fn variation_largest_for_amazon_smallest_for_cloudflare() {
         let report = small_scan();
         let var = |c: Cdn| {
@@ -179,15 +269,7 @@ mod tests {
         // Fig. 8: Akamai is significantly slower to deliver the SH than
         // Cloudflare; Cloudflare's median IACK gap is a few ms.
         let report = small_scan();
-        let med = |c: Cdn| {
-            let mut v: Vec<f64> = report
-                .ack_sh_delays(Vantage::SaoPaulo, c)
-                .into_iter()
-                .filter(|d| *d > 0.0)
-                .collect();
-            v.sort_by(f64::total_cmp);
-            v[v.len() / 2]
-        };
+        let med = |c: Cdn| report.iack_gap_median(Vantage::SaoPaulo, c).unwrap();
         let cf = med(Cdn::Cloudflare);
         let ak = med(Cdn::Akamai);
         assert!(cf < 10.0, "cloudflare median {cf}");
@@ -195,14 +277,31 @@ mod tests {
     }
 
     #[test]
+    fn empty_selections_yield_none_not_panic() {
+        // Google IACK servers answer only from Sao Paulo; from Hamburg
+        // the IACK gap sample can be empty — queries must return None.
+        let pop = Population::synthesize(500, &mut SimRng::new(1));
+        let report = scan(&pop, 1, 5);
+        for v in VANTAGES {
+            for cdn in Cdn::ALL {
+                let q = report.ack_sh_delay_quantile(v, cdn, 50.0);
+                let m = report.iack_gap_median(v, cdn);
+                if report.handshakes(v, cdn) == 0 {
+                    assert_eq!(q, None, "{v:?}/{cdn:?}");
+                }
+                if report.ack_sh_delays(v, cdn).is_empty() {
+                    assert_eq!(m, None, "{v:?}/{cdn:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fig10_iack_below_rtt_more_often_for_akamai_than_cloudflare() {
         let report = small_scan();
         let below_share = |c: Cdn| {
             let (_, iack) = report.rtt_minus_ack_delay(c);
-            if iack.is_empty() {
-                return 0.0;
-            }
-            iack.iter().filter(|d| **d > 0.0).count() as f64 / iack.len() as f64
+            iack.below_rtt_share().unwrap_or(0.0)
         };
         // Fig. 10b: Akamai IACK ack delays are below the RTT for ~61%,
         // Cloudflare's mostly exceed it.
@@ -210,12 +309,12 @@ mod tests {
     }
 
     #[test]
-    fn scan_is_deterministic() {
+    fn scan_is_deterministic_and_thread_count_invariant() {
         let pop = Population::synthesize(5_000, &mut SimRng::new(1));
-        let a = scan(&pop, 1, 5);
-        let b = scan(&pop, 1, 5);
-        for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
-            assert_eq!(ra.iack_share, rb.iack_share);
-        }
+        let a = scan_with(&pop, 1, 5, &SweepRunner::new(1));
+        let b = scan_with(&pop, 1, 5, &SweepRunner::new(4));
+        assert_eq!(a, b);
+        let c = scan_with(&pop, 1, 5, &SweepRunner::new(1));
+        assert_eq!(a, c);
     }
 }

@@ -52,6 +52,19 @@ impl Vantage {
         }
     }
 
+    /// UTC offset of the vantage's local clock in hours (study-period
+    /// standard offsets for HAM/HKG/LAX/GRU). The longitudinal diurnal
+    /// load cycle peaks at 14:00 *local*, so each vantage's peak falls
+    /// on a different study minute (study time is UTC).
+    pub fn utc_offset_hours(self) -> i64 {
+        match self {
+            Vantage::Hamburg => 1,
+            Vantage::HongKong => 8,
+            Vantage::LosAngeles => -8,
+            Vantage::SaoPaulo => -3,
+        }
+    }
+
     /// Median RTT in ms from this vantage to a CDN's nearest PoP.
     ///
     /// Anycast CDNs terminate nearby (§4.3: Cloudflare RTT medians around
@@ -87,6 +100,17 @@ mod tests {
     fn iata_codes() {
         assert_eq!(Vantage::SaoPaulo.iata(), "GRU");
         assert_eq!(Vantage::Hamburg.iata(), "HAM");
+    }
+
+    #[test]
+    fn utc_offsets_are_distinct_and_sane() {
+        let offsets: Vec<i64> = VANTAGES.iter().map(|v| v.utc_offset_hours()).collect();
+        for (i, a) in offsets.iter().enumerate() {
+            assert!((-12..=14).contains(a));
+            for b in &offsets[i + 1..] {
+                assert_ne!(a, b, "offsets must differ so diurnal peaks differ");
+            }
+        }
     }
 
     #[test]

@@ -28,18 +28,12 @@ fn main() {
     }
 
     // The ACK→SH gap distribution for Cloudflare from Sao Paulo.
-    let mut gaps: Vec<f64> = report
-        .ack_sh_delays(Vantage::SaoPaulo, Cdn::Cloudflare)
-        .into_iter()
-        .filter(|d| *d > 0.0)
-        .collect();
-    gaps.sort_by(f64::total_cmp);
-    if !gaps.is_empty() {
+    if let Some(median) = report.iack_gap_median(Vantage::SaoPaulo, Cdn::Cloudflare) {
         println!(
             "\nCloudflare IACK→ServerHello gap from Sao Paulo: median {:.2} ms over {} handshakes \
              (paper: 3.2 ms across vantage points)",
-            gaps[gaps.len() / 2],
-            gaps.len()
+            median,
+            report.handshakes(Vantage::SaoPaulo, Cdn::Cloudflare)
         );
     }
 

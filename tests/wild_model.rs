@@ -53,17 +53,9 @@ fn google_iack_share_depends_on_vantage() {
 fn fig8_cdn_ordering() {
     let report = standard_scan();
     let median_gap = |cdn| {
-        let mut v: Vec<f64> = report
-            .ack_sh_delays(Vantage::SaoPaulo, cdn)
-            .into_iter()
-            .filter(|d| *d > 0.0)
-            .collect();
-        v.sort_by(f64::total_cmp);
-        if v.is_empty() {
-            f64::NAN
-        } else {
-            v[v.len() / 2]
-        }
+        report
+            .iack_gap_median(Vantage::SaoPaulo, cdn)
+            .unwrap_or(f64::NAN)
     };
     let cf = median_gap(Cdn::Cloudflare);
     let amazon = median_gap(Cdn::Amazon);
@@ -78,9 +70,9 @@ fn fig8_cdn_ordering() {
 fn fig10_coalesced_ack_delays_exceed_rtt_for_meta() {
     let report = standard_scan();
     let (coalesced, _) = report.rtt_minus_ack_delay(Cdn::Meta);
-    assert!(!coalesced.is_empty());
-    let exceed = coalesced.iter().filter(|d| **d < 0.0).count() as f64 / coalesced.len() as f64;
+    assert!(coalesced.n > 0);
     // Paper: 100% of Meta's coalesced ACK–SH ack delays exceed the RTT.
+    let exceed = coalesced.exceed_rtt_share().unwrap();
     assert!(exceed > 0.8, "meta exceed share {exceed}");
 }
 
@@ -89,19 +81,23 @@ fn fig14_cloudflare_similar_across_vantages() {
     let report = standard_scan();
     let medians: Vec<f64> = VANTAGES
         .iter()
-        .map(|v| {
-            let mut g: Vec<f64> = report
-                .ack_sh_delays(*v, Cdn::Cloudflare)
-                .into_iter()
-                .filter(|d| *d > 0.0)
-                .collect();
-            g.sort_by(f64::total_cmp);
-            g[g.len() / 2]
-        })
+        .map(|v| report.iack_gap_median(*v, Cdn::Cloudflare).unwrap())
         .collect();
     let max = medians.iter().cloned().fold(f64::MIN, f64::max);
     let min = medians.iter().cloned().fold(f64::MAX, f64::min);
     assert!(max / min < 2.5, "medians too spread: {medians:?}");
+}
+
+#[test]
+fn scan_report_identical_across_thread_counts() {
+    // The PR's core guarantee at integration level: a full scan report
+    // — Table 1 rows *and* every figure aggregate — is byte-identical
+    // whether the domain loops run on one worker or four.
+    use reacked_quicer::testbed::SweepRunner;
+    let pop = Population::synthesize(30_000, &mut SimRng::new(0xCAFE));
+    let seq = reacked_quicer::wild::scan_with(&pop, 2, 0xD00D, &SweepRunner::new(1));
+    let par = reacked_quicer::wild::scan_with(&pop, 2, 0xD00D, &SweepRunner::new(4));
+    assert_eq!(seq, par);
 }
 
 #[test]
