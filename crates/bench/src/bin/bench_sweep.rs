@@ -17,7 +17,8 @@ use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
-    run_repetitions, run_repetitions_parallel, LossSpec, RunResult, Scenario, SweepRunner,
+    run_repetitions, run_repetitions_parallel, HandshakeClass, LossSpec, RunResult, Scenario,
+    SweepRunner,
 };
 use rq_wild::{scan_with, Population};
 
@@ -34,11 +35,17 @@ fn scenario_classes() -> Vec<(&'static str, Scenario)> {
     let mut amp = base.clone();
     amp.cert_len = rq_tls::CERT_LARGE;
     amp.cert_delay = SimDuration::from_millis(200);
+    // The 0-RTT class doubles as a priming-flow benchmark: every
+    // repetition runs the ticket-minting connection plus the measured one.
+    let mut resumption = base.clone();
+    resumption.handshake_class = HandshakeClass::ZeroRtt;
+    resumption.cert_delay = SimDuration::from_millis(50);
     vec![
         ("clean_handshake", base),
         ("server_flight_tail_iack", tail),
         ("second_client_flight", flight),
         ("large_cert_amplification", amp),
+        ("resumption", resumption),
     ]
 }
 

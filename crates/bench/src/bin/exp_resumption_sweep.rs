@@ -1,0 +1,151 @@
+//! Beyond the paper: the ACK-policy trade-off across handshake classes.
+//!
+//! The paper's WFC-vs-IACK dichotomy lives on the certificate wait (Δt):
+//! the instant ACK exists because the ServerHello flight is stuck behind
+//! the store round trip. Session resumption removes that flight entirely
+//! and 0-RTT moves the request into the first client datagram, so this
+//! sweep asks how much of the trade-off survives per handshake class.
+//! Resumed/0-RTT cells run the two-connection priming flow (an unmeasured
+//! full handshake mints the ticket); every run is seeded, so the output
+//! is byte-identical for any `REACKED_THREADS`.
+
+use rq_bench::{banner, half_median, ms_cell, repetitions, IACK, WFC};
+use rq_profiles::ResumptionProfile;
+use rq_sim::SimDuration;
+use rq_testbed::{
+    HandshakeClass, MatrixCell, RunResult, Scenario, ScenarioMatrix, SweepRunner, SweepScenarios,
+};
+
+/// Δt for every cell: large enough that full-handshake WFC visibly pays
+/// the store round trip the abbreviated classes skip.
+const CERT_DELAY_MS: u64 = 50;
+
+fn share(cell_results: &[RunResult], f: impl Fn(&RunResult) -> bool) -> f64 {
+    let hits = cell_results.iter().filter(|r| f(r)).count();
+    hits as f64 / cell_results.len() as f64
+}
+
+fn base(class: HandshakeClass, profile: ResumptionProfile) -> Scenario {
+    let mut sc = Scenario::base(
+        rq_profiles::client_by_name("quic-go").unwrap(),
+        WFC,
+        rq_http::HttpVersion::H1,
+    );
+    sc.cert_delay = SimDuration::from_millis(CERT_DELAY_MS);
+    sc.handshake_class = class;
+    sc.resumption = profile;
+    sc
+}
+
+fn main() {
+    banner(
+        "exp_resumption_sweep",
+        "beyond the paper",
+        "Median TTFB / handshake [ms] per handshake class (quic-go client, 10 KB, Δt = 50 ms, seeded).",
+    );
+    let reps = repetitions();
+    let runner = SweepRunner::from_env();
+    let rtts = [
+        SimDuration::from_millis(9),
+        SimDuration::from_millis(50),
+        SimDuration::from_millis(100),
+    ];
+    let classes = HandshakeClass::ALL;
+
+    let matrix = ScenarioMatrix::new(base(HandshakeClass::Full, ResumptionProfile::accepting()))
+        .ack_modes(&[WFC, IACK])
+        .handshake_classes(&classes)
+        .rtts(&rtts);
+    println!(
+        "{} cells x {} reps, threads from REACKED_THREADS\n",
+        matrix.len(),
+        reps
+    );
+    let cells = matrix.run(&runner, reps);
+
+    println!(
+        "{:<8} {:>7} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "class",
+        "rtt[ms]",
+        "WFC ttfb",
+        "IACK ttfb",
+        "Δttfb",
+        "WFC hs",
+        "IACK hs",
+        "Δhs",
+        "resumed",
+        "0rtt-ok"
+    );
+    // Matrix order: ack mode (outer) → class → rtt (inner).
+    let (n_class, n_rtt) = (classes.len(), rtts.len());
+    let cell = |mi: usize, ci: usize, ri: usize| -> &MatrixCell {
+        &cells[(mi * n_class + ci) * n_rtt + ri]
+    };
+    for (ci, class) in classes.iter().enumerate() {
+        for (ri, rtt) in rtts.iter().enumerate() {
+            let wfc = cell(0, ci, ri);
+            let iack = cell(1, ci, ri);
+            let w_ttfb = half_median(&wfc.ttfbs_ms(), reps);
+            let i_ttfb = half_median(&iack.ttfbs_ms(), reps);
+            let w_hs = half_median(&wfc.handshakes_ms(), reps);
+            let i_hs = half_median(&iack.handshakes_ms(), reps);
+            let delta = |a: Option<f64>, b: Option<f64>| match (a, b) {
+                (Some(a), Some(b)) => format!("{:+8.1}", b - a),
+                _ => format!("{:>8}", "-"),
+            };
+            let both: Vec<&RunResult> = wfc.results.iter().chain(&iack.results).collect();
+            let resumed = both.iter().filter(|r| r.resumed).count() as f64 / both.len() as f64;
+            let zero_ok = both
+                .iter()
+                .filter(|r| r.early_data_accepted == Some(true))
+                .count() as f64
+                / both.len() as f64;
+            println!(
+                "{:<8} {:>7} {} {} {} {} {} {} {:>7.0}% {:>7.0}%",
+                class.label(),
+                rtt.as_millis(),
+                ms_cell(w_ttfb),
+                ms_cell(i_ttfb),
+                delta(w_ttfb, i_ttfb),
+                ms_cell(w_hs),
+                ms_cell(i_hs),
+                delta(w_hs, i_hs),
+                resumed * 100.0,
+                zero_ok * 100.0,
+            );
+        }
+        println!();
+    }
+
+    // Server resumption profiles: what a 0-RTT offer gets from each.
+    println!(
+        "0-RTT offers per server profile (WFC, rtt 50 ms):\n{:<20} {:>9} {:>9} {:>8} {:>8}",
+        "profile", "ttfb", "hs", "resumed", "0rtt-ok"
+    );
+    for profile in [
+        ResumptionProfile::accepting(),
+        ResumptionProfile::rejecting_early_data(),
+        ResumptionProfile::no_tickets(),
+    ] {
+        let mut sc = base(HandshakeClass::ZeroRtt, profile);
+        sc.rtt = SimDuration::from_millis(50);
+        let results = runner.run_repetitions(&sc, reps);
+        let ttfbs: Vec<f64> = results.iter().filter_map(|r| r.ttfb_ms).collect();
+        let hss: Vec<f64> = results.iter().filter_map(|r| r.handshake_ms).collect();
+        println!(
+            "{:<20} {} {} {:>7.0}% {:>7.0}%",
+            profile.name,
+            ms_cell(half_median(&ttfbs, reps)),
+            ms_cell(half_median(&hss, reps)),
+            share(&results, |r| r.resumed) * 100.0,
+            share(&results, |r| r.early_data_accepted == Some(true)) * 100.0,
+        );
+    }
+    println!(
+        "\nΔ = IACK − WFC (negative: instant ACK faster). resumed / 0rtt-ok = share of runs that \
+         ran the abbreviated handshake / had early data accepted. Resumed classes price in the \
+         priming connection separately; the measured numbers above are the resumed connection \
+         alone. The certificate flight (and Δt) vanishing is why the full-handshake WFC/IACK gap \
+         collapses for resumed and 0-RTT classes."
+    );
+}

@@ -89,6 +89,15 @@ fn exp_impairment_sweep_matches_golden() {
     );
 }
 
+#[test]
+fn exp_resumption_sweep_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_resumption_sweep"),
+        "exp_resumption_sweep",
+        include_str!("golden/exp_resumption_sweep.txt"),
+    );
+}
+
 // The wild pipeline: the sharded scan and the longitudinal study must
 // print the same bytes at every thread count.
 

@@ -10,4 +10,4 @@ pub mod client;
 pub mod server;
 
 pub use client::{all_clients, client_by_name, ClientProfile};
-pub use server::{all_servers, server_by_name, ServerProfile};
+pub use server::{all_servers, server_by_name, ResumptionProfile, ServerProfile};

@@ -139,6 +139,73 @@ pub fn server_by_name(name: &str) -> Option<ServerProfile> {
     all_servers().into_iter().find(|s| s.name == name)
 }
 
+/// Per-deployment session-resumption behaviour: whether tickets are
+/// offered at all, whether 0-RTT early data is accepted, and the
+/// advertised ticket lifetime. Real CDNs differ on all three (Cloudflare
+/// serves 0-RTT broadly, Meta disables it, some origins never issue
+/// tickets), which is what the testbed's handshake-class scenarios and
+/// the wild scan's resumption columns model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumptionProfile {
+    /// Profile label used in scenario labels and tables.
+    pub name: &'static str,
+    /// Issue a NewSessionTicket after completed handshakes (and accept
+    /// the tickets back for abbreviated handshakes).
+    pub offers_tickets: bool,
+    /// Accept 0-RTT early data on resumed connections.
+    pub accepts_early_data: bool,
+    /// Lifetime advertised in issued tickets.
+    pub ticket_lifetime: SimDuration,
+}
+
+impl ResumptionProfile {
+    /// Tickets offered, resumption and 0-RTT accepted (the common CDN
+    /// front-end configuration).
+    pub fn accepting() -> Self {
+        ResumptionProfile {
+            name: "resume-accepting",
+            offers_tickets: true,
+            accepts_early_data: true,
+            ticket_lifetime: SimDuration::from_secs(7200),
+        }
+    }
+
+    /// Tickets offered but 0-RTT rejected: early data is answered only
+    /// after the (abbreviated) handshake, retransmitted as 1-RTT.
+    pub fn rejecting_early_data() -> Self {
+        ResumptionProfile {
+            name: "resume-reject-0rtt",
+            accepts_early_data: false,
+            ..ResumptionProfile::accepting()
+        }
+    }
+
+    /// No tickets at all: every connection runs the full handshake.
+    pub fn no_tickets() -> Self {
+        ResumptionProfile {
+            name: "no-resumption",
+            offers_tickets: false,
+            accepts_early_data: false,
+            ticket_lifetime: SimDuration::ZERO,
+        }
+    }
+
+    /// Compiles into the TLS-layer server policy. Ticket-issuing
+    /// profiles always *advertise* 0-RTT support; a non-accepting one
+    /// then rejects the attempt (the advertise-then-reject mismatch of
+    /// key rotation / load shedding), which is what drives the
+    /// reject/retransmit path.
+    pub fn server_resumption(&self) -> rq_tls::ServerResumption {
+        rq_tls::ServerResumption {
+            issue_tickets: self.offers_tickets,
+            accept_resumption: self.offers_tickets,
+            advertise_early_data: self.offers_tickets,
+            accept_early_data: self.accepts_early_data,
+            ticket_lifetime_secs: self.ticket_lifetime.as_secs_f64() as u32,
+        }
+    }
+}
+
 /// The testbed server (paper §3): quic-go modified to support instant ACK,
 /// with a configurable certificate size.
 pub fn testbed_server(ack_mode: ServerAckMode, cert_len: usize) -> EndpointConfig {
@@ -194,6 +261,17 @@ mod tests {
         assert_eq!(cfg.ack_delay_report, AckDelayReport::Zero);
         let cfg = server_by_name("quiche").unwrap().endpoint_config();
         assert!(matches!(cfg.ack_delay_report, AckDelayReport::Fixed(_)));
+    }
+
+    #[test]
+    fn resumption_profiles_compile_to_tls_policy() {
+        let acc = ResumptionProfile::accepting().server_resumption();
+        assert!(acc.issue_tickets && acc.accept_resumption && acc.accept_early_data);
+        assert_eq!(acc.ticket_lifetime_secs, 7200);
+        let rej = ResumptionProfile::rejecting_early_data().server_resumption();
+        assert!(rej.issue_tickets && rej.accept_resumption && !rej.accept_early_data);
+        let none = ResumptionProfile::no_tickets().server_resumption();
+        assert!(!none.issue_tickets && !none.accept_resumption);
     }
 
     #[test]

@@ -122,6 +122,18 @@ pub enum EventData {
     HandshakeComplete,
     /// Handshake confirmed at this endpoint.
     HandshakeConfirmed,
+    /// The handshake ran the abbreviated (session-resumption) path.
+    ResumptionUsed,
+    /// Outcome of a 0-RTT early-data offer at this endpoint.
+    EarlyData {
+        /// Whether the early data was accepted.
+        accepted: bool,
+    },
+    /// A NewSessionTicket was issued (server) or received (client).
+    SessionTicket {
+        /// True at the issuer, false at the receiver.
+        sent: bool,
+    },
 }
 
 /// One timestamped event. JSON form flattens the payload next to
@@ -230,6 +242,9 @@ impl EventData {
             EventData::ConnectionClosed { .. } => "connection_closed",
             EventData::HandshakeComplete => "handshake_complete",
             EventData::HandshakeConfirmed => "handshake_confirmed",
+            EventData::ResumptionUsed => "resumption_used",
+            EventData::EarlyData { .. } => "early_data",
+            EventData::SessionTicket { .. } => "session_ticket",
         }
     }
 
@@ -297,10 +312,17 @@ impl EventData {
                 fields.push(("error_code".into(), Json::uint(*error_code)));
                 fields.push(("reason".into(), Json::str(reason)));
             }
+            EventData::EarlyData { accepted } => {
+                fields.push(("accepted".into(), Json::Bool(*accepted)));
+            }
+            EventData::SessionTicket { sent } => {
+                fields.push(("sent".into(), Json::Bool(*sent)));
+            }
             EventData::CertificateRequested
             | EventData::CertificateReady
             | EventData::HandshakeComplete
-            | EventData::HandshakeConfirmed => {}
+            | EventData::HandshakeConfirmed
+            | EventData::ResumptionUsed => {}
         }
         fields
     }

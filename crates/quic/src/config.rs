@@ -128,6 +128,18 @@ pub struct EndpointConfig {
     /// Application-space ACK threshold: send an ACK after this many
     /// ack-eliciting packets (2 is the RFC-recommended behaviour).
     pub ack_eliciting_threshold: usize,
+    /// Client: session ticket to offer for an abbreviated handshake.
+    pub session_ticket: Option<rq_tls::SessionTicket>,
+    /// Client: send queued stream data as 0-RTT early data with the
+    /// ticket (ignored without `session_ticket`).
+    pub enable_early_data: bool,
+    /// Server: resumption policy (ticket issuance, PSK and 0-RTT
+    /// acceptance; disabled by default so full-handshake traces keep
+    /// their exact wire image).
+    pub resumption: rq_tls::ServerResumption,
+    /// Server: key minting/validating stateless session tickets — the
+    /// same key must serve the priming and the resumed connection.
+    pub ticket_key: u64,
     /// Initial connection-level flow control credit offered to the peer.
     pub initial_max_data: u64,
     /// Initial per-stream flow control credit.
@@ -152,6 +164,10 @@ impl EndpointConfig {
             cert_len: rq_tls::CERT_SMALL,
             quirks: ClientQuirks::default(),
             ack_eliciting_threshold: 2,
+            session_ticket: None,
+            enable_early_data: false,
+            resumption: rq_tls::ServerResumption::disabled(),
+            ticket_key: 0x7E11_C3E7,
             // Receive windows sized like real stacks (hundreds of KiB):
             // large transfers then require a steady stream of MAX_DATA /
             // MAX_STREAM_DATA grants — the ack-eliciting client packets
@@ -171,6 +187,12 @@ impl EndpointConfig {
     /// Sets the certificate size.
     pub fn with_cert_len(mut self, len: usize) -> Self {
         self.cert_len = len;
+        self
+    }
+
+    /// Sets the server-side resumption policy.
+    pub fn with_resumption(mut self, resumption: rq_tls::ServerResumption) -> Self {
+        self.resumption = resumption;
         self
     }
 }

@@ -62,6 +62,8 @@ pub enum ConnEvent {
         /// Stream finished.
         fin: bool,
     },
+    /// Client: a NewSessionTicket arrived — cache it to resume later.
+    TicketReceived(rq_tls::SessionTicket),
     /// Connection closed (peer close, local error, or quirk abort).
     Closed {
         /// Error code.
@@ -145,6 +147,12 @@ pub struct Connection {
     /// was lost): the out-of-order first flight that trips quiche's
     /// duplicate-CID-retirement bug under IACK (§4.2 / App. F).
     buffered_hs_before_keys: bool,
+    /// 0-RTT packet protection: the client derives these from its ticket
+    /// before the first flight, the server after validating the ticket.
+    early_keys: Option<LevelKeys>,
+    /// Early data was rejected (or the PSK offer failed): the client
+    /// requeues 0-RTT content as 1-RTT, the server drops 0-RTT packets.
+    early_rejected: bool,
 }
 
 impl Connection {
@@ -163,8 +171,13 @@ impl Connection {
                 rtt = rtt.with_buggy_preinit(pre);
             }
         }
-        let mut tls = TlsSession::client(TlsClientConfig::default());
+        let mut tls = TlsSession::client(TlsClientConfig {
+            ticket: cfg.session_ticket.clone(),
+            early_data: cfg.enable_early_data && cfg.session_ticket.is_some(),
+            ..TlsClientConfig::full()
+        });
         tls.start();
+        let early = tls.early_keys().cloned();
         let initial = initial_keys(original_dcid.as_slice());
         let ping_budget = if cfg.quirks.drop_ping_reply_coalesced {
             1
@@ -211,6 +224,8 @@ impl Connection {
             waiting_for_cert: false,
             new_ack_packets: 0,
             buffered_hs_before_keys: false,
+            early_keys: early,
+            early_rejected: false,
             cfg,
         };
         // Queue the ClientHello into the Initial crypto stream.
@@ -229,6 +244,8 @@ impl Connection {
             cert_len: cfg.cert_len,
             random: [0x22; 32],
             cert_preprovisioned: false,
+            resumption: cfg.resumption,
+            ticket_key: cfg.ticket_key,
         });
         let initial = initial_keys(original_dcid.as_slice());
         Connection {
@@ -271,6 +288,8 @@ impl Connection {
             waiting_for_cert: false,
             new_ack_packets: 0,
             buffered_hs_before_keys: false,
+            early_keys: None,
+            early_rejected: false,
             cfg,
         }
     }
@@ -316,6 +335,24 @@ impl Connection {
     /// Whether the handshake completed at this endpoint.
     pub fn is_established(&self) -> bool {
         self.handshake_complete
+    }
+
+    /// Whether this connection ran the abbreviated (session-resumption)
+    /// handshake.
+    pub fn is_resumed(&self) -> bool {
+        self.tls.is_resumed()
+    }
+
+    /// Outcome of a 0-RTT early-data offer (`None`: never offered or
+    /// not yet decided).
+    pub fn early_data_accepted(&self) -> Option<bool> {
+        self.tls.early_data_accepted()
+    }
+
+    /// Whether 0-RTT keys are installed (client: before the handshake;
+    /// server: after accepting the offered early data).
+    pub fn early_keys_available(&self) -> bool {
+        self.early_keys.is_some()
     }
 
     /// RTT estimator (read-only view for tests and analyses).
@@ -421,14 +458,40 @@ impl Connection {
                 self.address_validated = true;
             }
         }
-        let Some(keys) = &self.keys[idx] else {
-            // Keys not yet available (e.g. Handshake packets arriving while
-            // the ServerHello is lost): buffer for later.
-            if space == PacketNumberSpace::Handshake {
-                self.buffered_hs_before_keys = true;
+        // 0-RTT packets are protected under the early keys, not the
+        // (not-yet-existing) 1-RTT keys of their shared number space.
+        let keys = if pkt.header.ty == PacketType::ZeroRtt {
+            if self.role != Role::Server {
+                return; // only servers receive 0-RTT
             }
-            self.pending_packets.push((pkt, tag, size));
-            return;
+            match &self.early_keys {
+                Some(k) => k,
+                None => {
+                    // Keys exist once the CH's ticket is validated with
+                    // early data accepted. If the handshake already
+                    // progressed without them, the offer was rejected
+                    // (or absent): drop per RFC 9001 §5.7. Otherwise the
+                    // 0-RTT packet raced ahead of the CH — buffer it.
+                    if self.early_rejected || self.keys[1].is_some() {
+                        return;
+                    }
+                    self.pending_packets.push((pkt, tag, size));
+                    return;
+                }
+            }
+        } else {
+            match &self.keys[idx] {
+                Some(k) => k,
+                None => {
+                    // Keys not yet available (e.g. Handshake packets
+                    // arriving while the ServerHello is lost): buffer.
+                    if space == PacketNumberSpace::Handshake {
+                        self.buffered_hs_before_keys = true;
+                    }
+                    self.pending_packets.push((pkt, tag, size));
+                    return;
+                }
+            }
         };
         let peer_side = match self.role {
             Role::Client => KeySide::Server,
@@ -737,6 +800,30 @@ impl Connection {
                     }
                 }
             }
+            TlsEvent::ResumptionAccepted => {
+                self.log.push(now, EventData::ResumptionUsed);
+            }
+            TlsEvent::EarlyDataAccepted => {
+                self.log.push(now, EventData::EarlyData { accepted: true });
+                if self.role == Role::Server {
+                    // Install the 0-RTT read keys; the CH datagram may
+                    // carry (or be followed by) 0-RTT packets.
+                    self.early_keys = self.tls.early_keys().cloned();
+                    self.flush_pending(now);
+                }
+            }
+            TlsEvent::EarlyDataRejected => {
+                self.log.push(now, EventData::EarlyData { accepted: false });
+                self.early_rejected = true;
+                if self.role == Role::Client {
+                    self.requeue_zero_rtt(now);
+                }
+                self.early_keys = None;
+            }
+            TlsEvent::TicketIssued(ticket) => {
+                self.log.push(now, EventData::SessionTicket { sent: false });
+                self.events.push_back(ConnEvent::TicketReceived(ticket));
+            }
             TlsEvent::HandshakeComplete => {
                 self.handshake_complete = true;
                 self.log.push(now, EventData::HandshakeComplete);
@@ -746,6 +833,11 @@ impl Connection {
                         self.handshake_done_pending = true;
                         self.handshake_confirmed = true;
                         self.log.push(now, EventData::HandshakeConfirmed);
+                        // A ticket-issuing server queued its NST at the
+                        // Application level when the handshake completed.
+                        if self.tls.pending_output(Level::Application) > 0 {
+                            self.log.push(now, EventData::SessionTicket { sent: true });
+                        }
                         // Some stacks ACK the client Finished in the
                         // Handshake space before discarding it (Table 3).
                         if self.cfg.send_handshake_space_acks && !self.cfg.no_initial_acks {
@@ -765,11 +857,45 @@ impl Connection {
     }
 
     fn pump_tls_output(&mut self) {
-        for (level, idx) in [(Level::Initial, 0usize), (Level::Handshake, 1)] {
+        for (level, idx) in [
+            (Level::Initial, 0usize),
+            (Level::Handshake, 1),
+            (Level::Application, 2),
+        ] {
             if let Some(out) = self.tls.take_output(level) {
                 self.spaces[idx].crypto.queue_tx(&out);
             }
         }
+    }
+
+    /// 0-RTT was rejected: remove the early packets from tracking and
+    /// requeue their content for 1-RTT transmission (RFC 9001 §4.6.2).
+    fn requeue_zero_rtt(&mut self, now: SimTime) {
+        let idx = PacketNumberSpace::Application.index();
+        if self.spaces[idx].zero_rtt_pns.is_empty() {
+            return;
+        }
+        let drained = self.trackers[idx].drain();
+        let mut freed = 0usize;
+        for p in drained {
+            debug_assert!(
+                self.spaces[idx].is_zero_rtt(p.pn),
+                "only 0-RTT packets live in the app space before 1-RTT keys"
+            );
+            if p.in_flight {
+                freed += p.size;
+            }
+            if let Some(content) = self.spaces[idx].retx.remove(&p.retx_token) {
+                self.spaces[idx].queue_retx(content);
+            }
+            // Deliberately no `packet_lost` qlog event: these packets are
+            // removed from tracking by the reject (RFC 9001 §4.6.2), not
+            // declared lost by loss recovery — `client_packets_lost`
+            // keeps meaning what its doc says. The `early_data
+            // {accepted: false}` event already marks the unwind.
+        }
+        self.cc.on_discarded(freed);
+        let _ = now;
     }
 
     /// Server driver callback: the certificate arrived from the store.
@@ -981,7 +1107,8 @@ impl Connection {
 
         for space in PacketNumberSpace::ALL {
             let idx = space.index();
-            if self.keys[idx].is_none() || self.spaces[idx].discarded {
+            let early = idx == 2 && self.keys[idx].is_none() && self.can_send_early();
+            if (self.keys[idx].is_none() && !early) || self.spaces[idx].discarded {
                 continue;
             }
             let overhead = self.packet_overhead(space);
@@ -1050,10 +1177,22 @@ impl Connection {
             || self.handshake_done_pending
     }
 
+    /// Whether this endpoint may emit 0-RTT packets right now: a client
+    /// holding early keys, before the handshake completes, whose offer
+    /// has not been rejected.
+    fn can_send_early(&self) -> bool {
+        self.role == Role::Client
+            && self.early_keys.is_some()
+            && !self.handshake_complete
+            && !self.early_rejected
+    }
+
     fn packet_overhead(&self, space: PacketNumberSpace) -> usize {
-        // Header + length varint + pn + tag, conservatively.
+        // Header + length varint + pn + tag, conservatively. 0-RTT
+        // packets (application space before 1-RTT keys) carry a long
+        // header, not the 1-RTT short header.
         match space {
-            PacketNumberSpace::Application => 1 + 8 + 4 + 16,
+            PacketNumberSpace::Application if self.keys[2].is_some() => 1 + 8 + 4 + 16,
             _ => 1 + 4 + 1 + 8 + 1 + 8 + 1 + 2 + 4 + 16 + 2,
         }
     }
@@ -1070,6 +1209,10 @@ impl Connection {
         let mut frames = Vec::new();
         let mut used = 0usize;
         let mut probe_only = true;
+        // Building a 0-RTT packet: ACK and HANDSHAKE_DONE frames are not
+        // permitted there (RFC 9000 §12.4), and neither arises before the
+        // handshake anyway.
+        let early = space == PacketNumberSpace::Application && self.keys[idx].is_none();
 
         // 1. ACK: attach whenever owed; in handshake spaces attach
         //    opportunistically with any other content too. Clients batch
@@ -1097,6 +1240,9 @@ impl Connection {
             && self.role == Role::Server
             && space != PacketNumberSpace::Application
         {
+            attach_ack = false;
+        }
+        if early {
             attach_ack = false;
         }
         if attach_ack {
@@ -1220,7 +1366,7 @@ impl Connection {
 
         // 5. Application-space extras.
         if space == PacketNumberSpace::Application {
-            if self.handshake_done_pending && used + 1 <= max_payload {
+            if self.handshake_done_pending && !early && used + 1 <= max_payload {
                 self.handshake_done_pending = false;
                 frames.push(Frame::HandshakeDone);
                 used += 1;
@@ -1292,7 +1438,17 @@ impl Connection {
                 Header::initial(self.peer_cid, self.local_cid, self.token.clone(), pn)
             }
             PacketNumberSpace::Handshake => Header::handshake(self.peer_cid, self.local_cid, pn),
-            PacketNumberSpace::Application => Header::one_rtt(self.peer_cid, pn),
+            // Before the 1-RTT keys exist, application-space packets are
+            // 0-RTT long-header packets under the early keys; afterwards
+            // they are short-header 1-RTT packets. Both share the space's
+            // packet number sequence (RFC 9000 §12.3).
+            PacketNumberSpace::Application => {
+                if self.keys[2].is_some() {
+                    Header::one_rtt(self.peer_cid, pn)
+                } else {
+                    Header::zero_rtt(self.peer_cid, self.local_cid, pn)
+                }
+            }
         };
         PlainPacket::new(header, frames).expect("frame permissions checked by construction")
     }
@@ -1307,7 +1463,11 @@ impl Connection {
     ) -> Option<Vec<u8>> {
         let space = pkt.space();
         let idx = space.index();
-        let keys = self.keys[idx].as_ref()?;
+        let keys = if pkt.header.ty == PacketType::ZeroRtt {
+            self.early_keys.as_ref()?
+        } else {
+            self.keys[idx].as_ref()?
+        };
         let side = match self.role {
             Role::Client => KeySide::Client,
             Role::Server => KeySide::Server,
@@ -1326,6 +1486,10 @@ impl Connection {
             && pkt.frames.iter().any(|f| matches!(f, Frame::Ping))
         {
             self.initial_ping_pns.push(pkt.header.pn);
+        }
+        // Track 0-RTT sends so a server reject can unwind exactly them.
+        if pkt.header.ty == PacketType::ZeroRtt {
+            self.spaces[idx].mark_zero_rtt(pkt.header.pn);
         }
         let retx = retx_content_of(&pkt.frames);
         let token = pkt.header.pn;
@@ -2302,6 +2466,168 @@ mod tests {
             .log
             .count(|d| matches!(d, EventData::PacketReceived { .. }));
         assert!(after > before, "well-behaved client processes the flight");
+    }
+
+    /// Zero-delay exchange loop capturing any ticket the client receives.
+    fn exchange_until_quiet(
+        c: &mut Connection,
+        s: &mut Connection,
+        now: SimTime,
+    ) -> Option<rq_tls::SessionTicket> {
+        let mut ticket = None;
+        loop {
+            let mut progress = false;
+            while let Some(d) = c.poll_transmit(now) {
+                s.handle_datagram(now, &d);
+                progress = true;
+            }
+            while let Some(ev) = s.poll_event() {
+                if matches!(ev, ConnEvent::CertificateNeeded) {
+                    s.certificate_ready(now);
+                }
+                progress = true;
+            }
+            while let Some(d) = s.poll_transmit(now) {
+                c.handle_datagram(now, &d);
+                progress = true;
+            }
+            while let Some(ev) = c.poll_event() {
+                if let ConnEvent::TicketReceived(t) = ev {
+                    ticket = Some(t);
+                }
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        ticket
+    }
+
+    /// Mints a ticket through a full priming handshake against a
+    /// ticket-issuing server sharing `server_cfg`.
+    fn mint_ticket_via_priming(server_cfg: &EndpointConfig) -> rq_tls::SessionTicket {
+        let mut c = client();
+        let mut s = Connection::server(server_cfg.clone(), 2, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let ticket = exchange_until_quiet(&mut c, &mut s, at(0));
+        assert!(c.is_established() && !c.is_resumed());
+        ticket.expect("priming connection must yield a ticket")
+    }
+
+    fn resuming_server_cfg(accept_early: bool) -> EndpointConfig {
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.ack_mode = ServerAckMode::WaitForCertificate;
+        cfg.resumption = if accept_early {
+            rq_tls::ServerResumption::accepting(7200)
+        } else {
+            rq_tls::ServerResumption::rejecting_early_data(7200)
+        };
+        cfg
+    }
+
+    #[test]
+    fn zero_rtt_request_delivered_before_handshake_completes() {
+        let server_cfg = resuming_server_cfg(true);
+        let ticket = mint_ticket_via_priming(&server_cfg);
+
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.session_ticket = Some(ticket);
+        cfg.enable_early_data = true;
+        let mut c = Connection::client(cfg, 1, false);
+        c.send_stream_data(stream_id::CLIENT_BIDI_0, b"GET / HTTP/1.1\r\n\r\n", true);
+        let mut s = Connection::server(server_cfg, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+
+        // The first flight carries Initial(CH) coalesced with a 0-RTT
+        // packet carrying the request.
+        let first = c.poll_transmit(at(0)).expect("first flight");
+        let info = rq_wire::classify_datagram(&first, 8).unwrap();
+        assert!(info
+            .packets
+            .iter()
+            .any(|p| p.ty == rq_wire::PacketType::ZeroRtt));
+        assert!(first.len() >= MIN_INITIAL_DATAGRAM);
+        s.handle_datagram(at(0), &first);
+        // The server delivers the early request before any return flight
+        // and without ever asking for the certificate.
+        let mut got_request = false;
+        let mut cert_needed = false;
+        while let Some(ev) = s.poll_event() {
+            match ev {
+                ConnEvent::StreamData { id, data, .. } => {
+                    got_request |= id == stream_id::CLIENT_BIDI_0 && !data.is_empty();
+                }
+                ConnEvent::CertificateNeeded => cert_needed = true,
+                _ => {}
+            }
+        }
+        assert!(got_request, "0-RTT request delivered from the first flight");
+        assert!(!cert_needed, "resumed handshakes skip the cert store");
+        assert_eq!(s.early_data_accepted(), Some(true));
+
+        // Finish the handshake: both sides resumed, early data accepted.
+        exchange_until_quiet(&mut c, &mut s, at(1));
+        assert!(c.is_established() && s.is_established());
+        assert!(c.is_resumed() && s.is_resumed());
+        assert_eq!(c.early_data_accepted(), Some(true));
+    }
+
+    #[test]
+    fn rejected_early_data_is_retransmitted_as_one_rtt() {
+        let server_cfg = resuming_server_cfg(false);
+        let ticket = mint_ticket_via_priming(&server_cfg);
+
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.session_ticket = Some(ticket);
+        cfg.enable_early_data = true;
+        let mut c = Connection::client(cfg, 1, false);
+        c.send_stream_data(stream_id::CLIENT_BIDI_0, b"GET / HTTP/1.1\r\n\r\n", true);
+        let mut s = Connection::server(server_cfg, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+
+        exchange_until_quiet(&mut c, &mut s, at(0));
+        assert!(c.is_established() && c.is_resumed());
+        assert_eq!(c.early_data_accepted(), Some(false));
+        assert_eq!(s.early_data_accepted(), Some(false));
+        // The server still received the whole request — resent under
+        // 1-RTT keys after the reject.
+        let delivered = s
+            .streams
+            .recv
+            .get(&stream_id::CLIENT_BIDI_0)
+            .map(|r| r.delivered)
+            .unwrap_or(0);
+        assert_eq!(delivered as usize, b"GET / HTTP/1.1\r\n\r\n".len());
+    }
+
+    #[test]
+    fn resumed_handshake_without_early_data_still_abbreviated() {
+        let server_cfg = resuming_server_cfg(true);
+        let ticket = mint_ticket_via_priming(&server_cfg);
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.session_ticket = Some(ticket);
+        cfg.enable_early_data = false;
+        let mut c = Connection::client(cfg, 1, false);
+        let mut s = Connection::server(server_cfg, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let fresh = exchange_until_quiet(&mut c, &mut s, at(0));
+        assert!(c.is_resumed() && s.is_resumed());
+        assert_eq!(c.early_data_accepted(), None, "early data never offered");
+        assert!(fresh.is_some(), "resumed handshakes re-issue tickets");
+    }
+
+    #[test]
+    fn ticket_from_wrong_server_key_falls_back_to_full_handshake() {
+        let server_cfg = resuming_server_cfg(true);
+        let ticket = mint_ticket_via_priming(&server_cfg);
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.session_ticket = Some(ticket);
+        cfg.enable_early_data = true;
+        let mut c = Connection::client(cfg, 1, false);
+        let mut other = server_cfg;
+        other.ticket_key ^= 0xDEAD;
+        let mut s = Connection::server(other, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+        exchange_until_quiet(&mut c, &mut s, at(0));
+        assert!(c.is_established() && s.is_established());
+        assert!(!c.is_resumed() && !s.is_resumed());
+        assert_eq!(c.early_data_accepted(), Some(false));
     }
 
     #[test]

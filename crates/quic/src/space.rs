@@ -192,6 +192,11 @@ impl CryptoStream {
 }
 
 /// All mutable state for one packet number space.
+///
+/// The Application instance doubles as the 0-RTT space: 0-RTT and 1-RTT
+/// packets share its packet number sequence (RFC 9000 §12.3), with
+/// [`SpaceState::zero_rtt_pns`] remembering which numbers went out as
+/// 0-RTT so a server reject can surgically unwind exactly those sends.
 #[derive(Debug, Default)]
 pub struct SpaceState {
     /// Next packet number to assign.
@@ -208,6 +213,8 @@ pub struct SpaceState {
     pub pending_pings: usize,
     /// Space has been discarded (keys dropped).
     pub discarded: bool,
+    /// Packet numbers sent as 0-RTT packets (Application space only).
+    pub zero_rtt_pns: Vec<u64>,
 }
 
 impl SpaceState {
@@ -216,6 +223,16 @@ impl SpaceState {
         let pn = self.next_pn;
         self.next_pn += 1;
         pn
+    }
+
+    /// Records a packet number as sent in a 0-RTT packet.
+    pub fn mark_zero_rtt(&mut self, pn: u64) {
+        self.zero_rtt_pns.push(pn);
+    }
+
+    /// Whether `pn` was sent as 0-RTT.
+    pub fn is_zero_rtt(&self, pn: u64) -> bool {
+        self.zero_rtt_pns.contains(&pn)
     }
 
     /// Queues content for retransmission.
@@ -268,6 +285,17 @@ mod tests {
         assert_eq!(s.alloc_pn(), 0);
         assert_eq!(s.alloc_pn(), 1);
         assert_eq!(s.alloc_pn(), 2);
+    }
+
+    #[test]
+    fn zero_rtt_and_one_rtt_share_the_pn_sequence() {
+        let mut s = SpaceState::default();
+        let early = s.alloc_pn();
+        s.mark_zero_rtt(early);
+        let one_rtt = s.alloc_pn();
+        assert_eq!((early, one_rtt), (0, 1));
+        assert!(s.is_zero_rtt(early));
+        assert!(!s.is_zero_rtt(one_rtt));
     }
 
     #[test]

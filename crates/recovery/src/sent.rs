@@ -223,6 +223,20 @@ impl SentTracker {
         self.last_ack_eliciting_sent = None;
         freed
     }
+
+    /// Removes and returns every tracked packet, in packet-number order,
+    /// resetting the in-flight accounting (RFC 9001 §4.6.2: when a server
+    /// rejects 0-RTT, the client removes the early packets from tracking
+    /// and retransmits their content under 1-RTT keys — they are neither
+    /// acknowledged nor declared lost through the normal detectors).
+    pub fn drain(&mut self) -> Vec<SentPacket> {
+        let out: Vec<SentPacket> = std::mem::take(&mut self.sent).into_values().collect();
+        self.bytes_in_flight = 0;
+        self.ack_eliciting_outstanding = 0;
+        self.loss_time = None;
+        self.last_ack_eliciting_sent = None;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +265,20 @@ mod tests {
         let mut r = RttEstimator::new(SimDuration::ZERO);
         r.update(ms(10), SimDuration::ZERO, false);
         r
+    }
+
+    #[test]
+    fn drain_returns_everything_and_resets_accounting() {
+        let mut t = SentTracker::new();
+        t.on_sent(pkt(0, 0, true));
+        t.on_sent(pkt(1, 1, true));
+        t.on_sent(pkt(2, 2, false));
+        assert_eq!(t.bytes_in_flight(), 3600);
+        let drained = t.drain();
+        assert_eq!(drained.iter().map(|p| p.pn).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(t.tracked(), 0);
+        assert_eq!(t.bytes_in_flight(), 0);
+        assert!(!t.has_ack_eliciting_in_flight());
     }
 
     #[test]

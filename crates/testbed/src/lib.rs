@@ -17,5 +17,5 @@ pub use runner::{
     apply_exposure, rep_scenario, run_repetitions, run_repetitions_parallel, run_scenario,
     run_scenario_with_trace, RunResult, SweepRunner, SweepScenarios,
 };
-pub use scenario::{LossSpec, Scenario};
+pub use scenario::{HandshakeClass, LossSpec, Scenario};
 pub use stats::{median, median_sorted, percentile, percentile_sorted, Summary};

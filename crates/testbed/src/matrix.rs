@@ -4,8 +4,9 @@
 //! The paper sweeps a handful of hand-picked scenario combinations; the
 //! ROADMAP's north star is "as many scenarios as you can imagine". A
 //! [`ScenarioMatrix`] expands a base [`Scenario`] along any subset of
-//! axes — client profile, server ACK mode, RTT, certificate size,
-//! certificate-store delay, and loss/impairment spec — into the full
+//! axes — client profile, server ACK mode, handshake class, RTT,
+//! certificate size, certificate-store delay, and loss/impairment
+//! spec — into the full
 //! cross product, then fans all cells × repetitions out through one
 //! [`SweepRunner`] sweep so every worker stays busy. Cell order (and
 //! therefore output order) is the deterministic nested-loop order of the
@@ -16,19 +17,20 @@ use rq_quic::ServerAckMode;
 use rq_sim::SimDuration;
 
 use crate::runner::{rep_scenario, run_scenario, RunResult, SweepRunner};
-use crate::scenario::{LossSpec, Scenario};
+use crate::scenario::{HandshakeClass, LossSpec, Scenario};
 
 /// A cross product of scenario axes, expanded from a base scenario.
 ///
 /// Every axis defaults to the single value of the base scenario; each
 /// `with_*` call replaces that axis with an explicit list. Axis order in
-/// the expansion (outermost first): clients, ack modes, RTTs, cert sizes,
-/// cert delays, losses.
+/// the expansion (outermost first): clients, ack modes, handshake
+/// classes, RTTs, cert sizes, cert delays, losses.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
     base: Scenario,
     clients: Vec<ClientProfile>,
     ack_modes: Vec<ServerAckMode>,
+    classes: Vec<HandshakeClass>,
     rtts: Vec<SimDuration>,
     cert_lens: Vec<usize>,
     cert_delays: Vec<SimDuration>,
@@ -62,6 +64,7 @@ impl ScenarioMatrix {
         ScenarioMatrix {
             clients: vec![base.client.clone()],
             ack_modes: vec![base.ack_mode],
+            classes: vec![base.handshake_class],
             rtts: vec![base.rtt],
             cert_lens: vec![base.cert_len],
             cert_delays: vec![base.cert_delay],
@@ -81,6 +84,13 @@ impl ScenarioMatrix {
     pub fn ack_modes(mut self, modes: &[ServerAckMode]) -> Self {
         assert!(!modes.is_empty(), "empty ack-mode axis");
         self.ack_modes = modes.to_vec();
+        self
+    }
+
+    /// Replaces the handshake-class axis.
+    pub fn handshake_classes(mut self, classes: &[HandshakeClass]) -> Self {
+        assert!(!classes.is_empty(), "empty handshake-class axis");
+        self.classes = classes.to_vec();
         self
     }
 
@@ -116,6 +126,7 @@ impl ScenarioMatrix {
     pub fn len(&self) -> usize {
         self.clients.len()
             * self.ack_modes.len()
+            * self.classes.len()
             * self.rtts.len()
             * self.cert_lens.len()
             * self.cert_delays.len()
@@ -134,18 +145,21 @@ impl ScenarioMatrix {
         let mut out = Vec::with_capacity(self.len());
         for client in &self.clients {
             for &ack_mode in &self.ack_modes {
-                for &rtt in &self.rtts {
-                    for &cert_len in &self.cert_lens {
-                        for &cert_delay in &self.cert_delays {
-                            for &loss in &self.losses {
-                                let mut sc = self.base.clone();
-                                sc.client = client.clone();
-                                sc.ack_mode = ack_mode;
-                                sc.rtt = rtt;
-                                sc.cert_len = cert_len;
-                                sc.cert_delay = cert_delay;
-                                sc.loss = loss;
-                                out.push(sc);
+                for &class in &self.classes {
+                    for &rtt in &self.rtts {
+                        for &cert_len in &self.cert_lens {
+                            for &cert_delay in &self.cert_delays {
+                                for &loss in &self.losses {
+                                    let mut sc = self.base.clone();
+                                    sc.client = client.clone();
+                                    sc.ack_mode = ack_mode;
+                                    sc.handshake_class = class;
+                                    sc.rtt = rtt;
+                                    sc.cert_len = cert_len;
+                                    sc.cert_delay = cert_delay;
+                                    sc.loss = loss;
+                                    out.push(sc);
+                                }
                             }
                         }
                     }
@@ -264,5 +278,22 @@ mod tests {
     #[should_panic(expected = "empty rtt axis")]
     fn empty_axis_rejected() {
         let _ = ScenarioMatrix::new(base()).rtts(&[]);
+    }
+
+    #[test]
+    fn handshake_class_axis_expands_between_ack_and_rtt() {
+        let m = ScenarioMatrix::new(base())
+            .ack_modes(&[WFC, IACK])
+            .handshake_classes(&HandshakeClass::ALL)
+            .rtts(&[SimDuration::from_millis(1), SimDuration::from_millis(9)]);
+        assert_eq!(m.len(), 12);
+        let cells = m.build();
+        // ack mode slowest, then class, then rtt.
+        assert_eq!(cells[0].handshake_class, HandshakeClass::Full);
+        assert_eq!(cells[1].handshake_class, HandshakeClass::Full);
+        assert_eq!(cells[2].handshake_class, HandshakeClass::Resumed);
+        assert_eq!(cells[4].handshake_class, HandshakeClass::ZeroRtt);
+        assert_eq!(cells[6].ack_mode, IACK);
+        assert_eq!(cells[6].handshake_class, HandshakeClass::Full);
     }
 }

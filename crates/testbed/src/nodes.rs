@@ -44,6 +44,10 @@ pub mod milestones {
 pub struct ClientNode {
     /// The QUIC connection (shared with the runner for post-run reads).
     pub conn: Rc<RefCell<Connection>>,
+    /// The freshest NewSessionTicket the server issued on this
+    /// connection (shared with the runner: the priming connection of a
+    /// resumed scenario hands its ticket to the measured one).
+    pub ticket: Rc<RefCell<Option<rq_tls::SessionTicket>>>,
     server: NodeId,
     http: HttpVersion,
     response_bytes: usize,
@@ -77,6 +81,7 @@ impl ClientNode {
         }
         ClientNode {
             conn: Rc::new(RefCell::new(conn)),
+            ticket: Rc::new(RefCell::new(None)),
             server,
             http,
             response_bytes: 0,
@@ -137,6 +142,9 @@ impl ClientNode {
                 ConnEvent::Closed { .. } => {
                     ctx.trace().milestone(me, now, milestones::CLOSED);
                     ctx.stop();
+                }
+                ConnEvent::TicketReceived(t) => {
+                    *self.ticket.borrow_mut() = Some(t);
                 }
                 ConnEvent::CertificateNeeded => {}
             }

@@ -8,7 +8,7 @@ use rq_quic::Connection;
 use rq_sim::{LinkConfig, Network, SimDuration, SimRng};
 
 use crate::nodes::{milestones, ClientNode, ServerNode};
-use crate::scenario::Scenario;
+use crate::scenario::{HandshakeClass, LossSpec, Scenario};
 
 /// Metrics extracted from one run.
 #[derive(Debug)]
@@ -54,6 +54,14 @@ pub struct RunResult {
     pub server_datagrams: usize,
     /// Datagrams dropped by the loss rule or the random loss process.
     pub dropped_datagrams: usize,
+    /// The measured connection ran the abbreviated (session-resumption)
+    /// handshake (false when the ticket was missing or rejected and the
+    /// run fell back to a full handshake).
+    pub resumed: bool,
+    /// Outcome of the 0-RTT offer: `Some(true)` accepted, `Some(false)`
+    /// rejected (early data retransmitted as 1-RTT), `None` when the
+    /// scenario never offered early data.
+    pub early_data_accepted: Option<bool>,
     /// Extra datagram copies fabricated by a duplicating impairment
     /// channel (0 unless `LossSpec::Random` enables duplication).
     pub duplicated_datagrams: usize,
@@ -115,9 +123,73 @@ pub fn run_scenario(sc: &Scenario) -> RunResult {
     run_scenario_with_trace(sc).0
 }
 
+/// Body size of the unmeasured priming connection: just enough to carry
+/// the ticket exchange without inflating resumed-cell sweep times.
+const PRIMING_FILE_SIZE: usize = 1024;
+
 /// Like [`run_scenario`], additionally returning the full simulation trace
 /// (packet capture + milestones) for content-level analyses.
+///
+/// Resumed and 0-RTT scenarios are **two-connection runs**: an unmeasured
+/// priming connection (full handshake, clean path, derived seed) against
+/// the same server profile mints the session ticket into a
+/// [`rq_tls::SessionCache`] keyed by the server's name; the measured
+/// connection takes it out and offers it — with early data for
+/// [`HandshakeClass::ZeroRtt`]. A `no_tickets` server profile leaves the
+/// cache empty and the measured connection falls back to a full
+/// handshake (`RunResult::resumed == false`). The whole two-connection
+/// composite stays a pure function of `Scenario::seed`.
 pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
+    let ticket = match sc.handshake_class {
+        HandshakeClass::Full => None,
+        HandshakeClass::Resumed | HandshakeClass::ZeroRtt => {
+            prime_session_cache(sc).take(server_name(sc))
+        }
+    };
+    let resumption_active = sc.handshake_class != HandshakeClass::Full;
+    let (result, trace, _) = run_connection(sc, ticket, resumption_active);
+    (result, trace)
+}
+
+/// Name the testbed server runs under (the session-cache key).
+fn server_name(sc: &Scenario) -> &'static str {
+    rq_profiles::server::testbed_server(sc.ack_mode, sc.cert_len).name
+}
+
+/// Runs the priming connection of a resumed scenario and returns the
+/// client's session cache — holding the issued ticket under the
+/// server's name, or empty when the profile offers none.
+fn prime_session_cache(sc: &Scenario) -> rq_tls::SessionCache {
+    let mut priming = sc.clone();
+    priming.handshake_class = HandshakeClass::Full;
+    priming.loss = LossSpec::None;
+    priming.file_size = PRIMING_FILE_SIZE;
+    priming.capture_payloads = false;
+    // A derived seed (full SplitMix64 avalanche, same mechanism as the
+    // wild scan's per-probe streams) keeps the priming connection's
+    // randomness uncorrelated with every measured repetition's.
+    priming.seed = SimRng::derive(sc.seed, &[PRIMING_STREAM]).next_u64();
+    let (_, _, ticket) = run_connection(&priming, None, true);
+    let mut cache = rq_tls::SessionCache::new(4);
+    if let Some(t) = ticket {
+        cache.insert(server_name(sc), t);
+    }
+    cache
+}
+
+/// Coordinate tag of the priming connection's seed stream.
+const PRIMING_STREAM: u64 = 0x7E11_E7;
+
+/// Runs one simulated connection. `resumption_active` applies the
+/// scenario's server resumption profile (ticket issuance on priming
+/// runs, PSK/0-RTT acceptance on measured resumed runs); full-handshake
+/// scenarios keep resumption disabled so their wire image — and with it
+/// every pre-resumption golden file — is untouched.
+fn run_connection(
+    sc: &Scenario,
+    ticket: Option<rq_tls::SessionTicket>,
+    resumption_active: bool,
+) -> (RunResult, rq_sim::Trace, Option<rq_tls::SessionTicket>) {
     let mut rng = SimRng::new(sc.seed ^ 0xBEEF_CAFE);
     let rtt_quirk_applies = sc
         .client
@@ -130,6 +202,9 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
     if let Some(pto) = sc.server_default_pto {
         server_cfg.default_pto = pto;
     }
+    if resumption_active {
+        server_cfg.resumption = sc.resumption.server_resumption();
+    }
     let server_node = ServerNode::new(server_cfg, sc.http, sc.cert_delay, sc.seed);
     let server_conn: Rc<RefCell<Option<Connection>>> = Rc::clone(&server_node.conn);
     let server_id = net.add_node(Box::new(server_node));
@@ -138,6 +213,8 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
     if let Some(policy) = sc.probe_policy_override {
         client_cfg.probe_policy = policy;
     }
+    client_cfg.session_ticket = ticket;
+    client_cfg.enable_early_data = sc.handshake_class == HandshakeClass::ZeroRtt;
     let client_node = ClientNode::new(
         client_cfg,
         server_id,
@@ -147,6 +224,7 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
         rtt_quirk_applies,
     );
     let client_conn: Rc<RefCell<Connection>> = Rc::clone(&client_node.conn);
+    let issued_ticket: Rc<RefCell<Option<rq_tls::SessionTicket>>> = Rc::clone(&client_node.ticket);
     let client_id = net.add_node(Box::new(client_node));
 
     // Direction AtoB = client → server (connect order below).
@@ -211,10 +289,14 @@ pub fn run_scenario_with_trace(sc: &Scenario) -> (RunResult, rq_sim::Trace) {
             + trace.dropped_count(server_id, client_id),
         duplicated_datagrams: trace.duplicated_count(client_id, server_id)
             + trace.duplicated_count(server_id, client_id),
+        resumed: client.is_resumed(),
+        early_data_accepted: client.early_data_accepted(),
         client_log,
         server_log,
     };
-    (result, std::mem::take(&mut net.trace))
+    drop(client);
+    let minted = issued_ticket.borrow_mut().take();
+    (result, std::mem::take(&mut net.trace), minted)
 }
 
 /// The scenario for repetition `i` of `sc`: identical parameters, the

@@ -1,9 +1,42 @@
-//! Scenario definitions: the parameter space of the paper's §3.
+//! Scenario definitions: the parameter space of the paper's §3, extended
+//! with the handshake-class axis (full / resumed / 0-RTT).
 
 use rq_http::HttpVersion;
-use rq_profiles::ClientProfile;
+use rq_profiles::{ClientProfile, ResumptionProfile};
 use rq_quic::ServerAckMode;
 use rq_sim::{Direction, DropIndices, ImpairmentSpec, LossRule, NoLoss, SimDuration};
+
+/// Which handshake class the *measured* connection runs. Resumed and
+/// 0-RTT scenarios are two-connection runs: an unmeasured priming
+/// connection against the same server mints the session ticket, then the
+/// measured connection offers it (see `runner::prime_session_cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeClass {
+    /// Full 1-RTT handshake (the paper's only class).
+    Full,
+    /// Abbreviated PSK handshake; the request still waits for completion.
+    Resumed,
+    /// Abbreviated handshake with the request sent as 0-RTT early data.
+    ZeroRtt,
+}
+
+impl HandshakeClass {
+    /// All classes in sweep order.
+    pub const ALL: [HandshakeClass; 3] = [
+        HandshakeClass::Full,
+        HandshakeClass::Resumed,
+        HandshakeClass::ZeroRtt,
+    ];
+
+    /// Short label used in tables and scenario labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HandshakeClass::Full => "full",
+            HandshakeClass::Resumed => "resumed",
+            HandshakeClass::ZeroRtt => "0rtt",
+        }
+    }
+}
 
 /// Which datagrams are dropped (paper §4.2 / Appendix E/F), or which
 /// stochastic channel the path emulates.
@@ -56,6 +89,12 @@ pub struct Scenario {
     /// Override for the client's PTO probe content (the
     /// `exp_ablation_probe_policy` study); `None` keeps the stock PING.
     pub probe_policy_override: Option<rq_quic::ProbePolicy>,
+    /// Handshake class of the measured connection.
+    pub handshake_class: HandshakeClass,
+    /// Server resumption behaviour, applied (together with ticket
+    /// issuance on the priming connection) whenever `handshake_class`
+    /// is not [`HandshakeClass::Full`].
+    pub resumption: ResumptionProfile,
 }
 
 impl Scenario {
@@ -75,6 +114,8 @@ impl Scenario {
             capture_payloads: false,
             server_default_pto: None,
             probe_policy_override: None,
+            handshake_class: HandshakeClass::Full,
+            resumption: ResumptionProfile::accepting(),
         }
     }
 
@@ -131,16 +172,23 @@ impl Scenario {
         SimDuration::from_nanos(self.rtt.as_nanos() / 2)
     }
 
-    /// Human-readable scenario id for tables.
+    /// Human-readable scenario id for tables. The handshake class is
+    /// appended only when it deviates from the paper's full handshake,
+    /// so legacy labels stay byte-identical.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/{}/rtt{}ms/{:?}",
             self.client.name,
             self.ack_mode.label(),
             self.http.label(),
             self.rtt.as_millis(),
             self.loss
-        )
+        );
+        if self.handshake_class != HandshakeClass::Full {
+            label.push('/');
+            label.push_str(self.handshake_class.label());
+        }
+        label
     }
 }
 
@@ -245,6 +293,21 @@ mod tests {
         assert_eq!(a.impairment_seed(), b.impairment_seed());
         b.seed = 78;
         assert_ne!(a.impairment_seed(), b.impairment_seed());
+    }
+
+    #[test]
+    fn labels_append_non_full_handshake_classes_only() {
+        let mut sc = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            HttpVersion::H1,
+        );
+        let full = sc.label();
+        assert!(!full.contains("full"), "legacy labels unchanged: {full}");
+        sc.handshake_class = HandshakeClass::Resumed;
+        assert!(sc.label().ends_with("/resumed"));
+        sc.handshake_class = HandshakeClass::ZeroRtt;
+        assert!(sc.label().ends_with("/0rtt"));
     }
 
     #[test]

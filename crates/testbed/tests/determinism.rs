@@ -3,12 +3,12 @@
 //! server ACK modes.
 
 use rq_http::HttpVersion;
-use rq_profiles::client_by_name;
+use rq_profiles::{client_by_name, ResumptionProfile};
 use rq_quic::ServerAckMode;
 use rq_sim::{ImpairmentSpec, SimDuration};
 use rq_testbed::{
     median, run_repetitions, run_repetitions_parallel, run_scenario, run_scenario_with_trace,
-    LossSpec, RunResult, Scenario, SweepRunner, SweepScenarios,
+    HandshakeClass, LossSpec, RunResult, Scenario, SweepRunner, SweepScenarios,
 };
 
 /// The stochastic spec used by the determinism suite: every impairment
@@ -50,6 +50,7 @@ fn fingerprint(r: &RunResult) -> impl PartialEq + std::fmt::Debug {
             r.client_log.events.len(),
             r.server_log.events.len(),
         ),
+        (r.resumed, r.early_data_accepted),
     )
 }
 
@@ -105,6 +106,64 @@ fn parallel_sweep_identical_to_sequential_for_every_spec() {
                         "{loss:?}/{mode:?} threads {threads} rep {i}"
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_result_for_every_handshake_class() {
+    // The resumed classes run a two-connection composite (priming +
+    // measured); the whole composite must stay a pure function of the
+    // scenario seed, for both ACK modes and all resumption profiles.
+    for class in HandshakeClass::ALL {
+        for profile in [
+            ResumptionProfile::accepting(),
+            ResumptionProfile::rejecting_early_data(),
+            ResumptionProfile::no_tickets(),
+        ] {
+            for mode in [
+                ServerAckMode::WaitForCertificate,
+                ServerAckMode::InstantAck { pad_to_mtu: false },
+            ] {
+                let mut sc =
+                    Scenario::base(client_by_name("quic-go").unwrap(), mode, HttpVersion::H1);
+                sc.cert_delay = SimDuration::from_millis(20);
+                sc.handshake_class = class;
+                sc.resumption = profile;
+                sc.seed = 42;
+                let a = run_scenario(&sc);
+                let b = run_scenario(&sc);
+                assert_eq!(
+                    fingerprint(&a),
+                    fingerprint(&b),
+                    "{class:?}/{}/{mode:?}",
+                    profile.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn handshake_class_sweep_parallel_matches_sequential() {
+    for class in [HandshakeClass::Resumed, HandshakeClass::ZeroRtt] {
+        let mut sc = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            HttpVersion::H1,
+        );
+        sc.handshake_class = class;
+        let reps = 4;
+        let seq = run_repetitions(&sc, reps);
+        for threads in [1usize, 4] {
+            let par = run_repetitions_parallel(&sc, reps, threads);
+            for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    fingerprint(a),
+                    fingerprint(b),
+                    "{class:?} threads {threads} rep {i}"
+                );
             }
         }
     }

@@ -1,0 +1,162 @@
+//! End-to-end shapes of the session-resumption subsystem: the
+//! two-connection priming flow, the three handshake classes, fallback on
+//! ticketless servers, and the 0-RTT reject/retransmit path.
+
+use proptest::prelude::*;
+use rq_http::HttpVersion;
+use rq_profiles::{client_by_name, ResumptionProfile};
+use rq_quic::ServerAckMode;
+use rq_sim::SimDuration;
+use rq_testbed::{run_scenario, HandshakeClass, Scenario};
+
+const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;
+const IACK: ServerAckMode = ServerAckMode::InstantAck { pad_to_mtu: false };
+
+fn base(mode: ServerAckMode) -> Scenario {
+    let mut sc = Scenario::base(client_by_name("quic-go").unwrap(), mode, HttpVersion::H1);
+    // A visible store delay: full handshakes pay it, resumed ones must not.
+    sc.cert_delay = SimDuration::from_millis(50);
+    sc
+}
+
+fn with_class(mode: ServerAckMode, class: HandshakeClass, prof: ResumptionProfile) -> Scenario {
+    let mut sc = base(mode);
+    sc.handshake_class = class;
+    sc.resumption = prof;
+    sc
+}
+
+#[test]
+fn class_ladder_zero_rtt_below_resumed_below_full() {
+    let full = run_scenario(&with_class(
+        WFC,
+        HandshakeClass::Full,
+        ResumptionProfile::accepting(),
+    ));
+    let resumed = run_scenario(&with_class(
+        WFC,
+        HandshakeClass::Resumed,
+        ResumptionProfile::accepting(),
+    ));
+    let zero = run_scenario(&with_class(
+        WFC,
+        HandshakeClass::ZeroRtt,
+        ResumptionProfile::accepting(),
+    ));
+    assert!(full.completed && resumed.completed && zero.completed);
+    assert!(!full.resumed && resumed.resumed && zero.resumed);
+    assert_eq!(zero.early_data_accepted, Some(true));
+    let (f, r, z) = (
+        full.ttfb_ms.unwrap(),
+        resumed.ttfb_ms.unwrap(),
+        zero.ttfb_ms.unwrap(),
+    );
+    assert!(z < r, "0-RTT ({z}) must beat resumed ({r})");
+    assert!(r < f, "resumed ({r}) must beat full ({f}): no cert, no Δt");
+    // The abbreviated handshake skips the certificate store entirely.
+    assert!(
+        resumed.handshake_ms.unwrap() + 40.0 < full.handshake_ms.unwrap(),
+        "resumed handshake must not pay the 50 ms Δt"
+    );
+}
+
+#[test]
+fn resumption_collapses_the_wfc_iack_gap() {
+    // The paper's dichotomy lives on the certificate wait; with the
+    // certificate flight gone there is nothing for WFC to wait for, so
+    // the two ACK policies converge on resumed handshakes.
+    let full_gap = {
+        let w = run_scenario(&base(WFC)).ttfb_ms.unwrap();
+        let i = run_scenario(&base(IACK)).ttfb_ms.unwrap();
+        (w - i).abs()
+    };
+    let resumed_gap = {
+        let w = run_scenario(&with_class(
+            WFC,
+            HandshakeClass::Resumed,
+            ResumptionProfile::accepting(),
+        ))
+        .ttfb_ms
+        .unwrap();
+        let i = run_scenario(&with_class(
+            IACK,
+            HandshakeClass::Resumed,
+            ResumptionProfile::accepting(),
+        ))
+        .ttfb_ms
+        .unwrap();
+        (w - i).abs()
+    };
+    assert!(
+        resumed_gap < 1.0 && resumed_gap < full_gap,
+        "resumed WFC/IACK gap ({resumed_gap}) must collapse vs full ({full_gap})"
+    );
+}
+
+#[test]
+fn ticketless_server_falls_back_to_full_handshake() {
+    for class in [HandshakeClass::Resumed, HandshakeClass::ZeroRtt] {
+        let res = run_scenario(&with_class(WFC, class, ResumptionProfile::no_tickets()));
+        let full = run_scenario(&with_class(
+            WFC,
+            HandshakeClass::Full,
+            ResumptionProfile::no_tickets(),
+        ));
+        assert!(res.completed);
+        assert!(!res.resumed, "{}: no ticket, no resumption", class.label());
+        assert_eq!(res.early_data_accepted, None, "{}", class.label());
+        assert_eq!(res.ttfb_ms, full.ttfb_ms, "{}", class.label());
+    }
+}
+
+#[test]
+fn zero_rtt_labels_and_reissue() {
+    let sc = with_class(WFC, HandshakeClass::ZeroRtt, ResumptionProfile::accepting());
+    assert!(sc.label().ends_with("/0rtt"));
+    let res = run_scenario(&sc);
+    // TTFB ≈ handshake time: the response races the handshake flight.
+    let (ttfb, hs) = (res.ttfb_ms.unwrap(), res.handshake_ms.unwrap());
+    assert!(
+        (ttfb - hs).abs() < 5.0,
+        "0-RTT response arrives with the handshake flight (ttfb {ttfb}, hs {hs})"
+    );
+}
+
+proptest! {
+    // Each case runs a priming + measured simulation pair; keep the case
+    // count modest so the suite stays fast in debug CI runs.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// For any seed, a 0-RTT offer against an early-data-rejecting server
+    /// still completes the response — retransmitted as 1-RTT — and
+    /// reports `early_data_accepted == Some(false)`.
+    #[test]
+    fn rejected_early_data_always_completes(seed in 1u64..10_000) {
+        let mut sc = with_class(
+            WFC,
+            HandshakeClass::ZeroRtt,
+            ResumptionProfile::rejecting_early_data(),
+        );
+        sc.seed = seed;
+        let res = run_scenario(&sc);
+        prop_assert!(res.completed, "seed {seed}: {res:?}");
+        prop_assert!(res.resumed, "PSK accepted even though 0-RTT is not");
+        prop_assert_eq!(res.early_data_accepted, Some(false));
+    }
+
+    /// Same seed ⇒ byte-identical two-connection composite, for every
+    /// handshake class.
+    #[test]
+    fn classes_are_pure_functions_of_the_seed(seed in 1u64..10_000) {
+        for class in HandshakeClass::ALL {
+            let mut sc = with_class(WFC, class, ResumptionProfile::accepting());
+            sc.seed = seed;
+            let a = run_scenario(&sc);
+            let b = run_scenario(&sc);
+            prop_assert_eq!(a.ttfb_ms, b.ttfb_ms, "{} seed {}", class.label(), seed);
+            prop_assert_eq!(a.resumed, b.resumed);
+            prop_assert_eq!(a.early_data_accepted, b.early_data_accepted);
+            prop_assert_eq!(a.client_log.events.len(), b.client_log.events.len());
+        }
+    }
+}

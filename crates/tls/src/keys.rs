@@ -78,6 +78,27 @@ pub fn application_keys(transcript_hash: &[u8; DIGEST_LEN]) -> LevelKeys {
     }
 }
 
+/// Derives the resumption secret from the full-handshake transcript hash
+/// including the client Finished (RFC 8446's `resumption_master_secret`
+/// analog). Both endpoints compute the same value, which is what lets a
+/// later abbreviated handshake share keys without a certificate flight.
+pub fn resumption_secret(transcript_hash: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+    let secret = hkdf_extract(b"res derived", transcript_hash);
+    hkdf_expand_label(&secret, "res master")
+}
+
+/// Derives 0-RTT (early data) keys from a resumption secret. The client
+/// computes them from its cached ticket before the first flight; the
+/// server after validating the ticket in the ClientHello — so 0-RTT
+/// packets are protected before any handshake byte returns.
+pub fn early_keys(resumption_secret: &[u8; DIGEST_LEN]) -> LevelKeys {
+    let secret = hkdf_extract(b"early derived", resumption_secret);
+    LevelKeys {
+        client: hkdf_expand_label(&secret, "c e traffic"),
+        server: hkdf_expand_label(&secret, "s e traffic"),
+    }
+}
+
 /// AEAD-like tag length (matches the wire crate's `AEAD_TAG_LEN`).
 pub const TAG_LEN: usize = 16;
 
@@ -131,6 +152,19 @@ mod tests {
     fn levels_differ_for_same_transcript() {
         let th = [9u8; 32];
         assert_ne!(handshake_keys(&th), application_keys(&th));
+    }
+
+    #[test]
+    fn resumption_and_early_keys_are_deterministic_and_distinct() {
+        let th = [7u8; 32];
+        let res = resumption_secret(&th);
+        assert_eq!(res, resumption_secret(&th));
+        assert_ne!(res, resumption_secret(&[8u8; 32]));
+        let early = early_keys(&res);
+        assert_eq!(early, early_keys(&res));
+        assert_ne!(early, handshake_keys(&th));
+        assert_ne!(early, application_keys(&th));
+        assert_ne!(early.client, early.server);
     }
 
     #[test]

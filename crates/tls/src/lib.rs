@@ -9,14 +9,20 @@
 
 pub mod keys;
 pub mod messages;
+pub mod resumption;
 pub mod session;
 pub mod sha256;
 
 pub use keys::{
-    application_keys, handshake_keys, initial_keys, seal_tag, verify_tag, KeySide, Level,
-    LevelKeys, TAG_LEN,
+    application_keys, early_keys, handshake_keys, initial_keys, resumption_secret, seal_tag,
+    verify_tag, KeySide, Level, LevelKeys, TAG_LEN,
 };
-pub use messages::{HandshakeMessage, HandshakeType, CERT_LARGE, CERT_SMALL};
+pub use messages::{
+    HandshakeMessage, HandshakeType, CERT_LARGE, CERT_SMALL, NEW_SESSION_TICKET_LEN,
+};
+pub use resumption::{
+    mint_ticket, open_ticket, ServerResumption, SessionCache, SessionTicket, TICKET_LEN,
+};
 pub use session::{ClientConfig, Role, ServerConfig, TlsEvent, TlsSession};
 
 /// Errors raised by the TLS layer.

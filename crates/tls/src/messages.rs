@@ -7,6 +7,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::resumption::TICKET_LEN;
 use crate::TlsError;
 
 /// TLS handshake message types (subset).
@@ -16,6 +17,8 @@ pub enum HandshakeType {
     ClientHello,
     /// ServerHello.
     ServerHello,
+    /// NewSessionTicket (post-handshake, 1-RTT level).
+    NewSessionTicket,
     /// EncryptedExtensions.
     EncryptedExtensions,
     /// Certificate.
@@ -32,6 +35,7 @@ impl HandshakeType {
         match self {
             HandshakeType::ClientHello => 1,
             HandshakeType::ServerHello => 2,
+            HandshakeType::NewSessionTicket => 4,
             HandshakeType::EncryptedExtensions => 8,
             HandshakeType::Certificate => 11,
             HandshakeType::CertificateVerify => 15,
@@ -44,6 +48,7 @@ impl HandshakeType {
         Ok(match code {
             1 => HandshakeType::ClientHello,
             2 => HandshakeType::ServerHello,
+            4 => HandshakeType::NewSessionTicket,
             8 => HandshakeType::EncryptedExtensions,
             11 => HandshakeType::Certificate,
             15 => HandshakeType::CertificateVerify,
@@ -71,6 +76,21 @@ pub const CERT_SMALL: usize = 1212;
 /// The paper's large certificate chain: exceeds the 3x anti-amplification
 /// budget of a 1,200-byte client Initial.
 pub const CERT_LARGE: usize = 5113;
+
+/// Total NewSessionTicket size: 4-byte framing + lifetime (4) + flags (1)
+/// + opaque ticket.
+pub const NEW_SESSION_TICKET_LEN: usize = 4 + 4 + 1 + TICKET_LEN;
+
+/// Marker byte at body offset 32 distinguishing resumption-capable
+/// CH/SH bodies from the plain fillers (`0x43` / `0x53`), standing in
+/// for the `pre_shared_key` / `early_data` extensions.
+const RESUMPTION_MARKER: u8 = 0xA5;
+/// CH flag: the client offers 0-RTT early data with its ticket.
+const FLAG_EARLY_DATA_OFFERED: u8 = 0x01;
+/// SH flag: the server accepted the offered PSK (abbreviated handshake).
+const FLAG_PSK_ACCEPTED: u8 = 0x01;
+/// SH flag: the server accepted the offered early data.
+const FLAG_EARLY_DATA_ACCEPTED: u8 = 0x02;
 
 /// A parsed handshake message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +169,50 @@ impl HandshakeMessage {
         }
     }
 
+    /// Builds a resumption ClientHello of `total_len` bytes: the random,
+    /// the PSK marker + flags, and the opaque ticket, padded with the
+    /// regular extension filler (the PSK extension costs real bytes on
+    /// the wire, so the resumption CH is allowed to exceed `total_len`'s
+    /// floor only via its own framing).
+    pub fn client_hello_resumption(
+        random: [u8; 32],
+        total_len: usize,
+        ticket: &[u8; TICKET_LEN],
+        early_data: bool,
+    ) -> Self {
+        let floor = 4 + 32 + 2 + TICKET_LEN;
+        let total_len = total_len.max(floor);
+        let mut body = BytesMut::with_capacity(total_len - 4);
+        body.put_slice(&random);
+        body.put_u8(RESUMPTION_MARKER);
+        body.put_u8(if early_data {
+            FLAG_EARLY_DATA_OFFERED
+        } else {
+            0
+        });
+        body.put_slice(ticket);
+        body.resize(total_len - 4, 0x43);
+        HandshakeMessage {
+            ty: HandshakeType::ClientHello,
+            body: body.freeze(),
+        }
+    }
+
+    /// Parses a ClientHello body's resumption offer: `(ticket,
+    /// early_data_offered)`, or `None` for a plain full-handshake CH.
+    pub fn resumption_offer(&self) -> Option<([u8; TICKET_LEN], bool)> {
+        if self.ty != HandshakeType::ClientHello || self.body.len() < 34 + TICKET_LEN {
+            return None;
+        }
+        if self.body[32] != RESUMPTION_MARKER {
+            return None;
+        }
+        let early = self.body[33] & FLAG_EARLY_DATA_OFFERED != 0;
+        let mut ticket = [0u8; TICKET_LEN];
+        ticket.copy_from_slice(&self.body[34..34 + TICKET_LEN]);
+        Some((ticket, early))
+    }
+
     /// Builds a ServerHello carrying a 32-byte random.
     pub fn server_hello(random: [u8; 32]) -> Self {
         let mut body = BytesMut::with_capacity(SERVER_HELLO_LEN - 4);
@@ -158,6 +222,71 @@ impl HandshakeMessage {
             ty: HandshakeType::ServerHello,
             body: body.freeze(),
         }
+    }
+
+    /// Builds the ServerHello of an abbreviated (PSK-accepted) handshake,
+    /// flagging whether offered early data was accepted.
+    pub fn server_hello_resumed(random: [u8; 32], early_data_accepted: bool) -> Self {
+        let mut body = BytesMut::with_capacity(SERVER_HELLO_LEN - 4);
+        body.put_slice(&random);
+        body.put_u8(RESUMPTION_MARKER);
+        let mut flags = FLAG_PSK_ACCEPTED;
+        if early_data_accepted {
+            flags |= FLAG_EARLY_DATA_ACCEPTED;
+        }
+        body.put_u8(flags);
+        body.resize(SERVER_HELLO_LEN - 4, 0x53);
+        HandshakeMessage {
+            ty: HandshakeType::ServerHello,
+            body: body.freeze(),
+        }
+    }
+
+    /// Parses a ServerHello body's resumption outcome:
+    /// `(psk_accepted, early_data_accepted)`; `None` for a plain SH
+    /// (which a resuming client reads as "fall back to full handshake").
+    pub fn resumption_outcome(&self) -> Option<(bool, bool)> {
+        if self.ty != HandshakeType::ServerHello || self.body.len() < 34 {
+            return None;
+        }
+        if self.body[32] != RESUMPTION_MARKER {
+            return None;
+        }
+        let flags = self.body[33];
+        Some((
+            flags & FLAG_PSK_ACCEPTED != 0,
+            flags & FLAG_EARLY_DATA_ACCEPTED != 0,
+        ))
+    }
+
+    /// Builds a NewSessionTicket carrying the opaque ticket, its
+    /// lifetime, and the server's early-data support flag.
+    pub fn new_session_ticket(
+        lifetime_secs: u32,
+        early_data_allowed: bool,
+        ticket: &[u8; TICKET_LEN],
+    ) -> Self {
+        let mut body = BytesMut::with_capacity(NEW_SESSION_TICKET_LEN - 4);
+        body.put_u32(lifetime_secs);
+        body.put_u8(early_data_allowed as u8);
+        body.put_slice(ticket);
+        HandshakeMessage {
+            ty: HandshakeType::NewSessionTicket,
+            body: body.freeze(),
+        }
+    }
+
+    /// Parses a NewSessionTicket body:
+    /// `(lifetime_secs, early_data_allowed, ticket)`.
+    pub fn parse_new_session_ticket(&self) -> Option<(u32, bool, [u8; TICKET_LEN])> {
+        if self.ty != HandshakeType::NewSessionTicket || self.body.len() < 5 + TICKET_LEN {
+            return None;
+        }
+        let lifetime = u32::from_be_bytes(self.body[..4].try_into().unwrap());
+        let early = self.body[4] != 0;
+        let mut ticket = [0u8; TICKET_LEN];
+        ticket.copy_from_slice(&self.body[5..5 + TICKET_LEN]);
+        Some((lifetime, early, ticket))
     }
 
     /// Builds EncryptedExtensions.
@@ -231,6 +360,70 @@ mod tests {
         roundtrip(HandshakeMessage::certificate(CERT_LARGE));
         roundtrip(HandshakeMessage::certificate_verify());
         roundtrip(HandshakeMessage::finished([3; 32]));
+        roundtrip(HandshakeMessage::client_hello_resumption(
+            [4; 32],
+            DEFAULT_CLIENT_HELLO_LEN,
+            &[0xEE; TICKET_LEN],
+            true,
+        ));
+        roundtrip(HandshakeMessage::server_hello_resumed([5; 32], false));
+        roundtrip(HandshakeMessage::new_session_ticket(
+            7200,
+            true,
+            &[0xDD; TICKET_LEN],
+        ));
+    }
+
+    #[test]
+    fn resumption_offer_roundtrip_and_absence() {
+        let ticket = [0xAB; TICKET_LEN];
+        let ch = HandshakeMessage::client_hello_resumption(
+            [9; 32],
+            DEFAULT_CLIENT_HELLO_LEN,
+            &ticket,
+            true,
+        );
+        assert_eq!(ch.wire_len(), DEFAULT_CLIENT_HELLO_LEN);
+        assert_eq!(ch.random(), Some([9; 32]));
+        assert_eq!(ch.resumption_offer(), Some((ticket, true)));
+        let no_early = HandshakeMessage::client_hello_resumption(
+            [9; 32],
+            DEFAULT_CLIENT_HELLO_LEN,
+            &ticket,
+            false,
+        );
+        assert_eq!(no_early.resumption_offer(), Some((ticket, false)));
+        // A plain CH carries no offer (filler byte differs from the marker).
+        let plain = HandshakeMessage::client_hello([9; 32], DEFAULT_CLIENT_HELLO_LEN);
+        assert_eq!(plain.resumption_offer(), None);
+    }
+
+    #[test]
+    fn resumption_outcome_flags() {
+        let sh = HandshakeMessage::server_hello_resumed([1; 32], true);
+        assert_eq!(sh.wire_len(), SERVER_HELLO_LEN);
+        assert_eq!(sh.resumption_outcome(), Some((true, true)));
+        let no_early = HandshakeMessage::server_hello_resumed([1; 32], false);
+        assert_eq!(no_early.resumption_outcome(), Some((true, false)));
+        assert_eq!(
+            HandshakeMessage::server_hello([1; 32]).resumption_outcome(),
+            None
+        );
+    }
+
+    #[test]
+    fn new_session_ticket_parses() {
+        let ticket = [0x3C; TICKET_LEN];
+        let nst = HandshakeMessage::new_session_ticket(86_400, false, &ticket);
+        assert_eq!(nst.wire_len(), NEW_SESSION_TICKET_LEN);
+        assert_eq!(
+            nst.parse_new_session_ticket(),
+            Some((86_400, false, ticket))
+        );
+        assert_eq!(
+            HandshakeMessage::finished([0; 32]).parse_new_session_ticket(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Session resumption: tickets, the stateless ticket codec, and the
+//! client-side session cache.
+//!
+//! Mirrors the *shape* of TLS 1.3 resumption (RFC 8446 §4.6.1 / §2.2):
+//! after a completed handshake both endpoints derive the same resumption
+//! secret from the transcript; the server wraps it into an opaque,
+//! self-authenticating ticket (stateless, keyed by the server's ticket
+//! key) and sends it in a NewSessionTicket; the client stores
+//! `(ticket, secret)` and offers the ticket in a later ClientHello to run
+//! an abbreviated PSK handshake — the certificate flight disappears, and
+//! with it the Δt the paper's WFC servers wait out. 0-RTT early-data keys
+//! derive from the same secret on both sides.
+//!
+//! Everything here is a pure function of its inputs: the same transcript
+//! and ticket key always produce the same ticket bytes, which is what
+//! keeps resumption scenarios byte-reproducible from the scenario seed.
+
+use crate::sha256::hmac_sha256;
+
+/// Wire size of an opaque session ticket: the masked 32-byte resumption
+/// secret plus a 16-byte authenticity tag.
+pub const TICKET_LEN: usize = 48;
+
+/// A resumption ticket as stored by the client: the opaque wire bytes the
+/// server minted plus the resumption secret the client derived from its
+/// own transcript (the client never learns the server's ticket key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// Opaque ticket bytes (echoed verbatim in the resumption CH).
+    pub ticket: [u8; TICKET_LEN],
+    /// The resumption secret both sides derived from the priming
+    /// handshake's transcript.
+    pub secret: [u8; 32],
+    /// Advertised ticket lifetime in seconds.
+    pub lifetime_secs: u32,
+    /// The issuing server advertised 0-RTT early data support.
+    pub early_data_allowed: bool,
+}
+
+/// Server-side resumption policy (the per-deployment behaviour
+/// `rq-profiles` models: tickets not offered, 0-RTT accepted or
+/// rejected, ticket lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerResumption {
+    /// Issue a NewSessionTicket after every completed handshake.
+    pub issue_tickets: bool,
+    /// Accept valid tickets for abbreviated (PSK) handshakes.
+    pub accept_resumption: bool,
+    /// Advertise 0-RTT support in issued tickets. A client only offers
+    /// early data when its ticket advertised it (RFC 8446 §4.2.10).
+    pub advertise_early_data: bool,
+    /// Accept 0-RTT early data on resumed handshakes. Deployments can
+    /// advertise support and still reject a given attempt (key rotation,
+    /// load shedding) — that mismatch is the reject/retransmit path.
+    pub accept_early_data: bool,
+    /// Lifetime advertised in issued tickets, seconds.
+    pub ticket_lifetime_secs: u32,
+}
+
+impl ServerResumption {
+    /// Resumption fully disabled (the pre-resumption default: no ticket
+    /// bytes on the wire, so legacy traces stay byte-identical).
+    pub fn disabled() -> Self {
+        ServerResumption {
+            issue_tickets: false,
+            accept_resumption: false,
+            advertise_early_data: false,
+            accept_early_data: false,
+            ticket_lifetime_secs: 0,
+        }
+    }
+
+    /// Tickets offered, resumption and 0-RTT accepted.
+    pub fn accepting(ticket_lifetime_secs: u32) -> Self {
+        ServerResumption {
+            issue_tickets: true,
+            accept_resumption: true,
+            advertise_early_data: true,
+            accept_early_data: true,
+            ticket_lifetime_secs,
+        }
+    }
+
+    /// Tickets offered and resumption accepted; 0-RTT is advertised but
+    /// every attempt is rejected (early data must be retransmitted as
+    /// 1-RTT).
+    pub fn rejecting_early_data(ticket_lifetime_secs: u32) -> Self {
+        ServerResumption {
+            accept_early_data: false,
+            ..ServerResumption::accepting(ticket_lifetime_secs)
+        }
+    }
+}
+
+impl Default for ServerResumption {
+    fn default() -> Self {
+        ServerResumption::disabled()
+    }
+}
+
+/// Keystream masking the resumption secret inside a ticket.
+fn ticket_mask(ticket_key: u64) -> [u8; 32] {
+    hmac_sha256(&ticket_key.to_be_bytes(), b"reacked ticket mask")
+}
+
+/// Mints the opaque ticket for `secret` under `ticket_key`: the masked
+/// secret followed by a truncated-HMAC authenticity tag. Stateless on
+/// the server — the same key recovers the secret from the bytes alone.
+pub fn mint_ticket(ticket_key: u64, secret: &[u8; 32]) -> [u8; TICKET_LEN] {
+    let mask = ticket_mask(ticket_key);
+    let mut out = [0u8; TICKET_LEN];
+    for i in 0..32 {
+        out[i] = secret[i] ^ mask[i];
+    }
+    let tag = hmac_sha256(&ticket_key.to_be_bytes(), &out[..32]);
+    out[32..].copy_from_slice(&tag[..16]);
+    out
+}
+
+/// Validates a ticket under `ticket_key` and recovers the resumption
+/// secret; `None` for tickets minted under a different key (the server
+/// falls back to a full handshake).
+pub fn open_ticket(ticket_key: u64, ticket: &[u8; TICKET_LEN]) -> Option<[u8; 32]> {
+    let tag = hmac_sha256(&ticket_key.to_be_bytes(), &ticket[..32]);
+    if ticket[32..] != tag[..16] {
+        return None;
+    }
+    let mask = ticket_mask(ticket_key);
+    let mut secret = [0u8; 32];
+    for i in 0..32 {
+        secret[i] = ticket[i] ^ mask[i];
+    }
+    Some(secret)
+}
+
+/// A bounded client-side session cache: one ticket per server name, with
+/// deterministic insertion-order eviction (no clocks, no randomness — a
+/// cache operation sequence always produces the same state).
+#[derive(Debug, Clone, Default)]
+pub struct SessionCache {
+    cap: usize,
+    entries: Vec<(String, SessionTicket)>,
+}
+
+impl SessionCache {
+    /// An empty cache holding at most `cap` tickets.
+    pub fn new(cap: usize) -> Self {
+        SessionCache {
+            cap: cap.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Stores `ticket` for `server`, replacing an existing entry (the
+    /// replacement moves to the back of the eviction order) and evicting
+    /// the oldest entry when full.
+    pub fn insert(&mut self, server: &str, ticket: SessionTicket) {
+        if let Some(pos) = self.entries.iter().position(|(n, _)| n == server) {
+            self.entries.remove(pos);
+        }
+        if self.entries.len() == self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push((server.to_string(), ticket));
+    }
+
+    /// The cached ticket for `server`, if any.
+    pub fn lookup(&self, server: &str) -> Option<&SessionTicket> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == server)
+            .map(|(_, t)| t)
+    }
+
+    /// Removes and returns the ticket for `server` (single-use tickets).
+    pub fn take(&mut self, server: &str) -> Option<SessionTicket> {
+        let pos = self.entries.iter().position(|(n, _)| n == server)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Number of cached tickets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticket(mark: u8) -> SessionTicket {
+        SessionTicket {
+            ticket: [mark; TICKET_LEN],
+            secret: [mark; 32],
+            lifetime_secs: 7200,
+            early_data_allowed: true,
+        }
+    }
+
+    #[test]
+    fn mint_open_roundtrip() {
+        let secret = [0x5A; 32];
+        let t = mint_ticket(7, &secret);
+        assert_eq!(open_ticket(7, &t), Some(secret));
+    }
+
+    #[test]
+    fn tickets_are_deterministic() {
+        let secret = [0x11; 32];
+        assert_eq!(mint_ticket(99, &secret), mint_ticket(99, &secret));
+        assert_ne!(mint_ticket(99, &secret), mint_ticket(100, &secret));
+    }
+
+    #[test]
+    fn wrong_key_rejects_ticket() {
+        let t = mint_ticket(1, &[0x22; 32]);
+        assert_eq!(open_ticket(2, &t), None);
+    }
+
+    #[test]
+    fn corrupt_ticket_rejected() {
+        let mut t = mint_ticket(1, &[0x22; 32]);
+        t[0] ^= 0x01;
+        assert_eq!(open_ticket(1, &t), None);
+    }
+
+    #[test]
+    fn cache_insert_lookup_take() {
+        let mut c = SessionCache::new(4);
+        assert!(c.is_empty());
+        c.insert("a.example", ticket(1));
+        c.insert("b.example", ticket(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup("a.example"), Some(&ticket(1)));
+        assert_eq!(c.take("a.example"), Some(ticket(1)));
+        assert_eq!(c.lookup("a.example"), None);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_deterministically() {
+        let mut c = SessionCache::new(2);
+        c.insert("a", ticket(1));
+        c.insert("b", ticket(2));
+        c.insert("c", ticket(3)); // evicts "a"
+        assert_eq!(c.lookup("a"), None);
+        assert!(c.lookup("b").is_some() && c.lookup("c").is_some());
+        // Re-inserting refreshes the eviction position.
+        c.insert("b", ticket(4));
+        c.insert("d", ticket(5)); // evicts "c", not the refreshed "b"
+        assert_eq!(c.lookup("c"), None);
+        assert_eq!(c.lookup("b"), Some(&ticket(4)));
+    }
+
+    #[test]
+    fn resumption_presets() {
+        let acc = ServerResumption::accepting(7200);
+        assert!(acc.issue_tickets && acc.accept_resumption && acc.accept_early_data);
+        assert!(acc.advertise_early_data);
+        let rej = ServerResumption::rejecting_early_data(7200);
+        assert!(rej.issue_tickets && rej.accept_resumption && !rej.accept_early_data);
+        // Advertise-then-reject: the mismatch that exercises the 0-RTT
+        // reject/retransmit path with an RFC-legal client offer.
+        assert!(rej.advertise_early_data);
+        let off = ServerResumption::default();
+        assert!(!off.issue_tickets && !off.accept_resumption && !off.advertise_early_data);
+    }
+}

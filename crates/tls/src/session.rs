@@ -6,11 +6,25 @@
 //! until [`TlsSession::provide_certificate`] is called — this is the hook
 //! the paper's Δt (frontend ↔ certificate store delay) attaches to, and
 //! what makes WFC vs IACK observable.
+//!
+//! Three handshake classes run through this machine:
+//! * **Full** — the original CH → SH/EE/CERT/CV/FIN → FIN exchange;
+//! * **Resumed** — the CH offers a session ticket and the server answers
+//!   with an abbreviated SH/EE/FIN flight: no certificate, no store
+//!   round trip, so the WFC/IACK dichotomy collapses;
+//! * **0-RTT** — a resumed handshake whose client additionally derives
+//!   early-data keys from the ticket secret before the first flight.
+//!
+//! After any completed handshake a ticket-issuing server queues a
+//! NewSessionTicket at the Application level (a 1-RTT CRYPTO frame).
 
 use bytes::{Bytes, BytesMut};
 
-use crate::keys::{application_keys, handshake_keys, Level, LevelKeys};
+use crate::keys::{
+    application_keys, early_keys, handshake_keys, resumption_secret, Level, LevelKeys,
+};
 use crate::messages::{HandshakeMessage, HandshakeType, DEFAULT_CLIENT_HELLO_LEN};
+use crate::resumption::{mint_ticket, open_ticket, ServerResumption, SessionTicket};
 use crate::sha256::Sha256;
 use crate::TlsError;
 
@@ -30,14 +44,27 @@ pub struct ClientConfig {
     pub client_hello_len: usize,
     /// 32-byte client random (drawn from the simulation RNG upstream).
     pub random: [u8; 32],
+    /// Session ticket to offer for an abbreviated handshake, if any.
+    pub ticket: Option<SessionTicket>,
+    /// Offer 0-RTT early data along with the ticket (requires `ticket`).
+    pub early_data: bool,
+}
+
+impl ClientConfig {
+    /// The full-handshake configuration (no ticket, no early data).
+    pub fn full() -> Self {
+        ClientConfig {
+            client_hello_len: DEFAULT_CLIENT_HELLO_LEN,
+            random: [0x11; 32],
+            ticket: None,
+            early_data: false,
+        }
+    }
 }
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        ClientConfig {
-            client_hello_len: DEFAULT_CLIENT_HELLO_LEN,
-            random: [0x11; 32],
-        }
+        ClientConfig::full()
     }
 }
 
@@ -52,6 +79,10 @@ pub struct ServerConfig {
     /// If true the certificate is already on the frontend (cache hit):
     /// the ServerHello flight is produced immediately on ClientHello.
     pub cert_preprovisioned: bool,
+    /// Resumption policy: ticket issuance, PSK acceptance, 0-RTT.
+    pub resumption: ServerResumption,
+    /// Key minting/validating stateless session tickets.
+    pub ticket_key: u64,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +91,8 @@ impl Default for ServerConfig {
             cert_len: crate::messages::CERT_SMALL,
             random: [0x22; 32],
             cert_preprovisioned: false,
+            resumption: ServerResumption::disabled(),
+            ticket_key: 0x7E11_C3E7,
         }
     }
 }
@@ -75,6 +108,17 @@ pub enum TlsEvent {
     NeedCertificate,
     /// The handshake is complete at this endpoint.
     HandshakeComplete,
+    /// The offered session ticket was accepted: this handshake is
+    /// abbreviated (no certificate flight).
+    ResumptionAccepted,
+    /// Offered 0-RTT early data was accepted; early keys are live end to
+    /// end (server: install them to decrypt 0-RTT packets).
+    EarlyDataAccepted,
+    /// Offered 0-RTT early data was rejected (or the PSK itself was):
+    /// anything sent in 0-RTT packets must be retransmitted as 1-RTT.
+    EarlyDataRejected,
+    /// Client only: a NewSessionTicket arrived; cache it for resumption.
+    TicketIssued(SessionTicket),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +140,7 @@ enum ServerState {
     Complete,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum StateMachine {
     Client(ClientState),
     Server(ServerState),
@@ -109,15 +153,30 @@ pub struct TlsSession {
     client_cfg: ClientConfig,
     server_cfg: ServerConfig,
     transcript: Sha256,
-    /// Pending output bytes per level: Initial, Handshake.
+    /// Pending output bytes per level: Initial, Handshake, Application.
     out_initial: BytesMut,
     out_handshake: BytesMut,
+    out_app: BytesMut,
     /// Reassembled-but-unparsed input per level.
     in_initial: BytesMut,
     in_handshake: BytesMut,
+    in_app: BytesMut,
     handshake_keys: Option<LevelKeys>,
     application_keys: Option<LevelKeys>,
+    /// 0-RTT early-data keys (client: from the offered ticket; server:
+    /// from the validated ticket when early data is accepted).
+    early: Option<LevelKeys>,
     complete: bool,
+    /// This handshake runs (client: was accepted as) the abbreviated
+    /// PSK path.
+    resumed: bool,
+    /// Whether this side offered early data with its ticket (client).
+    offered_early: bool,
+    /// Outcome of an early-data offer, once known.
+    early_data_accepted: Option<bool>,
+    /// Resumption secret derived at handshake completion (pairs an
+    /// incoming NewSessionTicket with the client's own transcript).
+    res_secret: Option<[u8; 32]>,
 }
 
 impl TlsSession {
@@ -129,14 +188,7 @@ impl TlsSession {
             state: StateMachine::Client(ClientState::Start),
             client_cfg: cfg,
             server_cfg: ServerConfig::default(),
-            transcript: Sha256::new(),
-            out_initial: BytesMut::new(),
-            out_handshake: BytesMut::new(),
-            in_initial: BytesMut::new(),
-            in_handshake: BytesMut::new(),
-            handshake_keys: None,
-            application_keys: None,
-            complete: false,
+            ..Self::blank(Role::Client)
         }
     }
 
@@ -145,16 +197,33 @@ impl TlsSession {
         TlsSession {
             role: Role::Server,
             state: StateMachine::Server(ServerState::WaitClientHello),
-            client_cfg: ClientConfig::default(),
+            client_cfg: ClientConfig::full(),
             server_cfg: cfg,
+            ..Self::blank(Role::Server)
+        }
+    }
+
+    fn blank(role: Role) -> Self {
+        TlsSession {
+            role,
+            state: StateMachine::Server(ServerState::WaitClientHello),
+            client_cfg: ClientConfig::full(),
+            server_cfg: ServerConfig::default(),
             transcript: Sha256::new(),
             out_initial: BytesMut::new(),
             out_handshake: BytesMut::new(),
+            out_app: BytesMut::new(),
             in_initial: BytesMut::new(),
             in_handshake: BytesMut::new(),
+            in_app: BytesMut::new(),
             handshake_keys: None,
             application_keys: None,
+            early: None,
             complete: false,
+            resumed: false,
+            offered_early: false,
+            early_data_accepted: None,
+            res_secret: None,
         }
     }
 
@@ -163,13 +232,32 @@ impl TlsSession {
         self.role
     }
 
-    /// Queues the ClientHello (client only). Idempotent.
+    /// Queues the ClientHello (client only). Idempotent. A configured
+    /// session ticket turns the CH into a resumption offer; with
+    /// `early_data` the 0-RTT keys become available immediately.
     pub fn start(&mut self) {
         if let StateMachine::Client(state @ ClientState::Start) = &mut self.state {
-            let ch = HandshakeMessage::client_hello(
-                self.client_cfg.random,
-                self.client_cfg.client_hello_len,
-            );
+            let ch = match &self.client_cfg.ticket {
+                Some(ticket) => {
+                    // RFC 8446 §4.2.10: early data may only be offered
+                    // under a ticket whose issuer advertised support.
+                    let offer_early = self.client_cfg.early_data && ticket.early_data_allowed;
+                    if offer_early {
+                        self.offered_early = true;
+                        self.early = Some(early_keys(&ticket.secret));
+                    }
+                    HandshakeMessage::client_hello_resumption(
+                        self.client_cfg.random,
+                        self.client_cfg.client_hello_len,
+                        &ticket.ticket,
+                        offer_early,
+                    )
+                }
+                None => HandshakeMessage::client_hello(
+                    self.client_cfg.random,
+                    self.client_cfg.client_hello_len,
+                ),
+            };
             let mut enc = BytesMut::new();
             ch.encode(&mut enc);
             self.transcript.update(&enc);
@@ -187,8 +275,12 @@ impl TlsSession {
         self.transcript = Sha256::new();
         self.out_initial.clear();
         self.out_handshake.clear();
+        self.out_app.clear();
         self.in_initial.clear();
         self.in_handshake.clear();
+        self.in_app.clear();
+        self.offered_early = false;
+        self.early = None;
         self.start();
     }
 
@@ -197,13 +289,28 @@ impl TlsSession {
         match level {
             Level::Initial => self.in_initial.extend_from_slice(data),
             Level::Handshake => self.in_handshake.extend_from_slice(data),
-            Level::Application => return Err(TlsError::UnexpectedMessage("crypto at 1-RTT")),
+            Level::Application => {
+                // Post-handshake messages (NewSessionTicket) flow
+                // server → client only.
+                if self.role == Role::Server {
+                    return Err(TlsError::UnexpectedMessage("crypto at 1-RTT to server"));
+                }
+                self.in_app.extend_from_slice(data);
+            }
         }
         let mut events = Vec::new();
         loop {
-            let before = (self.in_initial.len(), self.in_handshake.len());
+            let before = (
+                self.in_initial.len(),
+                self.in_handshake.len(),
+                self.in_app.len(),
+            );
             self.advance(level, &mut events)?;
-            let after = (self.in_initial.len(), self.in_handshake.len());
+            let after = (
+                self.in_initial.len(),
+                self.in_handshake.len(),
+                self.in_app.len(),
+            );
             if before == after {
                 break;
             }
@@ -215,7 +322,7 @@ impl TlsSession {
         let buf = match level {
             Level::Initial => &mut self.in_initial,
             Level::Handshake => &mut self.in_handshake,
-            Level::Application => unreachable!(),
+            Level::Application => &mut self.in_app,
         };
         let mut peek = Bytes::copy_from_slice(buf);
         let Some(msg) = HandshakeMessage::decode(&mut peek)? else {
@@ -225,211 +332,263 @@ impl TlsSession {
         let consumed = buf.len() - peek.len();
         let _ = buf.split_to(consumed);
 
-        match (&mut self.state, level) {
-            (StateMachine::Client(state), _) => {
-                Self::client_handle(
-                    state,
-                    &msg,
-                    level,
-                    &mut self.transcript,
-                    &mut self.out_handshake,
-                    &mut self.handshake_keys,
-                    &mut self.application_keys,
-                    &mut self.complete,
-                    events,
-                )?;
+        match self.state {
+            StateMachine::Client(state) => {
+                let next = self.client_handle(state, &msg, level, events)?;
+                self.state = StateMachine::Client(next);
             }
-            (StateMachine::Server(state), lvl) => {
-                Self::server_handle(
-                    state,
-                    &msg,
-                    lvl,
-                    &self.server_cfg,
-                    &mut self.transcript,
-                    &mut self.out_initial,
-                    &mut self.out_handshake,
-                    &mut self.handshake_keys,
-                    &mut self.application_keys,
-                    &mut self.complete,
-                    events,
-                )?;
+            StateMachine::Server(state) => {
+                let next = self.server_handle(state, &msg, level, events)?;
+                self.state = StateMachine::Server(next);
             }
         }
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn client_handle(
-        state: &mut ClientState,
+        &mut self,
+        state: ClientState,
         msg: &HandshakeMessage,
         level: Level,
-        transcript: &mut Sha256,
-        out_handshake: &mut BytesMut,
-        hs_keys: &mut Option<LevelKeys>,
-        app_keys: &mut Option<LevelKeys>,
-        complete: &mut bool,
         events: &mut Vec<TlsEvent>,
-    ) -> Result<(), TlsError> {
-        let expect_err = |got: HandshakeType| {
-            Err(TlsError::UnexpectedMessage(match got {
-                HandshakeType::ClientHello => "ClientHello at client",
-                _ => "out-of-order handshake message",
-            }))
-        };
+    ) -> Result<ClientState, TlsError> {
         let mut enc = BytesMut::new();
         msg.encode(&mut enc);
-        match (*state, msg.ty, level) {
+        Ok(match (state, msg.ty, level) {
             (ClientState::WaitServerHello, HandshakeType::ServerHello, Level::Initial) => {
-                transcript.update(&enc);
-                let th = transcript.clone().finalize();
-                *hs_keys = Some(handshake_keys(&th));
+                self.transcript.update(&enc);
+                let th = self.transcript.clone().finalize();
+                self.handshake_keys = Some(handshake_keys(&th));
                 events.push(TlsEvent::KeysReady(Level::Handshake));
-                *state = ClientState::WaitEncryptedExtensions;
+                if self.client_cfg.ticket.is_some() {
+                    match msg.resumption_outcome() {
+                        Some((true, early_accepted)) => {
+                            self.resumed = true;
+                            events.push(TlsEvent::ResumptionAccepted);
+                            if self.offered_early {
+                                self.early_data_accepted = Some(early_accepted);
+                                if early_accepted {
+                                    events.push(TlsEvent::EarlyDataAccepted);
+                                } else {
+                                    self.early = None;
+                                    events.push(TlsEvent::EarlyDataRejected);
+                                }
+                            }
+                        }
+                        _ => {
+                            // PSK rejected (or a legacy SH): full handshake
+                            // fallback; early data dies with the PSK.
+                            if self.offered_early {
+                                self.early_data_accepted = Some(false);
+                                self.early = None;
+                                events.push(TlsEvent::EarlyDataRejected);
+                            }
+                        }
+                    }
+                }
+                ClientState::WaitEncryptedExtensions
             }
             (
                 ClientState::WaitEncryptedExtensions,
                 HandshakeType::EncryptedExtensions,
                 Level::Handshake,
             ) => {
-                transcript.update(&enc);
-                *state = ClientState::WaitCertificate;
+                self.transcript.update(&enc);
+                if self.resumed {
+                    // Abbreviated flight: the server Finished comes next.
+                    ClientState::WaitFinished
+                } else {
+                    ClientState::WaitCertificate
+                }
             }
             (ClientState::WaitCertificate, HandshakeType::Certificate, Level::Handshake) => {
-                transcript.update(&enc);
-                *state = ClientState::WaitCertificateVerify;
+                self.transcript.update(&enc);
+                ClientState::WaitCertificateVerify
             }
             (
                 ClientState::WaitCertificateVerify,
                 HandshakeType::CertificateVerify,
                 Level::Handshake,
             ) => {
-                transcript.update(&enc);
-                *state = ClientState::WaitFinished;
+                self.transcript.update(&enc);
+                ClientState::WaitFinished
             }
             (ClientState::WaitFinished, HandshakeType::Finished, Level::Handshake) => {
-                transcript.update(&enc);
-                let th = transcript.clone().finalize();
-                *app_keys = Some(application_keys(&th));
+                self.transcript.update(&enc);
+                let th = self.transcript.clone().finalize();
+                self.application_keys = Some(application_keys(&th));
                 events.push(TlsEvent::KeysReady(Level::Application));
                 // Client Finished: verify-data = transcript hash.
                 let fin = HandshakeMessage::finished(th);
                 let mut fin_enc = BytesMut::new();
                 fin.encode(&mut fin_enc);
-                transcript.update(&fin_enc);
-                out_handshake.extend_from_slice(&fin_enc);
-                *state = ClientState::Complete;
-                *complete = true;
+                self.transcript.update(&fin_enc);
+                self.out_handshake.extend_from_slice(&fin_enc);
+                // The resumption secret covers the client Finished too.
+                let th_res = self.transcript.clone().finalize();
+                self.res_secret = Some(resumption_secret(&th_res));
+                self.complete = true;
                 events.push(TlsEvent::HandshakeComplete);
+                ClientState::Complete
             }
-            (_, got, _) => return expect_err(got),
-        }
-        Ok(())
+            (ClientState::Complete, HandshakeType::NewSessionTicket, Level::Application) => {
+                let (lifetime, early_allowed, ticket) = msg
+                    .parse_new_session_ticket()
+                    .ok_or(TlsError::UnexpectedMessage("malformed NewSessionTicket"))?;
+                let secret = self
+                    .res_secret
+                    .expect("complete handshake has a resumption secret");
+                events.push(TlsEvent::TicketIssued(SessionTicket {
+                    ticket,
+                    secret,
+                    lifetime_secs: lifetime,
+                    early_data_allowed: early_allowed,
+                }));
+                ClientState::Complete
+            }
+            (_, got, _) => {
+                return Err(TlsError::UnexpectedMessage(match got {
+                    HandshakeType::ClientHello => "ClientHello at client",
+                    _ => "out-of-order handshake message",
+                }))
+            }
+        })
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn server_handle(
-        state: &mut ServerState,
+        &mut self,
+        state: ServerState,
         msg: &HandshakeMessage,
         level: Level,
-        cfg: &ServerConfig,
-        transcript: &mut Sha256,
-        out_initial: &mut BytesMut,
-        out_handshake: &mut BytesMut,
-        hs_keys: &mut Option<LevelKeys>,
-        app_keys: &mut Option<LevelKeys>,
-        complete: &mut bool,
         events: &mut Vec<TlsEvent>,
-    ) -> Result<(), TlsError> {
+    ) -> Result<ServerState, TlsError> {
         let mut enc = BytesMut::new();
         msg.encode(&mut enc);
-        match (*state, msg.ty, level) {
+        Ok(match (state, msg.ty, level) {
             (ServerState::WaitClientHello, HandshakeType::ClientHello, Level::Initial) => {
-                transcript.update(&enc);
-                if cfg.cert_preprovisioned {
-                    Self::emit_server_flight(
-                        cfg,
-                        transcript,
-                        out_initial,
-                        out_handshake,
-                        hs_keys,
-                        app_keys,
-                        events,
-                    );
-                    *state = ServerState::WaitClientFinished;
+                self.transcript.update(&enc);
+                let offer = msg.resumption_offer();
+                let secret = offer.as_ref().and_then(|(ticket, _)| {
+                    self.server_cfg
+                        .resumption
+                        .accept_resumption
+                        .then(|| open_ticket(self.server_cfg.ticket_key, ticket))
+                        .flatten()
+                });
+                if let Some(secret) = secret {
+                    // Abbreviated handshake: no certificate, no Δt.
+                    self.resumed = true;
+                    events.push(TlsEvent::ResumptionAccepted);
+                    let early_offered = offer.map(|(_, e)| e).unwrap_or(false);
+                    let mut early_accepted = false;
+                    if early_offered {
+                        early_accepted = self.server_cfg.resumption.accept_early_data;
+                        self.early_data_accepted = Some(early_accepted);
+                        if early_accepted {
+                            self.early = Some(early_keys(&secret));
+                            events.push(TlsEvent::EarlyDataAccepted);
+                        } else {
+                            events.push(TlsEvent::EarlyDataRejected);
+                        }
+                    }
+                    self.emit_resumed_flight(early_accepted, events);
+                    ServerState::WaitClientFinished
                 } else {
-                    events.push(TlsEvent::NeedCertificate);
-                    *state = ServerState::WaitCertProvision;
+                    // Full handshake (offer absent or rejected). A
+                    // rejected PSK kills its early-data offer with it —
+                    // record that symmetrically with the client side.
+                    if let Some((_, true)) = offer {
+                        self.early_data_accepted = Some(false);
+                        events.push(TlsEvent::EarlyDataRejected);
+                    }
+                    if self.server_cfg.cert_preprovisioned {
+                        self.emit_server_flight(events);
+                        ServerState::WaitClientFinished
+                    } else {
+                        events.push(TlsEvent::NeedCertificate);
+                        ServerState::WaitCertProvision
+                    }
                 }
             }
             (ServerState::WaitClientFinished, HandshakeType::Finished, Level::Handshake) => {
                 // Verify-data check: must equal our transcript hash at the
                 // point the client computed it (before its own Finished).
-                *state = ServerState::Complete;
-                *complete = true;
+                self.transcript.update(&enc);
+                let th_res = self.transcript.clone().finalize();
+                let secret = resumption_secret(&th_res);
+                self.res_secret = Some(secret);
+                if self.server_cfg.resumption.issue_tickets {
+                    let ticket = mint_ticket(self.server_cfg.ticket_key, &secret);
+                    let nst = HandshakeMessage::new_session_ticket(
+                        self.server_cfg.resumption.ticket_lifetime_secs,
+                        self.server_cfg.resumption.advertise_early_data,
+                        &ticket,
+                    );
+                    let mut nst_enc = BytesMut::new();
+                    nst.encode(&mut nst_enc);
+                    self.out_app.extend_from_slice(&nst_enc);
+                }
+                self.complete = true;
                 events.push(TlsEvent::HandshakeComplete);
+                ServerState::Complete
             }
             (_, _, _) => return Err(TlsError::UnexpectedMessage("out-of-order at server")),
-        }
-        Ok(())
+        })
     }
 
-    fn emit_server_flight(
-        cfg: &ServerConfig,
-        transcript: &mut Sha256,
-        out_initial: &mut BytesMut,
-        out_handshake: &mut BytesMut,
-        hs_keys: &mut Option<LevelKeys>,
-        app_keys: &mut Option<LevelKeys>,
-        events: &mut Vec<TlsEvent>,
-    ) {
+    /// Emits SH + EE + (CERT + CV for full handshakes) + FIN, deriving
+    /// handshake and application keys along the way.
+    fn flight_core(&mut self, sh: HandshakeMessage, with_cert: bool, events: &mut Vec<TlsEvent>) {
         // ServerHello at Initial level.
-        let sh = HandshakeMessage::server_hello(cfg.random);
         let mut enc = BytesMut::new();
         sh.encode(&mut enc);
-        transcript.update(&enc);
-        out_initial.extend_from_slice(&enc);
-        let th = transcript.clone().finalize();
-        *hs_keys = Some(handshake_keys(&th));
+        self.transcript.update(&enc);
+        self.out_initial.extend_from_slice(&enc);
+        let th = self.transcript.clone().finalize();
+        self.handshake_keys = Some(handshake_keys(&th));
         events.push(TlsEvent::KeysReady(Level::Handshake));
 
-        // EE, CERT, CV, FIN at Handshake level.
-        for m in [
-            HandshakeMessage::encrypted_extensions(),
-            HandshakeMessage::certificate(cfg.cert_len),
-            HandshakeMessage::certificate_verify(),
-        ] {
+        // EE (+ CERT, CV) and FIN at Handshake level.
+        let mut middle = vec![HandshakeMessage::encrypted_extensions()];
+        if with_cert {
+            middle.push(HandshakeMessage::certificate(self.server_cfg.cert_len));
+            middle.push(HandshakeMessage::certificate_verify());
+        }
+        for m in middle {
             let mut e = BytesMut::new();
             m.encode(&mut e);
-            transcript.update(&e);
-            out_handshake.extend_from_slice(&e);
+            self.transcript.update(&e);
+            self.out_handshake.extend_from_slice(&e);
         }
-        let th_fin = transcript.clone().finalize();
+        let th_fin = self.transcript.clone().finalize();
         let fin = HandshakeMessage::finished(th_fin);
         let mut e = BytesMut::new();
         fin.encode(&mut e);
-        transcript.update(&e);
-        out_handshake.extend_from_slice(&e);
+        self.transcript.update(&e);
+        self.out_handshake.extend_from_slice(&e);
         // Server can send 1-RTT data once its Finished is queued.
-        let th_app = transcript.clone().finalize();
-        *app_keys = Some(application_keys(&th_app));
+        let th_app = self.transcript.clone().finalize();
+        self.application_keys = Some(application_keys(&th_app));
         events.push(TlsEvent::KeysReady(Level::Application));
+    }
+
+    fn emit_server_flight(&mut self, events: &mut Vec<TlsEvent>) {
+        let sh = HandshakeMessage::server_hello(self.server_cfg.random);
+        self.flight_core(sh, true, events);
+    }
+
+    fn emit_resumed_flight(&mut self, early_accepted: bool, events: &mut Vec<TlsEvent>) {
+        let sh = HandshakeMessage::server_hello_resumed(self.server_cfg.random, early_accepted);
+        self.flight_core(sh, false, events);
     }
 
     /// Server only: the certificate arrived from the store. Produces the
     /// ServerHello flight. Returns the resulting events.
     pub fn provide_certificate(&mut self) -> Vec<TlsEvent> {
         let mut events = Vec::new();
-        if let StateMachine::Server(state @ ServerState::WaitCertProvision) = &mut self.state {
-            Self::emit_server_flight(
-                &self.server_cfg,
-                &mut self.transcript,
-                &mut self.out_initial,
-                &mut self.out_handshake,
-                &mut self.handshake_keys,
-                &mut self.application_keys,
-                &mut events,
-            );
-            *state = ServerState::WaitClientFinished;
+        if let StateMachine::Server(ServerState::WaitCertProvision) = self.state {
+            self.emit_server_flight(&mut events);
+            self.state = StateMachine::Server(ServerState::WaitClientFinished);
         }
         events
     }
@@ -439,7 +598,7 @@ impl TlsSession {
         let buf = match level {
             Level::Initial => &mut self.out_initial,
             Level::Handshake => &mut self.out_handshake,
-            Level::Application => return None,
+            Level::Application => &mut self.out_app,
         };
         if buf.is_empty() {
             None
@@ -453,7 +612,7 @@ impl TlsSession {
         match level {
             Level::Initial => self.out_initial.len(),
             Level::Handshake => self.out_handshake.len(),
-            Level::Application => 0,
+            Level::Application => self.out_app.len(),
         }
     }
 
@@ -466,6 +625,23 @@ impl TlsSession {
         }
     }
 
+    /// 0-RTT early-data keys, when available (client: ticket offered
+    /// with early data; server: valid ticket + early data accepted).
+    pub fn early_keys(&self) -> Option<&LevelKeys> {
+        self.early.as_ref()
+    }
+
+    /// Whether this handshake ran the abbreviated (PSK) path.
+    pub fn is_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Outcome of the 0-RTT offer: `None` until decided (or when early
+    /// data was never offered).
+    pub fn early_data_accepted(&self) -> Option<bool> {
+        self.early_data_accepted
+    }
+
     /// Whether the handshake is complete at this endpoint.
     pub fn is_complete(&self) -> bool {
         self.complete
@@ -475,11 +651,35 @@ impl TlsSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::messages::{CERT_LARGE, CERT_SMALL};
+    use crate::messages::{CERT_LARGE, CERT_SMALL, NEW_SESSION_TICKET_LEN};
+
+    /// Shuttles crypto bytes between two sessions until quiescent,
+    /// collecting both sides' events.
+    fn pump(client: &mut TlsSession, server: &mut TlsSession) -> (Vec<TlsEvent>, Vec<TlsEvent>) {
+        let mut cev = Vec::new();
+        let mut sev = Vec::new();
+        loop {
+            let mut progress = false;
+            for lvl in [Level::Initial, Level::Handshake, Level::Application] {
+                if let Some(out) = client.take_output(lvl) {
+                    sev.extend(server.read_crypto(lvl, &out).unwrap());
+                    progress = true;
+                }
+                if let Some(out) = server.take_output(lvl) {
+                    cev.extend(client.read_crypto(lvl, &out).unwrap());
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        (cev, sev)
+    }
 
     /// Runs a full in-memory handshake, shuttling crypto bytes directly.
     fn run_handshake(cert_len: usize, preprovisioned: bool) -> (TlsSession, TlsSession) {
-        let mut client = TlsSession::client(ClientConfig::default());
+        let mut client = TlsSession::client(ClientConfig::full());
         let mut server = TlsSession::server(ServerConfig {
             cert_len,
             cert_preprovisioned: preprovisioned,
@@ -509,11 +709,34 @@ mod tests {
         (client, server)
     }
 
+    /// Runs a ticket-issuing full handshake and returns the minted
+    /// ticket plus the server config that issued it.
+    fn prime_ticket(resumption: ServerResumption) -> (SessionTicket, ServerConfig) {
+        let server_cfg = ServerConfig {
+            cert_preprovisioned: true,
+            resumption,
+            ..ServerConfig::default()
+        };
+        let mut client = TlsSession::client(ClientConfig::full());
+        let mut server = TlsSession::server(server_cfg.clone());
+        client.start();
+        let (cev, _) = pump(&mut client, &mut server);
+        let ticket = cev
+            .into_iter()
+            .find_map(|e| match e {
+                TlsEvent::TicketIssued(t) => Some(t),
+                _ => None,
+            })
+            .expect("ticket issued");
+        (ticket, server_cfg)
+    }
+
     #[test]
     fn full_handshake_small_cert() {
         let (client, server) = run_handshake(CERT_SMALL, false);
         assert!(client.is_complete());
         assert!(server.is_complete());
+        assert!(!client.is_resumed() && !server.is_resumed());
     }
 
     #[test]
@@ -542,7 +765,7 @@ mod tests {
 
     #[test]
     fn server_flight_size_scales_with_cert() {
-        let mut client = TlsSession::client(ClientConfig::default());
+        let mut client = TlsSession::client(ClientConfig::full());
         client.start();
         let ch = client.take_output(Level::Initial).unwrap();
 
@@ -567,7 +790,7 @@ mod tests {
 
     #[test]
     fn fragmented_delivery_still_completes() {
-        let mut client = TlsSession::client(ClientConfig::default());
+        let mut client = TlsSession::client(ClientConfig::full());
         let mut server = TlsSession::server(ServerConfig {
             cert_preprovisioned: true,
             ..ServerConfig::default()
@@ -590,7 +813,7 @@ mod tests {
 
     #[test]
     fn out_of_order_message_rejected() {
-        let mut client = TlsSession::client(ClientConfig::default());
+        let mut client = TlsSession::client(ClientConfig::full());
         client.start();
         // Server Finished before ServerHello is a protocol violation.
         let fin = HandshakeMessage::finished([0; 32]);
@@ -601,7 +824,7 @@ mod tests {
 
     #[test]
     fn retry_resets_and_requeues_client_hello() {
-        let mut client = TlsSession::client(ClientConfig::default());
+        let mut client = TlsSession::client(ClientConfig::full());
         client.start();
         let ch1 = client.take_output(Level::Initial).unwrap();
         client.reset_for_retry();
@@ -614,5 +837,214 @@ mod tests {
         let mut server = TlsSession::server(ServerConfig::default());
         assert!(server.provide_certificate().is_empty());
         assert_eq!(server.pending_output(Level::Initial), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Resumption
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ticket_issued_after_full_handshake() {
+        let (ticket, _) = prime_ticket(ServerResumption::accepting(7200));
+        assert_eq!(ticket.lifetime_secs, 7200);
+        assert!(ticket.early_data_allowed);
+        // The NST rides at the Application level, sized per the constant.
+        let nst = HandshakeMessage::new_session_ticket(7200, true, &ticket.ticket);
+        assert_eq!(nst.wire_len(), NEW_SESSION_TICKET_LEN);
+    }
+
+    #[test]
+    fn no_ticket_when_issuance_disabled() {
+        let mut client = TlsSession::client(ClientConfig::full());
+        let mut server = TlsSession::server(ServerConfig {
+            cert_preprovisioned: true,
+            ..ServerConfig::default()
+        });
+        client.start();
+        let (cev, _) = pump(&mut client, &mut server);
+        assert!(client.is_complete());
+        assert!(!cev.iter().any(|e| matches!(e, TlsEvent::TicketIssued(_))));
+        assert_eq!(server.pending_output(Level::Application), 0);
+    }
+
+    #[test]
+    fn resumed_handshake_skips_certificate_and_need_certificate() {
+        let (ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        // Resumed connection against a *non-preprovisioned* server: a full
+        // handshake would raise NeedCertificate; the resumed one must not.
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            ..ClientConfig::full()
+        });
+        let mut server = TlsSession::server(ServerConfig {
+            cert_preprovisioned: false,
+            ..server_cfg
+        });
+        client.start();
+        let (cev, sev) = pump(&mut client, &mut server);
+        assert!(client.is_complete() && server.is_complete());
+        assert!(client.is_resumed() && server.is_resumed());
+        assert!(!sev.iter().any(|e| matches!(e, TlsEvent::NeedCertificate)));
+        assert!(cev.contains(&TlsEvent::ResumptionAccepted));
+        assert_eq!(
+            client.keys(Level::Application),
+            server.keys(Level::Application)
+        );
+    }
+
+    #[test]
+    fn resumed_flight_is_much_smaller_than_full() {
+        let (ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        let flight_len = |ticket: Option<SessionTicket>| {
+            let mut client = TlsSession::client(ClientConfig {
+                ticket,
+                ..ClientConfig::full()
+            });
+            let mut server = TlsSession::server(ServerConfig {
+                cert_preprovisioned: true,
+                ..server_cfg.clone()
+            });
+            client.start();
+            let ch = client.take_output(Level::Initial).unwrap();
+            server.read_crypto(Level::Initial, &ch).unwrap();
+            server.pending_output(Level::Handshake)
+        };
+        let full = flight_len(None);
+        let resumed = flight_len(Some(ticket));
+        // The certificate + CertificateVerify flight disappears.
+        assert_eq!(full - resumed, CERT_SMALL + 268);
+    }
+
+    #[test]
+    fn early_data_keys_agree_when_accepted() {
+        let (ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            early_data: true,
+            ..ClientConfig::full()
+        });
+        let mut server = TlsSession::server(server_cfg);
+        client.start();
+        // Client early keys exist before any server byte.
+        let client_early = client.early_keys().cloned().expect("client early keys");
+        let (cev, sev) = pump(&mut client, &mut server);
+        assert!(cev.contains(&TlsEvent::EarlyDataAccepted));
+        assert!(sev.contains(&TlsEvent::EarlyDataAccepted));
+        assert_eq!(client.early_data_accepted(), Some(true));
+        assert_eq!(server.early_data_accepted(), Some(true));
+        assert_eq!(server.early_keys(), Some(&client_early));
+    }
+
+    #[test]
+    fn early_data_rejected_by_policy() {
+        let (ticket, mut server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        server_cfg.resumption = ServerResumption::rejecting_early_data(7200);
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            early_data: true,
+            ..ClientConfig::full()
+        });
+        let mut server = TlsSession::server(server_cfg);
+        client.start();
+        let (cev, sev) = pump(&mut client, &mut server);
+        assert!(client.is_complete() && client.is_resumed());
+        assert!(cev.contains(&TlsEvent::EarlyDataRejected));
+        assert!(sev.contains(&TlsEvent::EarlyDataRejected));
+        assert_eq!(client.early_data_accepted(), Some(false));
+        assert!(server.early_keys().is_none());
+    }
+
+    #[test]
+    fn no_early_offer_under_a_ticket_without_early_support() {
+        // RFC 8446 §4.2.10: the client must not offer early data under a
+        // ticket whose issuer did not advertise it.
+        let (ticket, server_cfg) = prime_ticket(ServerResumption {
+            advertise_early_data: false,
+            ..ServerResumption::accepting(7200)
+        });
+        assert!(!ticket.early_data_allowed);
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            early_data: true,
+            ..ClientConfig::full()
+        });
+        client.start();
+        assert!(client.early_keys().is_none(), "no offer ⇒ no early keys");
+        let mut server = TlsSession::server(server_cfg);
+        let (cev, sev) = pump(&mut client, &mut server);
+        assert!(client.is_resumed() && server.is_resumed());
+        assert_eq!(client.early_data_accepted(), None, "never offered");
+        assert_eq!(server.early_data_accepted(), None);
+        assert!(!cev
+            .iter()
+            .any(|e| matches!(e, TlsEvent::EarlyDataAccepted | TlsEvent::EarlyDataRejected)));
+        let _ = sev;
+    }
+
+    #[test]
+    fn server_records_early_reject_on_psk_fallback() {
+        // A corrupt ticket kills the PSK *and* its early-data offer; the
+        // server must record the rejection symmetrically with the client.
+        let (mut ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        ticket.ticket[5] ^= 0x80;
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            early_data: true,
+            ..ClientConfig::full()
+        });
+        let mut server = TlsSession::server(ServerConfig {
+            cert_preprovisioned: true,
+            ..server_cfg
+        });
+        client.start();
+        let (_, sev) = pump(&mut client, &mut server);
+        assert!(!server.is_resumed());
+        assert_eq!(server.early_data_accepted(), Some(false));
+        assert!(sev.contains(&TlsEvent::EarlyDataRejected));
+    }
+
+    #[test]
+    fn invalid_ticket_falls_back_to_full_handshake() {
+        let (mut ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        ticket.ticket[0] ^= 0xFF; // corrupt: fails the authenticity tag
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            early_data: true,
+            ..ClientConfig::full()
+        });
+        let mut server = TlsSession::server(ServerConfig {
+            cert_preprovisioned: true,
+            ..server_cfg
+        });
+        client.start();
+        let (cev, _) = pump(&mut client, &mut server);
+        assert!(client.is_complete() && server.is_complete());
+        assert!(!client.is_resumed() && !server.is_resumed());
+        assert!(cev.contains(&TlsEvent::EarlyDataRejected));
+        assert_eq!(client.early_data_accepted(), Some(false));
+    }
+
+    #[test]
+    fn ticket_minting_is_a_pure_function_of_the_handshake() {
+        let (a, _) = prime_ticket(ServerResumption::accepting(3600));
+        let (b, _) = prime_ticket(ServerResumption::accepting(3600));
+        assert_eq!(a, b, "same handshake bytes ⇒ same ticket");
+    }
+
+    #[test]
+    fn resumed_handshake_reissues_tickets() {
+        let (ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        let mut client = TlsSession::client(ClientConfig {
+            ticket: Some(ticket),
+            ..ClientConfig::full()
+        });
+        let mut server = TlsSession::server(server_cfg);
+        client.start();
+        let (cev, _) = pump(&mut client, &mut server);
+        let fresh: Vec<_> = cev
+            .iter()
+            .filter(|e| matches!(e, TlsEvent::TicketIssued(_)))
+            .collect();
+        assert_eq!(fresh.len(), 1, "resumed handshakes mint fresh tickets");
     }
 }

@@ -228,6 +228,38 @@ impl RttAckDeltaStats {
     }
 }
 
+/// Exact per-(measurement, CDN) counters: handshakes, instant ACKs, and
+/// the resumption observables. Merge is field-wise addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasCounts {
+    /// Successful handshakes.
+    pub ok: u64,
+    /// Instant-ACK responses among them.
+    pub iack: u64,
+    /// Handshakes where the server issued a session ticket.
+    pub tickets: u64,
+    /// Ticket-issuing handshakes that also accept 0-RTT.
+    pub zero_rtt: u64,
+}
+
+impl MeasCounts {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &MeasCounts) {
+        self.ok += other.ok;
+        self.iack += other.iack;
+        self.tickets += other.tickets;
+        self.zero_rtt += other.zero_rtt;
+    }
+
+    /// Folds one successful observation in.
+    pub fn record(&mut self, obs: &crate::prober::ProbeObservation) {
+        self.ok += 1;
+        self.iack += obs.instant_ack as u64;
+        self.tickets += obs.ticket_offered as u64;
+        self.zero_rtt += obs.zero_rtt_accepted as u64;
+    }
+}
+
 /// All figure inputs for one (vantage, CDN) cell, collected on the
 /// observation-retaining repetition.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,6 +275,9 @@ pub struct VantageCdnAgg {
     /// `RTT − ack_delay` per response class (Fig. 10):
     /// `[coalesced, instant ACK]`.
     pub rtt_ack_delta: [RttAckDeltaAgg; 2],
+    /// Bounded sample of advertised ticket lifetimes (seconds) from
+    /// ticket-issuing handshakes.
+    pub ticket_lifetimes_s: Reservoir,
 }
 
 /// Histogram range for ACK→SH delays: 0–250 ms in 0.25 ms bins covers
@@ -259,6 +294,7 @@ impl VantageCdnAgg {
             delay_hist: FixedHistogram::new(lo, hi, bins),
             iack_delays: Reservoir::new(RESERVOIR_CAP),
             rtt_ack_delta: [RttAckDeltaAgg::new(), RttAckDeltaAgg::new()],
+            ticket_lifetimes_s: Reservoir::new(RESERVOIR_CAP),
         }
     }
 
@@ -274,6 +310,9 @@ impl VantageCdnAgg {
         }
         let class = obs.instant_ack as usize;
         self.rtt_ack_delta[class].record(obs.rtt_minus_ack_delay_ms());
+        if obs.ticket_offered {
+            self.ticket_lifetimes_s.record(obs.ticket_lifetime_s);
+        }
     }
 
     fn merge(&mut self, other: &VantageCdnAgg) {
@@ -284,6 +323,7 @@ impl VantageCdnAgg {
         for (a, b) in self.rtt_ack_delta.iter_mut().zip(&other.rtt_ack_delta) {
             a.merge(b);
         }
+        self.ticket_lifetimes_s.merge(&other.ticket_lifetimes_s);
     }
 
     /// Figure 8 quantile of the full ACK→SH delay distribution, with
@@ -353,9 +393,9 @@ impl DomainBitSet {
 pub struct ScanShard {
     /// First domain index the shard covers.
     pub domain_start: usize,
-    /// Per-CDN `(handshake_ok, instant_ack)` counts for this shard's
-    /// slice of the measurement (Table 1 share inputs; all reps).
-    pub counts: [(u64, u64); Cdn::ALL.len()],
+    /// Per-CDN exact counters for this shard's slice of the measurement
+    /// (Table 1 share inputs plus resumption rates; all reps).
+    pub counts: [MeasCounts; Cdn::ALL.len()],
     /// Shard-local bitset of domains with a successful handshake
     /// (bit `j` = domain `domain_start + j`).
     pub ok_bits: Vec<u64>,
@@ -369,7 +409,7 @@ impl ScanShard {
     pub fn new(domain_start: usize, len: usize, with_cells: bool) -> ScanShard {
         ScanShard {
             domain_start,
-            counts: [(0, 0); Cdn::ALL.len()],
+            counts: [MeasCounts::default(); Cdn::ALL.len()],
             ok_bits: vec![0; len.div_ceil(64)],
             cells: with_cells.then(|| Box::new(std::array::from_fn(|_| VantageCdnAgg::new()))),
         }
@@ -386,9 +426,9 @@ impl ScanShard {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanAggregates {
     reps: usize,
-    /// `(handshake_ok, instant_ack)` per measurement, indexed
+    /// Exact counters per measurement, indexed
     /// `[vantage * reps + rep][cdn]`.
-    measurements: Vec<[(u64, u64); Cdn::ALL.len()]>,
+    measurements: Vec<[MeasCounts; Cdn::ALL.len()]>,
     /// Domains with at least one successful handshake across every
     /// vantage and repetition (Table 1's "Domains" column).
     ok_domains: DomainBitSet,
@@ -402,7 +442,7 @@ impl ScanAggregates {
     pub fn new(domains: usize, vantages: usize, reps: usize) -> ScanAggregates {
         ScanAggregates {
             reps,
-            measurements: vec![[(0, 0); Cdn::ALL.len()]; vantages * reps],
+            measurements: vec![[MeasCounts::default(); Cdn::ALL.len()]; vantages * reps],
             ok_domains: DomainBitSet::new(domains),
             cells: (0..vantages)
                 .map(|_| std::array::from_fn(|_| VantageCdnAgg::new()))
@@ -416,8 +456,7 @@ impl ScanAggregates {
     pub fn absorb(&mut self, v_idx: usize, rep: usize, shard: &ScanShard) {
         let m = &mut self.measurements[v_idx * self.reps + rep];
         for (acc, add) in m.iter_mut().zip(&shard.counts) {
-            acc.0 += add.0;
-            acc.1 += add.1;
+            acc.merge(add);
         }
         for (w, &bits) in shard.ok_bits.iter().enumerate() {
             let mut bits = bits;
@@ -439,17 +478,33 @@ impl ScanAggregates {
         &self.cells[v_idx][cdn.index()]
     }
 
-    /// Per-measurement instant-ACK shares for `cdn` (skipping
-    /// measurements that saw no successful handshake), in measurement
-    /// order.
-    pub fn measurement_shares(&self, cdn: Cdn) -> Vec<f64> {
+    /// Per-measurement shares of `num(counts)` over successful
+    /// handshakes for `cdn` (skipping measurements that saw none), in
+    /// measurement order.
+    pub fn measurement_shares_of(&self, cdn: Cdn, num: impl Fn(&MeasCounts) -> u64) -> Vec<f64> {
         self.measurements
             .iter()
             .filter_map(|m| {
-                let (ok, iack) = m[cdn.index()];
-                (ok > 0).then(|| iack as f64 / ok as f64)
+                let c = &m[cdn.index()];
+                (c.ok > 0).then(|| num(c) as f64 / c.ok as f64)
             })
             .collect()
+    }
+
+    /// Per-measurement instant-ACK shares for `cdn`.
+    pub fn measurement_shares(&self, cdn: Cdn) -> Vec<f64> {
+        self.measurement_shares_of(cdn, |c| c.iack)
+    }
+
+    /// Median advertised ticket lifetime for `cdn` in seconds, across
+    /// all vantage points' retained samples; `None` when no ticket was
+    /// ever observed.
+    pub fn ticket_lifetime_median(&self, cdn: Cdn) -> Option<f64> {
+        let mut sample = Vec::new();
+        for cells in &self.cells {
+            sample.extend_from_slice(cells[cdn.index()].ticket_lifetimes_s.sample());
+        }
+        rq_testbed::median(&sample)
     }
 
     /// Whether domain `i` completed at least one handshake anywhere.
@@ -573,6 +628,9 @@ mod tests {
             ack_delay_field_ms: 6.0,
             time_to_ack_ms: 5.0,
             time_to_sh_ms: 5.0 + delay,
+            ticket_offered: true,
+            zero_rtt_accepted: instant_ack,
+            ticket_lifetime_s: 7200.0,
         };
         for _ in 0..60 {
             cell.record(&obs(false, 0.0));
@@ -627,8 +685,7 @@ mod tests {
                     }
                     shard.mark_ok(i - start);
                     let c = obs.cdn.index();
-                    shard.counts[c].0 += 1;
-                    shard.counts[c].1 += obs.instant_ack as u64;
+                    shard.counts[c].record(&obs);
                     shard.cells.as_mut().unwrap()[c].record(&obs);
                 }
                 agg.absorb(0, 0, &shard);

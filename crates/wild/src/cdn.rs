@@ -109,6 +109,17 @@ pub struct CdnProfile {
     /// Reachability per vantage index (Appendix G: Google IACK servers are
     /// only significantly reachable from Sao Paulo).
     pub reachable_from: [bool; 4],
+    /// Share of deployments that issue session tickets (resumption
+    /// support). Beyond the paper: modeled from public CDN TLS-1.3
+    /// resumption behaviour, not measured by it.
+    pub resumption_share: f64,
+    /// Share of ticket-issuing deployments that also accept 0-RTT early
+    /// data (e.g. Cloudflare enables it broadly, Meta keeps it off).
+    pub zero_rtt_share: f64,
+    /// Median advertised NewSessionTicket lifetime, seconds.
+    pub ticket_lifetime_median_s: f64,
+    /// Log-normal sigma of the advertised ticket lifetime.
+    pub ticket_lifetime_sigma: f64,
 }
 
 /// The calibrated profile set (paper Table 1, §4.3, Figure 10, App. G).
@@ -126,6 +137,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 1.4,
             iack_ack_delay_rtt_factor: 0.7, // 61% below the RTT
             reachable_from: all,
+            resumption_share: 0.85,
+            zero_rtt_share: 0.25,
+            ticket_lifetime_median_s: 7200.0,
+            ticket_lifetime_sigma: 0.6,
         },
         CdnProfile {
             cdn: Cdn::Amazon,
@@ -138,6 +153,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 1.2,
             iack_ack_delay_rtt_factor: 1.3,
             reachable_from: all,
+            resumption_share: 0.8,
+            zero_rtt_share: 0.15,
+            ticket_lifetime_median_s: 43200.0,
+            ticket_lifetime_sigma: 0.7,
         },
         CdnProfile {
             cdn: Cdn::Cloudflare,
@@ -152,6 +171,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 1.3,
             iack_ack_delay_rtt_factor: 1.4,
             reachable_from: all,
+            resumption_share: 0.99,
+            zero_rtt_share: 0.88,
+            ticket_lifetime_median_s: 64800.0,
+            ticket_lifetime_sigma: 0.3,
         },
         CdnProfile {
             cdn: Cdn::Fastly,
@@ -164,6 +187,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 0.9, // 60.5% exceed → close call
             iack_ack_delay_rtt_factor: 1.0,
             reachable_from: all,
+            resumption_share: 0.95,
+            zero_rtt_share: 0.1,
+            ticket_lifetime_median_s: 43200.0,
+            ticket_lifetime_sigma: 0.5,
         },
         CdnProfile {
             cdn: Cdn::Google,
@@ -178,6 +205,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             // Google IACK deployments significantly reachable only from
             // Sao Paulo (vantage index 3).
             reachable_from: [false, false, false, true],
+            resumption_share: 0.97,
+            zero_rtt_share: 0.65,
+            ticket_lifetime_median_s: 28800.0,
+            ticket_lifetime_sigma: 0.4,
         },
         CdnProfile {
             cdn: Cdn::Meta,
@@ -190,6 +221,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 1.5, // 100% exceed
             iack_ack_delay_rtt_factor: 1.0,
             reachable_from: all,
+            resumption_share: 0.92,
+            zero_rtt_share: 0.0,
+            ticket_lifetime_median_s: 86400.0,
+            ticket_lifetime_sigma: 0.3,
         },
         CdnProfile {
             cdn: Cdn::Microsoft,
@@ -202,6 +237,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 1.1,
             iack_ack_delay_rtt_factor: 1.0,
             reachable_from: all,
+            resumption_share: 0.75,
+            zero_rtt_share: 0.05,
+            ticket_lifetime_median_s: 36000.0,
+            ticket_lifetime_sigma: 0.6,
         },
         CdnProfile {
             cdn: Cdn::Others,
@@ -217,6 +256,10 @@ pub fn profiles() -> Vec<CdnProfile> {
             coalesced_ack_delay_rtt_factor: 1.1,
             iack_ack_delay_rtt_factor: 0.6, // 79.1% below the RTT
             reachable_from: all,
+            resumption_share: 0.6,
+            zero_rtt_share: 0.12,
+            ticket_lifetime_median_s: 7200.0,
+            ticket_lifetime_sigma: 0.9,
         },
     ]
 }

@@ -26,7 +26,7 @@ pub mod prober;
 pub mod scan;
 pub mod vantage;
 
-pub use aggregate::{FixedHistogram, Reservoir, ScanAggregates, VantageCdnAgg};
+pub use aggregate::{FixedHistogram, MeasCounts, Reservoir, ScanAggregates, VantageCdnAgg};
 pub use cdn::{Cdn, CdnProfile};
 pub use longitudinal::{LongitudinalStudy, MinuteObservation};
 pub use population::{Domain, Population};

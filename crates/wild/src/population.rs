@@ -2,7 +2,7 @@
 
 use rq_sim::SimRng;
 
-use crate::cdn::{profiles, Cdn};
+use crate::cdn::{profile_of, profiles, Cdn};
 
 /// One domain in the population.
 #[derive(Debug, Clone)]
@@ -16,6 +16,13 @@ pub struct Domain {
     pub iack_enabled: bool,
     /// Per-domain Δt scale factor (deployment-specific backend distance).
     pub delta_t_scale: f64,
+    /// Deployment issues session tickets (TLS 1.3 resumption support).
+    pub resumption_supported: bool,
+    /// Deployment additionally accepts 0-RTT early data on resumption.
+    pub zero_rtt_enabled: bool,
+    /// Advertised NewSessionTicket lifetime in seconds (0 when tickets
+    /// are not offered).
+    pub ticket_lifetime_s: f64,
 }
 
 /// The full scan population.
@@ -45,6 +52,9 @@ impl Population {
                     cdn: Some(profile.cdn),
                     iack_enabled,
                     delta_t_scale: rng.gen_lognormal(1.0, 0.4),
+                    resumption_supported: false,
+                    zero_rtt_enabled: false,
+                    ticket_lifetime_s: 0.0,
                 });
             }
         }
@@ -54,12 +64,30 @@ impl Population {
                 cdn: None, // no QUIC or unmapped AS
                 iack_enabled: false,
                 delta_t_scale: 1.0,
+                resumption_supported: false,
+                zero_rtt_enabled: false,
+                ticket_lifetime_s: 0.0,
             });
         }
         rng.shuffle(&mut domains);
         domains.truncate(total);
         for (i, d) in domains.iter_mut().enumerate() {
             d.rank = i + 1;
+        }
+        // Resumption support and ticket lifetimes are drawn in a second,
+        // forked pass so the original CDN/IACK/Δt stream — and with it
+        // every pre-resumption scan number — stays byte-identical.
+        let mut res_rng = rng.fork(0x5E55_104E);
+        for d in &mut domains {
+            let Some(cdn) = d.cdn else { continue };
+            let p = profile_of(cdn);
+            d.resumption_supported = res_rng.gen_bool(p.resumption_share);
+            if d.resumption_supported {
+                d.zero_rtt_enabled = res_rng.gen_bool(p.zero_rtt_share);
+                d.ticket_lifetime_s = res_rng
+                    .gen_lognormal(p.ticket_lifetime_median_s, p.ticket_lifetime_sigma)
+                    .max(60.0);
+            }
         }
         Population { domains }
     }
@@ -129,6 +157,37 @@ mod tests {
         for (a, b) in p1.domains.iter().zip(p2.domains.iter()) {
             assert_eq!(a.cdn, b.cdn);
             assert_eq!(a.iack_enabled, b.iack_enabled);
+            assert_eq!(a.resumption_supported, b.resumption_supported);
+            assert_eq!(a.zero_rtt_enabled, b.zero_rtt_enabled);
+            assert_eq!(a.ticket_lifetime_s, b.ticket_lifetime_s);
         }
+    }
+
+    #[test]
+    fn resumption_shares_follow_profiles() {
+        let mut rng = SimRng::new(11);
+        let p = Population::synthesize(200_000, &mut rng);
+        let cf: Vec<&Domain> = p.hosted_by(Cdn::Cloudflare).collect();
+        let res = cf.iter().filter(|d| d.resumption_supported).count() as f64 / cf.len() as f64;
+        assert!(res > 0.97, "cloudflare resumption share {res}");
+        let zrtt = cf.iter().filter(|d| d.zero_rtt_enabled).count() as f64 / cf.len() as f64;
+        assert!(
+            (0.80..=0.95).contains(&zrtt),
+            "cloudflare 0-RTT share {zrtt}"
+        );
+        // Meta never enables 0-RTT; unreachable/non-QUIC domains never
+        // support resumption at all.
+        assert!(p.hosted_by(Cdn::Meta).all(|d| !d.zero_rtt_enabled));
+        assert!(p
+            .domains
+            .iter()
+            .filter(|d| d.cdn.is_none())
+            .all(|d| !d.resumption_supported && d.ticket_lifetime_s == 0.0));
+        // Supported domains advertise a positive, bounded lifetime.
+        assert!(p
+            .domains
+            .iter()
+            .filter(|d| d.resumption_supported)
+            .all(|d| d.ticket_lifetime_s >= 60.0));
     }
 }

@@ -32,6 +32,12 @@ pub struct ProbeObservation {
     pub time_to_ack_ms: f64,
     /// Time from ClientHello to the ServerHello, in ms.
     pub time_to_sh_ms: f64,
+    /// The server issued a NewSessionTicket (resumption supported).
+    pub ticket_offered: bool,
+    /// The deployment additionally accepts 0-RTT early data.
+    pub zero_rtt_accepted: bool,
+    /// Advertised ticket lifetime in seconds (0.0 without a ticket).
+    pub ticket_lifetime_s: f64,
 }
 
 impl ProbeObservation {
@@ -88,6 +94,9 @@ pub fn probe(domain: &Domain, vantage: Vantage, mut rng: SimRng) -> Option<Probe
             ack_delay_field_ms: 0.0,
             time_to_ack_ms: 0.0,
             time_to_sh_ms: 0.0,
+            ticket_offered: false,
+            zero_rtt_accepted: false,
+            ticket_lifetime_s: 0.0,
         });
     }
 
@@ -114,6 +123,10 @@ pub fn probe(domain: &Domain, vantage: Vantage, mut rng: SimRng) -> Option<Probe
         (true, t_sh - t_ack, t_ack, t_sh, field)
     };
 
+    // Resumption observables are per-domain deployment facts read off
+    // the completed handshake (ticket in the server's post-handshake
+    // flight) — deliberately no extra RNG draws, so every pre-resumption
+    // observable above keeps its exact value.
     Some(ProbeObservation {
         cdn,
         handshake_ok: true,
@@ -123,6 +136,9 @@ pub fn probe(domain: &Domain, vantage: Vantage, mut rng: SimRng) -> Option<Probe
         ack_delay_field_ms: ack_delay_field,
         time_to_ack_ms: time_to_ack,
         time_to_sh_ms: time_to_sh,
+        ticket_offered: domain.resumption_supported,
+        zero_rtt_accepted: domain.zero_rtt_enabled,
+        ticket_lifetime_s: domain.ticket_lifetime_s,
     })
 }
 
@@ -137,6 +153,9 @@ mod tests {
             cdn: Some(cdn),
             iack_enabled: iack,
             delta_t_scale: 1.0,
+            resumption_supported: true,
+            zero_rtt_enabled: true,
+            ticket_lifetime_s: 7200.0,
         }
     }
 
@@ -147,6 +166,9 @@ mod tests {
             cdn: None,
             iack_enabled: false,
             delta_t_scale: 1.0,
+            resumption_supported: false,
+            zero_rtt_enabled: false,
+            ticket_lifetime_s: 0.0,
         };
         assert!(probe(&d, Vantage::Hamburg, SimRng::new(1)).is_none());
     }
@@ -213,6 +235,31 @@ mod tests {
             }
         }
         assert!(found);
+    }
+
+    #[test]
+    fn resumption_observables_reflect_the_deployment() {
+        let mut d = sample_domain(Cdn::Cloudflare, true);
+        d.ticket_lifetime_s = 43_200.0;
+        for i in 0..100 {
+            let rng = probe_rng(8, Vantage::Hamburg, 0, i);
+            let Some(obs) = probe(&d, Vantage::Hamburg, rng) else {
+                continue;
+            };
+            if !obs.handshake_ok {
+                assert!(!obs.ticket_offered && obs.ticket_lifetime_s == 0.0);
+                continue;
+            }
+            assert!(obs.ticket_offered && obs.zero_rtt_accepted);
+            assert_eq!(obs.ticket_lifetime_s, 43_200.0);
+        }
+        let mut no_res = sample_domain(Cdn::Meta, false);
+        no_res.resumption_supported = false;
+        no_res.zero_rtt_enabled = false;
+        no_res.ticket_lifetime_s = 0.0;
+        let rng = probe_rng(8, Vantage::Hamburg, 0, 1);
+        let obs = probe(&no_res, Vantage::Hamburg, rng).unwrap();
+        assert!(!obs.ticket_offered && !obs.zero_rtt_accepted);
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct CdnScanRow {
     /// Maximum difference of the IACK share across vantage points and
     /// repetitions (Table 1 "Variation").
     pub max_variation: f64,
+    /// Share of handshakes where the server issued a session ticket
+    /// (maximum across measurements, like the IACK column).
+    pub resumption_share: f64,
+    /// Share of handshakes whose deployment also accepts 0-RTT early
+    /// data (maximum across measurements).
+    pub zero_rtt_share: f64,
+    /// Median advertised ticket lifetime in seconds (`None` when no
+    /// ticket was observed for this CDN).
+    pub ticket_lifetime_median_s: Option<f64>,
 }
 
 /// A full scan: per-CDN rows plus the streaming aggregates feeding the
@@ -116,8 +125,7 @@ fn scan_shard(
         }
         shard.mark_ok(i - start);
         let c = obs.cdn.index();
-        shard.counts[c].0 += 1;
-        shard.counts[c].1 += obs.instant_ack as u64;
+        shard.counts[c].record(&obs);
         if let Some(cells) = &mut shard.cells {
             cells[c].record(&obs);
         }
@@ -166,6 +174,7 @@ pub fn scan_with(
         } else {
             0.0
         };
+        let max_of = |shares: Vec<f64>| shares.into_iter().fold(0.0f64, f64::max);
         let domains = population
             .hosted_by(cdn)
             .filter(|d| agg.domain_reachable(d.rank - 1))
@@ -175,6 +184,9 @@ pub fn scan_with(
             domains,
             iack_share: max_share,
             max_variation,
+            resumption_share: max_of(agg.measurement_shares_of(cdn, |c| c.tickets)),
+            zero_rtt_share: max_of(agg.measurement_shares_of(cdn, |c| c.zero_rtt)),
+            ticket_lifetime_median_s: agg.ticket_lifetime_median(cdn),
         });
     }
     ScanReport {
@@ -247,6 +259,33 @@ mod tests {
         // so the reachable count stays positive but below hosted.
         let goog = report.rows.iter().find(|r| r.cdn == Cdn::Google).unwrap();
         assert!(goog.domains > 0);
+    }
+
+    #[test]
+    fn resumption_rates_reproduced() {
+        let report = small_scan();
+        let row = |c: Cdn| report.rows.iter().find(|r| r.cdn == c).unwrap().clone();
+        let cf = row(Cdn::Cloudflare);
+        assert!(cf.resumption_share > 0.97, "{cf:?}");
+        assert!(
+            (0.80..=0.95).contains(&cf.zero_rtt_share),
+            "cloudflare 0-RTT {cf:?}"
+        );
+        // Meta offers tickets but never 0-RTT.
+        let meta = row(Cdn::Meta);
+        assert!(meta.resumption_share > 0.8, "{meta:?}");
+        assert!(meta.zero_rtt_share < 0.05, "{meta:?}");
+        // Lifetime medians follow the profile calibration: Cloudflare's
+        // 18 h tickets sit far above Akamai's 2 h ones.
+        let cf_life = cf.ticket_lifetime_median_s.unwrap();
+        let ak_life = row(Cdn::Akamai).ticket_lifetime_median_s.unwrap();
+        assert!(cf_life > 2.0 * ak_life, "cf {cf_life} vs akamai {ak_life}");
+        // Shares are proper fractions everywhere, and 0-RTT never
+        // exceeds resumption (it requires a ticket).
+        for r in &report.rows {
+            assert!((0.0..=1.0).contains(&r.resumption_share), "{r:?}");
+            assert!(r.zero_rtt_share <= r.resumption_share + 1e-9, "{r:?}");
+        }
     }
 
     #[test]
