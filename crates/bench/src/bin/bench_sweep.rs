@@ -6,6 +6,11 @@
 //! guarantee), and writes the wall-clock numbers to `BENCH_sweep.json` —
 //! the repo's perf trajectory. CI runs this on every push.
 //!
+//! Every timed section is preceded by an untimed warm-up of both paths so
+//! one-time costs (allocator, lazy init, page faults, thread-pool spawn)
+//! never land on whichever path happens to run first — the reported
+//! speedups are stable enough to gate on.
+//!
 //! Knobs: `REACKED_REPS` (repetitions per class, default 15),
 //! `REACKED_THREADS` (parallel worker count, default: all cores),
 //! `REACKED_BENCH_OUT` (output path, default `BENCH_sweep.json`).
@@ -17,8 +22,8 @@ use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
 use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
-    run_repetitions, run_repetitions_parallel, HandshakeClass, LossSpec, RunResult, Scenario,
-    SweepRunner,
+    run_repetitions, run_server_load_sharded, ArrivalProcess, ClassMix, HandshakeClass, LossSpec,
+    RunResult, Scenario, ServerLoadSpec, SweepRunner, SweepScenarios,
 };
 use rq_wild::{scan_with, Population};
 
@@ -65,10 +70,30 @@ fn json_num(v: f64) -> String {
     format!("{v:.3}")
 }
 
+fn json_row(label: &str, seq_ms: f64, par_ms: f64, speedup: f64) -> String {
+    format!(
+        "    {{\n      \"label\": \"{label}\",\n      \"sequential_ms\": {},\n      \"parallel_ms\": {},\n      \"speedup\": {}\n    }}",
+        json_num(seq_ms),
+        json_num(par_ms),
+        json_num(speedup)
+    )
+}
+
+fn print_row(label: &str, seq_ms: f64, par_ms: f64) -> f64 {
+    let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
+    println!("{label:<26} {seq_ms:>12.1} {par_ms:>12.1} {speedup:>8.2}x");
+    speedup
+}
+
 fn main() {
     let reps = repetitions();
     let threads = SweepRunner::from_env().threads();
     let out_path = std::env::var("REACKED_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+
+    // All thread counts route through `SweepRunner`: the sequential
+    // baseline is literally the 1-worker runner.
+    let seq_runner = SweepRunner::new(1);
+    let par_runner = SweepRunner::new(threads);
 
     println!("bench_sweep: {reps} reps/class, {threads} threads");
     println!(
@@ -78,17 +103,16 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, sc) in scenario_classes() {
-        // Untimed warm-up so one-time costs (allocator, lazy init, page
-        // faults) don't land on whichever path happens to run first.
+        // Untimed warm-up of both paths.
         let _ = run_repetitions(&sc, 1.min(reps));
-        let _ = run_repetitions_parallel(&sc, threads.min(reps), threads);
+        let _ = par_runner.run_repetitions(&sc, threads.min(reps));
 
         let t0 = Instant::now();
         let seq = run_repetitions(&sc, reps);
         let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
         let t1 = Instant::now();
-        let par = run_repetitions_parallel(&sc, reps, threads);
+        let par = par_runner.run_repetitions(&sc, reps);
         let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
 
         assert_eq!(seq.len(), par.len(), "{label}: result count");
@@ -100,14 +124,8 @@ fn main() {
             );
         }
 
-        let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
-        println!("{label:<26} {seq_ms:>12.1} {par_ms:>12.1} {speedup:>8.2}x");
-        rows.push(format!(
-            "    {{\n      \"label\": \"{label}\",\n      \"sequential_ms\": {},\n      \"parallel_ms\": {},\n      \"speedup\": {}\n    }}",
-            json_num(seq_ms),
-            json_num(par_ms),
-            json_num(speedup)
-        ));
+        let speedup = print_row(label, seq_ms, par_ms);
+        rows.push(json_row(label, seq_ms, par_ms, speedup));
     }
 
     // The macroscopic scan class: shards the wild-scan domain loops
@@ -116,26 +134,59 @@ fn main() {
     {
         let label = "wild_scan";
         let pop = Population::synthesize(20_000, &mut SimRng::new(0xB5EED));
-        let _ = scan_with(&pop, 1, 0xD0_17, &SweepRunner::new(threads)); // warm-up
+        let _ = scan_with(&pop, 1, 0xD0_17, &seq_runner); // warm-up
+        let _ = scan_with(&pop, 1, 0xD0_17, &par_runner); // warm-up
 
         let t0 = Instant::now();
-        let seq = scan_with(&pop, 2, 0xD0_17, &SweepRunner::new(1));
+        let seq = scan_with(&pop, 2, 0xD0_17, &seq_runner);
         let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
         let t1 = Instant::now();
-        let par = scan_with(&pop, 2, 0xD0_17, &SweepRunner::new(threads));
+        let par = scan_with(&pop, 2, 0xD0_17, &par_runner);
         let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
 
         assert_eq!(seq, par, "{label}: parallel scan diverged from sequential");
 
-        let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
-        println!("{label:<26} {seq_ms:>12.1} {par_ms:>12.1} {speedup:>8.2}x");
-        rows.push(format!(
-            "    {{\n      \"label\": \"{label}\",\n      \"sequential_ms\": {},\n      \"parallel_ms\": {},\n      \"speedup\": {}\n    }}",
-            json_num(seq_ms),
-            json_num(par_ms),
-            json_num(speedup)
-        ));
+        let speedup = print_row(label, seq_ms, par_ms);
+        rows.push(json_row(label, seq_ms, par_ms, speedup));
+    }
+
+    // The many-connection server engine: shards a fixed arrival
+    // population into replica servers (fixed shard size, so the merged
+    // report is thread-count invariant by construction).
+    {
+        let label = "server_load";
+        let client = client_by_name("quic-go").unwrap();
+        let mut spec = ServerLoadSpec::new(
+            Scenario::base(client, IACK, HttpVersion::H1),
+            reps * 40,
+            ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_millis(5),
+            },
+        );
+        spec.mix = Some(ClassMix {
+            resumed: 0.3,
+            zero_rtt: 0.2,
+        });
+        let shard = 64;
+        let _ = run_server_load_sharded(&spec, &seq_runner, shard); // warm-up
+        let _ = run_server_load_sharded(&spec, &par_runner, shard); // warm-up
+
+        let t0 = Instant::now();
+        let seq = run_server_load_sharded(&spec, &seq_runner, shard);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t1 = Instant::now();
+        let par = run_server_load_sharded(&spec, &par_runner, shard);
+        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+        assert_eq!(
+            seq, par,
+            "{label}: parallel report diverged from sequential"
+        );
+
+        let speedup = print_row(label, seq_ms, par_ms);
+        rows.push(json_row(label, seq_ms, par_ms, speedup));
     }
 
     let json = format!(

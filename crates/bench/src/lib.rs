@@ -35,6 +35,15 @@ pub fn scan_population() -> usize {
         .unwrap_or(100_000)
 }
 
+/// Arrival count for the server-load experiment (default 100k; the
+/// engine is sized for 10k–1M). Override with `REACKED_LOAD_ARRIVALS`.
+pub fn load_arrivals() -> usize {
+    std::env::var("REACKED_LOAD_ARRIVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
 /// Prints a header block for an experiment.
 pub fn banner(exp: &str, paper_ref: &str, what: &str) {
     println!("================================================================");

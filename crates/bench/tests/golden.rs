@@ -12,13 +12,18 @@
 //! `REACKED_REPS=3 REACKED_THREADS=1 cargo run --release --bin <exp> \
 //!  > crates/bench/tests/golden/<exp>.txt`
 //! (for the wild-scan binaries additionally pin
-//! `REACKED_SCAN_DOMAINS=20000` — the population the goldens use).
+//! `REACKED_SCAN_DOMAINS=20000`, and for `exp_server_load` pin
+//! `REACKED_LOAD_ARRIVALS=2000` — the populations the goldens use).
 
 use std::process::Command;
 
 /// Scan population the wild-pipeline goldens are pinned at (the
 /// binaries default to 100k, too slow for a debug-profile test run).
 const GOLDEN_SCAN_DOMAINS: &str = "20000";
+
+/// Arrival population the server-load golden is pinned at (the binary
+/// defaults to 100k arrivals per section).
+const GOLDEN_LOAD_ARRIVALS: &str = "2000";
 
 /// Thread counts to exercise: the pinned `REACKED_THREADS` when the
 /// environment sets one (CI's determinism jobs), else both 1 and 4.
@@ -34,6 +39,7 @@ fn assert_matches_golden(bin_path: &str, name: &str, golden: &str) {
         let out = Command::new(bin_path)
             .env("REACKED_REPS", "3")
             .env("REACKED_SCAN_DOMAINS", GOLDEN_SCAN_DOMAINS)
+            .env("REACKED_LOAD_ARRIVALS", GOLDEN_LOAD_ARRIVALS)
             .env("REACKED_THREADS", &threads)
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
@@ -95,6 +101,15 @@ fn exp_resumption_sweep_matches_golden() {
         env!("CARGO_BIN_EXE_exp_resumption_sweep"),
         "exp_resumption_sweep",
         include_str!("golden/exp_resumption_sweep.txt"),
+    );
+}
+
+#[test]
+fn exp_server_load_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_server_load"),
+        "exp_server_load",
+        include_str!("golden/exp_server_load.txt"),
     );
 }
 

@@ -125,6 +125,82 @@ where
         .collect()
 }
 
+/// Like [`sweep`], but hands workers whole index *ranges* of size
+/// `chunk` instead of single indices, calling `f` once per range.
+///
+/// This is the coarse-batching primitive for sweeps whose per-item cost
+/// is small relative to per-task overhead (allocator churn, scenario
+/// cloning): the callback can set up scratch state once per chunk and
+/// reuse it across the chunk's items. `f` must return exactly one result
+/// per index in the range, in range order; output across chunks is in
+/// index order, so the result is bit-identical to the sequential
+/// `(0..n).map(..)` at every worker count and chunk size.
+pub fn sweep_chunked<T, F>(n: usize, threads: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let chunk = chunk.max(1);
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let range = start..(start + chunk).min(n);
+            let produced = f(range.clone());
+            assert_eq!(produced.len(), range.len(), "chunk produced wrong count");
+            out.extend(produced);
+            start = range.end;
+        }
+        return out;
+    }
+
+    let queue = IndexQueue {
+        next: AtomicUsize::new(0),
+        len: n,
+        chunk,
+    };
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let filled = Mutex::new(&mut slots);
+    let mut panic_payload = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+                    while let Some(range) = queue.claim() {
+                        let start = range.start;
+                        let produced = f(range.clone());
+                        assert_eq!(produced.len(), range.len(), "chunk produced wrong count");
+                        local.push((start, produced));
+                    }
+                    let mut slots = filled.lock().unwrap();
+                    for (start, values) in local {
+                        for (off, value) in values.into_iter().enumerate() {
+                            slots[start + off] = Some(value);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
 /// [`sweep`] over borrowed items instead of raw indices, preserving
 /// input order in the output.
 pub fn sweep_slice<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
@@ -184,6 +260,18 @@ impl SweepRunner {
         F: Fn(&I) -> T + Sync,
     {
         sweep_slice(items, self.threads, f)
+    }
+
+    /// Coarse-chunked fan-out: `f` receives whole index ranges of
+    /// roughly `n / threads` items (so each worker typically claims one
+    /// chunk and sets scratch state up once). See [`sweep_chunked`].
+    pub fn run_chunked<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> Vec<T> + Sync,
+    {
+        let chunk = n.div_ceil(self.threads.max(1)).max(1);
+        sweep_chunked(n, self.threads, chunk, f)
     }
 }
 
@@ -279,6 +367,37 @@ mod tests {
         assert_eq!(runner.map(&items, |x| x + 1), vec![11, 21, 31]);
         // 0 workers degrades to 1, never panics.
         assert_eq!(SweepRunner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn chunked_sweep_matches_sequential_at_any_geometry() {
+        let want: Vec<usize> = (0..97).map(|i| i * 5 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            for chunk in [1, 3, 16, 97, 200] {
+                let got = sweep_chunked(97, threads, chunk, |r| {
+                    r.map(|i| i * 5 + 1).collect::<Vec<_>>()
+                });
+                assert_eq!(got, want, "threads={threads} chunk={chunk}");
+            }
+        }
+        let empty: Vec<usize> = sweep_chunked(0, 4, 8, |r| r.collect());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn run_chunked_hands_each_worker_about_one_chunk() {
+        use std::sync::Mutex;
+        let calls = Mutex::new(Vec::new());
+        let runner = SweepRunner::new(4);
+        let out = runner.run_chunked(100, |r| {
+            calls.lock().unwrap().push(r.clone());
+            r.map(|i| i * 2).collect::<Vec<_>>()
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let calls = calls.lock().unwrap();
+        // 100 items over 4 workers → 25-item chunks, 4 callback calls.
+        assert_eq!(calls.len(), 4);
+        assert!(calls.iter().all(|r| r.len() == 25));
     }
 
     #[test]

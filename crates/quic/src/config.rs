@@ -140,6 +140,10 @@ pub struct EndpointConfig {
     /// Server: key minting/validating stateless session tickets — the
     /// same key must serve the priming and the resumed connection.
     pub ticket_key: u64,
+    /// Server: additional ticket keys accepted for validation (the
+    /// overlap window of a rotating [`rq_tls::TicketKeySchedule`]); empty
+    /// for the legacy single-key server.
+    pub accept_ticket_keys: Vec<u64>,
     /// Initial connection-level flow control credit offered to the peer.
     pub initial_max_data: u64,
     /// Initial per-stream flow control credit.
@@ -168,6 +172,7 @@ impl EndpointConfig {
             enable_early_data: false,
             resumption: rq_tls::ServerResumption::disabled(),
             ticket_key: 0x7E11_C3E7,
+            accept_ticket_keys: Vec::new(),
             // Receive windows sized like real stacks (hundreds of KiB):
             // large transfers then require a steady stream of MAX_DATA /
             // MAX_STREAM_DATA grants — the ack-eliciting client packets

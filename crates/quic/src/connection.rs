@@ -246,6 +246,7 @@ impl Connection {
             cert_preprovisioned: false,
             resumption: cfg.resumption,
             ticket_key: cfg.ticket_key,
+            accept_ticket_keys: cfg.accept_ticket_keys.clone(),
         });
         let initial = initial_keys(original_dcid.as_slice());
         Connection {

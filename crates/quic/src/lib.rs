@@ -8,9 +8,11 @@
 
 pub mod config;
 pub mod connection;
+pub mod server;
 pub mod space;
 pub mod streams;
 
 pub use config::{AckDelayReport, ClientQuirks, EndpointConfig, ProbePolicy, ServerAckMode};
 pub use connection::{ConnEvent, Connection, Role, MAX_DATAGRAM_SIZE};
+pub use server::{AcceptOutcome, ServerAccounting, ServerCostModel, ServerEngine};
 pub use streams::id as stream_id;

@@ -1,0 +1,368 @@
+//! Shared server-side state for many concurrent connections.
+//!
+//! [`Connection`] is deliberately per-connection: it knows one peer, one
+//! handshake, one request. A production QUIC terminator, though, hosts
+//! thousands of those behind one listener that shares a ticket-key
+//! schedule, a CPU budget, and a concurrency ceiling — the regime where
+//! the paper's WFC/IACK trade-off turns into a server-cost question
+//! (stateless instant ACKs are cheap; certificate flights and full
+//! handshakes are not). [`ServerEngine`] is that shared layer: it accepts
+//! or sheds incoming Initials, derives each connection's ticket keys from
+//! the rotating [`TicketKeySchedule`] at accept time, and folds per-class
+//! handshake costs and queue-depth observations into a mergeable
+//! [`ServerAccounting`].
+//!
+//! Everything here is deterministic: admission depends only on the
+//! current active count, keys only on the schedule and the accept time,
+//! so a sharded simulation reproduces one big server exactly.
+
+use std::collections::HashMap;
+
+use rq_qlog::EventData;
+use rq_tls::TicketKeySchedule;
+use rq_wire::ConnectionId;
+
+use crate::config::EndpointConfig;
+use crate::connection::Connection;
+
+/// Relative CPU cost of completing each handshake class, in units of one
+/// full handshake. The asymmetric signature + key exchange dominates a
+/// full handshake; PSK resumption replaces it with symmetric crypto, and
+/// an accepted 0-RTT handshake adds early-data key derivation on top of
+/// the PSK path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCostModel {
+    /// Full 1-RTT handshake (certificate + CertificateVerify).
+    pub full: f64,
+    /// Abbreviated PSK handshake.
+    pub resumed: f64,
+    /// PSK handshake with accepted 0-RTT early data.
+    pub zero_rtt: f64,
+}
+
+impl Default for ServerCostModel {
+    fn default() -> Self {
+        ServerCostModel {
+            full: 1.0,
+            resumed: 0.3,
+            zero_rtt: 0.35,
+        }
+    }
+}
+
+/// Server-side aggregates across a connection population. Plain sums and
+/// maxima, so shard accountings [`merge`](ServerAccounting::merge) into
+/// the whole-server numbers in any grouping (the monoid the sharded
+/// `run_server_load` fold relies on).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerAccounting {
+    /// Initials that reached the listener (accepted + shed).
+    pub arrivals: u64,
+    /// Connections admitted.
+    pub accepted: u64,
+    /// Connections refused by the concurrency limit.
+    pub shed: u64,
+    /// Admitted connections retired as completed.
+    pub completed: u64,
+    /// Admitted connections retired without completing.
+    pub failed: u64,
+    /// Completed handshakes per class.
+    pub full_handshakes: u64,
+    /// Abbreviated (PSK) handshakes.
+    pub resumed_handshakes: u64,
+    /// Resumed handshakes that also accepted 0-RTT early data.
+    pub zero_rtt_accepted: u64,
+    /// Total handshake CPU cost, in full-handshake units.
+    pub cpu_cost: f64,
+    /// Highest concurrent-connection count observed.
+    pub peak_active: u64,
+    /// Sum of the active-connection count sampled at every arrival
+    /// (the server's queue depth as new work shows up).
+    pub depth_sum: u64,
+    /// Number of depth samples (== arrivals).
+    pub depth_samples: u64,
+    /// Retired connections that hit the anti-amplification limit.
+    pub amp_blocked_conns: u64,
+}
+
+impl ServerAccounting {
+    /// Folds another accounting into this one (shard merge).
+    pub fn merge(&mut self, other: &ServerAccounting) {
+        self.arrivals += other.arrivals;
+        self.accepted += other.accepted;
+        self.shed += other.shed;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.full_handshakes += other.full_handshakes;
+        self.resumed_handshakes += other.resumed_handshakes;
+        self.zero_rtt_accepted += other.zero_rtt_accepted;
+        self.cpu_cost += other.cpu_cost;
+        self.peak_active = self.peak_active.max(other.peak_active);
+        self.depth_sum += other.depth_sum;
+        self.depth_samples += other.depth_samples;
+        self.amp_blocked_conns += other.amp_blocked_conns;
+    }
+
+    /// Mean active-connection count seen by arriving work.
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
+        }
+    }
+}
+
+/// Admission decision for one arriving Initial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptOutcome {
+    /// A connection state machine was created.
+    Accepted,
+    /// Load shed: over the concurrency limit, the Initial is dropped
+    /// statelessly (the cheapest thing a server can do with it).
+    Shed,
+}
+
+struct ConnSlot {
+    conn: Connection,
+    costed: bool,
+}
+
+/// One server's shared state: the connection table, the admission policy,
+/// the ticket-key schedule, and the cost accounting.
+///
+/// Connections are addressed by an opaque `u64` key chosen by the caller
+/// (the testbed uses the peer's sim `NodeId` index — QUIC's "demux by
+/// connection ID" collapsed to its essence).
+pub struct ServerEngine {
+    template: EndpointConfig,
+    schedule: TicketKeySchedule,
+    /// Cost per completed handshake, by class.
+    pub cost_model: ServerCostModel,
+    concurrency_limit: usize,
+    conns: HashMap<u64, ConnSlot>,
+    /// Running aggregates.
+    pub accounting: ServerAccounting,
+}
+
+impl ServerEngine {
+    /// A server handing each accepted connection a copy of `template`
+    /// (with the schedule's epoch keys patched in) and shedding arrivals
+    /// beyond `concurrency_limit` active connections.
+    pub fn new(
+        template: EndpointConfig,
+        schedule: TicketKeySchedule,
+        concurrency_limit: usize,
+    ) -> Self {
+        ServerEngine {
+            template,
+            schedule,
+            cost_model: ServerCostModel::default(),
+            concurrency_limit: concurrency_limit.max(1),
+            conns: HashMap::new(),
+            accounting: ServerAccounting::default(),
+        }
+    }
+
+    /// The ticket-key schedule connections are minted under.
+    pub fn schedule(&self) -> TicketKeySchedule {
+        self.schedule
+    }
+
+    /// Currently active connections.
+    pub fn active(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether `key` has an active connection.
+    pub fn has_conn(&self, key: u64) -> bool {
+        self.conns.contains_key(&key)
+    }
+
+    /// Admits or sheds a new connection whose first datagram carried
+    /// `original_dcid`. `now_secs` (virtual seconds) selects the ticket
+    /// key epoch the connection mints and accepts under.
+    pub fn accept(
+        &mut self,
+        key: u64,
+        conn_seed: u64,
+        original_dcid: ConnectionId,
+        now_secs: u64,
+    ) -> AcceptOutcome {
+        let depth = self.conns.len() as u64;
+        self.accounting.arrivals += 1;
+        self.accounting.depth_sum += depth;
+        self.accounting.depth_samples += 1;
+        if self.conns.len() >= self.concurrency_limit {
+            self.accounting.shed += 1;
+            return AcceptOutcome::Shed;
+        }
+        self.accounting.accepted += 1;
+        let mut cfg = self.template.clone();
+        cfg.ticket_key = self.schedule.mint_key(now_secs);
+        cfg.accept_ticket_keys = self.schedule.accept_keys(now_secs);
+        let conn = Connection::server(cfg, conn_seed, original_dcid);
+        self.conns.insert(
+            key,
+            ConnSlot {
+                conn,
+                costed: false,
+            },
+        );
+        self.accounting.peak_active = self.accounting.peak_active.max(self.conns.len() as u64);
+        AcceptOutcome::Accepted
+    }
+
+    /// The connection behind `key`, if active.
+    pub fn conn_mut(&mut self, key: u64) -> Option<&mut Connection> {
+        self.conns.get_mut(&key).map(|s| &mut s.conn)
+    }
+
+    /// Accrues the handshake cost for `key` once its handshake completed;
+    /// safe to call repeatedly (the cost lands exactly once).
+    pub fn note_handshake_outcome(&mut self, key: u64) {
+        let Some(slot) = self.conns.get_mut(&key) else {
+            return;
+        };
+        if slot.costed || !slot.conn.is_established() {
+            return;
+        }
+        slot.costed = true;
+        let resumed = slot.conn.is_resumed();
+        let zero_rtt = slot.conn.early_data_accepted() == Some(true);
+        if zero_rtt {
+            self.accounting.zero_rtt_accepted += 1;
+            self.accounting.cpu_cost += self.cost_model.zero_rtt;
+        } else if resumed {
+            self.accounting.resumed_handshakes += 1;
+            self.accounting.cpu_cost += self.cost_model.resumed;
+        } else {
+            self.accounting.full_handshakes += 1;
+            self.accounting.cpu_cost += self.cost_model.full;
+        }
+    }
+
+    /// Removes `key` from the table, tallying it as completed or failed,
+    /// and returns the connection for final inspection.
+    pub fn retire(&mut self, key: u64, completed: bool) -> Option<Connection> {
+        let slot = self.conns.remove(&key)?;
+        if completed {
+            self.accounting.completed += 1;
+        } else {
+            self.accounting.failed += 1;
+        }
+        if slot
+            .conn
+            .log
+            .first(|d| matches!(d, EventData::AmplificationBlocked { .. }))
+            .is_some()
+        {
+            self.accounting.amp_blocked_conns += 1;
+        }
+        Some(slot.conn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(limit: usize) -> ServerEngine {
+        ServerEngine::new(
+            EndpointConfig::rfc_default(),
+            TicketKeySchedule::fixed(7),
+            limit,
+        )
+    }
+
+    fn dcid(n: u64) -> ConnectionId {
+        ConnectionId::from_u64(n)
+    }
+
+    #[test]
+    fn sheds_beyond_concurrency_limit() {
+        let mut e = engine(2);
+        assert_eq!(e.accept(1, 1, dcid(1), 0), AcceptOutcome::Accepted);
+        assert_eq!(e.accept(2, 2, dcid(2), 0), AcceptOutcome::Accepted);
+        assert_eq!(e.accept(3, 3, dcid(3), 0), AcceptOutcome::Shed);
+        assert_eq!(e.active(), 2);
+        assert_eq!(e.accounting.arrivals, 3);
+        assert_eq!(e.accounting.accepted, 2);
+        assert_eq!(e.accounting.shed, 1);
+        // Retiring frees a slot; the next arrival is admitted again.
+        assert!(e.retire(1, true).is_some());
+        assert_eq!(e.accept(4, 4, dcid(4), 0), AcceptOutcome::Accepted);
+        assert_eq!(e.accounting.completed, 1);
+    }
+
+    #[test]
+    fn depth_and_peak_tracking() {
+        let mut e = engine(8);
+        for k in 0..4u64 {
+            e.accept(k, k, dcid(k), 0);
+        }
+        // Depth samples: 0,1,2,3 at the four arrivals.
+        assert_eq!(e.accounting.depth_sum, 6);
+        assert_eq!(e.accounting.mean_depth(), 1.5);
+        assert_eq!(e.accounting.peak_active, 4);
+        e.retire(0, false);
+        assert_eq!(e.accounting.failed, 1);
+        // Peak is a high-water mark; retirement doesn't lower it.
+        assert_eq!(e.accounting.peak_active, 4);
+    }
+
+    #[test]
+    fn handshake_cost_lands_once_and_only_when_established() {
+        let mut e = engine(4);
+        e.accept(1, 1, dcid(1), 0);
+        // Handshake not complete: no cost.
+        e.note_handshake_outcome(1);
+        assert_eq!(e.accounting.cpu_cost, 0.0);
+        assert_eq!(e.accounting.full_handshakes, 0);
+        // Unknown keys are ignored.
+        e.note_handshake_outcome(99);
+        assert_eq!(e.accounting.cpu_cost, 0.0);
+    }
+
+    #[test]
+    fn accounting_merge_is_a_sum_with_peak_max() {
+        let mut a = ServerAccounting {
+            arrivals: 10,
+            accepted: 8,
+            shed: 2,
+            completed: 7,
+            failed: 1,
+            full_handshakes: 5,
+            resumed_handshakes: 2,
+            zero_rtt_accepted: 1,
+            cpu_cost: 5.95,
+            peak_active: 4,
+            depth_sum: 12,
+            depth_samples: 10,
+            amp_blocked_conns: 1,
+        };
+        let b = ServerAccounting {
+            arrivals: 5,
+            accepted: 5,
+            peak_active: 9,
+            depth_sum: 3,
+            depth_samples: 5,
+            ..ServerAccounting::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.arrivals, 15);
+        assert_eq!(a.accepted, 13);
+        assert_eq!(a.peak_active, 9);
+        assert_eq!(a.depth_samples, 15);
+        assert_eq!(a.mean_depth(), 1.0);
+    }
+
+    #[test]
+    fn epoch_keys_follow_the_schedule() {
+        let schedule = TicketKeySchedule::rotating(99, 100, 1);
+        let e = ServerEngine::new(EndpointConfig::rfc_default(), schedule, 4);
+        assert_eq!(e.schedule().mint_key(0), 99);
+        assert_ne!(e.schedule().mint_key(250), 99);
+        assert_eq!(e.schedule().accept_keys(250).len(), 2);
+    }
+}

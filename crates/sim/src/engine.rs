@@ -1,7 +1,7 @@
 //! The discrete-event engine: event queue, node registry, link registry.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::link::{Link, LinkConfig, LinkStats, TransmitResult};
 use crate::node::{Context, Node, NodeId};
@@ -57,12 +57,27 @@ impl PartialOrd for Event {
 }
 
 /// A network of nodes and links plus the event queue that drives them.
+///
+/// Beyond the classic one-shot [`Network::run`], the engine supports the
+/// many-connection server workload: nodes can be added *and started* while
+/// the clock is running ([`Network::schedule_start`]), stepped in bounded
+/// slices ([`Network::run_until`]), and retired once their connection is
+/// over ([`Network::retire_node`]) so a long arrival process holds memory
+/// only for the currently-active population.
 pub struct Network {
-    nodes: Vec<Box<dyn Node>>,
+    /// Node slots; retired nodes leave a tombstone so IDs stay stable.
+    nodes: Vec<Option<Box<dyn Node>>>,
     links: Vec<Link>,
+    /// O(1) endpoint-pair → link-slot lookup (both orientations). The
+    /// legacy linear scan was fine for one pair, not for thousands.
+    link_index: HashMap<(usize, usize), usize>,
     queue: BinaryHeap<Reverse<Event>>,
     now: SimTime,
     seq: u64,
+    /// Nodes whose Start event has already been queued.
+    started: usize,
+    /// Events processed so far (persists across `run_until` slices).
+    processed: u64,
     /// Packet capture and milestone log for this run.
     pub trace: Trace,
     /// Hard ceiling on processed events (guards against livelock bugs).
@@ -80,9 +95,12 @@ impl Network {
         Network {
             nodes: Vec::new(),
             links: Vec::new(),
+            link_index: HashMap::new(),
             queue: BinaryHeap::with_capacity(1024),
             now: SimTime::ZERO,
             seq: 0,
+            started: 0,
+            processed: 0,
             trace: Trace::new(capture_payloads),
             event_limit: 10_000_000,
             scratch_sends: Vec::with_capacity(8),
@@ -93,7 +111,7 @@ impl Network {
     /// Adds a node, returning its ID.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(node);
+        self.nodes.push(Some(node));
         id
     }
 
@@ -101,7 +119,11 @@ impl Network {
     /// loss rules refers to `a → b`.
     pub fn connect(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
         assert!(a != b, "cannot connect a node to itself");
+        let slot = self.links.len();
         self.links.push(Link::new(a, b, config));
+        // First link between a pair wins, matching the old linear scan.
+        self.link_index.entry((a.0, b.0)).or_insert(slot);
+        self.link_index.entry((b.0, a.0)).or_insert(slot);
     }
 
     /// Current virtual time.
@@ -109,18 +131,66 @@ impl Network {
         self.now
     }
 
+    /// Number of live (non-retired) nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
     /// Stats for the link between `a` and `b`, if one exists.
     pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<LinkStats> {
-        self.links
-            .iter()
-            .find(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
-            .map(|l| l.stats)
+        self.link_index
+            .get(&(a.0, b.0))
+            .map(|&slot| self.links[slot].stats)
     }
 
     /// Mutable access to a node (for post-run inspection, downcast by the
-    /// caller through `as_any`-style helpers on concrete types).
+    /// caller through `as_any`-style helpers on concrete types). Panics
+    /// for retired nodes.
     pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
-        self.nodes[id.0].as_mut()
+        self.nodes[id.0]
+            .as_mut()
+            .expect("node was retired")
+            .as_mut()
+    }
+
+    /// Queues a Start event for `node` at time `at` (which must not be in
+    /// the past) and marks it started. This is how the server-load driver
+    /// brings mid-run arrivals to life; nodes covered by a blanket
+    /// [`Network::run`]/[`Network::prime`] don't need it.
+    pub fn schedule_start(&mut self, node: NodeId, at: SimTime) {
+        assert!(at >= self.now, "cannot start a node in the past");
+        self.push_event(at, EventKind::Start { node });
+        self.started = self.started.max(node.0 + 1);
+    }
+
+    /// Retires a node: its slot is tombstoned, every link touching it is
+    /// removed, and already-queued events addressed to it are silently
+    /// skipped when they surface. Returns the node for final inspection.
+    pub fn retire_node(&mut self, id: NodeId) -> Option<Box<dyn Node>> {
+        let node = self.nodes[id.0].take()?;
+        let mut slot = 0;
+        while slot < self.links.len() {
+            let (a, b) = (self.links[slot].a, self.links[slot].b);
+            if a == id || b == id {
+                self.link_index.remove(&(a.0, b.0));
+                self.link_index.remove(&(b.0, a.0));
+                self.links.swap_remove(slot);
+                // The link moved into `slot` (if any) needs its index
+                // entries repointed.
+                if slot < self.links.len() {
+                    let (ma, mb) = (self.links[slot].a, self.links[slot].b);
+                    if let Some(e) = self.link_index.get_mut(&(ma.0, mb.0)) {
+                        *e = slot;
+                    }
+                    if let Some(e) = self.link_index.get_mut(&(mb.0, ma.0)) {
+                        *e = slot;
+                    }
+                }
+            } else {
+                slot += 1;
+            }
+        }
+        Some(node)
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
@@ -129,21 +199,40 @@ impl Network {
         self.queue.push(Reverse(Event { at, seq, kind }));
     }
 
+    /// Queues Start events (at the current time) for every node that has
+    /// not been started yet.
+    pub fn prime(&mut self) {
+        for i in self.started..self.nodes.len() {
+            self.push_event(self.now, EventKind::Start { node: NodeId(i) });
+        }
+        self.started = self.nodes.len();
+    }
+
     /// Runs the simulation until stop/time-limit/queue-drain.
     pub fn run(&mut self, time_limit: SimDuration) -> RunOutcome {
-        let deadline = SimTime::ZERO + time_limit;
         // Queue start events for all nodes at t=0.
-        for i in 0..self.nodes.len() {
-            self.push_event(SimTime::ZERO, EventKind::Start { node: NodeId(i) });
-        }
-        let mut processed: u64 = 0;
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if ev.at > deadline {
-                self.now = deadline;
-                return RunOutcome::TimeLimit;
+        self.prime();
+        self.run_until(SimTime::ZERO + time_limit)
+    }
+
+    /// Processes queued events up to and including `deadline`, then stops
+    /// with [`RunOutcome::TimeLimit`], leaving later events queued — the
+    /// stepping primitive the many-connection driver interleaves with
+    /// arrivals and retirements. Nodes added since the last slice must be
+    /// started via [`Network::prime`] or [`Network::schedule_start`].
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::QueueEmpty,
+                Some(Reverse(head)) if head.at > deadline => {
+                    self.now = deadline;
+                    return RunOutcome::TimeLimit;
+                }
+                Some(_) => {}
             }
-            processed += 1;
-            if processed > self.event_limit {
+            let Reverse(ev) = self.queue.pop().expect("peeked event");
+            self.processed += 1;
+            if self.processed > self.event_limit {
                 return RunOutcome::EventLimit;
             }
             self.now = ev.at;
@@ -151,6 +240,11 @@ impl Network {
                 EventKind::Datagram { to, .. } => *to,
                 EventKind::Timer { node, .. } | EventKind::Start { node } => *node,
             };
+            // Events addressed to retired nodes (stale timers, datagrams
+            // in flight when the connection ended) evaporate.
+            if self.nodes[node_id.0].is_none() {
+                continue;
+            }
             // Hand the node the reusable effect buffers instead of
             // allocating fresh Vecs for every event.
             let mut ctx = Context {
@@ -161,15 +255,20 @@ impl Network {
                 stop: false,
                 trace: &mut self.trace,
             };
+            let node = self.nodes[node_id.0].as_mut().expect("checked live");
             match ev.kind {
-                EventKind::Datagram { from, to, payload } => {
-                    self.nodes[to.0].on_datagram(&mut ctx, from, &payload);
+                EventKind::Datagram {
+                    from,
+                    to: _,
+                    payload,
+                } => {
+                    node.on_datagram(&mut ctx, from, &payload);
                 }
-                EventKind::Timer { node, token } => {
-                    self.nodes[node.0].on_timer(&mut ctx, token);
+                EventKind::Timer { token, .. } => {
+                    node.on_timer(&mut ctx, token);
                 }
-                EventKind::Start { node } => {
-                    self.nodes[node.0].on_start(&mut ctx);
+                EventKind::Start { .. } => {
+                    node.on_start(&mut ctx);
                 }
             }
             let Context {
@@ -196,15 +295,19 @@ impl Network {
                 return RunOutcome::Stopped;
             }
         }
-        RunOutcome::QueueEmpty
     }
 
     fn dispatch_send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
-        let link = self
-            .links
-            .iter_mut()
-            .find(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
-            .unwrap_or_else(|| panic!("no link between {from:?} and {to:?}"));
+        let Some(&slot) = self.link_index.get(&(from.0, to.0)) else {
+            // A send whose peer has been retired vanishes on the floor
+            // (the datagram would have died with the link anyway); a send
+            // between two *live* unconnected nodes is a harness bug.
+            if self.nodes[from.0].is_none() || self.nodes[to.0].is_none() {
+                return;
+            }
+            panic!("no link between {from:?} and {to:?}");
+        };
+        let link = &mut self.links[slot];
         let (result, index) = link.transmit(from, &payload, self.now);
         match result {
             TransmitResult::Deliver { at, duplicate } => {
@@ -465,6 +568,108 @@ mod tests {
             .map(|m| m.label.as_str())
             .collect();
         assert_eq!(labels, vec!["tok101", "tok102"]);
+    }
+
+    /// A node that sends one datagram to its peer every 5 ms, forever.
+    struct Chatter {
+        peer: NodeId,
+    }
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.peer, b"hi".to_vec());
+            ctx.set_timer_after(SimDuration::from_millis(5), 0);
+        }
+        fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _: u64) {
+            ctx.send(self.peer, b"hi".to_vec());
+            ctx.set_timer_after(SimDuration::from_millis(5), 0);
+        }
+    }
+
+    /// A node that counts received datagrams into the milestone log.
+    struct Counter;
+    impl Node for Counter {
+        fn on_datagram(&mut self, ctx: &mut Context<'_>, _: NodeId, _: &[u8]) {
+            let me = ctx.me();
+            let now = ctx.now();
+            ctx.trace().milestone(me, now, "rx");
+        }
+    }
+
+    #[test]
+    fn run_until_steps_and_resumes() {
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Counter));
+        let b = net.add_node(Box::new(Chatter { peer: a }));
+        net.connect(a, b, LinkConfig::paper_default(SimDuration::from_millis(1)));
+        net.prime();
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        assert_eq!(net.run_until(t(12)), RunOutcome::TimeLimit);
+        // Sends at 0,5,10 arrive at 1,6,11.
+        assert_eq!(net.trace.all("rx").len(), 3);
+        assert_eq!(net.now(), t(12));
+        // Resuming processes the already-queued later events.
+        assert_eq!(net.run_until(t(22)), RunOutcome::TimeLimit);
+        assert_eq!(net.trace.all("rx").len(), 5);
+    }
+
+    #[test]
+    fn schedule_start_spawns_mid_run() {
+        let mut net = Network::new(false);
+        let sink = net.add_node(Box::new(Counter));
+        net.prime();
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        assert_eq!(net.run_until(t(10)), RunOutcome::QueueEmpty);
+        // A node arriving at t=10, started at t=20: its first send leaves
+        // at 20 and lands at 21.
+        let late = net.add_node(Box::new(Chatter { peer: sink }));
+        net.connect(
+            late,
+            sink,
+            LinkConfig::paper_default(SimDuration::from_millis(1)),
+        );
+        net.schedule_start(late, t(20));
+        assert_eq!(net.run_until(t(22)), RunOutcome::TimeLimit);
+        let rx = net.trace.all("rx");
+        assert_eq!(rx.len(), 1);
+        assert!(rx[0] >= t(21) && rx[0] < t(22), "delivery ≈ start + delay");
+    }
+
+    #[test]
+    fn retired_nodes_absorb_events_and_drop_links() {
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Counter));
+        let b = net.add_node(Box::new(Chatter { peer: a }));
+        net.connect(a, b, LinkConfig::paper_default(SimDuration::from_millis(1)));
+        net.prime();
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        net.run_until(t(7));
+        assert_eq!(net.live_nodes(), 2);
+        // Retire the receiver: b keeps chattering into the void — queued
+        // timer events for b still fire, its sends vanish (no link), and
+        // stale datagrams addressed to a are skipped.
+        let retired = net.retire_node(a);
+        assert!(retired.is_some());
+        assert_eq!(net.live_nodes(), 1);
+        assert!(net.link_stats(a, b).is_none());
+        assert_eq!(net.run_until(t(30)), RunOutcome::TimeLimit);
+        // Only the pre-retirement deliveries (t=1, t=6) were counted.
+        assert_eq!(net.trace.all("rx").len(), 2);
+        // Retiring twice is a no-op.
+        assert!(net.retire_node(a).is_none());
+    }
+
+    #[test]
+    fn lean_trace_records_nothing() {
+        let mut net = Network::new(false);
+        net.trace.recording = false;
+        let a = net.add_node(Box::new(Counter));
+        let b = net.add_node(Box::new(Chatter { peer: a }));
+        net.connect(a, b, LinkConfig::paper_default(SimDuration::from_millis(1)));
+        net.prime();
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(50));
+        assert!(net.trace.datagrams.is_empty());
+        assert!(net.trace.milestones.is_empty());
     }
 
     #[test]

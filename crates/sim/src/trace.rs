@@ -51,7 +51,7 @@ pub struct Milestone {
 }
 
 /// Shared capture state for one simulation run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Trace {
     /// All captured datagrams in send order.
     pub datagrams: Vec<CaptureRecord>,
@@ -59,6 +59,17 @@ pub struct Trace {
     pub milestones: Vec<Milestone>,
     /// Whether to copy full payloads into records (off for bulk runs).
     pub capture_payloads: bool,
+    /// Master switch: when off, datagrams and milestones are not recorded
+    /// at all. Long-lived many-connection runs flip this off so memory
+    /// stays bounded by the *active* connection set instead of growing
+    /// with every datagram ever sent.
+    pub recording: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(false)
+    }
 }
 
 impl Trace {
@@ -70,6 +81,7 @@ impl Trace {
             datagrams: Vec::with_capacity(256),
             milestones: Vec::with_capacity(16),
             capture_payloads,
+            recording: true,
         }
     }
 
@@ -88,6 +100,9 @@ impl Trace {
         index: usize,
         duplicate: bool,
     ) {
+        if !self.recording {
+            return;
+        }
         let stored = if self.capture_payloads {
             Some(payload.to_vec())
         } else {
@@ -107,6 +122,9 @@ impl Trace {
 
     /// Records a milestone.
     pub fn milestone(&mut self, node: NodeId, at: SimTime, label: impl Into<String>) {
+        if !self.recording {
+            return;
+        }
         self.milestones.push(Milestone {
             node,
             at,

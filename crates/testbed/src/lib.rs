@@ -4,18 +4,31 @@
 //! paper's scenarios (certificate sizes, Δt, RTT sweeps, content-matched
 //! loss), runs repetitions, and extracts the metrics the paper reports
 //! (TTFB, first PTO, RTT-sample counts, instant-ACK observations).
+//!
+//! Beyond the paper's one-pair-at-a-time runs, the `server_load` module
+//! hosts N concurrent connections on one shared event loop behind a
+//! single server engine — arrival processes, concurrency limits, load
+//! shedding, ticket-key rotation — with the legacy single-pair runner
+//! re-expressed as its N = 1 case.
 
 pub mod matrix;
 pub mod nodes;
 pub mod runner;
 pub mod scenario;
+pub mod server_load;
 pub mod stats;
 
 pub use matrix::{MatrixCell, ScenarioMatrix};
-pub use nodes::{ClientNode, ServerNode};
+pub use nodes::{ClientNode, ClientStatus, ServerControl, ServerNode};
+#[allow(deprecated)]
+pub use runner::run_repetitions_parallel;
 pub use runner::{
-    apply_exposure, rep_scenario, run_repetitions, run_repetitions_parallel, run_scenario,
-    run_scenario_with_trace, RunResult, SweepRunner, SweepScenarios,
+    apply_exposure, rep_scenario, run_repetitions, run_scenario, run_scenario_with_trace,
+    RunResult, SweepRunner, SweepScenarios,
 };
 pub use scenario::{HandshakeClass, LossSpec, Scenario};
-pub use stats::{median, median_sorted, percentile, percentile_sorted, Summary};
+pub use server_load::{
+    run_server_load, run_server_load_sharded, ArrivalProcess, ClassMix, ConnFate, ConnOutcome,
+    ConnPlan, ServerLoadReport, ServerLoadRun, ServerLoadSpec, DEFAULT_SHARD_ARRIVALS,
+};
+pub use stats::{median, median_sorted, percentile, percentile_sorted, LatencyHistogram, Summary};

@@ -2,23 +2,41 @@
 //!
 //! The client node issues one GET and records milestones
 //! (`client_hello_sent`, `ttfb`, `response_complete`, `handshake_complete`,
-//! `closed`); the server node serves deterministic bodies and emulates the
-//! certificate-store round trip Δt with a timer. Both expose their
-//! connections via `Rc<RefCell<..>>` so the runner can read qlog state
-//! after the simulation ends.
+//! `closed`); the server node hosts **many** connection state machines
+//! behind one [`rq_quic::ServerEngine`] — each peer node is demuxed to its
+//! own connection by sim `NodeId`, the collapsed stand-in for QUIC's
+//! connection-ID routing. The single-pair scenarios of the paper are the
+//! N = 1 case of the same code path. Both node types expose shared state
+//! via `Rc<RefCell<..>>` so the runner can read qlog/status after (or
+//! during) the simulation.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::HashSet;
 use std::rc::Rc;
 
 use rq_http::{h1, h3, HttpVersion};
-use rq_quic::{stream_id, ConnEvent, Connection, EndpointConfig};
+use rq_quic::{stream_id, AcceptOutcome, ConnEvent, Connection, EndpointConfig, ServerEngine};
 use rq_sim::{Context, Node, NodeId, SimDuration, SimTime};
+use rq_tls::TicketKeySchedule;
 use rq_wire::ConnectionId;
 
 /// Timer token: the connection's own timers.
 const TOKEN_CONN: u64 = 1;
-/// Timer token: the certificate store answered.
-const TOKEN_CERT: u64 = 2;
+/// Timer token kind bit: the certificate store answered.
+const TIMER_KIND_CERT: u64 = 1;
+
+/// Encodes a per-connection timer token: the peer key in the high bits,
+/// the timer kind in the low bit. Token values never influence event
+/// ordering (the engine orders by time and push sequence), they only
+/// route the wakeup back to the right connection.
+fn conn_token(key: usize) -> u64 {
+    (key as u64) << 1
+}
+
+fn cert_token(key: usize) -> u64 {
+    ((key as u64) << 1) | TIMER_KIND_CERT
+}
 
 /// Milestone labels recorded into the trace.
 pub mod milestones {
@@ -40,6 +58,32 @@ pub mod milestones {
     pub const CERT_READY: &str = "cert_ready";
 }
 
+/// Progress of one client connection, updated live by [`ClientNode`].
+///
+/// The many-connection driver reads these instead of trace milestones:
+/// bulk runs switch trace recording off entirely, and a shared status
+/// cell is how a retired connection's outcome survives node teardown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientStatus {
+    /// First datagram sent (the connection's t = 0).
+    pub hello_at: Option<SimTime>,
+    /// Handshake completed at the client.
+    pub handshake_at: Option<SimTime>,
+    /// First application-stream byte arrived.
+    pub ttfb_at: Option<SimTime>,
+    /// Full response received.
+    pub complete_at: Option<SimTime>,
+    /// The connection died (abort or close).
+    pub closed_at: Option<SimTime>,
+}
+
+impl ClientStatus {
+    /// The connection reached a terminal state (response or death).
+    pub fn done(&self) -> bool {
+        self.complete_at.is_some() || self.closed_at.is_some()
+    }
+}
+
 /// Client endpoint node: performs one HTTP GET over QUIC.
 pub struct ClientNode {
     /// The QUIC connection (shared with the runner for post-run reads).
@@ -48,12 +92,18 @@ pub struct ClientNode {
     /// connection (shared with the runner: the priming connection of a
     /// resumed scenario hands its ticket to the measured one).
     pub ticket: Rc<RefCell<Option<rq_tls::SessionTicket>>>,
+    /// Live progress, shared with the many-connection driver.
+    pub status: Rc<RefCell<ClientStatus>>,
     server: NodeId,
     http: HttpVersion,
     response_bytes: usize,
     expected_body: usize,
     got_first_byte: bool,
     done: bool,
+    /// Stop the whole simulation once this client finishes. True for the
+    /// legacy single-pair runs (the sim *is* this connection); false when
+    /// the client is one of many on a shared event loop.
+    stop_when_done: bool,
 }
 
 impl ClientNode {
@@ -82,13 +132,22 @@ impl ClientNode {
         ClientNode {
             conn: Rc::new(RefCell::new(conn)),
             ticket: Rc::new(RefCell::new(None)),
+            status: Rc::new(RefCell::new(ClientStatus::default())),
             server,
             http,
             response_bytes: 0,
             expected_body: file_size,
             got_first_byte: false,
             done: false,
+            stop_when_done: true,
         }
+    }
+
+    /// Marks this client as one of many on a shared event loop: finishing
+    /// (or dying) no longer stops the simulation.
+    pub fn detached(mut self) -> Self {
+        self.stop_when_done = false;
+        self
     }
 
     fn flush(&mut self, ctx: &mut Context<'_>) {
@@ -113,6 +172,9 @@ impl ClientNode {
             let Some(ev) = ev else { break };
             match ev {
                 ConnEvent::HandshakeComplete => {
+                    let mut st = self.status.borrow_mut();
+                    st.handshake_at.get_or_insert(now);
+                    drop(st);
                     ctx.trace()
                         .milestone(me, now, milestones::HANDSHAKE_COMPLETE);
                 }
@@ -123,6 +185,7 @@ impl ClientNode {
                 ConnEvent::StreamData { data, fin, id } => {
                     if !data.is_empty() && !self.got_first_byte {
                         self.got_first_byte = true;
+                        self.status.borrow_mut().ttfb_at.get_or_insert(now);
                         ctx.trace().milestone(me, now, milestones::TTFB);
                     }
                     if id == stream_id::CLIENT_BIDI_0 {
@@ -133,15 +196,21 @@ impl ClientNode {
                         };
                         if complete && !self.done {
                             self.done = true;
+                            self.status.borrow_mut().complete_at.get_or_insert(now);
                             ctx.trace()
                                 .milestone(me, now, milestones::RESPONSE_COMPLETE);
-                            ctx.stop();
+                            if self.stop_when_done {
+                                ctx.stop();
+                            }
                         }
                     }
                 }
                 ConnEvent::Closed { .. } => {
+                    self.status.borrow_mut().closed_at.get_or_insert(now);
                     ctx.trace().milestone(me, now, milestones::CLOSED);
-                    ctx.stop();
+                    if self.stop_when_done {
+                        ctx.stop();
+                    }
                 }
                 ConnEvent::TicketReceived(t) => {
                     *self.ticket.borrow_mut() = Some(t);
@@ -156,6 +225,7 @@ impl Node for ClientNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.me();
         let now = ctx.now();
+        self.status.borrow_mut().hello_at.get_or_insert(now);
         ctx.trace()
             .milestone(me, now, milestones::CLIENT_HELLO_SENT);
         self.flush(ctx);
@@ -187,78 +257,179 @@ impl Node for ClientNode {
     }
 }
 
-/// Server endpoint node: accepts one connection, serves `GET /<n>`.
-pub struct ServerNode {
-    /// The QUIC connection (created on the first datagram).
-    pub conn: Rc<RefCell<Option<Connection>>>,
-    cfg: EndpointConfig,
-    http: HttpVersion,
-    /// Frontend ↔ certificate store delay Δt.
-    cert_delay: SimDuration,
-    client: Option<NodeId>,
+/// Driver-facing control surface of a [`ServerNode`], shared via
+/// `Rc<RefCell<..>>` with whoever orchestrates the simulation.
+#[derive(Debug, Default)]
+pub struct ServerControl {
+    /// Per-peer server connection seed (keyed by the peer's `NodeId`
+    /// index). Peers without an entry use the node's own seed XOR
+    /// `0x5EED`, which is exactly the legacy single-pair derivation.
+    pub conn_seeds: HashMap<usize, u64>,
+    /// Peers whose Initial was load-shed (admission refused).
+    pub shed: HashSet<usize>,
+    /// Peers whose connection closed at the server.
+    pub closed: HashSet<usize>,
+}
+
+/// Per-peer application state (one HTTP exchange per connection).
+#[derive(Debug)]
+struct PeerState {
+    node: NodeId,
     request_buf: Vec<u8>,
     responded: bool,
     settings_sent: bool,
     cert_timer_at: Option<SimTime>,
-    seed: u64,
+    shed: bool,
 }
 
-impl ServerNode {
-    /// Creates a server with the given endpoint config and Δt.
-    pub fn new(cfg: EndpointConfig, http: HttpVersion, cert_delay: SimDuration, seed: u64) -> Self {
-        ServerNode {
-            conn: Rc::new(RefCell::new(None)),
-            cfg,
-            http,
-            cert_delay,
-            client: None,
+impl PeerState {
+    fn new(node: NodeId) -> Self {
+        PeerState {
+            node,
             request_buf: Vec::new(),
             responded: false,
             settings_sent: false,
             cert_timer_at: None,
+            shed: false,
+        }
+    }
+}
+
+/// Server endpoint node: one shared listener hosting any number of
+/// connections, each serving `GET /<n>`. Incoming datagrams are demuxed
+/// by sender `NodeId`; admission, ticket-key epochs, and cost accounting
+/// live in the shared [`ServerEngine`].
+pub struct ServerNode {
+    /// The shared server engine (connection table + accounting), exposed
+    /// so the runner can read connections and aggregates after the run.
+    pub engine: Rc<RefCell<ServerEngine>>,
+    /// Driver control surface (per-peer seeds, shed/closed sets).
+    pub control: Rc<RefCell<ServerControl>>,
+    http: HttpVersion,
+    /// Frontend ↔ certificate store delay Δt.
+    cert_delay: SimDuration,
+    peers: HashMap<usize, PeerState>,
+    seed: u64,
+}
+
+impl ServerNode {
+    /// Creates a single-pair server with the given endpoint config and
+    /// Δt: a fixed ticket key (the config's own), no concurrency limit.
+    /// This is the legacy constructor — its wire behaviour is identical
+    /// to the one-connection server it replaces.
+    pub fn new(cfg: EndpointConfig, http: HttpVersion, cert_delay: SimDuration, seed: u64) -> Self {
+        let schedule = TicketKeySchedule::fixed(cfg.ticket_key);
+        let engine = ServerEngine::new(cfg, schedule, usize::MAX);
+        ServerNode::with_engine(
+            Rc::new(RefCell::new(engine)),
+            Rc::new(RefCell::new(ServerControl::default())),
+            http,
+            cert_delay,
+            seed,
+        )
+    }
+
+    /// Creates a server around an externally owned engine and control
+    /// block (the many-connection driver's entry point).
+    pub fn with_engine(
+        engine: Rc<RefCell<ServerEngine>>,
+        control: Rc<RefCell<ServerControl>>,
+        http: HttpVersion,
+        cert_delay: SimDuration,
+        seed: u64,
+    ) -> Self {
+        ServerNode {
+            engine,
+            control,
+            http,
+            cert_delay,
+            peers: HashMap::new(),
             seed,
         }
     }
 
-    fn ensure_conn(&mut self, payload: &[u8]) {
-        if self.conn.borrow().is_some() {
-            return;
+    /// Ensures a connection exists for `key`, creating it through the
+    /// engine's admission path on the first datagram. Returns false when
+    /// the peer was (now or previously) load-shed.
+    fn ensure_conn(&mut self, key: usize, from: NodeId, payload: &[u8], now: SimTime) -> bool {
+        if let Some(peer) = self.peers.get(&key) {
+            // A known peer with no engine entry was either shed or
+            // already retired; late datagrams (still in flight when the
+            // connection ended) must not re-enter admission and be
+            // double-counted as fresh arrivals.
+            return !peer.shed && self.engine.borrow().has_conn(key as u64);
         }
         // Derive the Initial keys from the client's DCID (first header).
         let dcid = rq_wire::PlainPacket::decode(payload, 8)
             .map(|(pkt, _, _)| pkt.header.dcid)
             .unwrap_or(ConnectionId::EMPTY);
-        let conn = Connection::server(self.cfg.clone(), self.seed ^ 0x5EED, dcid);
-        *self.conn.borrow_mut() = Some(conn);
+        let conn_seed = self
+            .control
+            .borrow()
+            .conn_seeds
+            .get(&key)
+            .copied()
+            .unwrap_or(self.seed ^ 0x5EED);
+        let now_secs = now.as_nanos() / 1_000_000_000;
+        let outcome = self
+            .engine
+            .borrow_mut()
+            .accept(key as u64, conn_seed, dcid, now_secs);
+        let peer = self
+            .peers
+            .entry(key)
+            .or_insert_with(|| PeerState::new(from));
+        match outcome {
+            AcceptOutcome::Accepted => true,
+            AcceptOutcome::Shed => {
+                // Once shed, always shed: the server stays stateless for
+                // this peer, so retransmitted Initials cannot sneak in
+                // after capacity frees up.
+                peer.shed = true;
+                self.control.borrow_mut().shed.insert(key);
+                false
+            }
+        }
     }
 
-    fn with_conn<R>(&self, f: impl FnOnce(&mut Connection) -> R) -> Option<R> {
-        self.conn.borrow_mut().as_mut().map(f)
+    fn with_conn<R>(&self, key: usize, f: impl FnOnce(&mut Connection) -> R) -> Option<R> {
+        self.engine.borrow_mut().conn_mut(key as u64).map(f)
     }
 
-    fn flush(&mut self, ctx: &mut Context<'_>) {
-        let Some(client) = self.client else { return };
+    fn flush(&mut self, ctx: &mut Context<'_>, key: usize) {
+        let Some(client) = self.peers.get(&key).map(|p| p.node) else {
+            return;
+        };
         let now = ctx.now();
         loop {
-            let out = self.with_conn(|c| c.poll_transmit(now)).flatten();
+            let out = self.with_conn(key, |c| c.poll_transmit(now)).flatten();
             match out {
                 Some(d) => ctx.send(client, d),
                 None => break,
             }
         }
-        if let Some(t) = self.with_conn(|c| c.poll_timeout()).flatten() {
-            ctx.set_timer(t.max(now), TOKEN_CONN);
+        if let Some(t) = self.with_conn(key, |c| c.poll_timeout()).flatten() {
+            ctx.set_timer(t.max(now), conn_token(key));
         }
     }
 
-    fn maybe_send_settings(&mut self) {
-        if self.settings_sent || self.http != HttpVersion::H3 {
+    fn maybe_send_settings(&mut self, key: usize) {
+        let sent = self
+            .peers
+            .get(&key)
+            .map(|p| p.settings_sent)
+            .unwrap_or(true);
+        if sent || self.http != HttpVersion::H3 {
             return;
         }
-        let ready = self.with_conn(|c| c.app_keys_available()).unwrap_or(false);
+        let ready = self
+            .with_conn(key, |c| c.app_keys_available())
+            .unwrap_or(false);
         if ready {
-            self.settings_sent = true;
-            self.with_conn(|c| {
+            if let Some(peer) = self.peers.get_mut(&key) {
+                peer.settings_sent = true;
+            }
+            self.with_conn(key, |c| {
                 c.send_stream_data(
                     stream_id::SERVER_UNI_0,
                     &h3::control_stream_prelude(),
@@ -268,96 +439,115 @@ impl ServerNode {
         }
     }
 
-    fn drain_events(&mut self, ctx: &mut Context<'_>) {
+    fn drain_events(&mut self, ctx: &mut Context<'_>, key: usize) {
         let me = ctx.me();
         let now = ctx.now();
         loop {
-            let ev = self.with_conn(|c| c.poll_event()).flatten();
+            let ev = self.with_conn(key, |c| c.poll_event()).flatten();
             let Some(ev) = ev else { break };
             match ev {
                 ConnEvent::CertificateNeeded => {
                     ctx.trace().milestone(me, now, milestones::CERT_REQUESTED);
                     if self.cert_delay == SimDuration::ZERO {
-                        self.with_conn(|c| c.certificate_ready(now));
+                        self.with_conn(key, |c| c.certificate_ready(now));
                         ctx.trace().milestone(me, now, milestones::CERT_READY);
-                        self.maybe_send_settings();
+                        self.maybe_send_settings(key);
                     } else {
                         let at = now + self.cert_delay;
-                        self.cert_timer_at = Some(at);
-                        ctx.set_timer(at, TOKEN_CERT);
+                        if let Some(peer) = self.peers.get_mut(&key) {
+                            peer.cert_timer_at = Some(at);
+                        }
+                        ctx.set_timer(at, cert_token(key));
                     }
                 }
                 ConnEvent::StreamData { id, data, .. } => {
-                    if id == stream_id::CLIENT_BIDI_0 && !self.responded {
-                        self.request_buf.extend_from_slice(&data);
-                        self.try_respond();
+                    let responded = self.peers.get(&key).map(|p| p.responded).unwrap_or(true);
+                    if id == stream_id::CLIENT_BIDI_0 && !responded {
+                        if let Some(peer) = self.peers.get_mut(&key) {
+                            peer.request_buf.extend_from_slice(&data);
+                        }
+                        self.try_respond(key);
                     }
                 }
                 ConnEvent::Closed { .. } => {
                     ctx.trace().milestone(me, now, milestones::CLOSED);
+                    self.control.borrow_mut().closed.insert(key);
                 }
                 _ => {}
             }
         }
     }
 
-    fn try_respond(&mut self) {
+    fn try_respond(&mut self, key: usize) {
+        let Some(peer) = self.peers.get_mut(&key) else {
+            return;
+        };
         let body_len = match self.http {
-            HttpVersion::H1 => match h1::H1Request::decode(&self.request_buf) {
+            HttpVersion::H1 => match h1::H1Request::decode(&peer.request_buf) {
                 Some(req) => req.path.trim_start_matches('/').parse::<usize>().ok(),
                 None => None,
             },
-            HttpVersion::H3 => match h3::parse_request_path(&self.request_buf) {
+            HttpVersion::H3 => match h3::parse_request_path(&peer.request_buf) {
                 Some(path) => path.trim_start_matches('/').parse::<usize>().ok(),
                 None => None,
             },
         };
         let Some(body_len) = body_len else { return };
-        self.responded = true;
+        peer.responded = true;
         let response = match self.http {
             HttpVersion::H1 => h1::H1Response::ok(body_len).encode(),
             HttpVersion::H3 => h3::response_bytes(body_len),
         };
-        self.with_conn(|c| c.send_stream_data(stream_id::CLIENT_BIDI_0, &response, true));
+        self.with_conn(key, |c| {
+            c.send_stream_data(stream_id::CLIENT_BIDI_0, &response, true)
+        });
     }
 }
 
 impl Node for ServerNode {
     fn on_datagram(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &[u8]) {
-        self.client = Some(from);
-        self.ensure_conn(payload);
-        self.with_conn(|c| c.handle_datagram(ctx.now(), payload));
-        self.drain_events(ctx);
-        self.maybe_send_settings();
-        self.flush(ctx);
+        let key = from.index();
+        if !self.ensure_conn(key, from, payload, ctx.now()) {
+            // Load-shed peer: the Initial is dropped statelessly.
+            return;
+        }
+        self.with_conn(key, |c| c.handle_datagram(ctx.now(), payload));
+        self.drain_events(ctx, key);
+        self.engine.borrow_mut().note_handshake_outcome(key as u64);
+        self.maybe_send_settings(key);
+        self.flush(ctx, key);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         let now = ctx.now();
-        match token {
-            TOKEN_CERT => {
-                if let Some(at) = self.cert_timer_at {
-                    if now >= at {
-                        self.cert_timer_at = None;
-                        let me = ctx.me();
-                        ctx.trace().milestone(me, now, milestones::CERT_READY);
-                        self.with_conn(|c| c.certificate_ready(now));
-                        self.maybe_send_settings();
-                    }
+        let key = (token >> 1) as usize;
+        if token & TIMER_KIND_CERT != 0 {
+            let due = self
+                .peers
+                .get(&key)
+                .and_then(|p| p.cert_timer_at)
+                .map(|at| now >= at)
+                .unwrap_or(false);
+            if due {
+                if let Some(peer) = self.peers.get_mut(&key) {
+                    peer.cert_timer_at = None;
                 }
+                let me = ctx.me();
+                ctx.trace().milestone(me, now, milestones::CERT_READY);
+                self.with_conn(key, |c| c.certificate_ready(now));
+                self.maybe_send_settings(key);
             }
-            TOKEN_CONN => {
-                let due = self
-                    .with_conn(|c| c.poll_timeout().map(|t| t <= now).unwrap_or(false))
-                    .unwrap_or(false);
-                if due {
-                    self.with_conn(|c| c.handle_timeout(now));
-                    self.drain_events(ctx);
-                }
+        } else {
+            let due = self
+                .with_conn(key, |c| c.poll_timeout().map(|t| t <= now).unwrap_or(false))
+                .unwrap_or(false);
+            if due {
+                self.with_conn(key, |c| c.handle_timeout(now));
+                self.drain_events(ctx, key);
+                self.engine.borrow_mut().note_handshake_outcome(key as u64);
             }
-            _ => {}
         }
-        self.flush(ctx);
+        self.flush(ctx, key);
     }
 
     fn name(&self) -> &str {

@@ -1,14 +1,13 @@
 //! Scenario execution and metric extraction.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use rq_qlog::{first_pto_ms, EventData, EventLog, MetricsExposure, QlogEvent};
 use rq_quic::Connection;
-use rq_sim::{LinkConfig, Network, SimDuration, SimRng};
+use rq_sim::{NodeId, SimDuration, SimRng, SimTime};
+use rq_tls::TicketKeySchedule;
 
-use crate::nodes::{milestones, ClientNode, ServerNode};
+use crate::nodes::milestones;
 use crate::scenario::{HandshakeClass, LossSpec, Scenario};
+use crate::server_load::{drive_conn_plans, ConnPlan, Detail};
 
 /// Metrics extracted from one run.
 #[derive(Debug)]
@@ -190,72 +189,61 @@ fn run_connection(
     ticket: Option<rq_tls::SessionTicket>,
     resumption_active: bool,
 ) -> (RunResult, rq_sim::Trace, Option<rq_tls::SessionTicket>) {
-    let mut rng = SimRng::new(sc.seed ^ 0xBEEF_CAFE);
-    let rtt_quirk_applies = sc
-        .client
-        .buggy_rtt_preinit
-        .map(|(_, p)| rng.gen_bool(p))
-        .unwrap_or(false);
-
-    let mut net = Network::new(sc.capture_payloads);
-    let mut server_cfg = rq_profiles::server::testbed_server(sc.ack_mode, sc.cert_len);
-    if let Some(pto) = sc.server_default_pto {
-        server_cfg.default_pto = pto;
-    }
-    if resumption_active {
-        server_cfg.resumption = sc.resumption.server_resumption();
-    }
-    let server_node = ServerNode::new(server_cfg, sc.http, sc.cert_delay, sc.seed);
-    let server_conn: Rc<RefCell<Option<Connection>>> = Rc::clone(&server_node.conn);
-    let server_id = net.add_node(Box::new(server_node));
-
-    let mut client_cfg = sc.client.endpoint_config(sc.http);
-    if let Some(policy) = sc.probe_policy_override {
-        client_cfg.probe_policy = policy;
-    }
-    client_cfg.session_ticket = ticket;
-    client_cfg.enable_early_data = sc.handshake_class == HandshakeClass::ZeroRtt;
-    let client_node = ClientNode::new(
-        client_cfg,
-        server_id,
-        sc.http,
-        sc.file_size,
-        sc.seed.wrapping_mul(2654435761).wrapping_add(1),
-        rtt_quirk_applies,
+    // The single pair is the N = 1 case of the many-connection driver:
+    // one plan arriving at t = 0, fixed ticket key, no concurrency
+    // limit, full trace detail.
+    let schedule = TicketKeySchedule::fixed(
+        rq_profiles::server::testbed_server(sc.ack_mode, sc.cert_len).ticket_key,
     );
-    let client_conn: Rc<RefCell<Connection>> = Rc::clone(&client_node.conn);
-    let issued_ticket: Rc<RefCell<Option<rq_tls::SessionTicket>>> = Rc::clone(&client_node.ticket);
-    let client_id = net.add_node(Box::new(client_node));
+    let plan = ConnPlan {
+        scenario: sc.clone(),
+        arrival: SimTime::ZERO,
+        ticket,
+    };
+    let mut out = drive_conn_plans(
+        sc,
+        resumption_active,
+        schedule,
+        usize::MAX,
+        vec![plan],
+        Detail::Full,
+        SimDuration::from_secs(120),
+    );
+    let result = out.results[0].take().expect("single plan yields a result");
+    let minted = out.tickets[0].take();
+    (result, out.trace, minted)
+}
 
-    // Direction AtoB = client → server (connect order below).
-    let link = LinkConfig::paper_default(sc.one_way_delay());
-    let mut link = link;
-    link.loss = sc.loss_rule();
-    if let Some(spec) = sc.impairment() {
-        link = link.with_impairment(spec, sc.impairment_seed());
-    }
-    net.connect(client_id, server_id, link);
-
-    // 10 MB at 10 Mbit/s takes ~8.4 s; loss + 300 ms RTT backoffs can add
-    // several more. 120 s of virtual time bounds every paper scenario.
-    let _outcome = net.run(SimDuration::from_secs(120));
-
-    let trace = &net.trace;
+/// Builds a [`RunResult`] from one finished connection's trace
+/// milestones, qlogs, and connection state. Milestone lookups are
+/// per-node, so the extraction works unchanged whether the trace holds
+/// one connection or many.
+pub(crate) fn extract_run_result(
+    sc: &Scenario,
+    trace: &rq_sim::Trace,
+    client_id: NodeId,
+    server_id: NodeId,
+    client: &Connection,
+    client_log: EventLog,
+    server_log: EventLog,
+) -> RunResult {
     let started = trace
-        .first(milestones::CLIENT_HELLO_SENT)
+        .first_by(client_id, milestones::CLIENT_HELLO_SENT)
         .expect("client start");
-    let rel = |label: &str| trace.first(label).map(|t| t.since(started).as_millis_f64());
-    let completed = trace.first(milestones::RESPONSE_COMPLETE).is_some();
-    let aborted = trace.first(milestones::CLOSED).is_some() && !completed;
+    let rel = |label: &str| {
+        trace
+            .first_by(client_id, label)
+            .map(|t| t.since(started).as_millis_f64())
+    };
+    let completed = trace
+        .first_by(client_id, milestones::RESPONSE_COMPLETE)
+        .is_some();
+    let closed = trace
+        .first_by(client_id, milestones::CLOSED)
+        .or_else(|| trace.first_by(server_id, milestones::CLOSED))
+        .is_some();
+    let aborted = closed && !completed;
 
-    let client_log = std::mem::take(&mut client_conn.borrow_mut().log);
-    let server_log = server_conn
-        .borrow_mut()
-        .as_mut()
-        .map(|c| std::mem::take(&mut c.log))
-        .unwrap_or_default();
-
-    let client = client_conn.borrow();
     let first_srtt_ms = client_log.metrics_updates().next().map(|(_, srtt, _)| srtt);
     let exposure = sc.client.metrics_exposure();
     // Counting survivors needs no materialized filtered log (and for
@@ -263,7 +251,7 @@ fn run_connection(
     let exposed_metric_updates =
         exposure.exposed_update_count(client_log.metrics_updates().count());
 
-    let result = RunResult {
+    RunResult {
         label: sc.label(),
         completed,
         aborted,
@@ -293,10 +281,7 @@ fn run_connection(
         early_data_accepted: client.early_data_accepted(),
         client_log,
         server_log,
-    };
-    drop(client);
-    let minted = issued_ticket.borrow_mut().take();
-    (result, std::mem::take(&mut net.trace), minted)
+    }
 }
 
 /// The scenario for repetition `i` of `sc`: identical parameters, the
@@ -317,6 +302,8 @@ pub fn run_repetitions(sc: &Scenario, n: usize) -> Vec<RunResult> {
 /// Runs `n` repetitions with distinct seeds across `threads` workers.
 /// Results come back in repetition order, so the output is identical to
 /// [`run_repetitions`] — each repetition is a pure function of its seed.
+#[deprecated(note = "thread counts belong to one place: build a SweepRunner \
+            (e.g. SweepRunner::from_env()) and call its run_repetitions")]
 pub fn run_repetitions_parallel(sc: &Scenario, n: usize, threads: usize) -> Vec<RunResult> {
     rq_par::sweep(n, threads, |i| run_scenario(&rep_scenario(sc, i)))
 }
@@ -334,7 +321,20 @@ pub trait SweepScenarios {
 
 impl SweepScenarios for SweepRunner {
     fn run_repetitions(&self, sc: &Scenario, n: usize) -> Vec<RunResult> {
-        run_repetitions_parallel(sc, n, self.threads())
+        // Coarse chunks (≈ n / threads): each worker claims about one
+        // chunk, clones the scenario scratch once per chunk, and only
+        // bumps the seed per repetition. Fine-grained one-task-per-rep
+        // scheduling cost the short resumption/wild sweeps more than
+        // the parallelism bought back (see BENCH_sweep.json history).
+        self.run_chunked(n, |range| {
+            let mut scratch = sc.clone();
+            range
+                .map(|i| {
+                    scratch.seed = sc.seed.wrapping_add(i as u64 * 7919);
+                    run_scenario(&scratch)
+                })
+                .collect()
+        })
     }
 }
 
@@ -514,12 +514,19 @@ mod tests {
         let sc = base("quic-go", WFC, HttpVersion::H1);
         let seq = run_repetitions(&sc, 5);
         for threads in [1usize, 3] {
-            let par = run_repetitions_parallel(&sc, 5, threads);
+            let par = SweepRunner::new(threads).run_repetitions(&sc, 5);
             assert_eq!(par.len(), seq.len());
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.label, b.label, "threads {threads}");
                 assert_eq!(a.ttfb_ms, b.ttfb_ms, "threads {threads}");
                 assert_eq!(a.client_log.events.len(), b.client_log.events.len());
+            }
+            // The deprecated free function stays bit-identical while the
+            // migration window lasts.
+            #[allow(deprecated)]
+            let legacy = run_repetitions_parallel(&sc, 5, threads);
+            for (a, b) in seq.iter().zip(&legacy) {
+                assert_eq!(a.ttfb_ms, b.ttfb_ms, "legacy threads {threads}");
             }
         }
     }

@@ -1,0 +1,655 @@
+//! The many-connection server-load engine.
+//!
+//! One shared event loop hosts a single [`ServerNode`] (backed by an
+//! [`rq_quic::ServerEngine`]) and N client nodes arriving over virtual
+//! time according to a seeded arrival process. Every connection is a
+//! full [`Scenario`]-derived handshake + HTTP exchange — the legacy
+//! single-pair `run_scenario` is literally the N = 1 case of
+//! [`drive_conn_plans`], not a separate code path.
+//!
+//! Determinism contract: a [`ServerLoadSpec`] is a pure function of
+//! `base.seed`. Arrival times, per-connection handshake classes,
+//! impairment draws, and synthetic resumption tickets are all drawn from
+//! [`SimRng::derive`] streams keyed on the seed and the connection index,
+//! so the same spec always produces byte-identical per-connection
+//! outcomes and aggregates — at any `REACKED_THREADS` value, because the
+//! sharded runner splits on a fixed shard size and folds shard reports
+//! in shard order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rq_par::SweepRunner;
+use rq_quic::{Connection, ServerAccounting, ServerEngine};
+use rq_sim::{LinkConfig, Network, NodeId, SimDuration, SimRng, SimTime};
+use rq_tls::{mint_ticket, SessionTicket, TicketKeySchedule};
+
+use crate::nodes::{ClientNode, ServerControl, ServerNode};
+use crate::runner::{extract_run_result, rep_scenario, RunResult};
+use crate::scenario::{HandshakeClass, LossSpec, Scenario};
+use crate::stats::LatencyHistogram;
+
+/// Stream tag: arrival-time schedule.
+const ARRIVAL_STREAM: u64 = 0x4C4F_4144; // "LOAD"
+/// Stream tag: per-connection class/impairment draw.
+const CLASS_STREAM: u64 = 0xC1A5_5;
+/// Stream tag: per-connection synthetic ticket secret.
+const TICKET_STREAM: u64 = 0x71C_E7;
+/// Stream tag: per-shard base seed.
+const SHARD_STREAM: u64 = 0x5AA2_D;
+
+/// How new connections arrive at the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps with the
+    /// given mean (the first connection arrives at t = 0).
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: SimDuration,
+    },
+    /// A flash crowd: all arrivals land uniformly inside one window
+    /// (the first still pinned to t = 0), sorted into arrival order.
+    FlashCrowd {
+        /// Width of the arrival window.
+        window: SimDuration,
+    },
+}
+
+/// Handshake-class mixture for a connection population. Weights are
+/// probabilities; whatever `resumed + zero_rtt` leaves over is the full
+/// handshake share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Share of abbreviated (PSK) handshakes.
+    pub resumed: f64,
+    /// Share of 0-RTT attempts.
+    pub zero_rtt: f64,
+}
+
+impl ClassMix {
+    /// Draws one class (consumes exactly one uniform variate).
+    pub fn draw(&self, rng: &mut SimRng) -> HandshakeClass {
+        let u = rng.gen_f64();
+        if u < self.zero_rtt {
+            HandshakeClass::ZeroRtt
+        } else if u < self.zero_rtt + self.resumed {
+            HandshakeClass::Resumed
+        } else {
+            HandshakeClass::Full
+        }
+    }
+}
+
+/// A server-load experiment: N connections against one server.
+#[derive(Debug, Clone)]
+pub struct ServerLoadSpec {
+    /// Template scenario: client profile, server ACK mode, path, file
+    /// size, and the seed every derived stream hangs off.
+    pub base: Scenario,
+    /// Number of arriving connections.
+    pub arrivals: usize,
+    /// Arrival process over virtual time.
+    pub process: ArrivalProcess,
+    /// Server concurrency ceiling; arrivals beyond it are load-shed.
+    pub concurrency_limit: usize,
+    /// Per-connection handshake-class draw; `None` keeps every
+    /// connection on `base.handshake_class` (which is what makes the
+    /// N = 1 spec reproduce the legacy single-pair run exactly).
+    pub mix: Option<ClassMix>,
+    /// Stochastic impairment applied to a seeded share of connections:
+    /// `(share, spec)`.
+    pub impaired: Option<(f64, rq_sim::ImpairmentSpec)>,
+    /// Ticket-key rotation period in virtual seconds (0 = fixed key).
+    pub rotation_period_secs: u64,
+    /// How many retired key epochs the server still accepts.
+    pub overlap_epochs: u32,
+    /// How long before its arrival a resuming connection's synthetic
+    /// ticket was minted — old enough and the minting epoch rotates out
+    /// of the accept window.
+    pub ticket_age: SimDuration,
+    /// Per-connection virtual-time budget after arrival.
+    pub conn_deadline: SimDuration,
+}
+
+impl ServerLoadSpec {
+    /// A load spec with no shedding, no mixture, no rotation.
+    pub fn new(base: Scenario, arrivals: usize, process: ArrivalProcess) -> Self {
+        ServerLoadSpec {
+            base,
+            arrivals,
+            process,
+            concurrency_limit: usize::MAX,
+            mix: None,
+            impaired: None,
+            rotation_period_secs: 0,
+            overlap_epochs: 0,
+            ticket_age: SimDuration::from_secs(60),
+            conn_deadline: SimDuration::from_secs(120),
+        }
+    }
+
+    /// The N = 1 spec: one connection, arriving at t = 0, running
+    /// `base` unchanged.
+    pub fn single(base: Scenario) -> Self {
+        ServerLoadSpec::new(
+            base,
+            1,
+            ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_millis(1),
+            },
+        )
+    }
+
+    /// The server's ticket-key schedule: the testbed server's own key,
+    /// rotating per [`Self::rotation_period_secs`].
+    pub fn schedule(&self) -> TicketKeySchedule {
+        let base_key =
+            rq_profiles::server::testbed_server(self.base.ack_mode, self.base.cert_len).ticket_key;
+        if self.rotation_period_secs == 0 {
+            TicketKeySchedule::fixed(base_key)
+        } else {
+            TicketKeySchedule::rotating(base_key, self.rotation_period_secs, self.overlap_epochs)
+        }
+    }
+
+    /// Arrival times in virtual time: a pure function of `base.seed`
+    /// (first arrival pinned to t = 0; non-decreasing).
+    pub fn arrival_times(&self) -> Vec<SimTime> {
+        let mut rng = SimRng::derive(self.base.seed, &[ARRIVAL_STREAM]);
+        let mut times = Vec::with_capacity(self.arrivals);
+        match self.process {
+            ArrivalProcess::Poisson { mean_gap } => {
+                let mut t = 0u64;
+                for i in 0..self.arrivals {
+                    if i > 0 {
+                        t = t.saturating_add(rng.gen_exp(mean_gap.as_nanos() as f64) as u64);
+                    }
+                    times.push(SimTime::from_nanos(t));
+                }
+            }
+            ArrivalProcess::FlashCrowd { window } => {
+                let span = window.as_nanos().max(1);
+                for i in 0..self.arrivals {
+                    if i == 0 {
+                        times.push(SimTime::ZERO);
+                    } else {
+                        times.push(SimTime::from_nanos(rng.gen_range(span)));
+                    }
+                }
+                times.sort();
+            }
+        }
+        times
+    }
+
+    /// Expands the spec into per-connection plans: repetition-seeded
+    /// scenarios with class/impairment draws and synthetic resumption
+    /// tickets minted under the epoch key of their (aged) minting time.
+    pub fn plans(&self) -> Vec<ConnPlan> {
+        let schedule = self.schedule();
+        let policy = self.base.resumption.server_resumption();
+        self.arrival_times()
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let mut sc = rep_scenario(&self.base, i);
+                sc.capture_payloads = false;
+                let mut rng = SimRng::derive(self.base.seed, &[CLASS_STREAM, i as u64]);
+                if let Some(mix) = self.mix {
+                    sc.handshake_class = mix.draw(&mut rng);
+                }
+                if let Some((share, spec)) = self.impaired {
+                    if rng.gen_bool(share) {
+                        sc.loss = LossSpec::Random(spec);
+                    }
+                }
+                let ticket = if sc.handshake_class != HandshakeClass::Full
+                    && self.base.resumption.offers_tickets
+                {
+                    Some(self.synthetic_ticket(i, arrival, &schedule, &policy))
+                } else {
+                    None
+                };
+                ConnPlan {
+                    scenario: sc,
+                    arrival,
+                    ticket,
+                }
+            })
+            .collect()
+    }
+
+    /// A ticket "minted" `ticket_age` before `arrival` under the key of
+    /// that epoch — which is exactly how key rotation bites: age a
+    /// ticket past `overlap_epochs` rotation periods and the server no
+    /// longer holds its key, forcing a full handshake.
+    fn synthetic_ticket(
+        &self,
+        i: usize,
+        arrival: SimTime,
+        schedule: &TicketKeySchedule,
+        policy: &rq_tls::ServerResumption,
+    ) -> SessionTicket {
+        let minted_ns = arrival
+            .as_nanos()
+            .saturating_sub(self.ticket_age.as_nanos());
+        let key = schedule.mint_key(minted_ns / 1_000_000_000);
+        let mut rng = SimRng::derive(self.base.seed, &[TICKET_STREAM, i as u64]);
+        let mut secret = [0u8; 32];
+        for chunk in secret.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        SessionTicket {
+            ticket: mint_ticket(key, &secret),
+            secret,
+            lifetime_secs: policy.ticket_lifetime_secs,
+            early_data_allowed: policy.advertise_early_data,
+        }
+    }
+}
+
+/// One planned connection: its scenario, arrival time, and the session
+/// ticket it offers (resuming classes only).
+#[derive(Debug, Clone)]
+pub struct ConnPlan {
+    /// Fully resolved per-connection scenario.
+    pub scenario: Scenario,
+    /// Arrival (client start) time.
+    pub arrival: SimTime,
+    /// Ticket the client offers, if any.
+    pub ticket: Option<SessionTicket>,
+}
+
+/// Terminal state of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFate {
+    /// Response fully received.
+    Completed,
+    /// Refused admission by the server's concurrency limit.
+    Shed,
+    /// Admitted but never completed (abort, starvation, deadline).
+    Failed,
+}
+
+/// Compact per-connection result of a server-load run: everything the
+/// aggregates need, nothing that grows with the transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnOutcome {
+    /// Connection index (plan order == arrival order).
+    pub index: usize,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Planned handshake class.
+    pub class: HandshakeClass,
+    /// Terminal state.
+    pub fate: ConnFate,
+    /// Time to first byte, ms from this connection's start.
+    pub ttfb_ms: Option<f64>,
+    /// Handshake completion, ms from start.
+    pub handshake_ms: Option<f64>,
+    /// Full response, ms from start.
+    pub response_ms: Option<f64>,
+    /// The abbreviated handshake actually ran (ticket accepted).
+    pub resumed: bool,
+    /// 0-RTT offer outcome.
+    pub early_data_accepted: Option<bool>,
+}
+
+/// Server-side aggregate report: admission/cost accounting plus
+/// completed-connection latency tails. A monoid under [`merge`]
+/// (`ServerLoadReport::merge`), which is what the sharded runner folds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerLoadReport {
+    /// The engine's admission, handshake-class, and CPU-cost tallies.
+    pub accounting: ServerAccounting,
+    /// TTFB across completed connections.
+    pub ttfb: LatencyHistogram,
+    /// Handshake-completion latency across completed connections.
+    pub handshake: LatencyHistogram,
+}
+
+impl ServerLoadReport {
+    /// Folds one connection outcome into the latency histograms.
+    pub fn record(&mut self, o: &ConnOutcome) {
+        if o.fate == ConnFate::Completed {
+            if let Some(ms) = o.ttfb_ms {
+                self.ttfb.record(ms);
+            }
+            if let Some(ms) = o.handshake_ms {
+                self.handshake.record(ms);
+            }
+        }
+    }
+
+    /// Folds another report into this one (shard merge).
+    pub fn merge(&mut self, other: &ServerLoadReport) {
+        self.accounting.merge(&other.accounting);
+        self.ttfb.merge(&other.ttfb);
+        self.handshake.merge(&other.handshake);
+    }
+}
+
+/// Result of one (unsharded) server-load run.
+#[derive(Debug)]
+pub struct ServerLoadRun {
+    /// Per-connection outcomes in plan order.
+    pub outcomes: Vec<ConnOutcome>,
+    /// Folded server-side report.
+    pub report: ServerLoadReport,
+}
+
+/// How much detail [`drive_conn_plans`] keeps per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Detail {
+    /// Full trace + qlog extraction ([`RunResult`]s) — the legacy
+    /// single-pair mode.
+    Full,
+    /// Compact outcomes only; trace recording off, finished connections
+    /// retired as the run goes so memory stays bounded by the active
+    /// set.
+    Aggregate,
+}
+
+/// Everything a drive produces; `results`/`tickets` are only populated
+/// in [`Detail::Full`] mode.
+pub(crate) struct DriveOutput {
+    pub results: Vec<Option<RunResult>>,
+    pub outcomes: Vec<ConnOutcome>,
+    pub accounting: ServerAccounting,
+    pub trace: rq_sim::Trace,
+    pub tickets: Vec<Option<SessionTicket>>,
+}
+
+/// A spawned, not-yet-retired client connection.
+struct Spawned {
+    plan_idx: usize,
+    id: NodeId,
+    arrival: SimTime,
+    scenario: Scenario,
+    conn: Rc<RefCell<Connection>>,
+    status: Rc<RefCell<crate::nodes::ClientStatus>>,
+    ticket_rc: Rc<RefCell<Option<SessionTicket>>>,
+}
+
+/// THE simulation driver: hosts every plan's client against one shared
+/// server on a single event loop. `run_scenario` routes through here
+/// with one plan; `run_server_load` with many.
+pub(crate) fn drive_conn_plans(
+    base: &Scenario,
+    resumption_active: bool,
+    schedule: TicketKeySchedule,
+    concurrency_limit: usize,
+    plans: Vec<ConnPlan>,
+    detail: Detail,
+    conn_deadline: SimDuration,
+) -> DriveOutput {
+    let full = detail == Detail::Full;
+    let n = plans.len();
+    let mut net = Network::new(base.capture_payloads && full);
+    if !full {
+        net.trace.recording = false;
+    }
+    // The default event ceiling is sized for one connection; scale it
+    // with the population (it stays a runaway backstop, not a budget).
+    net.event_limit = net.event_limit.max(n as u64 * 20_000);
+
+    let mut server_cfg = rq_profiles::server::testbed_server(base.ack_mode, base.cert_len);
+    if let Some(pto) = base.server_default_pto {
+        server_cfg.default_pto = pto;
+    }
+    if resumption_active {
+        server_cfg.resumption = base.resumption.server_resumption();
+    }
+    let engine = Rc::new(RefCell::new(ServerEngine::new(
+        server_cfg,
+        schedule,
+        concurrency_limit,
+    )));
+    let control = Rc::new(RefCell::new(ServerControl::default()));
+    let server_node = ServerNode::with_engine(
+        Rc::clone(&engine),
+        Rc::clone(&control),
+        base.http,
+        base.cert_delay,
+        base.seed,
+    );
+    let server_id = net.add_node(Box::new(server_node));
+    net.prime();
+
+    let mut spawned: Vec<Spawned> = Vec::new();
+    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
+    let mut outcomes: Vec<Option<ConnOutcome>> = vec![None; n];
+    let mut tickets: Vec<Option<SessionTicket>> = (0..n).map(|_| None).collect();
+    let mut last_arrival = SimTime::ZERO;
+
+    for (i, plan) in plans.into_iter().enumerate() {
+        let sc = plan.scenario;
+        net.run_until(plan.arrival);
+        if !full {
+            sweep_finished(
+                &mut net,
+                &engine,
+                &control,
+                &mut spawned,
+                &mut outcomes,
+                conn_deadline,
+                false,
+            );
+        }
+
+        let mut rng = SimRng::new(sc.seed ^ 0xBEEF_CAFE);
+        let rtt_quirk_applies = sc
+            .client
+            .buggy_rtt_preinit
+            .map(|(_, p)| rng.gen_bool(p))
+            .unwrap_or(false);
+        let mut client_cfg = sc.client.endpoint_config(sc.http);
+        if let Some(policy) = sc.probe_policy_override {
+            client_cfg.probe_policy = policy;
+        }
+        client_cfg.session_ticket = plan.ticket;
+        client_cfg.enable_early_data = sc.handshake_class == HandshakeClass::ZeroRtt;
+        let mut client_node = ClientNode::new(
+            client_cfg,
+            server_id,
+            sc.http,
+            sc.file_size,
+            sc.seed.wrapping_mul(2654435761).wrapping_add(1),
+            rtt_quirk_applies,
+        );
+        if !(full && n == 1) {
+            client_node = client_node.detached();
+        }
+        let conn = Rc::clone(&client_node.conn);
+        let status = Rc::clone(&client_node.status);
+        let ticket_rc = Rc::clone(&client_node.ticket);
+        let client_id = net.add_node(Box::new(client_node));
+        control
+            .borrow_mut()
+            .conn_seeds
+            .insert(client_id.index(), sc.seed ^ 0x5EED);
+
+        // Direction AtoB = client → server (connect order below).
+        let mut link = LinkConfig::paper_default(sc.one_way_delay());
+        link.loss = sc.loss_rule();
+        if let Some(spec) = sc.impairment() {
+            link = link.with_impairment(spec, sc.impairment_seed());
+        }
+        net.connect(client_id, server_id, link);
+        net.schedule_start(client_id, plan.arrival);
+        last_arrival = plan.arrival;
+        spawned.push(Spawned {
+            plan_idx: i,
+            id: client_id,
+            arrival: plan.arrival,
+            scenario: sc,
+            conn,
+            status,
+            ticket_rc,
+        });
+    }
+
+    // 10 MB at 10 Mbit/s takes ~8.4 s; loss + 300 ms RTT backoffs can add
+    // several more. 120 s of virtual time per connection bounds every
+    // paper scenario.
+    let _outcome = net.run_until(last_arrival + conn_deadline);
+
+    if full {
+        for s in &spawned {
+            let client_log = std::mem::take(&mut s.conn.borrow_mut().log);
+            let server_log = engine
+                .borrow_mut()
+                .conn_mut(s.id.index() as u64)
+                .map(|c| std::mem::take(&mut c.log))
+                .unwrap_or_default();
+            let client = s.conn.borrow();
+            results[s.plan_idx] = Some(extract_run_result(
+                &s.scenario,
+                &net.trace,
+                s.id,
+                server_id,
+                &client,
+                client_log,
+                server_log,
+            ));
+            drop(client);
+            tickets[s.plan_idx] = s.ticket_rc.borrow_mut().take();
+        }
+    }
+    sweep_finished(
+        &mut net,
+        &engine,
+        &control,
+        &mut spawned,
+        &mut outcomes,
+        conn_deadline,
+        true,
+    );
+
+    let accounting = engine.borrow().accounting;
+    DriveOutput {
+        results,
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every plan produced an outcome"))
+            .collect(),
+        accounting,
+        trace: std::mem::take(&mut net.trace),
+        tickets,
+    }
+}
+
+/// Retires finished (or expired) connections: reads the final outcome
+/// off the shared status cell, tallies the engine, and removes both the
+/// client node and the server-side connection from the event loop so
+/// memory tracks the *active* set.
+fn sweep_finished(
+    net: &mut Network,
+    engine: &Rc<RefCell<ServerEngine>>,
+    control: &Rc<RefCell<ServerControl>>,
+    spawned: &mut Vec<Spawned>,
+    outcomes: &mut [Option<ConnOutcome>],
+    conn_deadline: SimDuration,
+    final_pass: bool,
+) {
+    let now = net.now();
+    spawned.retain(|s| {
+        let st = *s.status.borrow();
+        let key = s.id.index();
+        let (shed, server_closed) = {
+            let ctl = control.borrow();
+            (ctl.shed.contains(&key), ctl.closed.contains(&key))
+        };
+        let expired = now >= s.arrival + conn_deadline;
+        if !(final_pass || st.done() || shed || server_closed || expired) {
+            return true;
+        }
+        let completed = st.complete_at.is_some();
+        let fate = if shed {
+            ConnFate::Shed
+        } else if completed {
+            ConnFate::Completed
+        } else {
+            ConnFate::Failed
+        };
+        let start = st.hello_at.unwrap_or(s.arrival);
+        let rel = |t: Option<SimTime>| t.map(|t| t.since(start).as_millis_f64());
+        let conn = s.conn.borrow();
+        outcomes[s.plan_idx] = Some(ConnOutcome {
+            index: s.plan_idx,
+            arrival: s.arrival,
+            class: s.scenario.handshake_class,
+            fate,
+            ttfb_ms: rel(st.ttfb_at),
+            handshake_ms: rel(st.handshake_at),
+            response_ms: rel(st.complete_at),
+            resumed: conn.is_resumed(),
+            early_data_accepted: conn.early_data_accepted(),
+        });
+        drop(conn);
+        engine.borrow_mut().retire(key as u64, completed);
+        net.retire_node(s.id);
+        false
+    });
+}
+
+/// Runs one server-load spec on a single shared event loop, returning
+/// per-connection outcomes and the folded report.
+pub fn run_server_load(spec: &ServerLoadSpec) -> ServerLoadRun {
+    let plans = spec.plans();
+    let resumption_active = plans
+        .iter()
+        .any(|p| p.scenario.handshake_class != HandshakeClass::Full);
+    let out = drive_conn_plans(
+        &spec.base,
+        resumption_active,
+        spec.schedule(),
+        spec.concurrency_limit,
+        plans,
+        Detail::Aggregate,
+        spec.conn_deadline,
+    );
+    let mut report = ServerLoadReport {
+        accounting: out.accounting,
+        ..ServerLoadReport::default()
+    };
+    for o in &out.outcomes {
+        report.record(o);
+    }
+    ServerLoadRun {
+        outcomes: out.outcomes,
+        report,
+    }
+}
+
+/// Default arrivals per shard for [`run_server_load_sharded`].
+pub const DEFAULT_SHARD_ARRIVALS: usize = 2048;
+
+/// Shards a large arrival population into fixed-size independent server
+/// replicas (seeded per shard), fans them over the runner, and merges
+/// the shard reports **in shard order**. The shard size — not the
+/// thread count — determines the work split, so the merged report is
+/// byte-identical at every `REACKED_THREADS` value, and each shard's
+/// memory is bounded by its own active connection set.
+pub fn run_server_load_sharded(
+    spec: &ServerLoadSpec,
+    runner: &SweepRunner,
+    shard_arrivals: usize,
+) -> ServerLoadReport {
+    let per = shard_arrivals.max(1);
+    if spec.arrivals <= per {
+        return run_server_load(spec).report;
+    }
+    let shards = spec.arrivals.div_ceil(per);
+    let reports = runner.run(shards, |s| {
+        let mut shard = spec.clone();
+        shard.arrivals = per.min(spec.arrivals - s * per);
+        shard.base.seed = SimRng::derive(spec.base.seed, &[SHARD_STREAM, s as u64]).next_u64();
+        run_server_load(&shard).report
+    });
+    let mut total = ServerLoadReport::default();
+    for r in &reports {
+        total.merge(r);
+    }
+    total
+}

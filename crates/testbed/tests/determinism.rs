@@ -7,8 +7,8 @@ use rq_profiles::{client_by_name, ResumptionProfile};
 use rq_quic::ServerAckMode;
 use rq_sim::{ImpairmentSpec, SimDuration};
 use rq_testbed::{
-    median, run_repetitions, run_repetitions_parallel, run_scenario, run_scenario_with_trace,
-    HandshakeClass, LossSpec, RunResult, Scenario, SweepRunner, SweepScenarios,
+    median, run_repetitions, run_scenario, run_scenario_with_trace, HandshakeClass, LossSpec,
+    RunResult, Scenario, SweepRunner, SweepScenarios,
 };
 
 /// The stochastic spec used by the determinism suite: every impairment
@@ -97,7 +97,7 @@ fn parallel_sweep_identical_to_sequential_for_every_spec() {
             let reps = 6;
             let seq = run_repetitions(&sc, reps);
             for threads in [1usize, 4] {
-                let par = run_repetitions_parallel(&sc, reps, threads);
+                let par = SweepRunner::new(threads).run_repetitions(&sc, reps);
                 assert_eq!(par.len(), seq.len(), "{loss:?}/{mode:?} x{threads}");
                 for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
                     assert_eq!(
@@ -157,7 +157,7 @@ fn handshake_class_sweep_parallel_matches_sequential() {
         let reps = 4;
         let seq = run_repetitions(&sc, reps);
         for threads in [1usize, 4] {
-            let par = run_repetitions_parallel(&sc, reps, threads);
+            let par = SweepRunner::new(threads).run_repetitions(&sc, reps);
             for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
                 assert_eq!(
                     fingerprint(a),
@@ -215,13 +215,17 @@ fn random_loss_runs_terminate_across_clients() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn sweep_runner_repetitions_match_free_function() {
+    // The free function is deprecated (thread counts belong to
+    // `SweepRunner` alone); until it is removed, it must keep agreeing
+    // with the runner path.
     let sc = Scenario::base(
         client_by_name("neqo").unwrap(),
         ServerAckMode::WaitForCertificate,
         HttpVersion::H1,
     );
-    let direct = run_repetitions_parallel(&sc, 4, 2);
+    let direct = rq_testbed::run_repetitions_parallel(&sc, 4, 2);
     let via_runner = SweepRunner::new(2).run_repetitions(&sc, 4);
     for (a, b) in direct.iter().zip(&via_runner) {
         assert_eq!(fingerprint(a), fingerprint(b));

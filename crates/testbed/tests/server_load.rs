@@ -1,0 +1,269 @@
+//! The many-connection server engine's guarantees: determinism across
+//! thread counts, admission accounting invariants, the N = 1 path
+//! reproducing the legacy single-pair runner exactly, and ticket-key
+//! rotation bounding how long a minted ticket stays resumable.
+
+use proptest::prelude::*;
+use rq_http::HttpVersion;
+use rq_profiles::client_by_name;
+use rq_quic::ServerAckMode;
+use rq_sim::{ImpairmentSpec, SimDuration};
+use rq_testbed::{
+    run_scenario, run_server_load, run_server_load_sharded, ArrivalProcess, ClassMix, ConnFate,
+    HandshakeClass, Scenario, ServerLoadSpec, SweepRunner,
+};
+
+const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;
+const IACK: ServerAckMode = ServerAckMode::InstantAck { pad_to_mtu: false };
+
+fn base(mode: ServerAckMode, seed: u64) -> Scenario {
+    let mut sc = Scenario::base(client_by_name("quic-go").unwrap(), mode, HttpVersion::H1);
+    sc.cert_delay = SimDuration::from_millis(20);
+    sc.seed = seed;
+    sc
+}
+
+fn poisson(mean_gap_ms: u64) -> ArrivalProcess {
+    ArrivalProcess::Poisson {
+        mean_gap: SimDuration::from_millis(mean_gap_ms),
+    }
+}
+
+/// A small mixed, impaired population — every moving part of the spec
+/// enabled at once, so any nondeterminism shows up somewhere.
+fn mixed_spec(seed: u64, arrivals: usize) -> ServerLoadSpec {
+    let mut spec = ServerLoadSpec::new(base(IACK, seed), arrivals, poisson(3));
+    spec.mix = Some(ClassMix {
+        resumed: 0.3,
+        zero_rtt: 0.2,
+    });
+    spec.impaired = Some((0.3, ImpairmentSpec::none().with_iid_loss(0.03)));
+    spec
+}
+
+// ---- determinism suite ------------------------------------------------
+
+#[test]
+fn same_seed_same_outcomes_and_report() {
+    let spec = mixed_spec(42, 40);
+    let a = run_server_load(&spec);
+    let b = run_server_load(&spec);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn sharded_report_identical_at_threads_1_and_4() {
+    // 120 arrivals over 16-arrival shards: several shards per worker, so
+    // both runners genuinely split the work differently — the reports
+    // must still match byte for byte (fixed shard size, in-order merge).
+    let spec = mixed_spec(7, 120);
+    let t1 = run_server_load_sharded(&spec, &SweepRunner::new(1), 16);
+    let t4 = run_server_load_sharded(&spec, &SweepRunner::new(4), 16);
+    assert_eq!(t1, t4);
+    assert_eq!(t1.accounting.arrivals, 120);
+}
+
+#[test]
+fn unsharded_equals_single_shard() {
+    // A shard size covering the whole population must be the plain run.
+    let spec = mixed_spec(11, 30);
+    let whole = run_server_load(&spec).report;
+    let sharded = run_server_load_sharded(&spec, &SweepRunner::new(4), 64);
+    assert_eq!(whole, sharded);
+}
+
+// ---- admission accounting --------------------------------------------
+
+#[test]
+fn flash_crowd_sheds_beyond_the_limit() {
+    let mut spec = ServerLoadSpec::new(
+        base(IACK, 3),
+        60,
+        ArrivalProcess::FlashCrowd {
+            window: SimDuration::from_millis(50),
+        },
+    );
+    spec.concurrency_limit = 8;
+    let run = run_server_load(&spec);
+    let a = run.report.accounting;
+    assert!(a.shed > 0, "60 arrivals in 50 ms must overflow 8 slots");
+    assert!(a.peak_active <= 8);
+    assert_eq!(a.arrivals, 60);
+    assert_eq!(a.accepted + a.shed, a.arrivals);
+    assert_eq!(a.completed + a.failed, a.accepted);
+    // Outcome fates tell the same story as the engine's tallies.
+    let shed_outcomes = run
+        .outcomes
+        .iter()
+        .filter(|o| o.fate == ConnFate::Shed)
+        .count() as u64;
+    assert_eq!(shed_outcomes, a.shed);
+}
+
+// ---- N = 1 reproduces the legacy single-pair runner -------------------
+
+#[test]
+fn single_connection_matches_run_scenario() {
+    for (mode, class) in [
+        (WFC, HandshakeClass::Full),
+        (IACK, HandshakeClass::Full),
+        (WFC, HandshakeClass::Resumed),
+        (IACK, HandshakeClass::ZeroRtt),
+    ] {
+        let mut sc = base(mode, 42);
+        sc.handshake_class = class;
+        let legacy = run_scenario(&sc);
+        let load = run_server_load(&ServerLoadSpec::single(sc));
+        assert_eq!(load.outcomes.len(), 1);
+        let o = &load.outcomes[0];
+        assert_eq!(o.fate, ConnFate::Completed, "{mode:?}/{class:?}");
+        assert_eq!(o.ttfb_ms, legacy.ttfb_ms, "{mode:?}/{class:?}");
+        assert_eq!(o.handshake_ms, legacy.handshake_ms, "{mode:?}/{class:?}");
+        assert_eq!(o.response_ms, legacy.response_ms, "{mode:?}/{class:?}");
+        assert_eq!(o.resumed, legacy.resumed, "{mode:?}/{class:?}");
+        assert_eq!(
+            o.early_data_accepted, legacy.early_data_accepted,
+            "{mode:?}/{class:?}"
+        );
+    }
+}
+
+// ---- ticket-key rotation ----------------------------------------------
+
+/// Rotation period and overlap the rotation tests pin.
+const ROTATION_PERIOD_SECS: u64 = 100;
+const OVERLAP_EPOCHS: u64 = 1;
+
+/// A resumed-class population whose synthetic tickets were minted
+/// `age_secs` before arrival, against a server rotating its ticket key
+/// every 100 virtual seconds and accepting one retired epoch. Arrivals
+/// are spread hundreds of virtual seconds apart (Poisson, 100 s mean
+/// gap), so they land in different key epochs.
+fn rotation_spec(age_secs: u64) -> ServerLoadSpec {
+    let mut sc = base(WFC, 9);
+    sc.handshake_class = HandshakeClass::Resumed;
+    let mut spec = ServerLoadSpec::new(
+        sc,
+        6,
+        ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_secs(ROTATION_PERIOD_SECS),
+        },
+    );
+    spec.rotation_period_secs = ROTATION_PERIOD_SECS;
+    spec.overlap_epochs = OVERLAP_EPOCHS as u32;
+    spec.ticket_age = SimDuration::from_secs(age_secs);
+    spec
+}
+
+/// Whether a ticket minted `age_secs` before `o.arrival` is inside the
+/// server's key-overlap window at accept time — the reference model the
+/// engine must agree with.
+fn in_overlap_window(o: &rq_testbed::ConnOutcome, age_secs: u64) -> bool {
+    let arrival_secs = o.arrival.as_nanos() / 1_000_000_000;
+    let mint_secs = arrival_secs.saturating_sub(age_secs);
+    arrival_secs / ROTATION_PERIOD_SECS - mint_secs / ROTATION_PERIOD_SECS <= OVERLAP_EPOCHS
+}
+
+#[test]
+fn tickets_resume_only_within_the_key_overlap_window() {
+    // Tickets aged 2.5 rotation periods: connections arriving 2+ epochs
+    // after their ticket's mint epoch find the key rotated out of the
+    // accept set and must fall back to a full handshake. (The first
+    // arrival is pinned to t = 0, where the mint time saturates into the
+    // same epoch — the reference model covers it too.)
+    let age = 2 * ROTATION_PERIOD_SECS + 50;
+    let stale = rotation_spec(age);
+    let run = run_server_load(&stale);
+    for o in &run.outcomes {
+        assert_eq!(o.fate, ConnFate::Completed, "{o:?}");
+        assert_eq!(o.resumed, in_overlap_window(o, age), "{o:?}");
+    }
+    // The spread of 6 arrivals over ~500 virtual seconds guarantees both
+    // sides of the window are exercised.
+    assert!(
+        run.outcomes.iter().any(|o| !o.resumed),
+        "no arrival aged out of the overlap window"
+    );
+    let a = run.report.accounting;
+    assert!(a.full_handshakes > 0);
+    assert_eq!(a.resumed_handshakes + a.full_handshakes, 6);
+    // Every fallback shows up in the CPU bill as a full handshake.
+    let expected = a.full_handshakes as f64 * 1.0 + a.resumed_handshakes as f64 * 0.3;
+    assert!((a.cpu_cost - expected).abs() < 1e-9);
+}
+
+#[test]
+fn tickets_within_overlap_still_resume_after_one_rotation() {
+    // Tickets aged exactly one period: every mint epoch is the arrival's
+    // predecessor (or the same, at t = 0), inside `overlap_epochs = 1`,
+    // so every connection still resumes.
+    let run = run_server_load(&rotation_spec(ROTATION_PERIOD_SECS));
+    for o in &run.outcomes {
+        assert_eq!(o.fate, ConnFate::Completed, "{o:?}");
+        assert!(
+            o.resumed,
+            "one-epoch-old ticket is inside overlap_epochs = 1: {o:?}"
+        );
+    }
+    assert_eq!(run.report.accounting.resumed_handshakes, 6);
+}
+
+// ---- property tests ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The arrival schedule is a pure function of the seed: rebuild the
+    /// spec from scratch and the times match; they are non-decreasing
+    /// and pinned to t = 0, for both processes.
+    #[test]
+    fn arrival_schedule_is_a_pure_function_of_the_seed(
+        seed in 1u64..100_000,
+        arrivals in 1usize..200,
+        flash in any::<bool>(),
+    ) {
+        let process = if flash {
+            ArrivalProcess::FlashCrowd { window: SimDuration::from_millis(100) }
+        } else {
+            poisson(2)
+        };
+        let a = ServerLoadSpec::new(base(IACK, seed), arrivals, process).arrival_times();
+        let b = ServerLoadSpec::new(base(IACK, seed), arrivals, process).arrival_times();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), arrivals);
+        prop_assert_eq!(a[0], rq_sim::SimTime::ZERO);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+    }
+
+    /// Admission bookkeeping: shed + completed + failed == arrivals, for
+    /// any seed and any (small) concurrency limit.
+    #[test]
+    fn shed_completed_failed_partition_arrivals(
+        seed in 1u64..10_000,
+        limit in 1usize..6,
+    ) {
+        let mut spec = ServerLoadSpec::new(base(IACK, seed), 20, poisson(1));
+        spec.concurrency_limit = limit;
+        let run = run_server_load(&spec);
+        let a = run.report.accounting;
+        prop_assert_eq!(a.arrivals, 20);
+        prop_assert_eq!(a.shed + a.completed + a.failed, a.arrivals);
+        prop_assert!(a.peak_active <= limit as u64);
+        prop_assert_eq!(run.outcomes.len(), 20);
+    }
+
+    /// The N = 1 server-load run matches the legacy `run_scenario`
+    /// observables for any seed.
+    #[test]
+    fn n1_matches_legacy_for_any_seed(seed in 1u64..10_000) {
+        let sc = base(WFC, seed);
+        let legacy = run_scenario(&sc);
+        let load = run_server_load(&ServerLoadSpec::single(sc));
+        let o = &load.outcomes[0];
+        prop_assert_eq!(o.ttfb_ms, legacy.ttfb_ms);
+        prop_assert_eq!(o.handshake_ms, legacy.handshake_ms);
+        prop_assert_eq!(o.response_ms, legacy.response_ms);
+        prop_assert_eq!(o.fate == ConnFate::Completed, legacy.completed);
+    }
+}

@@ -21,7 +21,8 @@ pub use messages::{
     HandshakeMessage, HandshakeType, CERT_LARGE, CERT_SMALL, NEW_SESSION_TICKET_LEN,
 };
 pub use resumption::{
-    mint_ticket, open_ticket, ServerResumption, SessionCache, SessionTicket, TICKET_LEN,
+    mint_ticket, open_ticket, ServerResumption, SessionCache, SessionTicket, TicketKeySchedule,
+    TICKET_LEN,
 };
 pub use session::{ClientConfig, Role, ServerConfig, TlsEvent, TlsSession};
 

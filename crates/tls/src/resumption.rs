@@ -98,6 +98,103 @@ impl Default for ServerResumption {
     }
 }
 
+/// A server's rotating ticket-key schedule.
+///
+/// Real deployments rotate the session-ticket encryption key on a fixed
+/// period and keep a small window of previous keys valid, so tickets
+/// minted shortly before a rotation still resume (RFC 8446 §4.6.1 leaves
+/// the policy to the server; production stacks typically run 2–3
+/// overlapping keys). The schedule is a pure function of
+/// `(base_key, period, epoch)`: every epoch's key is derived by a
+/// SplitMix64-style avalanche of the base key, so a server replica — or a
+/// simulation shard — reconstructs the exact same keys from the seed
+/// alone, with no shared mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TicketKeySchedule {
+    /// Seed all epoch keys derive from.
+    pub base_key: u64,
+    /// Rotation period in seconds; `0` disables rotation (the schedule
+    /// pins `base_key` forever — the legacy single-key behaviour).
+    pub period_secs: u64,
+    /// How many *previous* epoch keys stay acceptable after a rotation.
+    /// `0` means a rotation instantly invalidates outstanding tickets.
+    pub overlap_epochs: u32,
+}
+
+impl TicketKeySchedule {
+    /// A schedule that never rotates: `key` mints and validates every
+    /// ticket, exactly like the pre-schedule single-key servers.
+    pub fn fixed(key: u64) -> Self {
+        TicketKeySchedule {
+            base_key: key,
+            period_secs: 0,
+            overlap_epochs: 0,
+        }
+    }
+
+    /// A rotating schedule: a fresh key every `period_secs`, with the
+    /// `overlap_epochs` most recent predecessors still accepted.
+    pub fn rotating(base_key: u64, period_secs: u64, overlap_epochs: u32) -> Self {
+        TicketKeySchedule {
+            base_key,
+            period_secs,
+            overlap_epochs,
+        }
+    }
+
+    /// Whether this schedule ever rotates.
+    pub fn rotates(&self) -> bool {
+        self.period_secs > 0
+    }
+
+    /// The rotation epoch containing time `now_secs`.
+    pub fn epoch_at(&self, now_secs: u64) -> u64 {
+        if self.period_secs == 0 {
+            0
+        } else {
+            now_secs / self.period_secs
+        }
+    }
+
+    /// The ticket key of `epoch` (epoch 0 of a non-rotating schedule is
+    /// `base_key` itself, keeping legacy wire images byte-identical).
+    pub fn key_for_epoch(&self, epoch: u64) -> u64 {
+        if !self.rotates() || epoch == 0 {
+            return self.base_key;
+        }
+        // SplitMix64 finalizer over (base_key, epoch): full avalanche, so
+        // adjacent epochs share no key structure.
+        let mut z = self
+            .base_key
+            .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The key a ticket minted at `now_secs` is sealed under.
+    pub fn mint_key(&self, now_secs: u64) -> u64 {
+        self.key_for_epoch(self.epoch_at(now_secs))
+    }
+
+    /// Keys accepted at `now_secs`, newest first: the current epoch's key
+    /// followed by up to `overlap_epochs` predecessors.
+    pub fn accept_keys(&self, now_secs: u64) -> Vec<u64> {
+        let epoch = self.epoch_at(now_secs);
+        let oldest = epoch.saturating_sub(self.overlap_epochs as u64);
+        (oldest..=epoch)
+            .rev()
+            .map(|e| self.key_for_epoch(e))
+            .collect()
+    }
+}
+
+impl Default for TicketKeySchedule {
+    fn default() -> Self {
+        TicketKeySchedule::fixed(0x7E11_C3E7)
+    }
+}
+
 /// Keystream masking the resumption secret inside a ticket.
 fn ticket_mask(ticket_key: u64) -> [u8; 32] {
     hmac_sha256(&ticket_key.to_be_bytes(), b"reacked ticket mask")
@@ -254,6 +351,58 @@ mod tests {
         c.insert("d", ticket(5)); // evicts "c", not the refreshed "b"
         assert_eq!(c.lookup("c"), None);
         assert_eq!(c.lookup("b"), Some(&ticket(4)));
+    }
+
+    #[test]
+    fn fixed_schedule_never_rotates() {
+        let s = TicketKeySchedule::fixed(42);
+        assert!(!s.rotates());
+        for now in [0u64, 1, 3600, u64::MAX / 2] {
+            assert_eq!(s.mint_key(now), 42);
+            assert_eq!(s.accept_keys(now), vec![42]);
+        }
+    }
+
+    #[test]
+    fn rotating_schedule_changes_key_per_epoch() {
+        let s = TicketKeySchedule::rotating(7, 3600, 1);
+        let k0 = s.mint_key(10);
+        let k1 = s.mint_key(3600);
+        let k2 = s.mint_key(7200);
+        assert_eq!(k0, 7, "epoch 0 pins the base key");
+        assert_ne!(k0, k1);
+        assert_ne!(k1, k2);
+        assert_ne!(k0, k2);
+        // Within an epoch the key is stable.
+        assert_eq!(s.mint_key(3600), s.mint_key(7199));
+    }
+
+    #[test]
+    fn overlap_window_bounds_accepted_keys() {
+        let s = TicketKeySchedule::rotating(9, 100, 2);
+        // Epoch 5: keys for epochs 5, 4, 3 accepted — newest first.
+        let keys = s.accept_keys(510);
+        assert_eq!(
+            keys,
+            vec![s.key_for_epoch(5), s.key_for_epoch(4), s.key_for_epoch(3)]
+        );
+        // A ticket minted in epoch 2 no longer opens in epoch 5…
+        let old = mint_ticket(s.key_for_epoch(2), &[0x33; 32]);
+        assert!(keys.iter().all(|k| open_ticket(*k, &old).is_none()));
+        // …but one from epoch 3 (inside the overlap) still does.
+        let ok = mint_ticket(s.key_for_epoch(3), &[0x33; 32]);
+        assert!(keys.iter().any(|k| open_ticket(*k, &ok).is_some()));
+        // Near t=0 the window clips at epoch 0 without underflow.
+        assert_eq!(s.accept_keys(50), vec![s.key_for_epoch(0)]);
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_base_key() {
+        let a = TicketKeySchedule::rotating(1234, 60, 3);
+        let b = TicketKeySchedule::rotating(1234, 60, 3);
+        assert_eq!(a.accept_keys(100_000), b.accept_keys(100_000));
+        let c = TicketKeySchedule::rotating(1235, 60, 3);
+        assert_ne!(a.mint_key(100_000), c.mint_key(100_000));
     }
 
     #[test]

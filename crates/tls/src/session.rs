@@ -83,6 +83,10 @@ pub struct ServerConfig {
     pub resumption: ServerResumption,
     /// Key minting/validating stateless session tickets.
     pub ticket_key: u64,
+    /// Additional keys accepted when validating offered tickets (a
+    /// rotating server's overlap window, newest first). `ticket_key` is
+    /// always tried first; an empty list is the legacy single-key server.
+    pub accept_ticket_keys: Vec<u64>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +97,7 @@ impl Default for ServerConfig {
             cert_preprovisioned: false,
             resumption: ServerResumption::disabled(),
             ticket_key: 0x7E11_C3E7,
+            accept_ticket_keys: Vec::new(),
         }
     }
 }
@@ -472,7 +477,18 @@ impl TlsSession {
                     self.server_cfg
                         .resumption
                         .accept_resumption
-                        .then(|| open_ticket(self.server_cfg.ticket_key, ticket))
+                        .then(|| {
+                            // The minting key first, then the rotation
+                            // overlap window; a ticket sealed under a
+                            // retired key opens nowhere and falls back to
+                            // the full handshake below.
+                            open_ticket(self.server_cfg.ticket_key, ticket).or_else(|| {
+                                self.server_cfg
+                                    .accept_ticket_keys
+                                    .iter()
+                                    .find_map(|key| open_ticket(*key, ticket))
+                            })
+                        })
                         .flatten()
                 });
                 if let Some(secret) = secret {
@@ -890,6 +906,35 @@ mod tests {
             client.keys(Level::Application),
             server.keys(Level::Application)
         );
+    }
+
+    #[test]
+    fn overlap_key_resumes_retired_key_falls_back() {
+        // A ticket minted under the *previous* epoch's key: accepted while
+        // that key sits in the overlap window, full handshake once the
+        // window drops it (the rotating-server behaviour the testbed's
+        // key schedule drives).
+        let (ticket, server_cfg) = prime_ticket(ServerResumption::accepting(7200));
+        let old_key = server_cfg.ticket_key;
+        let rotated = |accept: Vec<u64>| ServerConfig {
+            cert_preprovisioned: true,
+            ticket_key: old_key ^ 0xD00D,
+            accept_ticket_keys: accept,
+            ..server_cfg.clone()
+        };
+        let run = |cfg: ServerConfig| {
+            let mut client = TlsSession::client(ClientConfig {
+                ticket: Some(ticket.clone()),
+                ..ClientConfig::full()
+            });
+            let mut server = TlsSession::server(cfg);
+            client.start();
+            pump(&mut client, &mut server);
+            server.is_resumed()
+        };
+        assert!(run(rotated(vec![old_key])), "overlap window resumes");
+        assert!(!run(rotated(vec![old_key ^ 1])), "retired key falls back");
+        assert!(!run(rotated(Vec::new())), "empty window falls back");
     }
 
     #[test]
