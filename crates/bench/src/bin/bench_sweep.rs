@@ -20,10 +20,11 @@ use std::time::Instant;
 use rq_bench::{repetitions, IACK, WFC};
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
+use rq_quic::OverloadPolicy;
 use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
     run_repetitions, run_server_load_sharded, ArrivalProcess, ClassMix, HandshakeClass, LossSpec,
-    RunResult, Scenario, ServerLoadSpec, SweepRunner, SweepScenarios,
+    ReconnectPolicy, RunResult, Scenario, ServerLoadSpec, SweepRunner, SweepScenarios,
 };
 use rq_wild::{scan_with, Population};
 
@@ -168,6 +169,48 @@ fn main() {
             resumed: 0.3,
             zero_rtt: 0.2,
         });
+        let shard = 64;
+        let _ = run_server_load_sharded(&spec, &seq_runner, shard); // warm-up
+        let _ = run_server_load_sharded(&spec, &par_runner, shard); // warm-up
+
+        let t0 = Instant::now();
+        let seq = run_server_load_sharded(&spec, &seq_runner, shard);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t1 = Instant::now();
+        let par = run_server_load_sharded(&spec, &par_runner, shard);
+        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+        assert_eq!(
+            seq, par,
+            "{label}: parallel report diverged from sequential"
+        );
+
+        let speedup = print_row(label, seq_ms, par_ms);
+        rows.push(json_row(label, seq_ms, par_ms, speedup));
+    }
+
+    // The fault-injection path: blackouts, server crashes, reconnecting
+    // clients, and Retry-deferred admission all at once — the worst-case
+    // event stream for the engine, still thread-count invariant.
+    {
+        let label = "fault_load";
+        let client = client_by_name("quic-go").unwrap();
+        let mut spec = ServerLoadSpec::new(
+            Scenario::base(client, IACK, HttpVersion::H1),
+            reps * 40,
+            ArrivalProcess::Poisson {
+                mean_gap: SimDuration::from_millis(10),
+            },
+        );
+        spec.base.faults.blackout =
+            Some((SimDuration::from_millis(400), SimDuration::from_millis(150)));
+        spec.base.faults.crash_every = Some(SimDuration::from_millis(900));
+        spec.base.faults.give_up_after = Some(SimDuration::from_secs(3));
+        spec.base.faults.reconnect = Some(ReconnectPolicy::default());
+        spec.concurrency_limit = 48;
+        spec.overload = OverloadPolicy::RetryDefer;
+        spec.conn_deadline = SimDuration::from_secs(10);
         let shard = 64;
         let _ = run_server_load_sharded(&spec, &seq_runner, shard); // warm-up
         let _ = run_server_load_sharded(&spec, &par_runner, shard); // warm-up

@@ -1,0 +1,178 @@
+//! Beyond the paper: graceful degradation under injected faults.
+//!
+//! The paper's measurements assume a healthy path and a healthy server.
+//! This experiment asks what each handshake class buys — and costs —
+//! once things break: seeded link blackouts, server crash/restart
+//! cycles that wipe per-connection state, and flash-crowd overload
+//! beyond the concurrency ceiling. Clients carry a give-up budget and a
+//! jittered-exponential reconnect policy, so every arrival resolves to
+//! exactly one fate: completed, retried-then-accepted, shed, gave-up,
+//! reset, or failed. Availability is the served fraction; time-to-
+//! success counts from *first* arrival through every reconnect.
+//!
+//! Section 2 compares the three overload policies under a flash crowd:
+//! silent shed, Retry-based deferral (the address-validation handshake
+//! reused as a cheap admission valve), and an explicit busy close.
+//!
+//! Knobs: `REACKED_LOAD_ARRIVALS` (arrivals per 4 sections' base,
+//! default 100k; this binary uses a quarter of it per cell),
+//! `REACKED_THREADS` (worker count, default: all cores).
+
+use rq_bench::{banner, load_arrivals, IACK, WFC};
+use rq_http::HttpVersion;
+use rq_profiles::client_by_name;
+use rq_quic::{OverloadPolicy, ServerAckMode};
+use rq_sim::SimDuration;
+use rq_testbed::{
+    run_server_load_sharded, ArrivalProcess, FaultSpec, HandshakeClass, ReconnectPolicy, Scenario,
+    ServerLoadReport, ServerLoadSpec, SweepRunner, DEFAULT_SHARD_ARRIVALS,
+};
+
+fn base_spec(mode: ServerAckMode, class: HandshakeClass, arrivals: usize) -> ServerLoadSpec {
+    let mut base = Scenario::base(client_by_name("quic-go").unwrap(), mode, HttpVersion::H1);
+    base.handshake_class = class;
+    let mut spec = ServerLoadSpec::new(
+        base,
+        arrivals,
+        ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_millis(20),
+        },
+    );
+    spec.conn_deadline = SimDuration::from_secs(10);
+    spec
+}
+
+/// Faulty rows all carry the same coping budget: a 3 s handshake
+/// deadline and the default jittered-backoff reconnect policy.
+fn coping(mut faults: FaultSpec) -> FaultSpec {
+    faults.give_up_after = Some(SimDuration::from_secs(3));
+    faults.reconnect = Some(ReconnectPolicy::default());
+    faults
+}
+
+fn blackout() -> FaultSpec {
+    let mut f = FaultSpec::none();
+    f.blackout = Some((SimDuration::from_millis(400), SimDuration::from_millis(250)));
+    coping(f)
+}
+
+fn crash() -> FaultSpec {
+    let mut f = FaultSpec::none();
+    f.crash_every = Some(SimDuration::from_millis(700));
+    coping(f)
+}
+
+fn blackout_and_crash() -> FaultSpec {
+    let mut f = blackout();
+    f.crash_every = crash().crash_every;
+    f
+}
+
+fn q_cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:>9.1}"),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+fn row(label: &str, r: &ServerLoadReport) {
+    let f = &r.fates;
+    println!(
+        "{label:<24} {:>6.1}% {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>10.1} {} {}",
+        100.0 * f.availability(),
+        f.completed,
+        f.retried_then_accepted,
+        f.shed,
+        f.gave_up,
+        f.reset,
+        f.failed,
+        r.reconnects,
+        r.accounting.cpu_cost,
+        q_cell(r.time_to_success.p50()),
+        q_cell(r.time_to_success.p99()),
+    );
+}
+
+fn header() {
+    println!(
+        "{:<24} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>10} {:>9} {:>9}",
+        "cell",
+        "avail",
+        "done",
+        "retry+",
+        "shed",
+        "gaveup",
+        "reset",
+        "failed",
+        "reconn",
+        "cpu[hs]",
+        "tts_p50",
+        "tts_p99"
+    );
+}
+
+fn main() {
+    banner(
+        "exp_fault_sweep",
+        "beyond the paper",
+        "Availability and time-to-success under injected faults: blackouts, server crashes, and flash-crowd overload per admission policy.",
+    );
+    let arrivals = (load_arrivals() / 4).max(40);
+    let runner = SweepRunner::from_env();
+    println!(
+        "{arrivals} Poisson arrivals/cell (mean gap 20 ms), 10 s budget per connection, shard \
+         size {DEFAULT_SHARD_ARRIVALS}, threads from REACKED_THREADS\n"
+    );
+
+    // Section 1: the fault grid. Faulty cells give clients a 3 s give-up
+    // deadline and up to 3 jittered-backoff reconnect attempts.
+    println!("Fault grid (WFC vs IACK vs IACK+0-RTT):");
+    header();
+    let profiles: [(&str, FaultSpec); 4] = [
+        ("baseline", FaultSpec::none()),
+        ("blackout", blackout()),
+        ("crash", crash()),
+        ("blackout+crash", blackout_and_crash()),
+    ];
+    for (mode_label, mode, class) in [
+        ("wfc/full", WFC, HandshakeClass::Full),
+        ("iack/full", IACK, HandshakeClass::Full),
+        ("iack/0rtt", IACK, HandshakeClass::ZeroRtt),
+    ] {
+        for (fault_label, faults) in &profiles {
+            let mut spec = base_spec(mode, class, arrivals);
+            spec.base.faults = *faults;
+            let report = run_server_load_sharded(&spec, &runner, DEFAULT_SHARD_ARRIVALS);
+            row(&format!("{mode_label}/{fault_label}"), &report);
+        }
+    }
+
+    // Section 2: a flash crowd against a finite server, per overload
+    // policy. Deferred clients revisit with the server's Retry token;
+    // busy-closed and shed clients burn their fate on the floor.
+    println!("\nFlash crowd ({arrivals} arrivals in 250 ms) vs limit 64, per overload policy:");
+    header();
+    for policy in [
+        OverloadPolicy::Shed,
+        OverloadPolicy::RetryDefer,
+        OverloadPolicy::CloseWithBackoff,
+    ] {
+        let mut spec = base_spec(IACK, HandshakeClass::Full, arrivals);
+        spec.process = ArrivalProcess::FlashCrowd {
+            window: SimDuration::from_millis(250),
+        };
+        spec.concurrency_limit = 64;
+        spec.overload = policy;
+        let report = run_server_load_sharded(&spec, &runner, DEFAULT_SHARD_ARRIVALS);
+        row(policy.label(), &report);
+    }
+
+    println!(
+        "\navail = (done + retry+) / arrivals. retry+ = admitted on a revisit after a Retry \
+         deferral. tts = time-to-success in ms from first arrival through every reconnect \
+         (completed connections only, 0.5 ms bins). cpu[hs] = handshake CPU in full-handshake \
+         units. Crashes wipe per-connection server state (orphans get a stateless reset); \
+         blackouts drop every datagram in seeded outage windows; give-up fires after 3 s and \
+         reconnects retry up to 3 times with jittered exponential backoff."
+    );
+}

@@ -113,6 +113,15 @@ fn exp_server_load_matches_golden() {
     );
 }
 
+#[test]
+fn exp_fault_sweep_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fault_sweep"),
+        "exp_fault_sweep",
+        include_str!("golden/exp_fault_sweep.txt"),
+    );
+}
+
 // The wild pipeline: the sharded scan and the longitudinal study must
 // print the same bytes at every thread count.
 

@@ -134,6 +134,21 @@ pub enum EventData {
         /// True at the issuer, false at the receiver.
         sent: bool,
     },
+    /// The server crashed and restarted, dropping all per-connection
+    /// state (fault injection).
+    ServerCrashed {
+        /// Connections orphaned by the crash.
+        dropped_conns: usize,
+    },
+    /// The client abandoned a handshake that exceeded its give-up
+    /// deadline or consecutive-PTO budget.
+    HandshakeAbandoned {
+        /// Consecutive PTO expirations at the moment of abandonment.
+        pto_count: u32,
+    },
+    /// A stateless-reset-style signal: the peer lost this connection's
+    /// state (observed at the endpoint that received the reset).
+    StatelessReset,
 }
 
 /// One timestamped event. JSON form flattens the payload next to
@@ -245,6 +260,9 @@ impl EventData {
             EventData::ResumptionUsed => "resumption_used",
             EventData::EarlyData { .. } => "early_data",
             EventData::SessionTicket { .. } => "session_ticket",
+            EventData::ServerCrashed { .. } => "server_crashed",
+            EventData::HandshakeAbandoned { .. } => "handshake_abandoned",
+            EventData::StatelessReset => "stateless_reset",
         }
     }
 
@@ -318,11 +336,18 @@ impl EventData {
             EventData::SessionTicket { sent } => {
                 fields.push(("sent".into(), Json::Bool(*sent)));
             }
+            EventData::ServerCrashed { dropped_conns } => {
+                fields.push(("dropped_conns".into(), Json::size(*dropped_conns)));
+            }
+            EventData::HandshakeAbandoned { pto_count } => {
+                fields.push(("pto_count".into(), Json::uint(*pto_count)));
+            }
             EventData::CertificateRequested
             | EventData::CertificateReady
             | EventData::HandshakeComplete
             | EventData::HandshakeConfirmed
-            | EventData::ResumptionUsed => {}
+            | EventData::ResumptionUsed
+            | EventData::StatelessReset => {}
         }
         fields
     }

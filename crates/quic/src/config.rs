@@ -144,6 +144,15 @@ pub struct EndpointConfig {
     /// overlap window of a rotating [`rq_tls::TicketKeySchedule`]); empty
     /// for the legacy single-key server.
     pub accept_ticket_keys: Vec<u64>,
+    /// Client: abandon the handshake this long after the first Initial
+    /// leaves, closing with [`crate::connection::ERROR_GIVE_UP`]. `None`
+    /// (the default) waits forever, like every stack in the paper's
+    /// testbed — existing traces are untouched.
+    pub give_up_after: Option<SimDuration>,
+    /// Client: abandon the handshake after this many *consecutive* PTO
+    /// expirations (reset on forward progress). `None` disables the
+    /// PTO-count give-up.
+    pub give_up_pto_count: Option<u32>,
     /// Initial connection-level flow control credit offered to the peer.
     pub initial_max_data: u64,
     /// Initial per-stream flow control credit.
@@ -173,6 +182,8 @@ impl EndpointConfig {
             resumption: rq_tls::ServerResumption::disabled(),
             ticket_key: 0x7E11_C3E7,
             accept_ticket_keys: Vec::new(),
+            give_up_after: None,
+            give_up_pto_count: None,
             // Receive windows sized like real stacks (hundreds of KiB):
             // large transfers then require a steady stream of MAX_DATA /
             // MAX_STREAM_DATA grants — the ack-eliciting client packets

@@ -34,6 +34,15 @@ use crate::streams::StreamSet;
 /// Maximum UDP payload we produce (QUIC minimum-MTU safe value).
 pub const MAX_DATAGRAM_SIZE: usize = 1200;
 
+/// Close code: the client abandoned a handshake past its give-up budget.
+pub const ERROR_GIVE_UP: u64 = 0x6109_E0;
+/// Close code: the peer signalled it lost this connection's state
+/// (stateless-reset-style, e.g. after a server crash).
+pub const ERROR_STATELESS_RESET: u64 = 0x57A7_E1;
+/// Close code: the server refused the connection because it was
+/// overloaded (the `CloseWithBackoff` admission policy).
+pub const ERROR_SERVER_BUSY: u64 = 0xB0_5E;
+
 /// Endpoint role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
@@ -126,6 +135,9 @@ pub struct Connection {
     /// Time of the last ack-eliciting *send* (base for the quirky
     /// "default PTO only" deadlock probe of mvfst/picoquic).
     last_eliciting_send: Option<SimTime>,
+    /// Client: when the first datagram left (base of the `give_up_after`
+    /// handshake deadline).
+    first_send_at: Option<SimTime>,
     /// Close state.
     closed: bool,
     close_frame_pending: Option<(u64, String)>,
@@ -215,6 +227,7 @@ impl Connection {
             streams: StreamSet::new(cfg.initial_max_data, cfg.initial_max_stream_data),
             last_activity: None,
             last_eliciting_send: None,
+            first_send_at: None,
             closed: false,
             close_frame_pending: None,
             amp_blocked_logged: false,
@@ -280,6 +293,7 @@ impl Connection {
             streams: StreamSet::new(cfg.initial_max_data, cfg.initial_max_stream_data),
             last_activity: None,
             last_eliciting_send: None,
+            first_send_at: None,
             closed: false,
             close_frame_pending: None,
             amp_blocked_logged: false,
@@ -388,6 +402,21 @@ impl Connection {
     /// Processes one received UDP datagram.
     pub fn handle_datagram(&mut self, now: SimTime, data: &[u8]) {
         if self.closed {
+            return;
+        }
+        // Fault-injection signals travel outside the packet codec (their
+        // leading 0x00 byte fails the fixed-bit check of every real
+        // packet). The connection dies silently: there is no point
+        // closing back at a peer that already forgot us or refused us.
+        if data.starts_with(STATELESS_RESET_PREFIX) {
+            self.log.push(now, EventData::StatelessReset);
+            self.abort(now, ERROR_STATELESS_RESET, "stateless reset");
+            self.close_frame_pending = None;
+            return;
+        }
+        if data.starts_with(SERVER_BUSY_PREFIX) {
+            self.abort(now, ERROR_SERVER_BUSY, "server busy");
+            self.close_frame_pending = None;
             return;
         }
         self.last_activity = Some(now);
@@ -1067,6 +1096,7 @@ impl Connection {
         if let Some(d) = self.ready_datagrams.pop_front() {
             self.bytes_sent += d.len();
             self.last_activity = Some(now);
+            self.first_send_at.get_or_insert(now);
             return Some(d);
         }
         if self.closed {
@@ -1082,12 +1112,14 @@ impl Connection {
             if let Some(d) = self.ready_datagrams.pop_front() {
                 self.bytes_sent += d.len();
                 self.last_activity = Some(now);
+                self.first_send_at.get_or_insert(now);
                 return Some(d);
             }
         }
         self.build_datagram(now).map(|d| {
             self.bytes_sent += d.len();
             self.last_activity = Some(now);
+            self.first_send_at.get_or_insert(now);
             d
         })
     }
@@ -1737,7 +1769,32 @@ impl Connection {
         consider(self.loss_time());
         consider(self.pto_deadline());
         consider(self.ack_deadline());
+        consider(self.give_up_deadline());
         next
+    }
+
+    /// Absolute instant the client abandons an unfinished handshake
+    /// (`give_up_after` on the config); `None` when the knob is off, the
+    /// handshake already completed, or nothing was sent yet.
+    fn give_up_deadline(&self) -> Option<SimTime> {
+        if self.role != Role::Client || self.handshake_complete {
+            return None;
+        }
+        let after = self.cfg.give_up_after?;
+        Some(self.first_send_at? + after)
+    }
+
+    /// Abandons the handshake: silent close, nothing sent to a peer that
+    /// is presumed dead or unreachable.
+    fn give_up(&mut self, now: SimTime) {
+        self.log.push(
+            now,
+            EventData::HandshakeAbandoned {
+                pto_count: self.pto.count(),
+            },
+        );
+        self.abort(now, ERROR_GIVE_UP, "handshake give-up");
+        self.close_frame_pending = None;
     }
 
     fn loss_time(&self) -> Option<SimTime> {
@@ -1806,6 +1863,14 @@ impl Connection {
         if self.closed {
             return;
         }
+        // 0. Handshake give-up deadline (checked first: an expired
+        // deadline makes every other timer moot).
+        if let Some(gd) = self.give_up_deadline() {
+            if now >= gd {
+                self.give_up(now);
+                return;
+            }
+        }
         // 1. Time-threshold loss detection.
         if let Some(lt) = self.loss_time() {
             if now >= lt {
@@ -1842,6 +1907,15 @@ impl Connection {
         if let Some(pd) = self.pto_deadline() {
             if now >= pd {
                 self.on_pto(now);
+                // Consecutive-PTO give-up: N expirations without forward
+                // progress and the client stops probing a black hole.
+                if self.role == Role::Client && !self.handshake_complete {
+                    if let Some(limit) = self.cfg.give_up_pto_count {
+                        if self.pto.count() >= limit {
+                            self.give_up(now);
+                        }
+                    }
+                }
             }
         }
     }
@@ -1934,6 +2008,42 @@ fn retry_token_for(scid: &ConnectionId) -> Vec<u8> {
     let mut t = b"retry-token:".to_vec();
     t.extend_from_slice(scid.as_slice());
     t
+}
+
+/// Wire prefix of the simulator's stateless-reset-style datagram. A real
+/// stack hides the reset token in an unpredictable short-header tail
+/// (RFC 9000 §10.3); the simulator only needs the *semantics* — an
+/// unforgeable-in-context "I lost your state" signal — so it uses a
+/// distinguished prefix no packet codec ever emits (packets start with a
+/// form/type byte, never 0x00).
+pub const STATELESS_RESET_PREFIX: &[u8] = b"\x00reacked:stateless-reset";
+/// Wire prefix of the "server busy, go away" refusal datagram the
+/// `CloseWithBackoff` overload policy answers with.
+pub const SERVER_BUSY_PREFIX: &[u8] = b"\x00reacked:server-busy";
+
+/// Builds the stateless-reset-style datagram a restarted server sends to
+/// a connection it no longer remembers.
+pub fn stateless_reset_datagram(orphan_cid: ConnectionId) -> Vec<u8> {
+    let mut d = STATELESS_RESET_PREFIX.to_vec();
+    d.extend_from_slice(orphan_cid.as_slice());
+    d
+}
+
+/// Builds the busy-refusal datagram of the `CloseWithBackoff` policy.
+pub fn server_busy_datagram() -> Vec<u8> {
+    SERVER_BUSY_PREFIX.to_vec()
+}
+
+/// Builds a *stateless* Retry datagram for a tokenless client Initial —
+/// the `RetryDefer` overload policy answers from outside any connection,
+/// exactly like a production server validating addresses before
+/// committing state. `client_scid` is the Initial's SCID (the token is
+/// bound to it); `server_cid` becomes the Retry's SCID.
+pub fn stateless_retry_datagram(client_scid: ConnectionId, server_cid: ConnectionId) -> Vec<u8> {
+    let token = retry_token_for(&client_scid);
+    let hdr = Header::retry(client_scid, server_cid, token);
+    let pkt = PlainPacket::new(hdr, Vec::new()).expect("retry has no frames");
+    pkt.to_bytes(&[0u8; 16]).to_vec()
 }
 
 /// The byte string authenticated by the packet tag: the serialized frames.

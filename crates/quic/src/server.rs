@@ -18,7 +18,8 @@
 
 use std::collections::HashMap;
 
-use rq_qlog::EventData;
+use rq_qlog::{EventData, EventLog};
+use rq_sim::SimTime;
 use rq_tls::TicketKeySchedule;
 use rq_wire::ConnectionId;
 
@@ -83,6 +84,18 @@ pub struct ServerAccounting {
     pub depth_samples: u64,
     /// Retired connections that hit the anti-amplification limit.
     pub amp_blocked_conns: u64,
+    /// Arrivals answered with a stateless Retry because the server was
+    /// at its limit (`RetryDefer` policy).
+    pub retry_deferred: u64,
+    /// Deferred arrivals later admitted with a valid token.
+    pub retry_admitted: u64,
+    /// Arrivals refused with an explicit busy close
+    /// (`CloseWithBackoff` policy).
+    pub busy_refused: u64,
+    /// Server crash/restart events.
+    pub crashes: u64,
+    /// Connections whose state a crash dropped mid-flight.
+    pub reset_conns: u64,
 }
 
 impl ServerAccounting {
@@ -101,6 +114,11 @@ impl ServerAccounting {
         self.depth_sum += other.depth_sum;
         self.depth_samples += other.depth_samples;
         self.amp_blocked_conns += other.amp_blocked_conns;
+        self.retry_deferred += other.retry_deferred;
+        self.retry_admitted += other.retry_admitted;
+        self.busy_refused += other.busy_refused;
+        self.crashes += other.crashes;
+        self.reset_conns += other.reset_conns;
     }
 
     /// Mean active-connection count seen by arriving work.
@@ -113,6 +131,39 @@ impl ServerAccounting {
     }
 }
 
+/// What an overloaded server does with an Initial it has no slot for.
+///
+/// The paper's load engine knew exactly one answer — drop it (`Shed`).
+/// Production terminators have two more: answer with a stateless Retry
+/// so the client validates its address now and re-knocks with a token
+/// (`RetryDefer` — the Retry round trip doubles as an early RTT sample,
+/// §5), or refuse explicitly so the client backs off and reconnects
+/// later (`CloseWithBackoff`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Drop the Initial statelessly; the client times out or gives up.
+    #[default]
+    Shed,
+    /// Answer with a stateless Retry: no state is committed, the client
+    /// gets a token (and an RTT sample) and keeps knocking until a slot
+    /// frees — a cheap admission valve instead of a hard drop.
+    RetryDefer,
+    /// Answer with an explicit busy refusal; the client's reconnect
+    /// policy (jittered exponential backoff) decides when to try again.
+    CloseWithBackoff,
+}
+
+impl OverloadPolicy {
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::RetryDefer => "retry-defer",
+            OverloadPolicy::CloseWithBackoff => "close-backoff",
+        }
+    }
+}
+
 /// Admission decision for one arriving Initial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AcceptOutcome {
@@ -121,6 +172,13 @@ pub enum AcceptOutcome {
     /// Load shed: over the concurrency limit, the Initial is dropped
     /// statelessly (the cheapest thing a server can do with it).
     Shed,
+    /// Over the limit under [`OverloadPolicy::RetryDefer`]: answer with
+    /// a stateless Retry (tokenless arrivals) or keep the deferred
+    /// client knocking (tokened revisits) — no state committed yet.
+    RetryDefer,
+    /// Over the limit under [`OverloadPolicy::CloseWithBackoff`]: answer
+    /// with an explicit busy refusal.
+    Busy,
 }
 
 struct ConnSlot {
@@ -140,9 +198,14 @@ pub struct ServerEngine {
     /// Cost per completed handshake, by class.
     pub cost_model: ServerCostModel,
     concurrency_limit: usize,
+    /// What to do with arrivals beyond the limit.
+    pub overload: OverloadPolicy,
     conns: HashMap<u64, ConnSlot>,
     /// Running aggregates.
     pub accounting: ServerAccounting,
+    /// Listener-level qlog events (crashes — things no single
+    /// connection's log can own).
+    pub log: EventLog,
 }
 
 impl ServerEngine {
@@ -159,9 +222,17 @@ impl ServerEngine {
             schedule,
             cost_model: ServerCostModel::default(),
             concurrency_limit: concurrency_limit.max(1),
+            overload: OverloadPolicy::Shed,
             conns: HashMap::new(),
             accounting: ServerAccounting::default(),
+            log: EventLog::new("server:engine".to_string()),
         }
+    }
+
+    /// Replaces the overload admission policy (default: hard shed).
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
     }
 
     /// The ticket-key schedule connections are minted under.
@@ -179,29 +250,70 @@ impl ServerEngine {
         self.conns.contains_key(&key)
     }
 
-    /// Admits or sheds a new connection whose first datagram carried
+    /// Keys of all active connections, sorted — the only safe way to
+    /// iterate the table for side effects (raw `HashMap` order would
+    /// leak nondeterminism into the event stream).
+    pub fn active_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.conns.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Admits or refuses a new connection whose first datagram carried
     /// `original_dcid`. `now_secs` (virtual seconds) selects the ticket
     /// key epoch the connection mints and accepts under.
+    ///
+    /// `has_token` marks an Initial carrying a Retry token; `revisit`
+    /// marks a re-knock from a client this engine already answered with
+    /// a Retry (deferred admission) — revisits don't count as new
+    /// arrivals or depth samples.
     pub fn accept(
         &mut self,
         key: u64,
         conn_seed: u64,
         original_dcid: ConnectionId,
         now_secs: u64,
+        has_token: bool,
+        revisit: bool,
     ) -> AcceptOutcome {
         let depth = self.conns.len() as u64;
-        self.accounting.arrivals += 1;
-        self.accounting.depth_sum += depth;
-        self.accounting.depth_samples += 1;
+        if !revisit {
+            self.accounting.arrivals += 1;
+            self.accounting.depth_sum += depth;
+            self.accounting.depth_samples += 1;
+        }
         if self.conns.len() >= self.concurrency_limit {
-            self.accounting.shed += 1;
-            return AcceptOutcome::Shed;
+            return match self.overload {
+                OverloadPolicy::Shed => {
+                    self.accounting.shed += 1;
+                    AcceptOutcome::Shed
+                }
+                OverloadPolicy::RetryDefer => {
+                    if !revisit {
+                        self.accounting.retry_deferred += 1;
+                    }
+                    AcceptOutcome::RetryDefer
+                }
+                OverloadPolicy::CloseWithBackoff => {
+                    self.accounting.busy_refused += 1;
+                    AcceptOutcome::Busy
+                }
+            };
         }
         self.accounting.accepted += 1;
+        if revisit && has_token {
+            self.accounting.retry_admitted += 1;
+        }
         let mut cfg = self.template.clone();
         cfg.ticket_key = self.schedule.mint_key(now_secs);
         cfg.accept_ticket_keys = self.schedule.accept_keys(now_secs);
-        let conn = Connection::server(cfg, conn_seed, original_dcid);
+        let mut conn = Connection::server(cfg, conn_seed, original_dcid);
+        // A deferred client re-knocks with the token its Retry handed
+        // out; the connection must expect (and validate) it so the
+        // address counts as validated from the first packet.
+        if has_token {
+            conn.use_retry = true;
+        }
         self.conns.insert(
             key,
             ConnSlot {
@@ -211,6 +323,32 @@ impl ServerEngine {
         );
         self.accounting.peak_active = self.accounting.peak_active.max(self.conns.len() as u64);
         AcceptOutcome::Accepted
+    }
+
+    /// The server process dies and restarts: every per-connection state
+    /// machine is dropped on the floor (their clients get a
+    /// stateless-reset-style signal from the caller, or time out), and
+    /// with `forget_ticket_epochs` the restarted process also loses the
+    /// previous ticket-key epochs, so outstanding tickets degrade to
+    /// full handshakes. Returns the orphaned keys in sorted order —
+    /// *never* iterate the connection table directly for side effects;
+    /// `HashMap` order would leak nondeterminism into the event stream.
+    pub fn crash_and_restart(&mut self, now: SimTime, forget_ticket_epochs: bool) -> Vec<u64> {
+        let mut orphans: Vec<u64> = self.conns.keys().copied().collect();
+        orphans.sort_unstable();
+        self.conns.clear();
+        self.accounting.crashes += 1;
+        self.accounting.reset_conns += orphans.len() as u64;
+        if forget_ticket_epochs {
+            self.schedule = self.schedule.forget_old_epochs();
+        }
+        self.log.push(
+            now,
+            EventData::ServerCrashed {
+                dropped_conns: orphans.len(),
+            },
+        );
+        orphans
     }
 
     /// The connection behind `key`, if active.
@@ -282,16 +420,28 @@ mod tests {
     #[test]
     fn sheds_beyond_concurrency_limit() {
         let mut e = engine(2);
-        assert_eq!(e.accept(1, 1, dcid(1), 0), AcceptOutcome::Accepted);
-        assert_eq!(e.accept(2, 2, dcid(2), 0), AcceptOutcome::Accepted);
-        assert_eq!(e.accept(3, 3, dcid(3), 0), AcceptOutcome::Shed);
+        assert_eq!(
+            e.accept(1, 1, dcid(1), 0, false, false),
+            AcceptOutcome::Accepted
+        );
+        assert_eq!(
+            e.accept(2, 2, dcid(2), 0, false, false),
+            AcceptOutcome::Accepted
+        );
+        assert_eq!(
+            e.accept(3, 3, dcid(3), 0, false, false),
+            AcceptOutcome::Shed
+        );
         assert_eq!(e.active(), 2);
         assert_eq!(e.accounting.arrivals, 3);
         assert_eq!(e.accounting.accepted, 2);
         assert_eq!(e.accounting.shed, 1);
         // Retiring frees a slot; the next arrival is admitted again.
         assert!(e.retire(1, true).is_some());
-        assert_eq!(e.accept(4, 4, dcid(4), 0), AcceptOutcome::Accepted);
+        assert_eq!(
+            e.accept(4, 4, dcid(4), 0, false, false),
+            AcceptOutcome::Accepted
+        );
         assert_eq!(e.accounting.completed, 1);
     }
 
@@ -299,7 +449,7 @@ mod tests {
     fn depth_and_peak_tracking() {
         let mut e = engine(8);
         for k in 0..4u64 {
-            e.accept(k, k, dcid(k), 0);
+            e.accept(k, k, dcid(k), 0, false, false);
         }
         // Depth samples: 0,1,2,3 at the four arrivals.
         assert_eq!(e.accounting.depth_sum, 6);
@@ -314,7 +464,7 @@ mod tests {
     #[test]
     fn handshake_cost_lands_once_and_only_when_established() {
         let mut e = engine(4);
-        e.accept(1, 1, dcid(1), 0);
+        e.accept(1, 1, dcid(1), 0, false, false);
         // Handshake not complete: no cost.
         e.note_handshake_outcome(1);
         assert_eq!(e.accounting.cpu_cost, 0.0);
@@ -340,6 +490,11 @@ mod tests {
             depth_sum: 12,
             depth_samples: 10,
             amp_blocked_conns: 1,
+            retry_deferred: 3,
+            retry_admitted: 2,
+            busy_refused: 1,
+            crashes: 1,
+            reset_conns: 2,
         };
         let b = ServerAccounting {
             arrivals: 5,
@@ -347,6 +502,8 @@ mod tests {
             peak_active: 9,
             depth_sum: 3,
             depth_samples: 5,
+            retry_deferred: 1,
+            reset_conns: 4,
             ..ServerAccounting::default()
         };
         a.merge(&b);
@@ -355,6 +512,90 @@ mod tests {
         assert_eq!(a.peak_active, 9);
         assert_eq!(a.depth_samples, 15);
         assert_eq!(a.mean_depth(), 1.0);
+        assert_eq!(a.retry_deferred, 4);
+        assert_eq!(a.retry_admitted, 2);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.reset_conns, 6);
+    }
+
+    #[test]
+    fn retry_defer_answers_retry_then_admits_revisits() {
+        let mut e = engine(1).with_overload_policy(OverloadPolicy::RetryDefer);
+        assert_eq!(
+            e.accept(1, 1, dcid(1), 0, false, false),
+            AcceptOutcome::Accepted
+        );
+        // At the limit: deferred, no state committed.
+        assert_eq!(
+            e.accept(2, 2, dcid(2), 0, false, false),
+            AcceptOutcome::RetryDefer
+        );
+        assert_eq!(e.active(), 1);
+        assert_eq!(e.accounting.retry_deferred, 1);
+        assert_eq!(e.accounting.shed, 0);
+        // Still full: the tokened revisit keeps knocking, uncounted.
+        assert_eq!(
+            e.accept(2, 2, dcid(2), 0, true, true),
+            AcceptOutcome::RetryDefer
+        );
+        assert_eq!(e.accounting.arrivals, 2);
+        assert_eq!(e.accounting.retry_deferred, 1);
+        // A slot frees: the revisit is admitted with the token expected.
+        e.retire(1, true);
+        assert_eq!(
+            e.accept(2, 2, dcid(2), 0, true, true),
+            AcceptOutcome::Accepted
+        );
+        assert_eq!(e.accounting.retry_admitted, 1);
+        assert!(e.conn_mut(2).unwrap().use_retry);
+    }
+
+    #[test]
+    fn close_with_backoff_refuses_explicitly() {
+        let mut e = engine(1).with_overload_policy(OverloadPolicy::CloseWithBackoff);
+        assert_eq!(
+            e.accept(1, 1, dcid(1), 0, false, false),
+            AcceptOutcome::Accepted
+        );
+        assert_eq!(
+            e.accept(2, 2, dcid(2), 0, false, false),
+            AcceptOutcome::Busy
+        );
+        assert_eq!(e.accounting.busy_refused, 1);
+        assert_eq!(e.accounting.shed, 0);
+    }
+
+    #[test]
+    fn crash_drops_all_conns_in_sorted_key_order() {
+        let mut e = engine(8);
+        for k in [5u64, 1, 3] {
+            e.accept(k, k, dcid(k), 0, false, false);
+        }
+        let orphans = e.crash_and_restart(SimTime::ZERO, false);
+        assert_eq!(orphans, vec![1, 3, 5], "orphans must come out sorted");
+        assert_eq!(e.active(), 0);
+        assert_eq!(e.accounting.crashes, 1);
+        assert_eq!(e.accounting.reset_conns, 3);
+        assert!(e
+            .log
+            .first(|d| matches!(d, EventData::ServerCrashed { dropped_conns: 3 }))
+            .is_some());
+        // The table is usable again immediately.
+        assert_eq!(
+            e.accept(7, 7, dcid(7), 0, false, false),
+            AcceptOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn crash_can_forget_previous_ticket_epochs() {
+        let schedule = TicketKeySchedule::rotating(99, 100, 2);
+        let mut e = ServerEngine::new(EndpointConfig::rfc_default(), schedule, 4);
+        assert_eq!(e.schedule().accept_keys(250).len(), 3);
+        e.crash_and_restart(SimTime::ZERO, true);
+        // Only the current epoch survives the restart.
+        assert_eq!(e.schedule().accept_keys(250).len(), 1);
+        assert_eq!(e.schedule().mint_key(250), schedule.mint_key(250));
     }
 
     #[test]

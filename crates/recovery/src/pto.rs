@@ -62,9 +62,17 @@ impl PtoState {
         last_ack_eliciting_sent.map(|t| t + self.pto_duration(rtt, is_application))
     }
 
-    /// Registers a PTO expiration (exponential backoff).
+    /// Registers a PTO expiration (exponential backoff). Saturating: a
+    /// wedged connection probing forever must not wrap the counter back
+    /// to a short timeout.
     pub fn on_pto_expired(&mut self) {
-        self.pto_count += 1;
+        self.pto_count = self.pto_count.saturating_add(1);
+    }
+
+    /// Number of consecutive PTO expirations since the last forward
+    /// progress — the "N consecutive PTOs" signal give-up logic reads.
+    pub fn count(&self) -> u32 {
+        self.pto_count
     }
 
     /// Resets backoff on forward progress (an ACK that newly acknowledges
@@ -118,6 +126,15 @@ mod tests {
             p.on_pto_expired();
         }
         assert_eq!(p.backoff(), 8);
+    }
+
+    #[test]
+    fn pto_count_saturates_instead_of_wrapping() {
+        let mut p = PtoState::new(ms(1));
+        p.pto_count = u32::MAX;
+        p.on_pto_expired();
+        assert_eq!(p.count(), u32::MAX);
+        assert_eq!(p.backoff(), 1u64 << p.max_backoff);
     }
 
     #[test]

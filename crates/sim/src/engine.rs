@@ -413,6 +413,7 @@ mod tests {
                 loss: Box::new(crate::loss::NoLoss),
                 impairment: None,
                 mtu: 1500,
+                blackouts: Vec::new(),
             },
         );
         let outcome = net.run(SimDuration::from_secs(5));

@@ -14,6 +14,7 @@
 //! threads, no sockets.
 
 pub mod engine;
+pub mod fault;
 pub mod impair;
 pub mod link;
 pub mod loss;
@@ -23,6 +24,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Network, RunOutcome};
+pub use fault::{Blackout, FaultProfile, FaultTimeline, Freeze};
 pub use impair::{ImpairedFate, Impairment, ImpairmentSpec, Jitter, LossModel};
 pub use link::{LinkConfig, LinkStats};
 pub use loss::{Direction, DropContentMatch, DropIndices, LossRule, NoLoss};

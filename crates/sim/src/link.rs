@@ -5,6 +5,7 @@
 //! paper's testbed uses symmetric one-way delays between 0.5 ms and 150 ms
 //! and 10 Mbit/s of bandwidth; `LinkConfig` captures exactly those knobs.
 
+use crate::fault::Blackout;
 use crate::impair::{ImpairedFate, Impairment, ImpairmentSpec};
 use crate::loss::{DatagramMeta, Direction, LossRule, NoLoss};
 use crate::node::NodeId;
@@ -24,6 +25,10 @@ pub struct LinkConfig {
     pub impairment: Option<Impairment>,
     /// Maximum UDP payload; larger sends panic (QUIC never exceeds this).
     pub mtu: usize,
+    /// Fault-injection blackout windows: datagrams offered inside one are
+    /// dropped deterministically (before the loss rule, consuming no
+    /// random draws). Empty for every non-fault scenario.
+    pub blackouts: Vec<Blackout>,
 }
 
 impl LinkConfig {
@@ -35,6 +40,7 @@ impl LinkConfig {
             loss: Box::new(NoLoss),
             impairment: None,
             mtu: 1500,
+            blackouts: Vec::new(),
         }
     }
 
@@ -50,6 +56,12 @@ impl LinkConfig {
         self
     }
 
+    /// Attaches fault-timeline blackout windows.
+    pub fn with_blackouts(mut self, blackouts: Vec<Blackout>) -> Self {
+        self.blackouts = blackouts;
+        self
+    }
+
     /// Ideal link: zero delay, infinite bandwidth (useful in unit tests).
     pub fn ideal() -> Self {
         LinkConfig {
@@ -58,6 +70,7 @@ impl LinkConfig {
             loss: Box::new(NoLoss),
             impairment: None,
             mtu: 65_535,
+            blackouts: Vec::new(),
         }
     }
 }
@@ -69,6 +82,7 @@ impl std::fmt::Debug for LinkConfig {
             .field("bandwidth_bps", &self.bandwidth_bps)
             .field("impairment", &self.impairment.as_ref().map(|i| i.spec()))
             .field("mtu", &self.mtu)
+            .field("blackouts", &self.blackouts.len())
             .finish()
     }
 }
@@ -158,6 +172,18 @@ impl Link {
         self.stats.sent += 1;
         self.stats.bytes += payload.len();
 
+        // Blackout windows drop first: deterministic like the loss rule,
+        // so neither consumes random draws on behalf of the other.
+        if !self.config.blackouts.is_empty()
+            && self
+                .config
+                .blackouts
+                .iter()
+                .any(|b| b.covers(now, direction))
+        {
+            self.stats.dropped += 1;
+            return (TransmitResult::Drop, index);
+        }
         let meta = DatagramMeta {
             direction,
             index,
@@ -231,6 +257,7 @@ mod tests {
             loss: Box::new(NoLoss),
             impairment: None,
             mtu: 1500,
+            blackouts: Vec::new(),
         });
         let (res, idx) = l.transmit(NodeId(0), &[0u8; 100], SimTime::ZERO);
         assert_eq!(idx, 0);
@@ -293,6 +320,30 @@ mod tests {
     }
 
     #[test]
+    fn blackout_window_drops_matching_direction_only() {
+        let mut l = link(
+            LinkConfig::paper_default(SimDuration::ZERO).with_blackouts(vec![Blackout {
+                start: SimTime::from_nanos(1_000),
+                end: SimTime::from_nanos(2_000),
+                direction: Some(Direction::AtoB),
+            }]),
+        );
+        // Before the window: delivered.
+        let (r, _) = l.transmit(NodeId(0), &[0u8; 10], SimTime::ZERO);
+        assert!(matches!(r, TransmitResult::Deliver { .. }));
+        // Inside the window, matching direction: dropped.
+        let (r, _) = l.transmit(NodeId(0), &[0u8; 10], SimTime::from_nanos(1_500));
+        assert!(matches!(r, TransmitResult::Drop));
+        // Inside the window, opposite direction: delivered.
+        let (r, _) = l.transmit(NodeId(1), &[0u8; 10], SimTime::from_nanos(1_500));
+        assert!(matches!(r, TransmitResult::Deliver { .. }));
+        // At the (exclusive) end: delivered again.
+        let (r, _) = l.transmit(NodeId(0), &[0u8; 10], SimTime::from_nanos(2_000));
+        assert!(matches!(r, TransmitResult::Deliver { .. }));
+        assert_eq!(l.stats.dropped, 1);
+    }
+
+    #[test]
     fn impaired_link_delays_stay_above_propagation() {
         use crate::impair::ImpairmentSpec;
         let owd = SimDuration::from_millis(5);
@@ -307,6 +358,7 @@ mod tests {
                 loss: Box::new(NoLoss),
                 impairment: None,
                 mtu: 1500,
+                blackouts: Vec::new(),
             }
             .with_impairment(spec, 21),
         );

@@ -20,15 +20,13 @@ pub mod stats;
 
 pub use matrix::{MatrixCell, ScenarioMatrix};
 pub use nodes::{ClientNode, ClientStatus, ServerControl, ServerNode};
-#[allow(deprecated)]
-pub use runner::run_repetitions_parallel;
 pub use runner::{
     apply_exposure, rep_scenario, run_repetitions, run_scenario, run_scenario_with_trace,
     RunResult, SweepRunner, SweepScenarios,
 };
-pub use scenario::{HandshakeClass, LossSpec, Scenario};
+pub use scenario::{FaultSpec, HandshakeClass, LossSpec, ReconnectPolicy, Scenario};
 pub use server_load::{
     run_server_load, run_server_load_sharded, ArrivalProcess, ClassMix, ConnFate, ConnOutcome,
-    ConnPlan, ServerLoadReport, ServerLoadRun, ServerLoadSpec, DEFAULT_SHARD_ARRIVALS,
+    ConnPlan, FateTally, ServerLoadReport, ServerLoadRun, ServerLoadSpec, DEFAULT_SHARD_ARRIVALS,
 };
 pub use stats::{median, median_sorted, percentile, percentile_sorted, LatencyHistogram, Summary};

@@ -16,15 +16,36 @@ use std::collections::HashSet;
 use std::rc::Rc;
 
 use rq_http::{h1, h3, HttpVersion};
-use rq_quic::{stream_id, AcceptOutcome, ConnEvent, Connection, EndpointConfig, ServerEngine};
-use rq_sim::{Context, Node, NodeId, SimDuration, SimTime};
+use rq_quic::{
+    server_busy_datagram, stateless_reset_datagram, stateless_retry_datagram, stream_id,
+    AcceptOutcome, ConnEvent, Connection, EndpointConfig, ServerEngine,
+};
+use rq_sim::{Context, FaultTimeline, Node, NodeId, SimDuration, SimRng, SimTime};
 use rq_tls::TicketKeySchedule;
-use rq_wire::ConnectionId;
+use rq_wire::{ConnectionId, PacketType};
+
+use crate::scenario::ReconnectPolicy;
 
 /// Timer token: the connection's own timers.
 const TOKEN_CONN: u64 = 1;
+/// Timer token (client): a scheduled reconnect attempt fires.
+const TOKEN_RECONNECT: u64 = 2;
 /// Timer token kind bit: the certificate store answered.
 const TIMER_KIND_CERT: u64 = 1;
+/// Stream tag: client reconnect-backoff jitter draws.
+const RECONNECT_STREAM: u64 = 0x2ECC_0;
+
+/// High bit marking server fault-timeline timers (crash/freeze/thaw);
+/// peer keys are sim node indices and never come near it.
+const FAULT_BIT: u64 = 1 << 63;
+/// Fault timer kinds (low two bits under [`FAULT_BIT`]).
+const FAULT_CRASH: u64 = 0;
+const FAULT_FREEZE: u64 = 1;
+const FAULT_THAW: u64 = 2;
+
+fn fault_token(index: usize, kind: u64) -> u64 {
+    FAULT_BIT | ((index as u64) << 2) | kind
+}
 
 /// Encodes a per-connection timer token: the peer key in the high bits,
 /// the timer kind in the low bit. Token values never influence event
@@ -75,12 +96,19 @@ pub struct ClientStatus {
     pub complete_at: Option<SimTime>,
     /// The connection died (abort or close).
     pub closed_at: Option<SimTime>,
+    /// Error code of the *first* death (reconnects don't overwrite it).
+    pub close_code: Option<u64>,
+    /// Completed reconnect attempts (0 = the first attempt served).
+    pub attempts: u32,
+    /// A reconnect is scheduled: the client is dead but not done.
+    pub reconnect_pending: bool,
 }
 
 impl ClientStatus {
-    /// The connection reached a terminal state (response or death).
+    /// The connection reached a terminal state (response, or death with
+    /// no reconnect on the way).
     pub fn done(&self) -> bool {
-        self.complete_at.is_some() || self.closed_at.is_some()
+        self.complete_at.is_some() || (self.closed_at.is_some() && !self.reconnect_pending)
     }
 }
 
@@ -104,6 +132,33 @@ pub struct ClientNode {
     /// legacy single-pair runs (the sim *is* this connection); false when
     /// the client is one of many on a shared event loop.
     stop_when_done: bool,
+    /// Endpoint config kept around to rebuild the connection on
+    /// reconnect attempts.
+    cfg: EndpointConfig,
+    seed: u64,
+    rtt_quirk_applies: bool,
+    /// Reconnect policy; `None` (default) dies on the first close.
+    reconnect: Option<ReconnectPolicy>,
+    /// Seeded jitter stream, created lazily on the first reconnect so
+    /// reconnect-free runs draw nothing.
+    backoff_rng: Option<SimRng>,
+    attempts: u32,
+}
+
+/// Queues the scenario's single GET onto the connection; it rides in the
+/// second client flight (or as 0-RTT early data).
+fn queue_request(conn: &mut Connection, http: HttpVersion, file_size: usize) {
+    let path = format!("/{file_size}");
+    match http {
+        HttpVersion::H1 => {
+            let req = h1::H1Request::get(&path, "testbed.local").encode();
+            conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
+        }
+        HttpVersion::H3 => {
+            let req = h3::request_bytes(&path, "testbed.local");
+            conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
+        }
+    }
 }
 
 impl ClientNode {
@@ -116,19 +171,8 @@ impl ClientNode {
         seed: u64,
         rtt_quirk_applies: bool,
     ) -> Self {
-        let mut conn = Connection::client(cfg, seed, rtt_quirk_applies);
-        // Queue the request now; it rides in the second client flight.
-        let path = format!("/{file_size}");
-        match http {
-            HttpVersion::H1 => {
-                let req = h1::H1Request::get(&path, "testbed.local").encode();
-                conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
-            }
-            HttpVersion::H3 => {
-                let req = h3::request_bytes(&path, "testbed.local");
-                conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
-            }
-        }
+        let mut conn = Connection::client(cfg.clone(), seed, rtt_quirk_applies);
+        queue_request(&mut conn, http, file_size);
         ClientNode {
             conn: Rc::new(RefCell::new(conn)),
             ticket: Rc::new(RefCell::new(None)),
@@ -140,6 +184,12 @@ impl ClientNode {
             got_first_byte: false,
             done: false,
             stop_when_done: true,
+            cfg,
+            seed,
+            rtt_quirk_applies,
+            reconnect: None,
+            backoff_rng: None,
+            attempts: 0,
         }
     }
 
@@ -148,6 +198,61 @@ impl ClientNode {
     pub fn detached(mut self) -> Self {
         self.stop_when_done = false;
         self
+    }
+
+    /// Attaches a reconnect policy: when the connection dies short of a
+    /// response, the client rebuilds it after a jittered exponential
+    /// backoff, up to the policy's attempt cap.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// Schedules the next reconnect attempt, if the policy allows one.
+    fn try_schedule_reconnect(&mut self, ctx: &mut Context<'_>) -> bool {
+        let Some(policy) = self.reconnect else {
+            return false;
+        };
+        if self.attempts >= policy.max_attempts {
+            return false;
+        }
+        let seed = self.seed;
+        let rng = self
+            .backoff_rng
+            .get_or_insert_with(|| SimRng::derive(seed, &[RECONNECT_STREAM]));
+        let exp = self.attempts.min(20);
+        let base = policy
+            .base_backoff
+            .as_nanos()
+            .saturating_mul(1u64 << exp)
+            .min(policy.max_backoff.as_nanos());
+        let scaled = (base as f64 * (1.0 + policy.jitter * rng.gen_f64())) as u64;
+        ctx.set_timer_after(SimDuration::from_nanos(scaled), TOKEN_RECONNECT);
+        self.status.borrow_mut().reconnect_pending = true;
+        true
+    }
+
+    /// Rebuilds the connection and re-issues the request (a reconnect
+    /// timer fired). The new connection gets a fresh CID seed, so the
+    /// server sees a brand-new arrival, not a retransmit.
+    fn reconnect_now(&mut self, ctx: &mut Context<'_>) {
+        self.attempts += 1;
+        let attempt_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.attempts as u64);
+        let mut conn = Connection::client(self.cfg.clone(), attempt_seed, self.rtt_quirk_applies);
+        queue_request(&mut conn, self.http, self.expected_body);
+        *self.conn.borrow_mut() = conn;
+        self.response_bytes = 0;
+        self.got_first_byte = false;
+        {
+            let mut st = self.status.borrow_mut();
+            st.reconnect_pending = false;
+            st.closed_at = None;
+            st.attempts = self.attempts;
+        }
+        self.flush(ctx);
     }
 
     fn flush(&mut self, ctx: &mut Context<'_>) {
@@ -205,10 +310,16 @@ impl ClientNode {
                         }
                     }
                 }
-                ConnEvent::Closed { .. } => {
-                    self.status.borrow_mut().closed_at.get_or_insert(now);
+                ConnEvent::Closed { error_code, .. } => {
+                    {
+                        let mut st = self.status.borrow_mut();
+                        st.closed_at.get_or_insert(now);
+                        st.close_code.get_or_insert(error_code);
+                    }
                     ctx.trace().milestone(me, now, milestones::CLOSED);
-                    if self.stop_when_done {
+                    if !self.done && self.try_schedule_reconnect(ctx) {
+                        // A reconnect is on the way: not done yet.
+                    } else if self.stop_when_done {
                         ctx.stop();
                     }
                 }
@@ -238,6 +349,12 @@ impl Node for ClientNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == TOKEN_RECONNECT {
+            if !self.done {
+                self.reconnect_now(ctx);
+            }
+            return;
+        }
         if token != TOKEN_CONN {
             return;
         }
@@ -265,10 +382,16 @@ pub struct ServerControl {
     /// index). Peers without an entry use the node's own seed XOR
     /// `0x5EED`, which is exactly the legacy single-pair derivation.
     pub conn_seeds: HashMap<usize, u64>,
-    /// Peers whose Initial was load-shed (admission refused).
+    /// Peers whose Initial was load-shed (admission refused), including
+    /// explicit busy refusals under `CloseWithBackoff`.
     pub shed: HashSet<usize>,
     /// Peers whose connection closed at the server.
     pub closed: HashSet<usize>,
+    /// Peers that were Retry-deferred under overload and later admitted
+    /// with a valid token.
+    pub retried: HashSet<usize>,
+    /// Peers whose connection state a server crash dropped mid-flight.
+    pub reset: HashSet<usize>,
 }
 
 /// Per-peer application state (one HTTP exchange per connection).
@@ -280,6 +403,13 @@ struct PeerState {
     settings_sent: bool,
     cert_timer_at: Option<SimTime>,
     shed: bool,
+    /// Retry-deferred under overload: admission retried on tokened
+    /// re-knocks.
+    deferred: bool,
+    /// DCID of the Initial that led to this admission decision; a
+    /// *different* DCID from the same node is a fresh connection attempt
+    /// (reconnect), not a retransmit.
+    dcid: ConnectionId,
 }
 
 impl PeerState {
@@ -291,8 +421,23 @@ impl PeerState {
             settings_sent: false,
             cert_timer_at: None,
             shed: false,
+            deferred: false,
+            dcid: ConnectionId::EMPTY,
         }
     }
+}
+
+/// What the server does with an incoming datagram, as decided by the
+/// admission layer (which cannot send by itself — `on_datagram` owns the
+/// [`Context`]).
+enum Admission {
+    /// A connection exists for this peer: feed it the datagram.
+    Process,
+    /// Shed/stale/frozen: drop on the floor.
+    Drop,
+    /// Answer with a pre-built stateless datagram (Retry or busy close)
+    /// without committing any state.
+    Respond(Vec<u8>),
 }
 
 /// Server endpoint node: one shared listener hosting any number of
@@ -310,6 +455,18 @@ pub struct ServerNode {
     cert_delay: SimDuration,
     peers: HashMap<usize, PeerState>,
     seed: u64,
+    /// Scheduled crash/freeze events (empty in fault-free runs).
+    faults: FaultTimeline,
+    /// Crashes also rotate away old ticket-key epochs, so resumption
+    /// tickets from before the crash degrade to full handshakes.
+    forget_epochs: bool,
+    /// Fault-aware servers additionally recognise reconnects (a fresh
+    /// DCID from a known peer re-enters admission). Off by default so
+    /// legacy scenarios keep their exact wire behaviour.
+    fault_aware: bool,
+    /// While set, the server process is frozen: datagrams are dropped
+    /// and timers are swallowed until the thaw event at this time.
+    frozen_until: Option<SimTime>,
 }
 
 impl ServerNode {
@@ -345,51 +502,173 @@ impl ServerNode {
             cert_delay,
             peers: HashMap::new(),
             seed,
+            faults: FaultTimeline::none(),
+            forget_epochs: false,
+            fault_aware: false,
+            frozen_until: None,
         }
     }
 
-    /// Ensures a connection exists for `key`, creating it through the
-    /// engine's admission path on the first datagram. Returns false when
-    /// the peer was (now or previously) load-shed.
-    fn ensure_conn(&mut self, key: usize, from: NodeId, payload: &[u8], now: SimTime) -> bool {
+    /// Arms the server with a fault timeline (crashes and freezes) and
+    /// turns on fault-aware admission: reconnecting peers (fresh DCID)
+    /// re-enter admission instead of being treated as retransmits. A
+    /// timeline may be empty — give-up-only scenarios still want the
+    /// reconnect handling.
+    pub fn with_faults(mut self, faults: FaultTimeline, forget_epochs: bool) -> Self {
+        self.faults = faults;
+        self.forget_epochs = forget_epochs;
+        self.fault_aware = true;
+        self
+    }
+
+    fn frozen(&self, now: SimTime) -> bool {
+        self.frozen_until.map(|t| now < t).unwrap_or(false)
+    }
+
+    /// Decides what to do with a datagram from `key`, running the
+    /// engine's admission path for unknown peers (and, on fault-aware
+    /// servers, for reconnecting ones).
+    fn admission(&mut self, key: usize, from: NodeId, payload: &[u8], now: SimTime) -> Admission {
+        let has_conn = self.engine.borrow().has_conn(key as u64);
         if let Some(peer) = self.peers.get(&key) {
+            if has_conn {
+                if self.fault_aware {
+                    // A tokenless Initial under a *different* DCID than
+                    // the live connection's is a reconnect attempt (the
+                    // old one gave up client-side): retire the stale
+                    // state and re-run admission as a fresh arrival.
+                    if let Ok((pkt, _, _)) = rq_wire::PlainPacket::decode(payload, 8) {
+                        let h = &pkt.header;
+                        if h.ty == PacketType::Initial && h.token.is_empty() && h.dcid != peer.dcid
+                        {
+                            let stale =
+                                self.engine.borrow_mut().conn_mut(key as u64).map(|c| {
+                                    h.dcid != c.original_dcid() && h.dcid != c.local_cid()
+                                });
+                            if stale == Some(true) {
+                                self.engine.borrow_mut().retire(key as u64, false);
+                                self.peers.remove(&key);
+                                return self.admit_new(key, from, payload, now);
+                            }
+                        }
+                    }
+                }
+                return Admission::Process;
+            }
+            if peer.deferred {
+                // Retry-deferred peer knocking again: only a tokened
+                // Initial re-enters admission; everything else (late
+                // retransmits of the tokenless one) stays stateless.
+                let Ok((pkt, _, _)) = rq_wire::PlainPacket::decode(payload, 8) else {
+                    return Admission::Drop;
+                };
+                let h = pkt.header;
+                if h.ty != PacketType::Initial || h.token.is_empty() {
+                    return Admission::Drop;
+                }
+                let conn_seed = self.conn_seed(key);
+                let now_secs = now.as_nanos() / 1_000_000_000;
+                // Initial keys derive from the *first* Initial's DCID
+                // (which the peer entry remembers) — the post-Retry
+                // Initial addresses the Retry's SCID instead.
+                let original_dcid = peer.dcid;
+                let outcome = self.engine.borrow_mut().accept(
+                    key as u64,
+                    conn_seed,
+                    original_dcid,
+                    now_secs,
+                    true,
+                    true,
+                );
+                if outcome == AcceptOutcome::Accepted {
+                    if let Some(peer) = self.peers.get_mut(&key) {
+                        peer.deferred = false;
+                    }
+                    self.control.borrow_mut().retried.insert(key);
+                    return Admission::Process;
+                }
+                // Still over capacity: keep deferring — the client's PTO
+                // loop re-sends the tokened Initial until a slot frees.
+                return Admission::Drop;
+            }
+            if peer.shed && self.fault_aware {
+                // Fault-aware servers let a *reconnect* (fresh DCID) back
+                // into admission; retransmits of the shed Initial stay
+                // dropped, preserving once-shed-always-shed for them.
+                if let Ok((pkt, _, _)) = rq_wire::PlainPacket::decode(payload, 8) {
+                    let h = &pkt.header;
+                    if h.ty == PacketType::Initial && h.dcid != peer.dcid {
+                        self.peers.remove(&key);
+                        return self.admit_new(key, from, payload, now);
+                    }
+                }
+            }
             // A known peer with no engine entry was either shed or
             // already retired; late datagrams (still in flight when the
             // connection ended) must not re-enter admission and be
             // double-counted as fresh arrivals.
-            return !peer.shed && self.engine.borrow().has_conn(key as u64);
+            return Admission::Drop;
         }
+        self.admit_new(key, from, payload, now)
+    }
+
+    /// Runs a previously unseen Initial through the engine's admission
+    /// valve and records the outcome in the peer table.
+    fn admit_new(&mut self, key: usize, from: NodeId, payload: &[u8], now: SimTime) -> Admission {
         // Derive the Initial keys from the client's DCID (first header).
-        let dcid = rq_wire::PlainPacket::decode(payload, 8)
-            .map(|(pkt, _, _)| pkt.header.dcid)
-            .unwrap_or(ConnectionId::EMPTY);
-        let conn_seed = self
-            .control
-            .borrow()
-            .conn_seeds
-            .get(&key)
-            .copied()
-            .unwrap_or(self.seed ^ 0x5EED);
+        let (dcid, scid, has_token) = rq_wire::PlainPacket::decode(payload, 8)
+            .map(|(pkt, _, _)| {
+                (
+                    pkt.header.dcid,
+                    pkt.header.scid,
+                    !pkt.header.token.is_empty(),
+                )
+            })
+            .unwrap_or((ConnectionId::EMPTY, ConnectionId::EMPTY, false));
+        let conn_seed = self.conn_seed(key);
         let now_secs = now.as_nanos() / 1_000_000_000;
         let outcome = self
             .engine
             .borrow_mut()
-            .accept(key as u64, conn_seed, dcid, now_secs);
+            .accept(key as u64, conn_seed, dcid, now_secs, has_token, false);
         let peer = self
             .peers
             .entry(key)
             .or_insert_with(|| PeerState::new(from));
+        peer.dcid = dcid;
         match outcome {
-            AcceptOutcome::Accepted => true,
+            AcceptOutcome::Accepted => Admission::Process,
             AcceptOutcome::Shed => {
                 // Once shed, always shed: the server stays stateless for
                 // this peer, so retransmitted Initials cannot sneak in
                 // after capacity frees up.
                 peer.shed = true;
                 self.control.borrow_mut().shed.insert(key);
-                false
+                Admission::Drop
+            }
+            AcceptOutcome::RetryDefer => {
+                // Stateless Retry: cheap admission valve. The client
+                // burns an RTT echoing the token; by then capacity may
+                // have freed up.
+                peer.deferred = true;
+                let server_cid = ConnectionId::from_u64(self.seed ^ 0x7E7B ^ key as u64);
+                Admission::Respond(stateless_retry_datagram(scid, server_cid))
+            }
+            AcceptOutcome::Busy => {
+                peer.shed = true;
+                self.control.borrow_mut().shed.insert(key);
+                Admission::Respond(server_busy_datagram())
             }
         }
+    }
+
+    fn conn_seed(&self, key: usize) -> u64 {
+        self.control
+            .borrow()
+            .conn_seeds
+            .get(&key)
+            .copied()
+            .unwrap_or(self.seed ^ 0x5EED)
     }
 
     fn with_conn<R>(&self, key: usize, f: impl FnOnce(&mut Connection) -> R) -> Option<R> {
@@ -504,12 +783,106 @@ impl ServerNode {
     }
 }
 
+impl ServerNode {
+    /// Handles a fault-timeline timer: crash, freeze, or thaw.
+    fn on_fault_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        let now = ctx.now();
+        let index = ((token & !FAULT_BIT) >> 2) as usize;
+        match token & 0b11 {
+            FAULT_CRASH => {
+                let orphans = self
+                    .engine
+                    .borrow_mut()
+                    .crash_and_restart(now, self.forget_epochs);
+                let mut control = self.control.borrow_mut();
+                for k in &orphans {
+                    let key = *k as usize;
+                    control.reset.insert(key);
+                    if let Some(peer) = self.peers.remove(&key) {
+                        // Stateless-reset stand-in: the restarted process
+                        // no longer recognises the CID, so it answers the
+                        // orphan's next-arriving packets out-of-band.
+                        ctx.send(
+                            peer.node,
+                            stateless_reset_datagram(ConnectionId::from_u64(*k)),
+                        );
+                    }
+                }
+                drop(control);
+                // A restarted process forgets shed/deferred bookkeeping
+                // too — its peer table is gone with the rest of it.
+                self.peers.clear();
+            }
+            FAULT_FREEZE => {
+                if let Some(f) = self.faults.freezes.get(index) {
+                    self.frozen_until = Some(f.end);
+                }
+            }
+            FAULT_THAW => {
+                self.frozen_until = None;
+                // Catch up on everything that went due while frozen, in
+                // sorted key order for determinism.
+                let keys = self.engine.borrow().active_keys();
+                for k in keys {
+                    let key = k as usize;
+                    let cert_due = self
+                        .peers
+                        .get(&key)
+                        .and_then(|p| p.cert_timer_at)
+                        .map(|at| at <= now)
+                        .unwrap_or(false);
+                    if cert_due {
+                        if let Some(peer) = self.peers.get_mut(&key) {
+                            peer.cert_timer_at = None;
+                        }
+                        let me = ctx.me();
+                        ctx.trace().milestone(me, now, milestones::CERT_READY);
+                        self.with_conn(key, |c| c.certificate_ready(now));
+                        self.maybe_send_settings(key);
+                    }
+                    let due = self
+                        .with_conn(key, |c| c.poll_timeout().map(|t| t <= now).unwrap_or(false))
+                        .unwrap_or(false);
+                    if due {
+                        self.with_conn(key, |c| c.handle_timeout(now));
+                        self.drain_events(ctx, key);
+                        self.engine.borrow_mut().note_handshake_outcome(key as u64);
+                    }
+                    self.flush(ctx, key);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 impl Node for ServerNode {
-    fn on_datagram(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &[u8]) {
-        let key = from.index();
-        if !self.ensure_conn(key, from, payload, ctx.now()) {
-            // Load-shed peer: the Initial is dropped statelessly.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.faults.crashes.is_empty() && self.faults.freezes.is_empty() {
             return;
+        }
+        for (i, at) in self.faults.crashes.clone().iter().enumerate() {
+            ctx.set_timer(*at, fault_token(i, FAULT_CRASH));
+        }
+        for (i, f) in self.faults.freezes.clone().iter().enumerate() {
+            ctx.set_timer(f.start, fault_token(i, FAULT_FREEZE));
+            ctx.set_timer(f.end, fault_token(i, FAULT_THAW));
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &[u8]) {
+        if self.frozen(ctx.now()) {
+            // Frozen process: the kernel buffer overflows, packets die.
+            return;
+        }
+        let key = from.index();
+        match self.admission(key, from, payload, ctx.now()) {
+            Admission::Process => {}
+            Admission::Drop => return,
+            Admission::Respond(datagram) => {
+                ctx.send(from, datagram);
+                return;
+            }
         }
         self.with_conn(key, |c| c.handle_datagram(ctx.now(), payload));
         self.drain_events(ctx, key);
@@ -519,7 +892,16 @@ impl Node for ServerNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token & FAULT_BIT != 0 {
+            self.on_fault_timer(ctx, token);
+            return;
+        }
         let now = ctx.now();
+        if self.frozen(now) {
+            // Timers are swallowed while frozen; the thaw handler
+            // re-drives every overdue connection.
+            return;
+        }
         let key = (token >> 1) as usize;
         if token & TIMER_KIND_CERT != 0 {
             let due = self

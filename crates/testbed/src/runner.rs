@@ -205,6 +205,7 @@ fn run_connection(
         resumption_active,
         schedule,
         usize::MAX,
+        rq_quic::OverloadPolicy::Shed,
         vec![plan],
         Detail::Full,
         SimDuration::from_secs(120),
@@ -297,15 +298,6 @@ pub fn rep_scenario(sc: &Scenario, i: usize) -> Scenario {
 /// Runs `n` repetitions with distinct seeds, sequentially.
 pub fn run_repetitions(sc: &Scenario, n: usize) -> Vec<RunResult> {
     (0..n).map(|i| run_scenario(&rep_scenario(sc, i))).collect()
-}
-
-/// Runs `n` repetitions with distinct seeds across `threads` workers.
-/// Results come back in repetition order, so the output is identical to
-/// [`run_repetitions`] — each repetition is a pure function of its seed.
-#[deprecated(note = "thread counts belong to one place: build a SweepRunner \
-            (e.g. SweepRunner::from_env()) and call its run_repetitions")]
-pub fn run_repetitions_parallel(sc: &Scenario, n: usize, threads: usize) -> Vec<RunResult> {
-    rq_par::sweep(n, threads, |i| run_scenario(&rep_scenario(sc, i)))
 }
 
 /// The generic sweep configuration now lives in `rq-par` (it is shared
@@ -520,13 +512,6 @@ mod tests {
                 assert_eq!(a.label, b.label, "threads {threads}");
                 assert_eq!(a.ttfb_ms, b.ttfb_ms, "threads {threads}");
                 assert_eq!(a.client_log.events.len(), b.client_log.events.len());
-            }
-            // The deprecated free function stays bit-identical while the
-            // migration window lasts.
-            #[allow(deprecated)]
-            let legacy = run_repetitions_parallel(&sc, 5, threads);
-            for (a, b) in seq.iter().zip(&legacy) {
-                assert_eq!(a.ttfb_ms, b.ttfb_ms, "legacy threads {threads}");
             }
         }
     }

@@ -4,7 +4,10 @@
 use rq_http::HttpVersion;
 use rq_profiles::{ClientProfile, ResumptionProfile};
 use rq_quic::ServerAckMode;
-use rq_sim::{Direction, DropIndices, ImpairmentSpec, LossRule, NoLoss, SimDuration};
+use rq_sim::{
+    Direction, DropIndices, FaultProfile, FaultTimeline, ImpairmentSpec, LossRule, NoLoss,
+    SimDuration,
+};
 
 /// Which handshake class the *measured* connection runs. Resumed and
 /// 0-RTT scenarios are two-connection runs: an unmeasured priming
@@ -59,6 +62,103 @@ pub enum LossSpec {
     Random(ImpairmentSpec),
 }
 
+/// Client reconnect policy after a dead connection: jittered exponential
+/// backoff with an attempt cap, the standard client-library shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Maximum *re*-connect attempts (0 = never reconnect).
+    pub max_attempts: u32,
+    /// Backoff before the first reconnect; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub max_backoff: SimDuration,
+    /// Multiplicative jitter amplitude: the delay is scaled by a seeded
+    /// uniform draw from `[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(200),
+            max_backoff: SimDuration::from_secs(5),
+            jitter: 0.2,
+        }
+    }
+}
+
+/// Fault-injection axis of a scenario: what breaks (link blackouts,
+/// server crashes and freezes) and how clients cope (give-up budgets,
+/// reconnect policy). [`FaultSpec::none`] is the default everywhere and
+/// is guaranteed free: no timers, no random draws, no wire changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Link blackouts as `(mean_gap, duration)` of seeded outage windows
+    /// (both directions).
+    pub blackout: Option<(SimDuration, SimDuration)>,
+    /// Mean gap between server crash/restart events.
+    pub crash_every: Option<SimDuration>,
+    /// Server freezes as `(mean_gap, duration)`: state kept, processing
+    /// stalled.
+    pub freeze: Option<(SimDuration, SimDuration)>,
+    /// A crash also forgets previous ticket-key epochs, so outstanding
+    /// tickets degrade to full handshakes on reconnect.
+    pub forget_ticket_epochs: bool,
+    /// Client handshake deadline ([`rq_quic::EndpointConfig::give_up_after`]).
+    pub give_up_after: Option<SimDuration>,
+    /// Client consecutive-PTO give-up budget.
+    pub give_up_pto_count: Option<u32>,
+    /// Client reconnect policy once a connection dies.
+    pub reconnect: Option<ReconnectPolicy>,
+}
+
+impl FaultSpec {
+    /// No faults, no give-up, no reconnects — the status quo.
+    pub fn none() -> Self {
+        FaultSpec {
+            blackout: None,
+            crash_every: None,
+            freeze: None,
+            forget_ticket_epochs: false,
+            give_up_after: None,
+            give_up_pto_count: None,
+            reconnect: None,
+        }
+    }
+
+    /// Whether this spec changes anything at all.
+    pub fn is_none(&self) -> bool {
+        *self == FaultSpec::none()
+    }
+
+    /// The sim-layer fault profile (blackout/crash/freeze rates).
+    pub fn profile(&self) -> FaultProfile {
+        FaultProfile {
+            blackout_every: self.blackout.map(|(gap, _)| gap),
+            blackout_duration: self
+                .blackout
+                .map(|(_, dur)| dur)
+                .unwrap_or(SimDuration::ZERO),
+            blackout_direction: None,
+            crash_every: self.crash_every,
+            freeze_every: self.freeze.map(|(gap, _)| gap),
+            freeze_duration: self.freeze.map(|(_, dur)| dur).unwrap_or(SimDuration::ZERO),
+        }
+    }
+
+    /// Generates the concrete seeded fault timeline over `[0, horizon)`.
+    pub fn timeline(&self, fault_seed: u64, horizon: SimDuration) -> FaultTimeline {
+        FaultTimeline::generate(fault_seed, horizon, &self.profile())
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
 /// One testbed run configuration.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -95,6 +195,9 @@ pub struct Scenario {
     /// issuance on the priming connection) whenever `handshake_class`
     /// is not [`HandshakeClass::Full`].
     pub resumption: ResumptionProfile,
+    /// Fault-injection axis (blackouts, crashes, give-up, reconnects).
+    /// [`FaultSpec::none`] — the default — is byte-for-byte free.
+    pub faults: FaultSpec,
 }
 
 impl Scenario {
@@ -116,6 +219,7 @@ impl Scenario {
             probe_policy_override: None,
             handshake_class: HandshakeClass::Full,
             resumption: ResumptionProfile::accepting(),
+            faults: FaultSpec::none(),
         }
     }
 

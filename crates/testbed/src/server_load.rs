@@ -20,8 +20,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rq_par::SweepRunner;
-use rq_quic::{Connection, ServerAccounting, ServerEngine};
-use rq_sim::{LinkConfig, Network, NodeId, SimDuration, SimRng, SimTime};
+use rq_quic::{Connection, OverloadPolicy, ServerAccounting, ServerEngine, ERROR_GIVE_UP};
+use rq_sim::{FaultTimeline, LinkConfig, Network, NodeId, SimDuration, SimRng, SimTime};
 use rq_tls::{mint_ticket, SessionTicket, TicketKeySchedule};
 
 use crate::nodes::{ClientNode, ServerControl, ServerNode};
@@ -37,6 +37,8 @@ const CLASS_STREAM: u64 = 0xC1A5_5;
 const TICKET_STREAM: u64 = 0x71C_E7;
 /// Stream tag: per-shard base seed.
 const SHARD_STREAM: u64 = 0x5AA2_D;
+/// Stream tag: fault-timeline seed (blackouts/crashes/freezes).
+const FAULT_STREAM: u64 = 0xFA_17;
 
 /// How new connections arrive at the server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,6 +111,10 @@ pub struct ServerLoadSpec {
     pub ticket_age: SimDuration,
     /// Per-connection virtual-time budget after arrival.
     pub conn_deadline: SimDuration,
+    /// What the server does with arrivals beyond the concurrency limit:
+    /// silent shed (default), stateless Retry deferral, or an explicit
+    /// busy close.
+    pub overload: OverloadPolicy,
 }
 
 impl ServerLoadSpec {
@@ -125,6 +131,7 @@ impl ServerLoadSpec {
             overlap_epochs: 0,
             ticket_age: SimDuration::from_secs(60),
             conn_deadline: SimDuration::from_secs(120),
+            overload: OverloadPolicy::Shed,
         }
     }
 
@@ -265,8 +272,16 @@ pub struct ConnPlan {
 pub enum ConnFate {
     /// Response fully received.
     Completed,
+    /// Retry-deferred under overload, then admitted on the tokened
+    /// Initial and served to completion.
+    RetriedThenAccepted,
     /// Refused admission by the server's concurrency limit.
     Shed,
+    /// The client hit its give-up budget and abandoned the handshake.
+    GaveUp,
+    /// A server crash dropped the connection mid-flight (stateless
+    /// reset) and it never recovered.
+    Reset,
     /// Admitted but never completed (abort, starvation, deadline).
     Failed,
 }
@@ -293,6 +308,13 @@ pub struct ConnOutcome {
     pub resumed: bool,
     /// 0-RTT offer outcome.
     pub early_data_accepted: Option<bool>,
+    /// Completed reconnect attempts (0 = the first attempt served, or no
+    /// reconnect policy at all).
+    pub reconnects: u32,
+    /// Wall time from *arrival* to the full response, reconnect attempts
+    /// included — the availability-weighted latency the paper's
+    /// degradation story needs.
+    pub time_to_success_ms: Option<f64>,
 }
 
 /// Server-side aggregate report: admission/cost accounting plus
@@ -306,17 +328,91 @@ pub struct ServerLoadReport {
     pub ttfb: LatencyHistogram,
     /// Handshake-completion latency across completed connections.
     pub handshake: LatencyHistogram,
+    /// Arrival-to-response latency across served connections, reconnect
+    /// time included.
+    pub time_to_success: LatencyHistogram,
+    /// Per-fate tallies (the failure taxonomy; sums to the plan count).
+    pub fates: FateTally,
+    /// Total completed reconnect attempts across the population.
+    pub reconnects: u64,
+}
+
+/// Counts of connections per terminal fate. A monoid under `merge`, so
+/// availability survives sharding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FateTally {
+    /// Served on the first admission.
+    pub completed: u64,
+    /// Retry-deferred, then admitted and served.
+    pub retried_then_accepted: u64,
+    /// Refused admission (silent shed or busy close).
+    pub shed: u64,
+    /// Client abandoned the handshake (give-up budget).
+    pub gave_up: u64,
+    /// Dropped by a server crash and never recovered.
+    pub reset: u64,
+    /// Admitted but never completed.
+    pub failed: u64,
+}
+
+impl FateTally {
+    /// Tallies one fate.
+    pub fn record(&mut self, fate: ConnFate) {
+        match fate {
+            ConnFate::Completed => self.completed += 1,
+            ConnFate::RetriedThenAccepted => self.retried_then_accepted += 1,
+            ConnFate::Shed => self.shed += 1,
+            ConnFate::GaveUp => self.gave_up += 1,
+            ConnFate::Reset => self.reset += 1,
+            ConnFate::Failed => self.failed += 1,
+        }
+    }
+
+    /// Total connections tallied.
+    pub fn total(&self) -> u64 {
+        self.completed
+            + self.retried_then_accepted
+            + self.shed
+            + self.gave_up
+            + self.reset
+            + self.failed
+    }
+
+    /// Served fraction: connections that got their response, however
+    /// many Retries or reconnects it took.
+    pub fn availability(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.completed + self.retried_then_accepted) as f64 / total as f64
+    }
+
+    /// Elementwise sum (shard merge).
+    pub fn merge(&mut self, other: &FateTally) {
+        self.completed += other.completed;
+        self.retried_then_accepted += other.retried_then_accepted;
+        self.shed += other.shed;
+        self.gave_up += other.gave_up;
+        self.reset += other.reset;
+        self.failed += other.failed;
+    }
 }
 
 impl ServerLoadReport {
-    /// Folds one connection outcome into the latency histograms.
+    /// Folds one connection outcome into the tallies and histograms.
     pub fn record(&mut self, o: &ConnOutcome) {
-        if o.fate == ConnFate::Completed {
+        self.fates.record(o.fate);
+        self.reconnects += o.reconnects as u64;
+        if matches!(o.fate, ConnFate::Completed | ConnFate::RetriedThenAccepted) {
             if let Some(ms) = o.ttfb_ms {
                 self.ttfb.record(ms);
             }
             if let Some(ms) = o.handshake_ms {
                 self.handshake.record(ms);
+            }
+            if let Some(ms) = o.time_to_success_ms {
+                self.time_to_success.record(ms);
             }
         }
     }
@@ -326,6 +422,9 @@ impl ServerLoadReport {
         self.accounting.merge(&other.accounting);
         self.ttfb.merge(&other.ttfb);
         self.handshake.merge(&other.handshake);
+        self.time_to_success.merge(&other.time_to_success);
+        self.fates.merge(&other.fates);
+        self.reconnects += other.reconnects;
     }
 }
 
@@ -379,6 +478,7 @@ pub(crate) fn drive_conn_plans(
     resumption_active: bool,
     schedule: TicketKeySchedule,
     concurrency_limit: usize,
+    overload: OverloadPolicy,
     plans: Vec<ConnPlan>,
     detail: Detail,
     conn_deadline: SimDuration,
@@ -393,6 +493,19 @@ pub(crate) fn drive_conn_plans(
     // with the population (it stays a runaway backstop, not a budget).
     net.event_limit = net.event_limit.max(n as u64 * 20_000);
 
+    // The fault timeline is a pure function of the base seed and the
+    // run's horizon (last arrival + deadline), fixed before any client
+    // spawns. `FaultSpec::none()` yields an empty timeline and draws
+    // nothing, keeping fault-free runs byte-identical.
+    let timeline = if base.faults.is_none() {
+        FaultTimeline::none()
+    } else {
+        let horizon = plans.last().map(|p| p.arrival).unwrap_or(SimTime::ZERO) + conn_deadline;
+        let fault_seed = SimRng::derive(base.seed, &[FAULT_STREAM]).next_u64();
+        base.faults
+            .timeline(fault_seed, SimDuration::from_nanos(horizon.as_nanos()))
+    };
+
     let mut server_cfg = rq_profiles::server::testbed_server(base.ack_mode, base.cert_len);
     if let Some(pto) = base.server_default_pto {
         server_cfg.default_pto = pto;
@@ -400,19 +513,20 @@ pub(crate) fn drive_conn_plans(
     if resumption_active {
         server_cfg.resumption = base.resumption.server_resumption();
     }
-    let engine = Rc::new(RefCell::new(ServerEngine::new(
-        server_cfg,
-        schedule,
-        concurrency_limit,
-    )));
+    let engine = Rc::new(RefCell::new(
+        ServerEngine::new(server_cfg, schedule, concurrency_limit).with_overload_policy(overload),
+    ));
     let control = Rc::new(RefCell::new(ServerControl::default()));
-    let server_node = ServerNode::with_engine(
+    let mut server_node = ServerNode::with_engine(
         Rc::clone(&engine),
         Rc::clone(&control),
         base.http,
         base.cert_delay,
         base.seed,
     );
+    if !base.faults.is_none() {
+        server_node = server_node.with_faults(timeline.clone(), base.faults.forget_ticket_epochs);
+    }
     let server_id = net.add_node(Box::new(server_node));
     net.prime();
 
@@ -449,6 +563,8 @@ pub(crate) fn drive_conn_plans(
         }
         client_cfg.session_ticket = plan.ticket;
         client_cfg.enable_early_data = sc.handshake_class == HandshakeClass::ZeroRtt;
+        client_cfg.give_up_after = sc.faults.give_up_after;
+        client_cfg.give_up_pto_count = sc.faults.give_up_pto_count;
         let mut client_node = ClientNode::new(
             client_cfg,
             server_id,
@@ -459,6 +575,9 @@ pub(crate) fn drive_conn_plans(
         );
         if !(full && n == 1) {
             client_node = client_node.detached();
+        }
+        if let Some(policy) = sc.faults.reconnect {
+            client_node = client_node.with_reconnect(policy);
         }
         let conn = Rc::clone(&client_node.conn);
         let status = Rc::clone(&client_node.status);
@@ -474,6 +593,9 @@ pub(crate) fn drive_conn_plans(
         link.loss = sc.loss_rule();
         if let Some(spec) = sc.impairment() {
             link = link.with_impairment(spec, sc.impairment_seed());
+        }
+        if !timeline.blackouts.is_empty() {
+            link = link.with_blackouts(timeline.blackouts.clone());
         }
         net.connect(client_id, server_id, link);
         net.schedule_start(client_id, plan.arrival);
@@ -492,7 +614,36 @@ pub(crate) fn drive_conn_plans(
     // 10 MB at 10 Mbit/s takes ~8.4 s; loss + 300 ms RTT backoffs can add
     // several more. 120 s of virtual time per connection bounds every
     // paper scenario.
-    let _outcome = net.run_until(last_arrival + conn_deadline);
+    let end = last_arrival + conn_deadline;
+    if full || (overload == OverloadPolicy::Shed && base.faults.is_none()) {
+        let _outcome = net.run_until(end);
+    } else {
+        // Deferred admission and fault recovery both need the tail of
+        // the run to keep making progress after the last arrival:
+        // finished connections must leave the engine so Retry-deferred
+        // clients (and reconnects) find a slot. Sweep on a fixed cadence
+        // instead of once at the end. Fault-free `Shed` runs never take
+        // this branch, keeping the legacy event stream byte-identical.
+        let step = SimDuration::from_millis(250);
+        while net.now() < end {
+            let next = (net.now() + step).min(end);
+            let outcome = net.run_until(next);
+            sweep_finished(
+                &mut net,
+                &engine,
+                &control,
+                &mut spawned,
+                &mut outcomes,
+                conn_deadline,
+                false,
+            );
+            if outcome == rq_sim::RunOutcome::QueueEmpty {
+                // Nothing left to happen: no pending datagrams or
+                // timers, so later sweeps could not observe anything new.
+                break;
+            }
+        }
+    }
 
     if full {
         for s in &spawned {
@@ -556,19 +707,36 @@ fn sweep_finished(
     spawned.retain(|s| {
         let st = *s.status.borrow();
         let key = s.id.index();
-        let (shed, server_closed) = {
+        let (shed, server_closed, reset, retried) = {
             let ctl = control.borrow();
-            (ctl.shed.contains(&key), ctl.closed.contains(&key))
+            (
+                ctl.shed.contains(&key),
+                ctl.closed.contains(&key),
+                ctl.reset.contains(&key),
+                ctl.retried.contains(&key),
+            )
         };
         let expired = now >= s.arrival + conn_deadline;
-        if !(final_pass || st.done() || shed || server_closed || expired) {
+        let pending_reconnect = st.reconnect_pending && !expired && !final_pass;
+        if pending_reconnect || !(final_pass || st.done() || shed || server_closed || expired) {
             return true;
         }
         let completed = st.complete_at.is_some();
-        let fate = if shed {
+        // Fate precedence: a served response trumps everything (however
+        // bumpy the road); otherwise the *first* death wins — a give-up
+        // after a crash-reset is still a Reset.
+        let fate = if completed {
+            if retried {
+                ConnFate::RetriedThenAccepted
+            } else {
+                ConnFate::Completed
+            }
+        } else if st.close_code == Some(ERROR_GIVE_UP) {
+            ConnFate::GaveUp
+        } else if reset {
+            ConnFate::Reset
+        } else if shed {
             ConnFate::Shed
-        } else if completed {
-            ConnFate::Completed
         } else {
             ConnFate::Failed
         };
@@ -585,6 +753,8 @@ fn sweep_finished(
             response_ms: rel(st.complete_at),
             resumed: conn.is_resumed(),
             early_data_accepted: conn.early_data_accepted(),
+            reconnects: st.attempts,
+            time_to_success_ms: st.complete_at.map(|t| t.since(s.arrival).as_millis_f64()),
         });
         drop(conn);
         engine.borrow_mut().retire(key as u64, completed);
@@ -605,6 +775,7 @@ pub fn run_server_load(spec: &ServerLoadSpec) -> ServerLoadRun {
         resumption_active,
         spec.schedule(),
         spec.concurrency_limit,
+        spec.overload,
         plans,
         Detail::Aggregate,
         spec.conn_deadline,

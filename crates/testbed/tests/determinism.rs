@@ -215,24 +215,6 @@ fn random_loss_runs_terminate_across_clients() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn sweep_runner_repetitions_match_free_function() {
-    // The free function is deprecated (thread counts belong to
-    // `SweepRunner` alone); until it is removed, it must keep agreeing
-    // with the runner path.
-    let sc = Scenario::base(
-        client_by_name("neqo").unwrap(),
-        ServerAckMode::WaitForCertificate,
-        HttpVersion::H1,
-    );
-    let direct = rq_testbed::run_repetitions_parallel(&sc, 4, 2);
-    let via_runner = SweepRunner::new(2).run_repetitions(&sc, 4);
-    for (a, b) in direct.iter().zip(&via_runner) {
-        assert_eq!(fingerprint(a), fingerprint(b));
-    }
-}
-
-#[test]
 fn different_seeds_may_differ_but_never_wedge() {
     // go-x-net's probabilistic RTT quirk makes seeds observable for
     // affected clients; whatever the seed, runs must terminate.

@@ -122,6 +122,201 @@ fn zero_rtt_labels_and_reissue() {
     );
 }
 
+/// Retry composes with resumption: a 0-RTT offer against a Retry-ing,
+/// early-data-rejecting server still completes.  The first Initial is
+/// tokenless, the post-Retry Initial echoes the server's token, and the
+/// rejected early data is unwound and redelivered under 1-RTT keys.
+#[test]
+fn retry_composes_with_zero_rtt_resumption() {
+    use rq_quic::{stream_id, ConnEvent, Connection, EndpointConfig};
+    use rq_sim::SimTime;
+    use rq_wire::ConnectionId;
+
+    const REQUEST: &[u8] = b"GET /retry HTTP/1.1\r\n\r\n";
+
+    fn server_cfg() -> EndpointConfig {
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.ack_mode = WFC;
+        cfg.resumption = rq_tls::ServerResumption::rejecting_early_data(7200);
+        cfg
+    }
+
+    /// Zero-delay exchange loop that records every client→server
+    /// datagram, answers certificate requests instantly, and fires due
+    /// timers until both sides are quiescent and established.
+    fn drive(c: &mut Connection, s: &mut Connection, to_server: &mut Vec<Vec<u8>>) -> usize {
+        let mut now = SimTime::ZERO;
+        let mut delivered = 0usize;
+        for _ in 0..400 {
+            loop {
+                let mut progress = false;
+                while let Some(d) = c.poll_transmit(now) {
+                    to_server.push(d.clone());
+                    s.handle_datagram(now, &d);
+                    progress = true;
+                }
+                while let Some(ev) = s.poll_event() {
+                    match ev {
+                        ConnEvent::CertificateNeeded => s.certificate_ready(now),
+                        ConnEvent::StreamData { id, data, .. }
+                            if id == stream_id::CLIENT_BIDI_0 =>
+                        {
+                            delivered += data.len();
+                        }
+                        _ => {}
+                    }
+                    progress = true;
+                }
+                while let Some(d) = s.poll_transmit(now) {
+                    c.handle_datagram(now, &d);
+                    progress = true;
+                }
+                while c.poll_event().is_some() {
+                    progress = true;
+                }
+                if !progress {
+                    break;
+                }
+            }
+            if c.is_established() && s.is_established() && c.poll_timeout().is_none() {
+                break;
+            }
+            let next = [c.poll_timeout(), s.poll_timeout()]
+                .into_iter()
+                .flatten()
+                .min();
+            now = match next {
+                Some(t) => t.max(now + SimDuration::from_micros(10)),
+                None => break,
+            };
+            if c.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+                c.handle_timeout(now);
+            }
+            if s.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+                s.handle_timeout(now);
+            }
+        }
+        delivered
+    }
+
+    // Prime a ticket through a plain full handshake (no Retry needed).
+    let ticket = {
+        let mut c = Connection::client(EndpointConfig::rfc_default(), 1, false);
+        let mut s = Connection::server(server_cfg(), 2, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut now = SimTime::ZERO;
+        let mut ticket = None;
+        for _ in 0..400 {
+            let mut progress = false;
+            while let Some(d) = c.poll_transmit(now) {
+                s.handle_datagram(now, &d);
+                progress = true;
+            }
+            while let Some(ev) = s.poll_event() {
+                if matches!(ev, ConnEvent::CertificateNeeded) {
+                    s.certificate_ready(now);
+                }
+                progress = true;
+            }
+            while let Some(d) = s.poll_transmit(now) {
+                c.handle_datagram(now, &d);
+                progress = true;
+            }
+            while let Some(ev) = c.poll_event() {
+                if let ConnEvent::TicketReceived(t) = ev {
+                    ticket = Some(t);
+                }
+                progress = true;
+            }
+            if !progress {
+                if ticket.is_some() {
+                    break;
+                }
+                match [c.poll_timeout(), s.poll_timeout()]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                {
+                    Some(t) => {
+                        now = t.max(now + SimDuration::from_micros(10));
+                        if c.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+                            c.handle_timeout(now);
+                        }
+                        if s.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+                            s.handle_timeout(now);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        ticket.expect("priming handshake must yield a ticket")
+    };
+
+    // Measured connection: 0-RTT offer against a Retry-ing server that
+    // rejects early data.
+    let mut cfg = EndpointConfig::rfc_default();
+    cfg.session_ticket = Some(ticket);
+    cfg.enable_early_data = true;
+    let mut c = Connection::client(cfg, 1, false);
+    c.send_stream_data(stream_id::CLIENT_BIDI_0, REQUEST, true);
+    let mut s = Connection::server(server_cfg(), 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+    s.use_retry = true;
+
+    let mut to_server = Vec::new();
+    let delivered = drive(&mut c, &mut s, &mut to_server);
+
+    // Token echo: the pre-Retry Initial carries an empty token; the
+    // re-sent Initial after the Retry echoes the server's token.
+    let initial_tokens: Vec<Vec<u8>> = to_server
+        .iter()
+        .filter_map(|d| {
+            let info = rq_wire::classify_datagram(d, 8).ok()?;
+            info.packets
+                .iter()
+                .find(|p| p.ty == rq_wire::PacketType::Initial)
+                .map(|_| {
+                    let (pkt, _, _) = rq_wire::PlainPacket::decode(d, 8).unwrap();
+                    pkt.header.token.clone()
+                })
+        })
+        .collect();
+    assert!(
+        initial_tokens.len() >= 2,
+        "expected a tokenless and a tokened Initial, saw {}",
+        initial_tokens.len()
+    );
+    assert!(
+        initial_tokens[0].is_empty(),
+        "first Initial must be tokenless"
+    );
+    assert!(
+        initial_tokens.iter().any(|t| !t.is_empty()),
+        "post-Retry Initial must echo the server token"
+    );
+    // The pre-Retry first flight still carried the 0-RTT offer.
+    let first = rq_wire::classify_datagram(&to_server[0], 8).unwrap();
+    assert!(
+        first
+            .packets
+            .iter()
+            .any(|p| p.ty == rq_wire::PacketType::ZeroRtt),
+        "first flight coalesces a 0-RTT packet"
+    );
+
+    // EarlyDataRejected unwind: the handshake still completes resumed,
+    // the reject is visible, and the request arrives in full under
+    // 1-RTT keys.
+    assert!(c.is_established() && s.is_established());
+    assert!(c.is_resumed() && s.is_resumed(), "PSK survives the Retry");
+    assert_eq!(c.early_data_accepted(), Some(false));
+    assert_eq!(s.early_data_accepted(), Some(false));
+    assert_eq!(
+        delivered,
+        REQUEST.len(),
+        "rejected early data must be redelivered as 1-RTT"
+    );
+}
+
 proptest! {
     // Each case runs a priming + measured simulation pair; keep the case
     // count modest so the suite stays fast in debug CI runs.

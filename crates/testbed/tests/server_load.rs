@@ -6,11 +6,11 @@
 use proptest::prelude::*;
 use rq_http::HttpVersion;
 use rq_profiles::client_by_name;
-use rq_quic::ServerAckMode;
+use rq_quic::{OverloadPolicy, ServerAckMode};
 use rq_sim::{ImpairmentSpec, SimDuration};
 use rq_testbed::{
     run_scenario, run_server_load, run_server_load_sharded, ArrivalProcess, ClassMix, ConnFate,
-    HandshakeClass, Scenario, ServerLoadSpec, SweepRunner,
+    HandshakeClass, ReconnectPolicy, Scenario, ServerLoadSpec, SweepRunner,
 };
 
 const WFC: ServerAckMode = ServerAckMode::WaitForCertificate;
@@ -209,6 +209,149 @@ fn tickets_within_overlap_still_resume_after_one_rotation() {
     assert_eq!(run.report.accounting.resumed_handshakes, 6);
 }
 
+// ---- fault injection --------------------------------------------------
+
+#[test]
+fn empty_fault_timeline_reproduces_baseline_byte_for_byte() {
+    // A fault axis whose derived timeline contains no events must leave
+    // every outcome and the whole report untouched: the fault seed is an
+    // independent RNG stream, and a fault-aware server with nothing
+    // scheduled takes the same wire actions as a fault-blind one.
+    let baseline = run_server_load(&mixed_spec(42, 40));
+    let mut spec = mixed_spec(42, 40);
+    // Mean crash gap ~12 days of virtual time against a ~2 minute
+    // horizon: the (seeded) first crash draw lands far past the run.
+    spec.base.faults.crash_every = Some(SimDuration::from_secs(1_000_000));
+    let faulty = run_server_load(&spec);
+    assert_eq!(baseline.outcomes, faulty.outcomes);
+    assert_eq!(baseline.report, faulty.report);
+}
+
+#[test]
+fn server_crashes_reset_in_flight_connections() {
+    let mut spec = ServerLoadSpec::new(base(IACK, 5), 40, poisson(30));
+    spec.base.faults.crash_every = Some(SimDuration::from_millis(400));
+    let run = run_server_load(&spec);
+    let fates = run.report.fates;
+    assert!(
+        run.report.accounting.crashes > 0,
+        "{:?}",
+        run.report.accounting
+    );
+    assert!(fates.reset > 0, "{fates:?}");
+    assert!(fates.completed > 0, "{fates:?}");
+    assert_eq!(fates.total(), 40);
+    // Reset outcomes carry no response; completed ones do.
+    for o in &run.outcomes {
+        match o.fate {
+            ConnFate::Reset => assert!(o.response_ms.is_none(), "{o:?}"),
+            ConnFate::Completed => assert!(o.response_ms.is_some(), "{o:?}"),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn reconnects_recover_crashed_connections() {
+    let mk = |reconnect: Option<ReconnectPolicy>| {
+        let mut spec = ServerLoadSpec::new(base(IACK, 5), 40, poisson(30));
+        spec.base.faults.crash_every = Some(SimDuration::from_millis(400));
+        spec.base.faults.reconnect = reconnect;
+        run_server_load(&spec).report
+    };
+    let bare = mk(None);
+    let healed = mk(Some(ReconnectPolicy::default()));
+    assert!(healed.reconnects > 0, "{healed:?}");
+    assert!(
+        healed.fates.availability() > bare.fates.availability(),
+        "reconnects must recover availability: {:?} vs {:?}",
+        healed.fates,
+        bare.fates
+    );
+    // Reconnect latency shows up in time-to-success, not silence: served
+    // conns that had to reconnect pay their backoff there.
+    assert!(healed.time_to_success.count() >= healed.fates.completed);
+}
+
+#[test]
+fn frozen_server_makes_clients_give_up() {
+    let mut spec = ServerLoadSpec::new(base(IACK, 8), 20, poisson(5));
+    // The first freeze lands ~50 ms in (seeded) and outlasts the run;
+    // clients burn their 3 s give-up budget against a black hole.
+    spec.base.faults.freeze = Some((SimDuration::from_millis(50), SimDuration::from_secs(600)));
+    spec.base.faults.give_up_after = Some(SimDuration::from_secs(3));
+    let run = run_server_load(&spec);
+    let fates = run.report.fates;
+    assert!(fates.gave_up > 0, "{fates:?}");
+    assert_eq!(fates.total(), 20);
+    for o in &run.outcomes {
+        if o.fate == ConnFate::GaveUp {
+            assert!(o.response_ms.is_none(), "{o:?}");
+        }
+    }
+}
+
+#[test]
+fn retry_defer_strictly_beats_shed_under_a_flash_crowd() {
+    let mk = |policy: OverloadPolicy| {
+        let mut spec = ServerLoadSpec::new(
+            base(IACK, 13),
+            120,
+            ArrivalProcess::FlashCrowd {
+                window: SimDuration::from_millis(100),
+            },
+        );
+        spec.concurrency_limit = 8;
+        spec.overload = policy;
+        run_server_load(&spec).report
+    };
+    let shed = mk(OverloadPolicy::Shed);
+    let defer = mk(OverloadPolicy::RetryDefer);
+    assert!(shed.fates.shed > 0, "{:?}", shed.fates);
+    assert!(defer.fates.retried_then_accepted > 0, "{:?}", defer.fates);
+    assert!(
+        defer.fates.availability() > shed.fates.availability(),
+        "RetryDefer must serve strictly more of the crowd: {:?} vs {:?}",
+        defer.fates,
+        shed.fates
+    );
+}
+
+#[test]
+fn crash_forgetting_epochs_degrades_resumption_to_full_handshakes() {
+    // Resumed-class arrivals spread over ~12 key epochs, each offering a
+    // ticket minted 150 s (1-2 epochs) before it arrives. With
+    // `overlap_epochs = 2` every ticket is inside the accept window —
+    // until a crash that forgets old epochs shrinks the window to the
+    // current epoch only, refusing every cross-epoch ticket after it.
+    let mk = |forget: bool| {
+        let mut sc = base(WFC, 21);
+        sc.handshake_class = HandshakeClass::Resumed;
+        let mut spec = ServerLoadSpec::new(sc, 30, poisson(40_000));
+        spec.rotation_period_secs = 100;
+        spec.overlap_epochs = 2;
+        spec.ticket_age = SimDuration::from_secs(150);
+        spec.base.faults.crash_every = Some(SimDuration::from_secs(20));
+        spec.base.faults.reconnect = Some(ReconnectPolicy::default());
+        spec.base.faults.forget_ticket_epochs = forget;
+        run_server_load(&spec).report
+    };
+    let keeping = mk(false);
+    let forgetting = mk(true);
+    assert!(
+        forgetting.accounting.resumed_handshakes < keeping.accounting.resumed_handshakes,
+        "forgetting epochs must refuse cross-epoch tickets: {:?} vs {:?}",
+        forgetting.accounting,
+        keeping.accounting
+    );
+    assert!(
+        forgetting.accounting.full_handshakes > keeping.accounting.full_handshakes,
+        "refused tickets degrade to full handshakes, not failures: {:?} vs {:?}",
+        forgetting.accounting,
+        keeping.accounting
+    );
+}
+
 // ---- property tests ---------------------------------------------------
 
 proptest! {
@@ -251,6 +394,38 @@ proptest! {
         prop_assert_eq!(a.shed + a.completed + a.failed, a.arrivals);
         prop_assert!(a.peak_active <= limit as u64);
         prop_assert_eq!(run.outcomes.len(), 20);
+    }
+
+    /// Under any combination of crashes, give-up budgets, reconnects,
+    /// concurrency pressure, and overload policy, every planned
+    /// connection lands in exactly one fate bucket:
+    /// completed + retried + shed + gave_up + reset + failed == plans.
+    #[test]
+    fn fates_partition_the_population_under_faults(
+        seed in 1u64..5_000,
+        limit in 2usize..8,
+        crash_ms in 150u64..2_000,
+        policy_idx in 0usize..3,
+        reconnect in any::<bool>(),
+    ) {
+        let mut spec = ServerLoadSpec::new(base(IACK, seed), 15, poisson(10));
+        spec.concurrency_limit = limit;
+        spec.overload = [
+            OverloadPolicy::Shed,
+            OverloadPolicy::RetryDefer,
+            OverloadPolicy::CloseWithBackoff,
+        ][policy_idx];
+        spec.base.faults.crash_every = Some(SimDuration::from_millis(crash_ms));
+        spec.base.faults.give_up_pto_count = Some(4);
+        if reconnect {
+            spec.base.faults.reconnect = Some(ReconnectPolicy {
+                max_attempts: 2,
+                ..ReconnectPolicy::default()
+            });
+        }
+        let run = run_server_load(&spec);
+        prop_assert_eq!(run.outcomes.len(), 15);
+        prop_assert_eq!(run.report.fates.total(), 15);
     }
 
     /// The N = 1 server-load run matches the legacy `run_scenario`

@@ -147,6 +147,17 @@ impl TicketKeySchedule {
         self.period_secs > 0
     }
 
+    /// The schedule after a crash that lost the previous-epoch keys: only
+    /// the current epoch's key validates, so tickets minted before the
+    /// last rotation degrade to full handshakes (the measured
+    /// invalid-ticket fallback) instead of resuming.
+    pub fn forget_old_epochs(self) -> Self {
+        TicketKeySchedule {
+            overlap_epochs: 0,
+            ..self
+        }
+    }
+
     /// The rotation epoch containing time `now_secs`.
     pub fn epoch_at(&self, now_secs: u64) -> u64 {
         if self.period_secs == 0 {
