@@ -23,8 +23,9 @@ use rq_profiles::client_by_name;
 use rq_quic::OverloadPolicy;
 use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
-    run_repetitions, run_server_load_sharded, ArrivalProcess, ClassMix, HandshakeClass, LossSpec,
-    ReconnectPolicy, RunResult, Scenario, ServerLoadSpec, SweepRunner, SweepScenarios,
+    run_repetitions, run_server_load_sharded, ArrivalProcess, CcAlgorithm, ClassMix,
+    HandshakeClass, LossSpec, ReconnectPolicy, RunResult, Scenario, ServerLoadSpec, SweepRunner,
+    SweepScenarios,
 };
 use rq_wild::{scan_with, Population};
 
@@ -56,10 +57,22 @@ fn scenario_classes() -> Vec<(&'static str, Scenario)> {
 }
 
 /// The observable outcome of a run, for sequential/parallel comparison.
-fn fingerprint(r: &RunResult) -> (Option<f64>, Option<f64>, bool, bool, usize, usize) {
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    r: &RunResult,
+) -> (
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    bool,
+    bool,
+    usize,
+    usize,
+) {
     (
         r.ttfb_ms,
         r.response_ms,
+        r.goodput_mbps,
         r.completed,
         r.aborted,
         r.client_datagrams,
@@ -114,6 +127,42 @@ fn main() {
 
         let t1 = Instant::now();
         let par = par_runner.run_repetitions(&sc, reps);
+        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+        assert_eq!(seq.len(), par.len(), "{label}: result count");
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "{label}: parallel rep {i} diverged from sequential"
+            );
+        }
+
+        let speedup = print_row(label, seq_ms, par_ms);
+        rows.push(json_row(label, seq_ms, par_ms, speedup));
+    }
+
+    // The data-phase class: a 10 MiB two-stream CUBIC transfer is the
+    // longest single simulation the repo runs — it exercises the whole
+    // congestion-avoidance regime, so the rep count is scaled down the
+    // way exp_transfer_sweep scales its 10 MiB cells.
+    {
+        let label = "transfer_10mb";
+        let client = client_by_name("quic-go").unwrap();
+        let mut sc = Scenario::base(client, IACK, HttpVersion::H3);
+        sc.file_size = 5 * 1024 * 1024;
+        sc.streams = 2;
+        sc.cc = CcAlgorithm::Cubic;
+        let t_reps = (reps / 3).max(2);
+        let _ = run_repetitions(&sc, 1); // warm-up
+        let _ = par_runner.run_repetitions(&sc, threads.min(t_reps)); // warm-up
+
+        let t0 = Instant::now();
+        let seq = run_repetitions(&sc, t_reps);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t1 = Instant::now();
+        let par = par_runner.run_repetitions(&sc, t_reps);
         let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
 
         assert_eq!(seq.len(), par.len(), "{label}: result count");

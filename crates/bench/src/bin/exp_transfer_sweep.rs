@@ -1,0 +1,175 @@
+//! Beyond the paper: does the instant ACK still matter by the end of a
+//! multi-megabyte transfer?
+//!
+//! Every paper metric stops at TTFB; this sweep runs the *data phase* —
+//! two concurrent request streams carrying 64 KiB to 10 MiB of total
+//! response body — under each congestion controller (NewReno, CUBIC,
+//! BBR-lite), on a clean path and under Gilbert–Elliott bursty loss,
+//! across three handshake setups (WFC full, IACK full, IACK 0-RTT).
+//! Reported per cell: median TTFB, median data-phase time (first to
+//! last response byte), median goodput, and recovery activity. Every
+//! run is seeded, so the output is byte-identical for any
+//! `REACKED_THREADS`.
+
+use rq_bench::{banner, half_median, ms_cell, repetitions, IACK, WFC};
+use rq_quic::ServerAckMode;
+use rq_sim::ImpairmentSpec;
+use rq_testbed::{
+    rep_scenario, run_scenario, CcAlgorithm, HandshakeClass, LossSpec, RunResult, Scenario,
+    SweepRunner,
+};
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * KIB;
+
+/// Concurrent request streams per connection: enough that the data
+/// phase interleaves stream frames without inflating the grid.
+const STREAMS: usize = 2;
+
+/// Total response bytes across all request streams.
+fn sizes() -> Vec<(&'static str, usize)> {
+    vec![("64k", 64 * KIB), ("1m", MIB), ("10m", 10 * MIB)]
+}
+
+/// Loss grid: the clean baseline and a bursty Gilbert–Elliott channel
+/// (2% entry, 30% exit, 50% bad-state drop — ~3% average loss). The
+/// impairment sweep's harsher 80% bad state is avoided here on purpose:
+/// the chain advances per datagram, so once a long transfer's tail
+/// degenerates to one PTO probe per backoff interval the chain freezes
+/// in the bad state and the run's completion becomes a coin flip; at
+/// 50% the stall streaks die out and every controller finishes.
+fn losses() -> Vec<(&'static str, LossSpec)> {
+    vec![
+        ("clean", LossSpec::None),
+        (
+            "GE",
+            LossSpec::Random(ImpairmentSpec::none().with_gilbert_elliott(0.02, 0.3, 0.0, 0.5)),
+        ),
+    ]
+}
+
+/// Handshake setups: the paper's WFC/IACK pair plus the resumption
+/// story's 0-RTT head start.
+fn setups() -> Vec<(&'static str, ServerAckMode, HandshakeClass)> {
+    vec![
+        ("WFC/full", WFC, HandshakeClass::Full),
+        ("IACK/full", IACK, HandshakeClass::Full),
+        ("IACK/0rtt", IACK, HandshakeClass::ZeroRtt),
+    ]
+}
+
+/// Repetitions per cell, scaled down for the larger bodies so the
+/// 10 MiB cells don't dominate the sweep (a pure function of the env,
+/// hence identical at every thread count).
+fn reps_for(total: usize, reps: usize) -> usize {
+    if total >= 10 * MIB {
+        (reps / 3).max(1)
+    } else if total >= MIB {
+        (reps / 2).max(1)
+    } else {
+        reps
+    }
+}
+
+fn mean(cell: &[RunResult], f: impl Fn(&RunResult) -> usize) -> f64 {
+    cell.iter().map(&f).sum::<usize>() as f64 / cell.len() as f64
+}
+
+fn main() {
+    banner(
+        "exp_transfer_sweep",
+        "beyond the paper",
+        "Data-phase medians per congestion controller (quic-go client, H3, 2 streams, seeded).",
+    );
+    let reps = repetitions();
+    let base = Scenario::base(
+        rq_profiles::client_by_name("quic-go").unwrap(),
+        WFC,
+        rq_http::HttpVersion::H3,
+    );
+
+    // Cell order: size → loss → setup → controller (innermost), the
+    // same nested-loop convention as `ScenarioMatrix`.
+    let mut cells: Vec<(usize, Scenario)> = Vec::new();
+    for &(_, total) in &sizes() {
+        for (_, loss) in losses() {
+            for &(_, ack_mode, class) in &setups() {
+                for &cc in &CcAlgorithm::ALL {
+                    let mut sc = base.clone();
+                    sc.file_size = total / STREAMS;
+                    sc.streams = STREAMS;
+                    sc.loss = loss;
+                    sc.ack_mode = ack_mode;
+                    sc.handshake_class = class;
+                    sc.cc = cc;
+                    cells.push((reps_for(total, reps), sc));
+                }
+            }
+        }
+    }
+    let jobs: Vec<Scenario> = cells
+        .iter()
+        .flat_map(|(r, sc)| (0..*r).map(move |i| rep_scenario(sc, i)))
+        .collect();
+    println!(
+        "{} cells, {} runs, threads from REACKED_THREADS\n",
+        cells.len(),
+        jobs.len()
+    );
+    let mut results = SweepRunner::from_env().map(&jobs, run_scenario);
+
+    // Regroup the flat results per cell, back to front.
+    let mut grouped: Vec<Vec<RunResult>> = Vec::with_capacity(cells.len());
+    for (r, _) in cells.iter().rev() {
+        let rest = results.split_off(results.len() - r);
+        grouped.push(rest);
+    }
+    grouped.reverse();
+
+    println!(
+        "{:<5} {:<6} {:<10} {:<8} {:>4} {:>9} {:>10} {:>9} {:>9}",
+        "size", "loss", "setup", "cc", "ok", "ttfb", "data[ms]", "Mbit/s", "lost/run"
+    );
+    let mut idx = 0;
+    for &(size_name, _) in &sizes() {
+        for (loss_name, _) in losses() {
+            for &(setup_name, _, _) in &setups() {
+                for &cc in &CcAlgorithm::ALL {
+                    let (r, _) = cells[idx];
+                    let cell = &grouped[idx];
+                    idx += 1;
+                    let ttfb: Vec<f64> = cell.iter().filter_map(|x| x.ttfb_ms).collect();
+                    let dl: Vec<f64> = cell.iter().filter_map(|x| x.download_complete_ms).collect();
+                    let gp: Vec<f64> = cell.iter().filter_map(|x| x.goodput_mbps).collect();
+                    let ok = cell.iter().filter(|x| x.completed).count();
+                    let lost = mean(cell, |x| x.client_packets_lost + x.server_packets_lost);
+                    let gp_cell = match half_median(&gp, r) {
+                        Some(v) => format!("{v:9.2}"),
+                        None => format!("{:>9}", "-"),
+                    };
+                    println!(
+                        "{:<5} {:<6} {:<10} {:<8} {:>4} {} {} {} {:>9.1}",
+                        size_name,
+                        loss_name,
+                        setup_name,
+                        cc.label(),
+                        ok,
+                        ms_cell(half_median(&ttfb, r)),
+                        match half_median(&dl, r) {
+                            Some(v) => format!("{v:10.1}"),
+                            None => format!("{:>10}", "-"),
+                        },
+                        gp_cell,
+                        lost,
+                    );
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "size = total response body across {STREAMS} request streams; data[ms] = first response \
+         byte to the last (the congestion-controlled phase); Mbit/s = body bits over time to the \
+         full response; lost/run = mean recovery:packet_lost declarations (client + server)."
+    );
+}

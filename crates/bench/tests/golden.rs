@@ -114,6 +114,15 @@ fn exp_server_load_matches_golden() {
 }
 
 #[test]
+fn exp_transfer_sweep_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_transfer_sweep"),
+        "exp_transfer_sweep",
+        include_str!("golden/exp_transfer_sweep.txt"),
+    );
+}
+
+#[test]
 fn exp_fault_sweep_matches_golden() {
     assert_matches_golden(
         env!("CARGO_BIN_EXE_exp_fault_sweep"),

@@ -83,6 +83,17 @@ pub enum EventData {
         /// Current PTO backoff count.
         pto_count: u32,
     },
+    /// recovery:congestion_state_updated — the controller changed phase
+    /// (slow start / congestion avoidance / recovery / persistent
+    /// congestion). Emitted on transitions only, not per ack.
+    CongestionStateUpdated {
+        /// New controller state, snake_case ("slow_start", ...).
+        new_state: &'static str,
+        /// Congestion window at the transition, bytes.
+        cwnd: usize,
+        /// Bytes in flight at the transition.
+        bytes_in_flight: usize,
+    },
     /// recovery:loss_timer_updated (PTO armed/fired diagnostics)
     PtoExpired {
         /// Space whose PTO fired.
@@ -248,6 +259,7 @@ impl EventData {
             EventData::PacketReceived { .. } => "packet_received",
             EventData::PacketLost { .. } => "packet_lost",
             EventData::MetricsUpdated { .. } => "metrics_updated",
+            EventData::CongestionStateUpdated { .. } => "congestion_state_updated",
             EventData::PtoExpired { .. } => "pto_expired",
             EventData::AmplificationBlocked { .. } => "amplification_blocked",
             EventData::KeyInstalled { .. } => "key_installed",
@@ -311,6 +323,15 @@ impl EventData {
                 ));
                 fields.push(("latest_rtt_ms".into(), Json::float(*latest_rtt_ms)));
                 fields.push(("pto_count".into(), Json::uint(*pto_count)));
+            }
+            EventData::CongestionStateUpdated {
+                new_state,
+                cwnd,
+                bytes_in_flight,
+            } => {
+                fields.push(("new_state".into(), Json::str(*new_state)));
+                fields.push(("cwnd".into(), Json::size(*cwnd)));
+                fields.push(("bytes_in_flight".into(), Json::size(*bytes_in_flight)));
             }
             EventData::PtoExpired { space, pto_count } => {
                 fields.push(("space".into(), Json::str(space.as_str())));

@@ -153,6 +153,10 @@ pub struct EndpointConfig {
     /// expirations (reset on forward progress). `None` disables the
     /// PTO-count give-up.
     pub give_up_pto_count: Option<u32>,
+    /// Congestion controller for the data phase (NewReno keeps the
+    /// handshake-era traces byte-identical; CUBIC/BBR-lite are the
+    /// transfer-sweep alternatives).
+    pub cc_algorithm: rq_recovery::CcAlgorithm,
     /// Initial connection-level flow control credit offered to the peer.
     pub initial_max_data: u64,
     /// Initial per-stream flow control credit.
@@ -184,6 +188,7 @@ impl EndpointConfig {
             accept_ticket_keys: Vec::new(),
             give_up_after: None,
             give_up_pto_count: None,
+            cc_algorithm: rq_recovery::CcAlgorithm::NewReno,
             // Receive windows sized like real stacks (hundreds of KiB):
             // large transfers then require a steady stream of MAX_DATA /
             // MAX_STREAM_DATA grants — the ack-eliciting client packets

@@ -16,7 +16,10 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use rq_qlog::{EventData, EventLog, FrameSummary, SpaceName};
-use rq_recovery::{NewReno, PtoState, RttEstimator, RttVariant, SentPacket, SentTracker};
+use rq_recovery::{
+    persistent_congestion_duration, CcState, CongestionControl, PtoState, RttEstimator, RttVariant,
+    SentPacket, SentTracker,
+};
 use rq_sim::{SimDuration, SimTime};
 use rq_tls::{
     initial_keys, seal_tag, verify_tag, ClientConfig as TlsClientConfig, KeySide, Level, LevelKeys,
@@ -93,7 +96,13 @@ pub struct Connection {
     trackers: [SentTracker; 3],
     rtt: RttEstimator,
     pto: PtoState,
-    cc: NewReno,
+    cc: Box<dyn CongestionControl>,
+    /// Last controller phase reported to qlog (transitions only).
+    last_cc_state: CcState,
+    /// Send time of the latest acked ack-eliciting packet: losses of
+    /// packets sent before it cannot establish persistent congestion
+    /// (RFC 9002 §7.6.2 — the span must contain no acked packet).
+    largest_acked_sent_time: Option<SimTime>,
     keys: [Option<LevelKeys>; 3],
     /// Our connection ID (the peer's DCID for short headers to us).
     local_cid: ConnectionId,
@@ -199,7 +208,9 @@ impl Connection {
         let mut conn = Connection {
             role: Role::Client,
             pto: PtoState::new(cfg.default_pto),
-            cc: NewReno::new(),
+            cc: cfg.cc_algorithm.build(),
+            last_cc_state: CcState::SlowStart,
+            largest_acked_sent_time: None,
             tls,
             spaces: Default::default(),
             trackers: Default::default(),
@@ -265,7 +276,9 @@ impl Connection {
         Connection {
             role: Role::Server,
             pto: PtoState::new(cfg.default_pto),
-            cc: NewReno::new(),
+            cc: cfg.cc_algorithm.build(),
+            last_cc_state: CcState::SlowStart,
+            largest_acked_sent_time: None,
             tls,
             spaces: Default::default(),
             trackers: Default::default(),
@@ -761,15 +774,33 @@ impl Connection {
         if !suppress_reset {
             self.pto.on_progress();
         }
+        // Persistent congestion is judged against the acks that existed
+        // *before* this frame: the probe whose ack finally gets through
+        // after an outage is sent later than the whole lost span and must
+        // not veto it (§7.6.2 only bars acked sends *inside* the span).
+        let prev_largest_acked = self.largest_acked_sent_time;
+        let mut acked_in_frame: Vec<SimTime> = Vec::new();
         for p in &outcome.newly_acked {
             if p.in_flight {
-                self.cc.on_ack(p.size, p.time_sent);
+                self.cc.on_ack(p.size, p.time_sent, now, &self.rtt);
+            }
+            if p.ack_eliciting {
+                acked_in_frame.push(p.time_sent);
+                self.largest_acked_sent_time = Some(
+                    self.largest_acked_sent_time
+                        .map_or(p.time_sent, |t| t.max(p.time_sent)),
+                );
             }
             self.spaces[idx].retx.remove(&p.retx_token);
         }
-        for p in &outcome.lost {
-            self.on_packet_lost(now, space, p);
-        }
+        self.on_packets_lost(
+            now,
+            space,
+            &outcome.lost,
+            &acked_in_frame,
+            prev_largest_acked,
+        );
+        self.log_cc_state(now);
         if let Some(sample) = outcome.rtt_sample {
             // picoquic quirk: ignore the RTT sample carried by a pure-ACK
             // Initial packet (i.e. the instant ACK itself).
@@ -783,20 +814,120 @@ impl Connection {
         }
     }
 
-    fn on_packet_lost(&mut self, now: SimTime, space: PacketNumberSpace, p: &SentPacket) {
-        let idx = space.index();
-        self.log.push(
-            now,
-            EventData::PacketLost {
-                space: space_name(space),
-                pn: p.pn,
-            },
-        );
-        if p.in_flight {
-            self.cc.on_loss(&[p.size], p.time_sent, now);
+    /// Processes one detected loss burst: logs each packet, requeues its
+    /// retransmittable content, and reports the whole burst to the
+    /// congestion controller in a single `on_loss` call so a multi-packet
+    /// burst cannot be mis-split across recovery-episode boundaries.
+    ///
+    /// `acked_in_frame` / `prev_largest_acked` carry the acknowledgment
+    /// context persistent-congestion detection needs: the send times
+    /// newly acked by the frame that declared these losses, and the
+    /// largest acked ack-eliciting send time from *before* that frame.
+    fn on_packets_lost(
+        &mut self,
+        now: SimTime,
+        space: PacketNumberSpace,
+        lost: &[SentPacket],
+        acked_in_frame: &[SimTime],
+        prev_largest_acked: Option<SimTime>,
+    ) {
+        if lost.is_empty() {
+            return;
         }
-        if let Some(content) = self.spaces[idx].retx.remove(&p.retx_token) {
-            self.spaces[idx].queue_retx(content);
+        let idx = space.index();
+        let mut sizes = Vec::with_capacity(lost.len());
+        let mut latest_sent: Option<SimTime> = None;
+        for p in lost {
+            self.log.push(
+                now,
+                EventData::PacketLost {
+                    space: space_name(space),
+                    pn: p.pn,
+                },
+            );
+            if p.in_flight {
+                sizes.push(p.size);
+                latest_sent = Some(latest_sent.map_or(p.time_sent, |t| t.max(p.time_sent)));
+            }
+            if let Some(content) = self.spaces[idx].retx.remove(&p.retx_token) {
+                self.spaces[idx].queue_retx(content);
+            }
+        }
+        if let Some(latest) = latest_sent {
+            self.cc.on_loss(&sizes, latest, now);
+            self.detect_persistent_congestion(now, lost, acked_in_frame, prev_largest_acked);
+        }
+    }
+
+    /// RFC 9002 §7.6: if a span of lost ack-eliciting packets — all sent
+    /// after the previously largest acked one, with no acknowledged send
+    /// *inside* the span — exceeds `3 × PTO` (sample-based, without
+    /// backoff), the network was down for the whole period and the window
+    /// collapses to minimum.
+    fn detect_persistent_congestion(
+        &mut self,
+        now: SimTime,
+        lost: &[SentPacket],
+        acked_in_frame: &[SimTime],
+        prev_largest_acked: Option<SimTime>,
+    ) {
+        // §7.6.2: requires an RTT sample; the pre-sample period is exempt.
+        let Some(pto) = self.rtt.pto_for_space(true) else {
+            return;
+        };
+        let threshold = persistent_congestion_duration(pto);
+        let mut times: Vec<SimTime> = lost
+            .iter()
+            .filter(|p| p.ack_eliciting)
+            .map(|p| p.time_sent)
+            .filter(|t| prev_largest_acked.map_or(true, |a| *t > a))
+            .collect();
+        if times.len() < 2 {
+            return;
+        }
+        times.sort_unstable();
+        // Walk the lost sends in order, restarting the candidate span
+        // whenever an ack from the declaring frame falls inside it.
+        let mut start = times[0];
+        let mut prev = times[0];
+        let mut established = false;
+        for &t in &times[1..] {
+            if acked_in_frame.iter().any(|&a| prev < a && a < t) {
+                start = t;
+            }
+            prev = t;
+            if t.since(start) > threshold {
+                established = true;
+                break;
+            }
+        }
+        if established {
+            self.cc.on_persistent_congestion();
+            self.log.push(
+                now,
+                EventData::CongestionStateUpdated {
+                    new_state: "persistent_congestion",
+                    cwnd: self.cc.cwnd(),
+                    bytes_in_flight: self.cc.bytes_in_flight(),
+                },
+            );
+        }
+    }
+
+    /// Emits `congestion_state_updated` when the controller changed phase
+    /// since the last report.
+    fn log_cc_state(&mut self, now: SimTime) {
+        let state = self.cc.state();
+        if state != self.last_cc_state {
+            self.last_cc_state = state;
+            self.log.push(
+                now,
+                EventData::CongestionStateUpdated {
+                    new_state: state.as_str(),
+                    cwnd: self.cc.cwnd(),
+                    bytes_in_flight: self.cc.bytes_in_flight(),
+                },
+            );
         }
     }
 
@@ -1877,10 +2008,10 @@ impl Connection {
                 for space in PacketNumberSpace::ALL {
                     let idx = space.index();
                     let lost = self.trackers[idx].detect_time_lost(now, &self.rtt);
-                    for p in lost {
-                        self.on_packet_lost(now, space, &p);
-                    }
+                    let largest_acked = self.largest_acked_sent_time;
+                    self.on_packets_lost(now, space, &lost, &[], largest_acked);
                 }
+                self.log_cc_state(now);
                 return;
             }
         }

@@ -2,16 +2,21 @@
 //!
 //! Split into the RTT estimator ([`rtt`]), sent-packet tracking with
 //! packet- and time-threshold loss detection ([`sent`]), probe-timeout
-//! arithmetic with exponential backoff ([`pto`]), and NewReno congestion
-//! control ([`congestion`]). The QUIC connection layer composes these per
-//! packet number space.
+//! arithmetic with exponential backoff ([`pto`]), and the congestion
+//! controller suite ([`congestion`]): a [`CongestionControl`] trait with
+//! NewReno, CUBIC, and BBR-lite implementations selected via
+//! [`CcAlgorithm`]. The QUIC connection layer composes these per packet
+//! number space.
 
 pub mod congestion;
 pub mod pto;
 pub mod rtt;
 pub mod sent;
 
-pub use congestion::NewReno;
+pub use congestion::{
+    persistent_congestion_duration, BbrLite, CcAlgorithm, CcState, CongestionControl, Cubic,
+    NewReno,
+};
 pub use pto::{PtoState, RFC_DEFAULT_PTO};
 pub use rtt::{first_pto_after_sample, RttEstimator, RttVariant, GRANULARITY};
 pub use sent::{AckOutcome, SentPacket, SentTracker, PACKET_THRESHOLD};

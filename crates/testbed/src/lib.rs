@@ -20,6 +20,7 @@ pub mod stats;
 
 pub use matrix::{MatrixCell, ScenarioMatrix};
 pub use nodes::{ClientNode, ClientStatus, ServerControl, ServerNode};
+pub use rq_recovery::{CcAlgorithm, CcState, CongestionControl};
 pub use runner::{
     apply_exposure, rep_scenario, run_repetitions, run_scenario, run_scenario_with_trace,
     RunResult, SweepRunner, SweepScenarios,

@@ -124,7 +124,12 @@ pub struct ClientNode {
     pub status: Rc<RefCell<ClientStatus>>,
     server: NodeId,
     http: HttpVersion,
-    response_bytes: usize,
+    /// Number of parallel request streams (client bidi IDs 0, 4, 8, …).
+    streams: usize,
+    /// Per-stream received body byte counts.
+    stream_bytes: HashMap<u64, usize>,
+    /// Streams whose response completed.
+    streams_done: HashSet<u64>,
     expected_body: usize,
     got_first_byte: bool,
     done: bool,
@@ -145,18 +150,21 @@ pub struct ClientNode {
     attempts: u32,
 }
 
-/// Queues the scenario's single GET onto the connection; it rides in the
-/// second client flight (or as 0-RTT early data).
-fn queue_request(conn: &mut Connection, http: HttpVersion, file_size: usize) {
+/// Queues one GET per stream onto the connection (client bidi IDs 0, 4,
+/// 8, …); they ride in the second client flight (or as 0-RTT early data).
+fn queue_requests(conn: &mut Connection, http: HttpVersion, file_size: usize, streams: usize) {
     let path = format!("/{file_size}");
-    match http {
-        HttpVersion::H1 => {
-            let req = h1::H1Request::get(&path, "testbed.local").encode();
-            conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
-        }
-        HttpVersion::H3 => {
-            let req = h3::request_bytes(&path, "testbed.local");
-            conn.send_stream_data(stream_id::CLIENT_BIDI_0, &req, true);
+    for i in 0..streams {
+        let id = stream_id::CLIENT_BIDI_0 + 4 * i as u64;
+        match http {
+            HttpVersion::H1 => {
+                let req = h1::H1Request::get(&path, "testbed.local").encode();
+                conn.send_stream_data(id, &req, true);
+            }
+            HttpVersion::H3 => {
+                let req = h3::request_bytes(&path, "testbed.local");
+                conn.send_stream_data(id, &req, true);
+            }
         }
     }
 }
@@ -172,14 +180,16 @@ impl ClientNode {
         rtt_quirk_applies: bool,
     ) -> Self {
         let mut conn = Connection::client(cfg.clone(), seed, rtt_quirk_applies);
-        queue_request(&mut conn, http, file_size);
+        queue_requests(&mut conn, http, file_size, 1);
         ClientNode {
             conn: Rc::new(RefCell::new(conn)),
             ticket: Rc::new(RefCell::new(None)),
             status: Rc::new(RefCell::new(ClientStatus::default())),
             server,
             http,
-            response_bytes: 0,
+            streams: 1,
+            stream_bytes: HashMap::new(),
+            streams_done: HashSet::new(),
             expected_body: file_size,
             got_first_byte: false,
             done: false,
@@ -197,6 +207,25 @@ impl ClientNode {
     /// (or dying) no longer stops the simulation.
     pub fn detached(mut self) -> Self {
         self.stop_when_done = false;
+        self
+    }
+
+    /// Issues the request over `streams` parallel bidi streams (IDs 0, 4,
+    /// 8, …), each fetching the full body. The response completes — and
+    /// the milestone fires — only when every stream finished.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        assert!(streams >= 1, "at least one request stream");
+        // Stream 0's request was queued by `new`; add the others.
+        for i in 1..streams {
+            let id = stream_id::CLIENT_BIDI_0 + 4 * i as u64;
+            let path = format!("/{}", self.expected_body);
+            let req = match self.http {
+                HttpVersion::H1 => h1::H1Request::get(&path, "testbed.local").encode(),
+                HttpVersion::H3 => h3::request_bytes(&path, "testbed.local"),
+            };
+            self.conn.borrow_mut().send_stream_data(id, &req, true);
+        }
+        self.streams = streams;
         self
     }
 
@@ -242,9 +271,10 @@ impl ClientNode {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(self.attempts as u64);
         let mut conn = Connection::client(self.cfg.clone(), attempt_seed, self.rtt_quirk_applies);
-        queue_request(&mut conn, self.http, self.expected_body);
+        queue_requests(&mut conn, self.http, self.expected_body, self.streams);
         *self.conn.borrow_mut() = conn;
-        self.response_bytes = 0;
+        self.stream_bytes.clear();
+        self.streams_done.clear();
         self.got_first_byte = false;
         {
             let mut st = self.status.borrow_mut();
@@ -293,13 +323,18 @@ impl ClientNode {
                         self.status.borrow_mut().ttfb_at.get_or_insert(now);
                         ctx.trace().milestone(me, now, milestones::TTFB);
                     }
-                    if id == stream_id::CLIENT_BIDI_0 {
-                        self.response_bytes += data.len();
+                    let is_request_stream = id % 4 == 0 && id < 4 * self.streams as u64;
+                    if is_request_stream {
+                        let bytes = self.stream_bytes.entry(id).or_insert(0);
+                        *bytes += data.len();
                         let complete = match self.http {
-                            HttpVersion::H1 => fin && self.response_bytes >= self.expected_body,
+                            HttpVersion::H1 => fin && *bytes >= self.expected_body,
                             HttpVersion::H3 => fin,
                         };
-                        if complete && !self.done {
+                        if complete {
+                            self.streams_done.insert(id);
+                        }
+                        if self.streams_done.len() == self.streams && !self.done {
                             self.done = true;
                             self.status.borrow_mut().complete_at.get_or_insert(now);
                             ctx.trace()
@@ -394,12 +429,20 @@ pub struct ServerControl {
     pub reset: HashSet<usize>,
 }
 
-/// Per-peer application state (one HTTP exchange per connection).
+/// One request stream's server-side state.
+#[derive(Debug, Default)]
+struct StreamReq {
+    buf: Vec<u8>,
+    responded: bool,
+}
+
+/// Per-peer application state (one HTTP exchange per request stream).
 #[derive(Debug)]
 struct PeerState {
     node: NodeId,
-    request_buf: Vec<u8>,
-    responded: bool,
+    /// Request reassembly + response latch, keyed by client bidi stream
+    /// ID (0, 4, 8, …).
+    requests: HashMap<u64, StreamReq>,
     settings_sent: bool,
     cert_timer_at: Option<SimTime>,
     shed: bool,
@@ -416,8 +459,7 @@ impl PeerState {
     fn new(node: NodeId) -> Self {
         PeerState {
             node,
-            request_buf: Vec::new(),
-            responded: false,
+            requests: HashMap::new(),
             settings_sent: false,
             cert_timer_at: None,
             shed: false,
@@ -740,12 +782,25 @@ impl ServerNode {
                     }
                 }
                 ConnEvent::StreamData { id, data, .. } => {
-                    let responded = self.peers.get(&key).map(|p| p.responded).unwrap_or(true);
-                    if id == stream_id::CLIENT_BIDI_0 && !responded {
-                        if let Some(peer) = self.peers.get_mut(&key) {
-                            peer.request_buf.extend_from_slice(&data);
+                    // Any client-initiated bidi stream (0, 4, 8, …)
+                    // carries a request.
+                    if id % 4 == 0 {
+                        let responded = self
+                            .peers
+                            .get(&key)
+                            .and_then(|p| p.requests.get(&id))
+                            .map(|r| r.responded)
+                            .unwrap_or(false);
+                        if !responded {
+                            if let Some(peer) = self.peers.get_mut(&key) {
+                                peer.requests
+                                    .entry(id)
+                                    .or_default()
+                                    .buf
+                                    .extend_from_slice(&data);
+                            }
+                            self.try_respond(key, id);
                         }
-                        self.try_respond(key);
                     }
                 }
                 ConnEvent::Closed { .. } => {
@@ -757,29 +812,31 @@ impl ServerNode {
         }
     }
 
-    fn try_respond(&mut self, key: usize) {
-        let Some(peer) = self.peers.get_mut(&key) else {
+    fn try_respond(&mut self, key: usize, id: u64) {
+        let Some(req) = self
+            .peers
+            .get_mut(&key)
+            .and_then(|p| p.requests.get_mut(&id))
+        else {
             return;
         };
         let body_len = match self.http {
-            HttpVersion::H1 => match h1::H1Request::decode(&peer.request_buf) {
-                Some(req) => req.path.trim_start_matches('/').parse::<usize>().ok(),
+            HttpVersion::H1 => match h1::H1Request::decode(&req.buf) {
+                Some(r) => r.path.trim_start_matches('/').parse::<usize>().ok(),
                 None => None,
             },
-            HttpVersion::H3 => match h3::parse_request_path(&peer.request_buf) {
+            HttpVersion::H3 => match h3::parse_request_path(&req.buf) {
                 Some(path) => path.trim_start_matches('/').parse::<usize>().ok(),
                 None => None,
             },
         };
         let Some(body_len) = body_len else { return };
-        peer.responded = true;
+        req.responded = true;
         let response = match self.http {
             HttpVersion::H1 => h1::H1Response::ok(body_len).encode(),
             HttpVersion::H3 => h3::response_bytes(body_len),
         };
-        self.with_conn(key, |c| {
-            c.send_stream_data(stream_id::CLIENT_BIDI_0, &response, true)
-        });
+        self.with_conn(key, |c| c.send_stream_data(id, &response, true));
     }
 }
 

@@ -22,6 +22,13 @@ pub struct RunResult {
     pub ttfb_ms: Option<f64>,
     /// Time to full response, ms.
     pub response_ms: Option<f64>,
+    /// Data phase alone — first response byte to the last byte of the
+    /// last stream, ms. `None` until the response completes.
+    pub download_complete_ms: Option<f64>,
+    /// Application goodput over the whole exchange: response-body bits
+    /// across every request stream divided by the time to the full
+    /// response, in Mbit/s.
+    pub goodput_mbps: Option<f64>,
     /// Handshake completion at the client, ms.
     pub handshake_ms: Option<f64>,
     /// First client PTO (from the *full* metrics stream), ms.
@@ -252,12 +259,28 @@ pub(crate) fn extract_run_result(
     let exposed_metric_updates =
         exposure.exposed_update_count(client_log.metrics_updates().count());
 
+    let ttfb_ms = rel(milestones::TTFB);
+    let response_ms = rel(milestones::RESPONSE_COMPLETE);
+    let download_complete_ms = match (ttfb_ms, response_ms) {
+        (Some(first), Some(last)) => Some(last - first),
+        _ => None,
+    };
+    let goodput_mbps = response_ms.and_then(|ms| {
+        if ms <= 0.0 {
+            return None;
+        }
+        let bits = (sc.streams * sc.file_size) as f64 * 8.0;
+        Some(bits / (ms / 1000.0) / 1e6)
+    });
+
     RunResult {
         label: sc.label(),
         completed,
         aborted,
-        ttfb_ms: rel(milestones::TTFB),
-        response_ms: rel(milestones::RESPONSE_COMPLETE),
+        ttfb_ms,
+        response_ms,
+        download_complete_ms,
+        goodput_mbps,
         handshake_ms: rel(milestones::HANDSHAKE_COMPLETE),
         first_pto_ms: first_pto_ms(&client_log),
         first_srtt_ms,

@@ -4,6 +4,7 @@
 use rq_http::HttpVersion;
 use rq_profiles::{ClientProfile, ResumptionProfile};
 use rq_quic::ServerAckMode;
+use rq_recovery::CcAlgorithm;
 use rq_sim::{
     Direction, DropIndices, FaultProfile, FaultTimeline, ImpairmentSpec, LossRule, NoLoss,
     SimDuration,
@@ -198,6 +199,13 @@ pub struct Scenario {
     /// Fault-injection axis (blackouts, crashes, give-up, reconnects).
     /// [`FaultSpec::none`] — the default — is byte-for-byte free.
     pub faults: FaultSpec,
+    /// Congestion controller on both endpoints (the transfer-sweep axis).
+    /// NewReno — the default — keeps legacy traces byte-identical.
+    pub cc: CcAlgorithm,
+    /// Number of concurrent request streams; each fetches the full
+    /// `file_size` body, so the response phase moves `streams × file_size`
+    /// bytes. 1 — the default — is the paper's single-request shape.
+    pub streams: usize,
 }
 
 impl Scenario {
@@ -220,6 +228,8 @@ impl Scenario {
             handshake_class: HandshakeClass::Full,
             resumption: ResumptionProfile::accepting(),
             faults: FaultSpec::none(),
+            cc: CcAlgorithm::NewReno,
+            streams: 1,
         }
     }
 
@@ -291,6 +301,13 @@ impl Scenario {
         if self.handshake_class != HandshakeClass::Full {
             label.push('/');
             label.push_str(self.handshake_class.label());
+        }
+        if self.cc != CcAlgorithm::NewReno {
+            label.push('/');
+            label.push_str(self.cc.label());
+        }
+        if self.streams != 1 {
+            label.push_str(&format!("/x{}", self.streams));
         }
         label
     }
@@ -412,6 +429,23 @@ mod tests {
         assert!(sc.label().ends_with("/resumed"));
         sc.handshake_class = HandshakeClass::ZeroRtt;
         assert!(sc.label().ends_with("/0rtt"));
+    }
+
+    #[test]
+    fn labels_append_non_default_cc_and_streams_only() {
+        let mut sc = Scenario::base(
+            client_by_name("quic-go").unwrap(),
+            ServerAckMode::WaitForCertificate,
+            HttpVersion::H1,
+        );
+        let legacy = sc.label();
+        assert!(!legacy.contains("newreno"), "legacy labels unchanged");
+        sc.cc = CcAlgorithm::Cubic;
+        assert!(sc.label().ends_with("/cubic"));
+        sc.streams = 4;
+        assert!(sc.label().ends_with("/cubic/x4"));
+        sc.cc = CcAlgorithm::NewReno;
+        assert!(sc.label().ends_with("/x4"));
     }
 
     #[test]

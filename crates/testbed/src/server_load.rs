@@ -304,6 +304,11 @@ pub struct ConnOutcome {
     pub handshake_ms: Option<f64>,
     /// Full response, ms from start.
     pub response_ms: Option<f64>,
+    /// Data phase alone: first response byte to the last one, ms.
+    pub download_complete_ms: Option<f64>,
+    /// Application goodput over the whole exchange, Mbit/s of response
+    /// body across every request stream.
+    pub goodput_mbps: Option<f64>,
     /// The abbreviated handshake actually ran (ticket accepted).
     pub resumed: bool,
     /// 0-RTT offer outcome.
@@ -331,6 +336,12 @@ pub struct ServerLoadReport {
     /// Arrival-to-response latency across served connections, reconnect
     /// time included.
     pub time_to_success: LatencyHistogram,
+    /// Data-phase (TTFB → last byte) latency across completed
+    /// connections.
+    pub download: LatencyHistogram,
+    /// Goodput across completed connections, in Mbit/s (the histogram's
+    /// "ms" buckets hold Mbps values).
+    pub goodput: LatencyHistogram,
     /// Per-fate tallies (the failure taxonomy; sums to the plan count).
     pub fates: FateTally,
     /// Total completed reconnect attempts across the population.
@@ -414,6 +425,12 @@ impl ServerLoadReport {
             if let Some(ms) = o.time_to_success_ms {
                 self.time_to_success.record(ms);
             }
+            if let Some(ms) = o.download_complete_ms {
+                self.download.record(ms);
+            }
+            if let Some(mbps) = o.goodput_mbps {
+                self.goodput.record(mbps);
+            }
         }
     }
 
@@ -423,6 +440,8 @@ impl ServerLoadReport {
         self.ttfb.merge(&other.ttfb);
         self.handshake.merge(&other.handshake);
         self.time_to_success.merge(&other.time_to_success);
+        self.download.merge(&other.download);
+        self.goodput.merge(&other.goodput);
         self.fates.merge(&other.fates);
         self.reconnects += other.reconnects;
     }
@@ -507,6 +526,7 @@ pub(crate) fn drive_conn_plans(
     };
 
     let mut server_cfg = rq_profiles::server::testbed_server(base.ack_mode, base.cert_len);
+    server_cfg.cc_algorithm = base.cc;
     if let Some(pto) = base.server_default_pto {
         server_cfg.default_pto = pto;
     }
@@ -558,6 +578,7 @@ pub(crate) fn drive_conn_plans(
             .map(|(_, p)| rng.gen_bool(p))
             .unwrap_or(false);
         let mut client_cfg = sc.client.endpoint_config(sc.http);
+        client_cfg.cc_algorithm = sc.cc;
         if let Some(policy) = sc.probe_policy_override {
             client_cfg.probe_policy = policy;
         }
@@ -572,7 +593,8 @@ pub(crate) fn drive_conn_plans(
             sc.file_size,
             sc.seed.wrapping_mul(2654435761).wrapping_add(1),
             rtt_quirk_applies,
-        );
+        )
+        .with_streams(sc.streams);
         if !(full && n == 1) {
             client_node = client_node.detached();
         }
@@ -742,6 +764,17 @@ fn sweep_finished(
         };
         let start = st.hello_at.unwrap_or(s.arrival);
         let rel = |t: Option<SimTime>| t.map(|t| t.since(start).as_millis_f64());
+        let download_complete_ms = match (rel(st.ttfb_at), rel(st.complete_at)) {
+            (Some(first), Some(last)) => Some(last - first),
+            _ => None,
+        };
+        let goodput_mbps = rel(st.complete_at).and_then(|ms| {
+            if ms <= 0.0 {
+                return None;
+            }
+            let bits = (s.scenario.streams * s.scenario.file_size) as f64 * 8.0;
+            Some(bits / (ms / 1000.0) / 1e6)
+        });
         let conn = s.conn.borrow();
         outcomes[s.plan_idx] = Some(ConnOutcome {
             index: s.plan_idx,
@@ -751,6 +784,8 @@ fn sweep_finished(
             ttfb_ms: rel(st.ttfb_at),
             handshake_ms: rel(st.handshake_at),
             response_ms: rel(st.complete_at),
+            download_complete_ms,
+            goodput_mbps,
             resumed: conn.is_resumed(),
             early_data_accepted: conn.early_data_accepted(),
             reconnects: st.attempts,
