@@ -24,8 +24,8 @@ use rq_quic::OverloadPolicy;
 use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
     run_repetitions, run_server_load_sharded, ArrivalProcess, CcAlgorithm, ClassMix,
-    HandshakeClass, LossSpec, ReconnectPolicy, RunResult, Scenario, ServerLoadSpec, SweepRunner,
-    SweepScenarios,
+    HandshakeClass, LossSpec, MigrationSpec, ReconnectPolicy, RunResult, Scenario, ServerLoadSpec,
+    SweepRunner, SweepScenarios,
 };
 use rq_wild::{scan_with, Population};
 
@@ -47,12 +47,19 @@ fn scenario_classes() -> Vec<(&'static str, Scenario)> {
     let mut resumption = base.clone();
     resumption.handshake_class = HandshakeClass::ZeroRtt;
     resumption.cert_delay = SimDuration::from_millis(50);
+    // The migration class: a mid-download path flip with CID rotation
+    // and PATH_CHALLENGE validation on the new path.
+    let mut migration = base.clone();
+    migration.file_size = 256 * 1024;
+    migration.migration =
+        MigrationSpec::deliberate_at(SimDuration::from_millis(80), SimDuration::from_millis(30));
     vec![
         ("clean_handshake", base),
         ("server_flight_tail_iack", tail),
         ("second_client_flight", flight),
         ("large_cert_amplification", amp),
         ("resumption", resumption),
+        ("migration", migration),
     ]
 }
 
@@ -66,6 +73,7 @@ fn fingerprint(
     Option<f64>,
     bool,
     bool,
+    bool,
     usize,
     usize,
 ) {
@@ -75,6 +83,7 @@ fn fingerprint(
         r.goodput_mbps,
         r.completed,
         r.aborted,
+        r.migrated,
         r.client_datagrams,
         r.client_log.events.len(),
     )

@@ -21,8 +21,15 @@ fn main() {
     let pop = Population::synthesize(n, &mut SimRng::new(0x7A4C0));
     let report = scan_with(&pop, 2, 0xD0_17, &SweepRunner::from_env());
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>11} {:>9} {:>12}",
-        "CDN", "Domains", "enabled [%]", "variation [%]", "resume [%]", "0rtt [%]", "ticket [h]"
+        "{:<12} {:>10} {:>12} {:>14} {:>11} {:>9} {:>12} {:>11}",
+        "CDN",
+        "Domains",
+        "enabled [%]",
+        "variation [%]",
+        "resume [%]",
+        "0rtt [%]",
+        "ticket [h]",
+        "migrate [%]"
     );
     for row in &report.rows {
         let lifetime = row
@@ -30,20 +37,22 @@ fn main() {
             .map(|s| format!("{:12.1}", s / 3600.0))
             .unwrap_or_else(|| format!("{:>12}", "-"));
         println!(
-            "{:<12} {:>10} {:>12.1} {:>14.1} {:>11.1} {:>9.1} {}",
+            "{:<12} {:>10} {:>12.1} {:>14.1} {:>11.1} {:>9.1} {} {:>11.1}",
             row.cdn.name(),
             row.domains,
             row.iack_share * 100.0,
             row.max_variation * 100.0,
             row.resumption_share * 100.0,
             row.zero_rtt_share * 100.0,
-            lifetime
+            lifetime,
+            row.migration_share * 100.0
         );
     }
     println!(
         "\npaper: Akamai 32.2 / Amazon 41.0 / Cloudflare 99.9 / Fastly 0.0 / Google 11.5 / \
          Meta 0.0 / Microsoft 0.0 / Others 21.5; max variation 18.0% (Amazon).\n\
-         resume/0rtt/ticket go beyond the paper: session-ticket issuance, 0-RTT acceptance, \
-         and median advertised ticket lifetime per CDN (modeled deployment behaviour)."
+         resume/0rtt/ticket/migrate go beyond the paper: session-ticket issuance, 0-RTT \
+         acceptance, median advertised ticket lifetime, and connection-migration support \
+         (spare CIDs, no disable_active_migration) per CDN (modeled deployment behaviour)."
     );
 }

@@ -131,6 +131,15 @@ fn exp_fault_sweep_matches_golden() {
     );
 }
 
+#[test]
+fn exp_migration_sweep_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_migration_sweep"),
+        "exp_migration_sweep",
+        include_str!("golden/exp_migration_sweep.txt"),
+    );
+}
+
 // The wild pipeline: the sharded scan and the longitudinal study must
 // print the same bytes at every thread count.
 

@@ -160,6 +160,35 @@ pub enum EventData {
     /// A stateless-reset-style signal: the peer lost this connection's
     /// state (observed at the endpoint that received the reset).
     StatelessReset,
+    /// A connection started using a new network path (deliberate client
+    /// migration or a NAT rebind observed by the server, RFC 9000 §9).
+    MigrationStarted {
+        /// Path id of the new path.
+        path: u64,
+        /// True for a deliberate local migration, false when the move was
+        /// discovered from the peer's packets arriving on a new path.
+        deliberate: bool,
+    },
+    /// A PATH_CHALLENGE left for an unvalidated path (RFC 9000 §8.2).
+    PathChallengeSent {
+        /// Path id being probed.
+        path: u64,
+    },
+    /// The matching PATH_RESPONSE arrived: the path is validated.
+    PathValidated {
+        /// Path id that validated.
+        path: u64,
+    },
+    /// Path validation gave up after exhausting challenge retries.
+    PathAbandoned {
+        /// Path id that failed validation.
+        path: u64,
+    },
+    /// A connection ID was retired (RETIRE_CONNECTION_ID processed).
+    CidRetired {
+        /// Sequence number of the retired CID.
+        seq: u64,
+    },
 }
 
 /// One timestamped event. JSON form flattens the payload next to
@@ -275,6 +304,11 @@ impl EventData {
             EventData::ServerCrashed { .. } => "server_crashed",
             EventData::HandshakeAbandoned { .. } => "handshake_abandoned",
             EventData::StatelessReset => "stateless_reset",
+            EventData::MigrationStarted { .. } => "migration_started",
+            EventData::PathChallengeSent { .. } => "path_challenge_sent",
+            EventData::PathValidated { .. } => "path_validated",
+            EventData::PathAbandoned { .. } => "path_abandoned",
+            EventData::CidRetired { .. } => "cid_retired",
         }
     }
 
@@ -362,6 +396,18 @@ impl EventData {
             }
             EventData::HandshakeAbandoned { pto_count } => {
                 fields.push(("pto_count".into(), Json::uint(*pto_count)));
+            }
+            EventData::MigrationStarted { path, deliberate } => {
+                fields.push(("path".into(), Json::uint(*path)));
+                fields.push(("deliberate".into(), Json::Bool(*deliberate)));
+            }
+            EventData::PathChallengeSent { path }
+            | EventData::PathValidated { path }
+            | EventData::PathAbandoned { path } => {
+                fields.push(("path".into(), Json::uint(*path)));
+            }
+            EventData::CidRetired { seq } => {
+                fields.push(("seq".into(), Json::uint(*seq)));
             }
             EventData::CertificateRequested
             | EventData::CertificateReady

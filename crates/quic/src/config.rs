@@ -161,6 +161,11 @@ pub struct EndpointConfig {
     pub initial_max_data: u64,
     /// Initial per-stream flow control credit.
     pub initial_max_stream_data: u64,
+    /// Number of spare connection IDs announced via NEW_CONNECTION_ID
+    /// once the handshake completes — the pool the peer rotates through
+    /// on migration (RFC 9000 §5.1.1). 0 (the default) disables the
+    /// whole migration machinery and keeps legacy traces byte-identical.
+    pub cid_pool: usize,
     /// Label for logs/plots ("quic-go", "neqo", ...).
     pub name: &'static str,
 }
@@ -195,6 +200,7 @@ impl EndpointConfig {
             // behind Figure 11's RTT-sample counts.
             initial_max_data: 512 * 1024,
             initial_max_stream_data: 256 * 1024,
+            cid_pool: 0,
             name: "rfc-default",
         }
     }

@@ -20,7 +20,7 @@ use rq_recovery::{
     persistent_congestion_duration, CcState, CongestionControl, PtoState, RttEstimator, RttVariant,
     SentPacket, SentTracker,
 };
-use rq_sim::{SimDuration, SimTime};
+use rq_sim::{SimDuration, SimRng, SimTime};
 use rq_tls::{
     initial_keys, seal_tag, verify_tag, ClientConfig as TlsClientConfig, KeySide, Level, LevelKeys,
     ServerConfig as TlsServerConfig, TlsEvent, TlsSession,
@@ -53,6 +53,67 @@ pub enum Role {
     Client,
     /// Server endpoint.
     Server,
+}
+
+/// Stream tag of the CID-derivation coordinate space: every connection ID
+/// is `derive(cid_seed, [CID_STREAM, kind, seq])`, a pure function of its
+/// coordinates, so rotated CIDs from one seed can never collide the way
+/// the old XOR-of-constants scheme could.
+const CID_STREAM: u64 = 0xC1D_0;
+/// Stream tag for PATH_CHALLENGE probe data.
+const CHALLENGE_STREAM: u64 = 0xCA_11E;
+
+/// CID kind: a client's locally chosen CIDs (seq 0 = handshake CID).
+pub const CID_KIND_CLIENT: u64 = 0;
+/// CID kind: the client's original destination CID (Initial keys).
+pub const CID_KIND_ORIGINAL_DCID: u64 = 1;
+/// CID kind: a server's locally chosen CIDs (seq 0 = handshake CID).
+pub const CID_KIND_SERVER: u64 = 2;
+/// CID kind: the CID a stateless Retry hands the client.
+pub const CID_KIND_RETRY: u64 = 3;
+
+/// Derives the 8-byte connection ID at `(kind, seq)` for `cid_seed`.
+/// Drivers use this to predict every CID a connection will announce
+/// (e.g. to index migrated clients by rotated CID without extra state).
+pub fn derived_cid(cid_seed: u64, kind: u64, seq: u64) -> ConnectionId {
+    let mut rng = SimRng::derive(cid_seed, &[CID_STREAM, kind, seq]);
+    ConnectionId::from_u64(rng.next_u64())
+}
+
+/// Path validation gives up after this many challenge retransmissions.
+const PATH_CHALLENGE_MAX_RETRIES: u32 = 3;
+
+/// Per-path accounting and validation state (RFC 9000 §9). The implicit
+/// handshake path (id 0) is validated by the handshake itself and never
+/// appears here; entries exist only for paths seen after a migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathState {
+    /// Path id (the simulator's link path).
+    pub id: u64,
+    /// Bytes sent while this path was active.
+    pub bytes_sent: usize,
+    /// Bytes received on this path.
+    pub bytes_received: usize,
+    /// PATH_RESPONSE received: the peer is reachable on this path.
+    pub validated: bool,
+    /// Validation abandoned after exhausting challenge retries.
+    pub abandoned: bool,
+}
+
+/// An in-flight PATH_CHALLENGE (one at a time; a new migration replaces
+/// any outstanding probe).
+#[derive(Debug, Clone)]
+struct PathChallengeState {
+    /// Random probe data the response must echo (RFC 9000 §8.2.1).
+    data: u64,
+    /// Path being validated.
+    path: u64,
+    /// When the current attempt times out.
+    deadline: SimTime,
+    /// Retransmissions so far.
+    retries: u32,
+    /// The frame for the current attempt has not left yet.
+    needs_send: bool,
 }
 
 /// Application-visible connection events.
@@ -174,6 +235,26 @@ pub struct Connection {
     /// Early data was rejected (or the PSK offer failed): the client
     /// requeues 0-RTT content as 1-RTT, the server drops 0-RTT packets.
     early_rejected: bool,
+    /// Seed all locally derived CIDs and challenge data come from.
+    cid_seed: u64,
+    /// Spare CIDs the peer announced via NEW_CONNECTION_ID: (seq, cid),
+    /// not yet rotated to.
+    peer_cid_pool: Vec<(u64, ConnectionId)>,
+    /// Sequence number of the peer CID currently in `peer_cid`.
+    peer_cid_seq: u64,
+    /// NEW_CONNECTION_ID announcements owed to the peer
+    /// (seq, retire_prior_to, cid bytes).
+    pending_new_cids: Vec<(u64, u64, Vec<u8>)>,
+    /// RETIRE_CONNECTION_ID frames owed to the peer.
+    pending_retire_cids: Vec<u64>,
+    /// PATH_RESPONSE data owed (echo of a received PATH_CHALLENGE).
+    pending_path_response: Option<u64>,
+    /// Outstanding path validation, if any.
+    path_challenge: Option<PathChallengeState>,
+    /// Per-path accounting; empty until a non-default path appears.
+    paths: Vec<PathState>,
+    /// Path id of the currently active path (0 = handshake path).
+    active_path: u64,
 }
 
 impl Connection {
@@ -181,8 +262,8 @@ impl Connection {
     /// IDs; `rtt_quirk_applies` resolves the probabilistic go-x-net quirk
     /// for this run (decided by the testbed's seeded RNG).
     pub fn client(cfg: EndpointConfig, cid_seed: u64, rtt_quirk_applies: bool) -> Self {
-        let local_cid = ConnectionId::from_u64(cid_seed ^ 0xC11E_57);
-        let original_dcid = ConnectionId::from_u64(cid_seed ^ 0xD1D0);
+        let local_cid = derived_cid(cid_seed, CID_KIND_CLIENT, 0);
+        let original_dcid = derived_cid(cid_seed, CID_KIND_ORIGINAL_DCID, 0);
         let mut rtt = RttEstimator::new(cfg.max_ack_delay);
         if cfg.quirks.aioquic_rttvar {
             rtt = rtt.with_variant(RttVariant::AioquicOrder);
@@ -250,6 +331,15 @@ impl Connection {
             buffered_hs_before_keys: false,
             early_keys: early,
             early_rejected: false,
+            cid_seed,
+            peer_cid_pool: Vec::new(),
+            peer_cid_seq: 0,
+            pending_new_cids: Vec::new(),
+            pending_retire_cids: Vec::new(),
+            pending_path_response: None,
+            path_challenge: None,
+            paths: Vec::new(),
+            active_path: 0,
             cfg,
         };
         // Queue the ClientHello into the Initial crypto stream.
@@ -263,7 +353,7 @@ impl Connection {
     /// Creates a server connection for a new 4-tuple whose first datagram
     /// carried `original_dcid` (Initial key derivation input).
     pub fn server(cfg: EndpointConfig, cid_seed: u64, original_dcid: ConnectionId) -> Self {
-        let local_cid = ConnectionId::from_u64(cid_seed ^ 0x5E11_E5);
+        let local_cid = derived_cid(cid_seed, CID_KIND_SERVER, 0);
         let tls = TlsSession::server(TlsServerConfig {
             cert_len: cfg.cert_len,
             random: [0x22; 32],
@@ -318,6 +408,15 @@ impl Connection {
             buffered_hs_before_keys: false,
             early_keys: None,
             early_rejected: false,
+            cid_seed,
+            peer_cid_pool: Vec::new(),
+            peer_cid_seq: 0,
+            pending_new_cids: Vec::new(),
+            pending_retire_cids: Vec::new(),
+            pending_path_response: None,
+            path_challenge: None,
+            paths: Vec::new(),
+            active_path: 0,
             cfg,
         }
     }
@@ -394,13 +493,172 @@ impl Connection {
     }
 
     /// Bytes of amplification budget remaining (servers before address
-    /// validation); `usize::MAX` once validated.
+    /// validation); `usize::MAX` once validated. After a migration the
+    /// limit applies *per path*: an unvalidated new path is capped at 3×
+    /// the bytes received on it, exactly like a fresh Initial
+    /// (RFC 9000 §9.3.1), regardless of the old path's validation.
     pub fn amplification_budget(&self) -> usize {
+        if self.role == Role::Server && self.active_path != 0 {
+            if let Some(p) = self.paths.iter().find(|p| p.id == self.active_path) {
+                if !p.validated {
+                    return (3 * p.bytes_received).saturating_sub(p.bytes_sent);
+                }
+            }
+        }
         if self.address_validated {
             usize::MAX
         } else {
             (3 * self.bytes_received).saturating_sub(self.bytes_sent)
         }
+    }
+
+    /// Path id of the currently active path (0 = handshake path).
+    pub fn active_path(&self) -> u64 {
+        self.active_path
+    }
+
+    /// Per-path accounting entries (non-default paths only).
+    pub fn paths(&self) -> &[PathState] {
+        &self.paths
+    }
+
+    /// Accounting entry for one path, if it ever carried traffic.
+    pub fn path_state(&self, id: u64) -> Option<&PathState> {
+        self.paths.iter().find(|p| p.id == id)
+    }
+
+    /// Whether a PATH_CHALLENGE is still awaiting its response.
+    pub fn path_validation_pending(&self) -> bool {
+        self.path_challenge.is_some()
+    }
+
+    /// Spare CIDs the peer has announced and we have not rotated to yet.
+    pub fn spare_peer_cids(&self) -> usize {
+        self.peer_cid_pool.len()
+    }
+
+    fn ensure_path(&mut self, id: u64) -> &mut PathState {
+        if let Some(i) = self.paths.iter().position(|p| p.id == id) {
+            return &mut self.paths[i];
+        }
+        self.paths.push(PathState {
+            id,
+            bytes_sent: 0,
+            bytes_received: 0,
+            validated: false,
+            abandoned: false,
+        });
+        self.paths.last_mut().unwrap()
+    }
+
+    // ------------------------------------------------------------------
+    // Connection migration (RFC 9000 §9)
+    // ------------------------------------------------------------------
+
+    /// Client API: deliberately migrate to `path`. Rotates the DCID to a
+    /// spare CID from the peer's pool (retiring the old one so packets on
+    /// the two paths are not linkable), resets RTT and congestion state
+    /// for the new path (§9.4), and starts PATH_CHALLENGE validation.
+    /// No-ops before the handshake completes or when already on `path`.
+    pub fn migrate(&mut self, now: SimTime, path: u64) {
+        if self.closed || !self.handshake_complete || path == self.active_path {
+            return;
+        }
+        self.active_path = path;
+        let already_validated = self.ensure_path(path).validated;
+        self.log.push(
+            now,
+            EventData::MigrationStarted {
+                path,
+                deliberate: true,
+            },
+        );
+        // Rotate to an unused peer-issued CID (RFC 9000 §9.5).
+        if let Some(pos) = self
+            .peer_cid_pool
+            .iter()
+            .position(|(s, _)| *s > self.peer_cid_seq)
+        {
+            let (seq, cid) = self.peer_cid_pool.remove(pos);
+            self.pending_retire_cids.push(self.peer_cid_seq);
+            self.peer_cid = cid;
+            self.peer_cid_seq = seq;
+        }
+        if !already_validated {
+            self.reset_path_metrics();
+            self.start_path_challenge(now, path);
+        }
+    }
+
+    /// Server side: the peer's packets started arriving on a new path —
+    /// a NAT rebind or a migration we were not told about. Adopt the
+    /// path, cap it at 3× until validated, and probe it (§9.3).
+    fn on_peer_path_switch(&mut self, now: SimTime, path: u64) {
+        self.active_path = path;
+        let already_validated = path == 0 || self.ensure_path(path).validated;
+        self.log.push(
+            now,
+            EventData::MigrationStarted {
+                path,
+                deliberate: false,
+            },
+        );
+        if !already_validated {
+            self.reset_path_metrics();
+            self.start_path_challenge(now, path);
+        }
+    }
+
+    /// RFC 9000 §9.4: RTT and congestion state do not carry over to a new
+    /// path; both restart from initial values.
+    fn reset_path_metrics(&mut self) {
+        let mut rtt = RttEstimator::new(self.cfg.max_ack_delay);
+        if self.cfg.quirks.aioquic_rttvar {
+            rtt = rtt.with_variant(RttVariant::AioquicOrder);
+        }
+        self.rtt = rtt;
+        self.cc = self.cfg.cc_algorithm.build();
+        self.last_cc_state = CcState::SlowStart;
+    }
+
+    fn start_path_challenge(&mut self, now: SimTime, path: u64) {
+        let mut rng = SimRng::derive(self.cid_seed, &[CHALLENGE_STREAM, path, 0]);
+        self.path_challenge = Some(PathChallengeState {
+            data: rng.next_u64(),
+            path,
+            deadline: now + self.challenge_timeout(0),
+            retries: 0,
+            needs_send: true,
+        });
+    }
+
+    /// Challenge timeout: default PTO with exponential backoff (the path
+    /// has no RTT samples yet, so the pre-sample PTO is the right scale).
+    fn challenge_timeout(&self, retries: u32) -> SimDuration {
+        self.cfg.default_pto.mul(1u64 << retries.min(6))
+    }
+
+    /// An outstanding PATH_CHALLENGE timed out: retransmit with fresh
+    /// probe data, or abandon the path after exhausting retries (§8.2.4).
+    fn on_path_challenge_timeout(&mut self, now: SimTime) {
+        let Some(mut ch) = self.path_challenge.take() else {
+            return;
+        };
+        if ch.retries >= PATH_CHALLENGE_MAX_RETRIES {
+            let path = ch.path;
+            self.ensure_path(path).abandoned = true;
+            self.log.push(now, EventData::PathAbandoned { path });
+            return;
+        }
+        ch.retries += 1;
+        let mut rng = SimRng::derive(
+            self.cid_seed,
+            &[CHALLENGE_STREAM, ch.path, ch.retries as u64],
+        );
+        ch.data = rng.next_u64();
+        ch.deadline = now + self.challenge_timeout(ch.retries);
+        ch.needs_send = true;
+        self.path_challenge = Some(ch);
     }
 
     /// Next application event, if any.
@@ -412,10 +670,31 @@ impl Connection {
     // Receive path
     // ------------------------------------------------------------------
 
-    /// Processes one received UDP datagram.
+    /// Processes one received UDP datagram (on the active path).
     pub fn handle_datagram(&mut self, now: SimTime, data: &[u8]) {
+        let path = self.active_path;
+        self.handle_datagram_on_path(now, data, path);
+    }
+
+    /// Processes one received UDP datagram that arrived on `path`.
+    /// Migration-aware drivers pass the simulator's per-event path id so
+    /// the connection can notice the peer moving (RFC 9000 §9.5: a packet
+    /// from a new address is an implicit migration/NAT rebind).
+    pub fn handle_datagram_on_path(&mut self, now: SimTime, data: &[u8], path: u64) {
         if self.closed {
             return;
+        }
+        if path != self.active_path {
+            if self.role == Role::Server && self.cfg.cid_pool > 0 && self.handshake_complete {
+                self.on_peer_path_switch(now, path);
+            } else {
+                // Clients (and pre-migration-era endpoints) simply follow
+                // the route: their sends already ride the rebound link.
+                self.active_path = path;
+                if path != 0 {
+                    self.ensure_path(path).validated = true;
+                }
+            }
         }
         // Fault-injection signals travel outside the packet codec (their
         // leading 0x00 byte fails the fixed-bit check of every real
@@ -434,6 +713,9 @@ impl Connection {
         }
         self.last_activity = Some(now);
         self.bytes_received += data.len();
+        if path != 0 {
+            self.ensure_path(path).bytes_received += data.len();
+        }
         self.amp_blocked_logged = false;
 
         // quiche quirk: drop a datagram whose leading Initial packet is a
@@ -720,7 +1002,37 @@ impl Connection {
                 }
             }
             Frame::MaxStreams { .. } | Frame::DataBlocked { .. } => {}
-            Frame::NewConnectionId { .. } | Frame::RetireConnectionId { .. } => {}
+            Frame::NewConnectionId { seq, cid, .. } => {
+                // Bank the spare CID for rotation on migration. Endpoints
+                // that never migrate (cid_pool = 0) keep ignoring these.
+                if self.cfg.cid_pool > 0 && !self.peer_cid_pool.iter().any(|(s, _)| s == seq) {
+                    if let Ok(c) = ConnectionId::new(cid) {
+                        self.peer_cid_pool.push((*seq, c));
+                    }
+                }
+            }
+            Frame::RetireConnectionId { seq } => {
+                if self.cfg.cid_pool > 0 {
+                    self.log.push(now, EventData::CidRetired { seq: *seq });
+                }
+            }
+            Frame::PathChallenge { data } => {
+                // Echo back on our next send (RFC 9000 §8.2.2).
+                self.pending_path_response = Some(*data);
+            }
+            Frame::PathResponse { data } => {
+                if let Some(ch) = self.path_challenge.take() {
+                    if ch.data == *data {
+                        let path = ch.path;
+                        self.ensure_path(path).validated = true;
+                        self.log.push(now, EventData::PathValidated { path });
+                        self.amp_blocked_logged = false;
+                    } else {
+                        // Stale echo of an older probe: keep waiting.
+                        self.path_challenge = Some(ch);
+                    }
+                }
+            }
             Frame::NewToken { token } => {
                 self.token = token.to_vec();
             }
@@ -989,6 +1301,19 @@ impl Connection {
                 self.handshake_complete = true;
                 self.log.push(now, EventData::HandshakeComplete);
                 self.events.push_back(ConnEvent::HandshakeComplete);
+                // Announce the spare-CID pool the peer rotates through on
+                // migration (RFC 9000 §5.1.1). Seq 0 is the handshake CID.
+                if self.cfg.cid_pool > 0 {
+                    let kind = match self.role {
+                        Role::Client => CID_KIND_CLIENT,
+                        Role::Server => CID_KIND_SERVER,
+                    };
+                    for seq in 1..=self.cfg.cid_pool as u64 {
+                        let cid = derived_cid(self.cid_seed, kind, seq);
+                        self.pending_new_cids
+                            .push((seq, 0, cid.as_slice().to_vec()));
+                    }
+                }
                 match self.role {
                     Role::Server => {
                         self.handshake_done_pending = true;
@@ -1225,9 +1550,7 @@ impl Connection {
             return None;
         }
         if let Some(d) = self.ready_datagrams.pop_front() {
-            self.bytes_sent += d.len();
-            self.last_activity = Some(now);
-            self.first_send_at.get_or_insert(now);
+            self.note_datagram_sent(now, d.len());
             return Some(d);
         }
         if self.closed {
@@ -1248,11 +1571,20 @@ impl Connection {
             }
         }
         self.build_datagram(now).map(|d| {
-            self.bytes_sent += d.len();
-            self.last_activity = Some(now);
-            self.first_send_at.get_or_insert(now);
+            self.note_datagram_sent(now, d.len());
             d
         })
+    }
+
+    /// Books an outgoing datagram against global and per-path
+    /// anti-amplification accounting.
+    fn note_datagram_sent(&mut self, now: SimTime, len: usize) {
+        self.bytes_sent += len;
+        if self.active_path != 0 {
+            self.ensure_path(self.active_path).bytes_sent += len;
+        }
+        self.last_activity = Some(now);
+        self.first_send_at.get_or_insert(now);
     }
 
     /// Builds one generic datagram by greedily coalescing per-space packets.
@@ -1339,6 +1671,10 @@ impl Connection {
         self.spaces.iter().any(SpaceState::has_data_to_send)
             || self.streams.want_send()
             || self.handshake_done_pending
+            || self.pending_path_response.is_some()
+            || self.path_challenge.as_ref().is_some_and(|c| c.needs_send)
+            || !self.pending_retire_cids.is_empty()
+            || !self.pending_new_cids.is_empty()
     }
 
     /// Whether this endpoint may emit 0-RTT packets right now: a client
@@ -1535,6 +1871,43 @@ impl Connection {
                 frames.push(Frame::HandshakeDone);
                 used += 1;
                 probe_only = false;
+            }
+            // Migration plumbing: challenge/response first (time-critical),
+            // then CID bookkeeping. All empty when cid_pool is 0.
+            if !early {
+                if used + 9 <= max_payload {
+                    if let Some(data) = self.pending_path_response.take() {
+                        frames.push(Frame::PathResponse { data });
+                        used += 9;
+                        probe_only = false;
+                    }
+                }
+                let challenge = self.path_challenge.as_ref().and_then(|ch| {
+                    (ch.needs_send && used + 9 <= max_payload).then_some((ch.data, ch.path))
+                });
+                if let Some((data, path)) = challenge {
+                    self.path_challenge.as_mut().unwrap().needs_send = false;
+                    frames.push(Frame::PathChallenge { data });
+                    used += 9;
+                    probe_only = false;
+                    self.log.push(now, EventData::PathChallengeSent { path });
+                }
+                while !self.pending_retire_cids.is_empty() && used + 2 <= max_payload {
+                    let seq = self.pending_retire_cids.remove(0);
+                    frames.push(Frame::RetireConnectionId { seq });
+                    used += 2;
+                    probe_only = false;
+                }
+                while !self.pending_new_cids.is_empty() && used + 30 <= max_payload {
+                    let (seq, retire_prior_to, cid) = self.pending_new_cids.remove(0);
+                    frames.push(Frame::NewConnectionId {
+                        seq,
+                        retire_prior_to,
+                        cid,
+                    });
+                    used += 30;
+                    probe_only = false;
+                }
             }
             if self.streams.should_send_max_data() && used + 9 <= max_payload {
                 let v = self.streams.next_max_data();
@@ -1901,6 +2274,7 @@ impl Connection {
         consider(self.pto_deadline());
         consider(self.ack_deadline());
         consider(self.give_up_deadline());
+        consider(self.path_challenge.as_ref().map(|c| c.deadline));
         next
     }
 
@@ -2034,7 +2408,14 @@ impl Connection {
                 return;
             }
         }
-        // 3. PTO.
+        // 3. Path-validation retry/abandon.
+        if let Some(cd) = self.path_challenge.as_ref().map(|c| c.deadline) {
+            if now >= cd {
+                self.on_path_challenge_timeout(now);
+                return;
+            }
+        }
+        // 4. PTO.
         if let Some(pd) = self.pto_deadline() {
             if now >= pd {
                 self.on_pto(now);
@@ -2262,6 +2643,14 @@ fn frame_summaries(frames: &[Frame]) -> Vec<FrameSummary> {
                 name: "retire_connection_id",
                 len: 0,
             },
+            Frame::PathChallenge { .. } => FrameSummary {
+                name: "path_challenge",
+                len: 0,
+            },
+            Frame::PathResponse { .. } => FrameSummary {
+                name: "path_response",
+                len: 0,
+            },
             Frame::ConnectionClose { .. } => FrameSummary {
                 name: "connection_close",
                 len: 0,
@@ -2295,7 +2684,7 @@ mod tests {
     fn server(ack_mode: ServerAckMode) -> Connection {
         let mut cfg = EndpointConfig::rfc_default();
         cfg.ack_mode = ack_mode;
-        Connection::server(cfg, 2, ConnectionId::from_u64(1 ^ 0xD1D0))
+        Connection::server(cfg, 2, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0))
     }
 
     /// Drives both connections through a full handshake with zero network
@@ -2451,7 +2840,7 @@ mod tests {
         let mut c = client();
         let mut cfg = EndpointConfig::rfc_default().with_cert_len(rq_tls::CERT_LARGE);
         cfg.ack_mode = ServerAckMode::WaitForCertificate;
-        let mut s = Connection::server(cfg, 2, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(cfg, 2, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0));
         let ch = c.poll_transmit(at(0)).unwrap();
         let ch_len = ch.len();
         s.handle_datagram(at(0), &ch);
@@ -2750,7 +3139,11 @@ mod tests {
     /// ticket-issuing server sharing `server_cfg`.
     fn mint_ticket_via_priming(server_cfg: &EndpointConfig) -> rq_tls::SessionTicket {
         let mut c = client();
-        let mut s = Connection::server(server_cfg.clone(), 2, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(
+            server_cfg.clone(),
+            2,
+            derived_cid(1, CID_KIND_ORIGINAL_DCID, 0),
+        );
         let ticket = exchange_until_quiet(&mut c, &mut s, at(0));
         assert!(c.is_established() && !c.is_resumed());
         ticket.expect("priming connection must yield a ticket")
@@ -2777,7 +3170,7 @@ mod tests {
         cfg.enable_early_data = true;
         let mut c = Connection::client(cfg, 1, false);
         c.send_stream_data(stream_id::CLIENT_BIDI_0, b"GET / HTTP/1.1\r\n\r\n", true);
-        let mut s = Connection::server(server_cfg, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(server_cfg, 3, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0));
 
         // The first flight carries Initial(CH) coalesced with a 0-RTT
         // packet carrying the request.
@@ -2823,7 +3216,7 @@ mod tests {
         cfg.enable_early_data = true;
         let mut c = Connection::client(cfg, 1, false);
         c.send_stream_data(stream_id::CLIENT_BIDI_0, b"GET / HTTP/1.1\r\n\r\n", true);
-        let mut s = Connection::server(server_cfg, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(server_cfg, 3, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0));
 
         exchange_until_quiet(&mut c, &mut s, at(0));
         assert!(c.is_established() && c.is_resumed());
@@ -2848,7 +3241,7 @@ mod tests {
         cfg.session_ticket = Some(ticket);
         cfg.enable_early_data = false;
         let mut c = Connection::client(cfg, 1, false);
-        let mut s = Connection::server(server_cfg, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(server_cfg, 3, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0));
         let fresh = exchange_until_quiet(&mut c, &mut s, at(0));
         assert!(c.is_resumed() && s.is_resumed());
         assert_eq!(c.early_data_accepted(), None, "early data never offered");
@@ -2865,7 +3258,7 @@ mod tests {
         let mut c = Connection::client(cfg, 1, false);
         let mut other = server_cfg;
         other.ticket_key ^= 0xDEAD;
-        let mut s = Connection::server(other, 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(other, 3, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0));
         exchange_until_quiet(&mut c, &mut s, at(0));
         assert!(c.is_established() && s.is_established());
         assert!(!c.is_resumed() && !s.is_resumed());
@@ -2895,6 +3288,218 @@ mod tests {
             s.rtt().sample_count(),
             0,
             "server must have no RTT sample under IACK"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Connection migration
+    // ------------------------------------------------------------------
+
+    fn migration_pair() -> (Connection, Connection) {
+        let mut ccfg = EndpointConfig::rfc_default();
+        ccfg.cid_pool = 2;
+        let mut scfg = EndpointConfig::rfc_default();
+        scfg.cid_pool = 2;
+        let c = Connection::client(ccfg, 1, false);
+        let s = Connection::server(scfg, 2, derived_cid(1, CID_KIND_ORIGINAL_DCID, 0));
+        (c, s)
+    }
+
+    /// Zero-delay exchange where every datagram is delivered on `path`,
+    /// until quiescent.
+    fn pump_on_path(c: &mut Connection, s: &mut Connection, now: SimTime, path: u64) {
+        loop {
+            let mut progress = false;
+            while let Some(d) = c.poll_transmit(now) {
+                s.handle_datagram_on_path(now, &d, path);
+                progress = true;
+            }
+            while let Some(d) = s.poll_transmit(now) {
+                c.handle_datagram_on_path(now, &d, path);
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cid_derivation_is_collision_free() {
+        // The old XOR scheme could collide across kinds/seeds; coordinate
+        // hashing must keep every (seed, kind, seq) CID distinct.
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 2, 0xC11E_57, 0x5E11_E5] {
+            for kind in [
+                CID_KIND_CLIENT,
+                CID_KIND_ORIGINAL_DCID,
+                CID_KIND_SERVER,
+                CID_KIND_RETRY,
+            ] {
+                for seq in 0..8u64 {
+                    assert!(
+                        seen.insert(derived_cid(seed, kind, seq)),
+                        "collision at seed={seed:#x} kind={kind} seq={seq}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cid_pool_announced_after_handshake() {
+        let (mut c, mut s) = migration_pair();
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        assert_eq!(c.spare_peer_cids(), 2, "server pool not banked at client");
+        assert_eq!(s.spare_peer_cids(), 2, "client pool not banked at server");
+        // The spares are exactly the derivable pool CIDs.
+        assert_eq!(c.peer_cid_pool[0].1, derived_cid(2, CID_KIND_SERVER, 1));
+        assert_eq!(s.peer_cid_pool[1].1, derived_cid(1, CID_KIND_CLIENT, 2));
+    }
+
+    #[test]
+    fn cid_pool_disabled_changes_nothing() {
+        let mut c = client();
+        let mut s = server(ServerAckMode::WaitForCertificate);
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        assert_eq!(c.spare_peer_cids(), 0);
+        assert_eq!(s.spare_peer_cids(), 0);
+        assert_eq!(
+            c.log
+                .count(|d| matches!(d, EventData::MigrationStarted { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn deliberate_migration_rotates_cid_and_validates_path() {
+        let (mut c, mut s) = migration_pair();
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        let old_dcid = c.peer_cid;
+        let now = at(500);
+        c.migrate(now, 7);
+        assert_ne!(c.peer_cid, old_dcid, "DCID must rotate on migration");
+        assert_eq!(c.peer_cid, derived_cid(2, CID_KIND_SERVER, 1));
+        assert!(c.path_validation_pending());
+        pump_on_path(&mut c, &mut s, now, 7);
+        // Both directions validated: client probed, server counter-probed.
+        assert!(
+            c.path_state(7).unwrap().validated,
+            "client path unvalidated"
+        );
+        assert!(
+            s.path_state(7).unwrap().validated,
+            "server path unvalidated"
+        );
+        assert_eq!(s.active_path(), 7);
+        assert!(!c.path_validation_pending());
+        assert_eq!(
+            c.log.count(|d| matches!(
+                d,
+                EventData::MigrationStarted {
+                    deliberate: true,
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            s.log.count(|d| matches!(
+                d,
+                EventData::MigrationStarted {
+                    deliberate: false,
+                    ..
+                }
+            )),
+            1
+        );
+        // The old client DCID was retired at the server.
+        assert_eq!(
+            s.log
+                .count(|d| matches!(d, EventData::CidRetired { seq: 0 })),
+            1
+        );
+    }
+
+    #[test]
+    fn unvalidated_path_is_amplification_limited() {
+        let (mut c, mut s) = migration_pair();
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        let now = at(500);
+        c.migrate(now, 3);
+        // Deliver exactly one client datagram on the new path, then stop.
+        let d = c.poll_transmit(now).expect("challenge datagram");
+        s.handle_datagram_on_path(now, &d, 3);
+        let p = s.path_state(3).expect("server must track the new path");
+        assert!(!p.validated);
+        assert_eq!(
+            s.amplification_budget(),
+            3 * d.len(),
+            "unvalidated new path must be 3x-limited like a fresh Initial"
+        );
+        // Server sends never exceed the per-path budget while unvalidated.
+        let mut sent = 0usize;
+        while let Some(out) = s.poll_transmit(now) {
+            sent += out.len();
+        }
+        assert!(
+            sent <= 3 * d.len(),
+            "server overshot: {sent} > {}",
+            3 * d.len()
+        );
+    }
+
+    #[test]
+    fn path_validation_abandons_after_retries() {
+        let (mut c, mut s) = migration_pair();
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        let mut now = at(500);
+        c.migrate(now, 9);
+        // Black-hole every datagram: drain transmits, fire each deadline.
+        for _ in 0..16 {
+            while c.poll_transmit(now).is_some() {}
+            if !c.path_validation_pending() {
+                break;
+            }
+            let deadline = c.poll_timeout().expect("challenge deadline armed");
+            now = now.max(deadline);
+            c.handle_timeout(now);
+        }
+        assert!(!c.path_validation_pending(), "validation must terminate");
+        assert!(c.path_state(9).unwrap().abandoned);
+        assert_eq!(
+            c.log
+                .count(|d| matches!(d, EventData::PathAbandoned { path: 9 })),
+            1
+        );
+        assert_eq!(
+            c.log
+                .count(|d| matches!(d, EventData::PathChallengeSent { .. })),
+            1 + PATH_CHALLENGE_MAX_RETRIES as usize
+        );
+    }
+
+    #[test]
+    fn nat_rebind_without_notification_revalidates() {
+        // NAT rebind: the client keeps sending, oblivious; the simulator
+        // just delivers its packets on a new path id. The server must
+        // notice, probe, and carry on.
+        let (mut c, mut s) = migration_pair();
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        let now = at(500);
+        c.send_stream_data(stream_id::CLIENT_BIDI_0, b"hello after rebind", true);
+        pump_on_path(&mut c, &mut s, now, 4);
+        assert_eq!(s.active_path(), 4);
+        assert!(s.path_state(4).unwrap().validated);
+        assert_eq!(
+            s.log.count(|d| matches!(
+                d,
+                EventData::MigrationStarted {
+                    deliberate: false,
+                    ..
+                }
+            )),
+            1
         );
     }
 }

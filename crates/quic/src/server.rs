@@ -24,7 +24,7 @@ use rq_tls::TicketKeySchedule;
 use rq_wire::ConnectionId;
 
 use crate::config::EndpointConfig;
-use crate::connection::Connection;
+use crate::connection::{derived_cid, Connection, CID_KIND_SERVER};
 
 /// Relative CPU cost of completing each handshake class, in units of one
 /// full handshake. The asymmetric signature + key exchange dominates a
@@ -201,6 +201,12 @@ pub struct ServerEngine {
     /// What to do with arrivals beyond the limit.
     pub overload: OverloadPolicy,
     conns: HashMap<u64, ConnSlot>,
+    /// Demux by connection ID: every CID a connection has announced (or
+    /// will announce — the pool is derivable at accept time) maps to its
+    /// table key, so a migrated client is routed to its existing state
+    /// even when its 4-tuple (sim `NodeId` + path) changed. Empty when
+    /// the template's `cid_pool` is 0.
+    cid_index: HashMap<u64, u64>,
     /// Running aggregates.
     pub accounting: ServerAccounting,
     /// Listener-level qlog events (crashes — things no single
@@ -224,6 +230,7 @@ impl ServerEngine {
             concurrency_limit: concurrency_limit.max(1),
             overload: OverloadPolicy::Shed,
             conns: HashMap::new(),
+            cid_index: HashMap::new(),
             accounting: ServerAccounting::default(),
             log: EventLog::new("server:engine".to_string()),
         }
@@ -248,6 +255,13 @@ impl ServerEngine {
     /// Whether `key` has an active connection.
     pub fn has_conn(&self, key: u64) -> bool {
         self.conns.contains_key(&key)
+    }
+
+    /// Looks up the connection owning `cid` (any CID from its announced
+    /// pool, current or spare). `None` for unknown CIDs or when the
+    /// engine's template doesn't issue CID pools.
+    pub fn key_for_cid(&self, cid: &ConnectionId) -> Option<u64> {
+        self.cid_index.get(&cid_u64(cid)).copied()
     }
 
     /// Keys of all active connections, sorted — the only safe way to
@@ -321,6 +335,16 @@ impl ServerEngine {
                 costed: false,
             },
         );
+        // Register the connection's whole CID pool for migration demux:
+        // seq 0 (the handshake CID) plus every spare it will announce.
+        // The pool is a pure function of (conn_seed, seq), so it is
+        // indexable before a single NEW_CONNECTION_ID leaves.
+        if self.template.cid_pool > 0 {
+            for seq in 0..=self.template.cid_pool as u64 {
+                let cid = derived_cid(conn_seed, CID_KIND_SERVER, seq);
+                self.cid_index.insert(cid_u64(&cid), key);
+            }
+        }
         self.accounting.peak_active = self.accounting.peak_active.max(self.conns.len() as u64);
         AcceptOutcome::Accepted
     }
@@ -337,6 +361,7 @@ impl ServerEngine {
         let mut orphans: Vec<u64> = self.conns.keys().copied().collect();
         orphans.sort_unstable();
         self.conns.clear();
+        self.cid_index.clear();
         self.accounting.crashes += 1;
         self.accounting.reset_conns += orphans.len() as u64;
         if forget_ticket_epochs {
@@ -384,6 +409,7 @@ impl ServerEngine {
     /// and returns the connection for final inspection.
     pub fn retire(&mut self, key: u64, completed: bool) -> Option<Connection> {
         let slot = self.conns.remove(&key)?;
+        self.cid_index.retain(|_, v| *v != key);
         if completed {
             self.accounting.completed += 1;
         } else {
@@ -399,6 +425,15 @@ impl ServerEngine {
         }
         Some(slot.conn)
     }
+}
+
+/// First 8 bytes of a CID as a map key (all simulator CIDs are 8 bytes).
+fn cid_u64(cid: &ConnectionId) -> u64 {
+    let s = cid.as_slice();
+    let mut b = [0u8; 8];
+    let n = s.len().min(8);
+    b[..n].copy_from_slice(&s[..n]);
+    u64::from_be_bytes(b)
 }
 
 #[cfg(test)]
@@ -596,6 +631,30 @@ mod tests {
         // Only the current epoch survives the restart.
         assert_eq!(e.schedule().accept_keys(250).len(), 1);
         assert_eq!(e.schedule().mint_key(250), schedule.mint_key(250));
+    }
+
+    #[test]
+    fn cid_index_routes_pool_cids_until_retire() {
+        let mut template = EndpointConfig::rfc_default();
+        template.cid_pool = 2;
+        let mut e = ServerEngine::new(template, TicketKeySchedule::fixed(7), 4);
+        e.accept(10, 42, dcid(1), 0, false, false);
+        // Handshake CID and both spares route to the connection.
+        for seq in 0..=2u64 {
+            let cid = derived_cid(42, CID_KIND_SERVER, seq);
+            assert_eq!(e.key_for_cid(&cid), Some(10), "seq {seq} not indexed");
+        }
+        assert_eq!(e.key_for_cid(&dcid(0xDEAD)), None);
+        e.retire(10, true);
+        let cid = derived_cid(42, CID_KIND_SERVER, 1);
+        assert_eq!(e.key_for_cid(&cid), None, "index must not outlive conn");
+    }
+
+    #[test]
+    fn cid_index_empty_without_pool() {
+        let mut e = engine(4);
+        e.accept(1, 42, dcid(1), 0, false, false);
+        assert_eq!(e.key_for_cid(&derived_cid(42, CID_KIND_SERVER, 0)), None);
     }
 
     #[test]

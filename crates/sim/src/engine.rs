@@ -26,6 +26,8 @@ enum EventKind {
     Datagram {
         from: NodeId,
         to: NodeId,
+        /// Path id of the link that carried the datagram.
+        path: u64,
         payload: Vec<u8>,
     },
     Timer {
@@ -34,6 +36,15 @@ enum EventKind {
     },
     Start {
         node: NodeId,
+    },
+    /// Repoints the active route between `a` and `b` at the link
+    /// registered for `path`; when `notify` is set, `a` additionally gets
+    /// an [`Node::on_path_change`] callback (deliberate migration).
+    PathChange {
+        a: NodeId,
+        b: NodeId,
+        path: u64,
+        notify: bool,
     },
 }
 
@@ -115,15 +126,59 @@ impl Network {
         id
     }
 
-    /// Connects two nodes with a bidirectional link. Direction `AtoB` in
-    /// loss rules refers to `a → b`.
+    /// Connects two nodes with a bidirectional link on the default path 0.
+    /// Direction `AtoB` in loss rules refers to `a → b`.
     pub fn connect(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.connect_path(a, b, 0, config);
+    }
+
+    /// Registers a link realizing `path` between `a` and `b`. Path 0
+    /// becomes the pair's active route immediately (first link wins,
+    /// matching the old linear scan); other paths lie dormant until a
+    /// [`Network::schedule_path_change`] event activates them, so a
+    /// network that never schedules one behaves byte-identically to a
+    /// single-path network.
+    pub fn connect_path(&mut self, a: NodeId, b: NodeId, path: u64, config: LinkConfig) {
         assert!(a != b, "cannot connect a node to itself");
         let slot = self.links.len();
-        self.links.push(Link::new(a, b, config));
-        // First link between a pair wins, matching the old linear scan.
-        self.link_index.entry((a.0, b.0)).or_insert(slot);
-        self.link_index.entry((b.0, a.0)).or_insert(slot);
+        self.links.push(Link::on_path(a, b, path, config));
+        if path == 0 {
+            self.link_index.entry((a.0, b.0)).or_insert(slot);
+            self.link_index.entry((b.0, a.0)).or_insert(slot);
+        }
+    }
+
+    /// Schedules the route between `a` and `b` to flip to `path` at `at`.
+    /// A link for that path must have been registered via
+    /// [`Network::connect_path`] by the time the event fires. With
+    /// `notify`, node `a` gets an [`Node::on_path_change`] callback
+    /// (deliberate migration); without it the flip is silent, as a NAT
+    /// rebind is to the endpoints.
+    pub fn schedule_path_change(
+        &mut self,
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+        path: u64,
+        notify: bool,
+    ) {
+        assert!(at >= self.now, "cannot schedule a path change in the past");
+        self.push_event(at, EventKind::PathChange { a, b, path, notify });
+    }
+
+    /// Repoints the active route for the (`a`, `b`) pair at the link
+    /// registered for `path`. No-op when either node has been retired.
+    fn activate_path(&mut self, a: NodeId, b: NodeId, path: u64) {
+        if self.nodes[a.0].is_none() || self.nodes[b.0].is_none() {
+            return;
+        }
+        let slot = self
+            .links
+            .iter()
+            .position(|l| l.path == path && ((l.a == a && l.b == b) || (l.a == b && l.b == a)))
+            .unwrap_or_else(|| panic!("no path {path} link between {a:?} and {b:?}"));
+        self.link_index.insert((a.0, b.0), slot);
+        self.link_index.insert((b.0, a.0), slot);
     }
 
     /// Current virtual time.
@@ -174,16 +229,23 @@ impl Network {
             if a == id || b == id {
                 self.link_index.remove(&(a.0, b.0));
                 self.link_index.remove(&(b.0, a.0));
+                let moved_from = self.links.len() - 1;
                 self.links.swap_remove(slot);
                 // The link moved into `slot` (if any) needs its index
-                // entries repointed.
+                // entries repointed — but only the entries that actually
+                // pointed at its old slot, since a pair with several path
+                // links shares one (possibly dormant) index entry.
                 if slot < self.links.len() {
                     let (ma, mb) = (self.links[slot].a, self.links[slot].b);
                     if let Some(e) = self.link_index.get_mut(&(ma.0, mb.0)) {
-                        *e = slot;
+                        if *e == moved_from {
+                            *e = slot;
+                        }
                     }
                     if let Some(e) = self.link_index.get_mut(&(mb.0, ma.0)) {
-                        *e = slot;
+                        if *e == moved_from {
+                            *e = slot;
+                        }
                     }
                 }
             } else {
@@ -236,9 +298,16 @@ impl Network {
                 return RunOutcome::EventLimit;
             }
             self.now = ev.at;
-            let node_id = match &ev.kind {
-                EventKind::Datagram { to, .. } => *to,
-                EventKind::Timer { node, .. } | EventKind::Start { node } => *node,
+            if let EventKind::PathChange { a, b, path, notify } = &ev.kind {
+                self.activate_path(*a, *b, *path);
+                if !*notify {
+                    continue;
+                }
+            }
+            let (node_id, ev_path) = match &ev.kind {
+                EventKind::Datagram { to, path, .. } => (*to, *path),
+                EventKind::Timer { node, .. } | EventKind::Start { node } => (*node, 0),
+                EventKind::PathChange { a, path, .. } => (*a, *path),
             };
             // Events addressed to retired nodes (stale timers, datagrams
             // in flight when the connection ended) evaporate.
@@ -250,6 +319,7 @@ impl Network {
             let mut ctx = Context {
                 now: self.now,
                 me: node_id,
+                path: ev_path,
                 sends: std::mem::take(&mut self.scratch_sends),
                 timers: std::mem::take(&mut self.scratch_timers),
                 stop: false,
@@ -260,6 +330,7 @@ impl Network {
                 EventKind::Datagram {
                     from,
                     to: _,
+                    path: _,
                     payload,
                 } => {
                     node.on_datagram(&mut ctx, from, &payload);
@@ -269,6 +340,9 @@ impl Network {
                 }
                 EventKind::Start { .. } => {
                     node.on_start(&mut ctx);
+                }
+                EventKind::PathChange { path, .. } => {
+                    node.on_path_change(&mut ctx, path);
                 }
             }
             let Context {
@@ -308,6 +382,7 @@ impl Network {
             panic!("no link between {from:?} and {to:?}");
         };
         let link = &mut self.links[slot];
+        let path = link.path;
         let (result, index) = link.transmit(from, &payload, self.now);
         match result {
             TransmitResult::Deliver { at, duplicate } => {
@@ -335,11 +410,20 @@ impl Network {
                         EventKind::Datagram {
                             from,
                             to,
+                            path,
                             payload: payload.clone(),
                         },
                     );
                 }
-                self.push_event(at, EventKind::Datagram { from, to, payload });
+                self.push_event(
+                    at,
+                    EventKind::Datagram {
+                        from,
+                        to,
+                        path,
+                        payload,
+                    },
+                );
             }
             TransmitResult::Drop => {
                 self.trace.record_datagram(
@@ -658,6 +742,104 @@ mod tests {
         assert_eq!(net.trace.all("rx").len(), 2);
         // Retiring twice is a no-op.
         assert!(net.retire_node(a).is_none());
+    }
+
+    #[test]
+    fn path_change_switches_delivery_profile() {
+        /// Counter that tags each receipt with the arrival path id.
+        struct PathCounter;
+        impl Node for PathCounter {
+            fn on_datagram(&mut self, ctx: &mut Context<'_>, _: NodeId, _: &[u8]) {
+                let me = ctx.me();
+                let now = ctx.now();
+                let p = ctx.path();
+                ctx.trace().milestone(me, now, format!("rx/p{p}"));
+            }
+        }
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(PathCounter));
+        let b = net.add_node(Box::new(Chatter { peer: a }));
+        net.connect(a, b, LinkConfig::paper_default(SimDuration::from_millis(1)));
+        net.connect_path(
+            a,
+            b,
+            1,
+            LinkConfig::paper_default(SimDuration::from_millis(20)),
+        );
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        net.schedule_path_change(t(12), a, b, 1, false);
+        net.prime();
+        net.run_until(t(37));
+        // Sends at 0, 5, 10 ride path 0 (≈1 ms); the send at 15 is the
+        // first over path 1 and lands ≈20 ms later.
+        assert_eq!(net.trace.all("rx/p0").len(), 3);
+        let p1 = net.trace.all("rx/p1");
+        assert_eq!(p1.len(), 1);
+        assert!(p1[0] >= t(35) && p1[0] < t(36), "delivery ≈ send + 20 ms");
+    }
+
+    #[test]
+    fn path_change_notifies_initiator() {
+        struct Migrator {
+            peer: NodeId,
+        }
+        impl Node for Migrator {
+            fn on_datagram(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+            fn on_path_change(&mut self, ctx: &mut Context<'_>, path: u64) {
+                let me = ctx.me();
+                let now = ctx.now();
+                assert_eq!(ctx.path(), path);
+                ctx.trace().milestone(me, now, format!("migrate/p{path}"));
+                ctx.send(self.peer, b"probe".to_vec());
+            }
+        }
+        let mut net = Network::new(false);
+        let sink = net.add_node(Box::new(Counter));
+        let m = net.add_node(Box::new(Migrator { peer: sink }));
+        net.connect(
+            m,
+            sink,
+            LinkConfig::paper_default(SimDuration::from_millis(1)),
+        );
+        net.connect_path(
+            m,
+            sink,
+            7,
+            LinkConfig::paper_default(SimDuration::from_millis(3)),
+        );
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        net.schedule_path_change(t(10), m, sink, 7, true);
+        net.prime();
+        net.run_until(t(20));
+        // The callback fires at the flip time and its probe already rides
+        // the new path.
+        assert_eq!(net.trace.first("migrate/p7"), Some(t(10)));
+        let rx = net.trace.all("rx");
+        assert_eq!(rx.len(), 1);
+        assert!(rx[0] >= t(13) && rx[0] < t(14), "probe took the 3 ms path");
+    }
+
+    #[test]
+    fn path_change_after_retirement_is_noop() {
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Counter));
+        let b = net.add_node(Box::new(Chatter { peer: a }));
+        net.connect(a, b, LinkConfig::paper_default(SimDuration::from_millis(1)));
+        net.connect_path(
+            a,
+            b,
+            1,
+            LinkConfig::paper_default(SimDuration::from_millis(5)),
+        );
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        net.schedule_path_change(t(15), a, b, 1, false);
+        net.prime();
+        net.run_until(t(7));
+        net.retire_node(a);
+        // The queued flip targets a retired pair: it must neither panic
+        // nor resurrect the route.
+        assert_eq!(net.run_until(t(30)), RunOutcome::TimeLimit);
+        assert_eq!(net.trace.all("rx").len(), 2);
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct LinkStats {
 pub(crate) struct Link {
     pub(crate) a: NodeId,
     pub(crate) b: NodeId,
+    /// Path id this link realizes between its endpoint pair. 0 is the
+    /// default path every [`crate::Network::connect`] creates; extra paths
+    /// (registered via [`crate::Network::connect_path`]) carry their own
+    /// delay/loss/impairment profile and become active only when a
+    /// path-change event repoints the pair's route at them.
+    pub(crate) path: u64,
     pub(crate) config: LinkConfig,
     /// Per-direction datagram counters (indices for loss rules).
     counters: [usize; 2],
@@ -125,10 +131,11 @@ pub(crate) enum TransmitResult {
 }
 
 impl Link {
-    pub(crate) fn new(a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+    pub(crate) fn on_path(a: NodeId, b: NodeId, path: u64, config: LinkConfig) -> Self {
         Link {
             a,
             b,
+            path,
             config,
             counters: [0, 0],
             busy_until: [SimTime::ZERO, SimTime::ZERO],
@@ -246,7 +253,7 @@ mod tests {
     use crate::loss::DropIndices;
 
     fn link(cfg: LinkConfig) -> Link {
-        Link::new(NodeId(0), NodeId(1), cfg)
+        Link::on_path(NodeId(0), NodeId(1), 0, cfg)
     }
 
     #[test]

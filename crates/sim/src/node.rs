@@ -32,6 +32,14 @@ pub trait Node {
     /// must ignore stale wakeups (compare against their own armed deadline).
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
 
+    /// Called when a [`crate::Network::schedule_path_change`] event with
+    /// `notify = true` rebinds this node's active path — the "deliberate
+    /// migration" signal (an OS telling the app its default route moved).
+    /// NAT-rebind style changes use `notify = false` and this is never
+    /// called; endpoints discover the move from the path id on arriving
+    /// datagrams instead.
+    fn on_path_change(&mut self, _ctx: &mut Context<'_>, _path: u64) {}
+
     /// Human-readable name for traces and logs.
     fn name(&self) -> &str {
         "node"
@@ -45,6 +53,7 @@ pub trait Node {
 pub struct Context<'a> {
     pub(crate) now: SimTime,
     pub(crate) me: NodeId,
+    pub(crate) path: u64,
     pub(crate) sends: Vec<(NodeId, Vec<u8>)>,
     pub(crate) timers: Vec<(SimTime, u64)>,
     pub(crate) stop: bool,
@@ -60,6 +69,13 @@ impl<'a> Context<'a> {
     /// This node's own ID.
     pub fn me(&self) -> NodeId {
         self.me
+    }
+
+    /// Path id the current event arrived on: the link path for datagram
+    /// deliveries, the new path for `on_path_change`, and 0 for timers and
+    /// starts. Single-path networks always see 0.
+    pub fn path(&self) -> u64 {
+        self.path
     }
 
     /// Queues a datagram to `to`. There must be a link between the nodes

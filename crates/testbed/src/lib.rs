@@ -25,7 +25,7 @@ pub use runner::{
     apply_exposure, rep_scenario, run_repetitions, run_scenario, run_scenario_with_trace,
     RunResult, SweepRunner, SweepScenarios,
 };
-pub use scenario::{FaultSpec, HandshakeClass, LossSpec, ReconnectPolicy, Scenario};
+pub use scenario::{FaultSpec, HandshakeClass, LossSpec, MigrationSpec, ReconnectPolicy, Scenario};
 pub use server_load::{
     run_server_load, run_server_load_sharded, ArrivalProcess, ClassMix, ConnFate, ConnOutcome,
     ConnPlan, FateTally, ServerLoadReport, ServerLoadRun, ServerLoadSpec, DEFAULT_SHARD_ARRIVALS,

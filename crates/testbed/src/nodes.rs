@@ -17,8 +17,8 @@ use std::rc::Rc;
 
 use rq_http::{h1, h3, HttpVersion};
 use rq_quic::{
-    server_busy_datagram, stateless_reset_datagram, stateless_retry_datagram, stream_id,
-    AcceptOutcome, ConnEvent, Connection, EndpointConfig, ServerEngine,
+    derived_cid, server_busy_datagram, stateless_reset_datagram, stateless_retry_datagram,
+    stream_id, AcceptOutcome, ConnEvent, Connection, EndpointConfig, ServerEngine, CID_KIND_RETRY,
 };
 use rq_sim::{Context, FaultTimeline, Node, NodeId, SimDuration, SimRng, SimTime};
 use rq_tls::TicketKeySchedule;
@@ -378,7 +378,19 @@ impl Node for ClientNode {
     }
 
     fn on_datagram(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: &[u8]) {
-        self.conn.borrow_mut().handle_datagram(ctx.now(), payload);
+        let path = ctx.path();
+        self.conn
+            .borrow_mut()
+            .handle_datagram_on_path(ctx.now(), payload, path);
+        self.drain_events(ctx);
+        self.flush(ctx);
+    }
+
+    fn on_path_change(&mut self, ctx: &mut Context<'_>, path: u64) {
+        // The OS told us the route moved (deliberate migration): rotate
+        // the DCID and start validating the new path.
+        let now = ctx.now();
+        self.conn.borrow_mut().migrate(now, path);
         self.drain_events(ctx);
         self.flush(ctx);
     }
@@ -509,6 +521,12 @@ pub struct ServerNode {
     /// While set, the server process is frozen: datagrams are dropped
     /// and timers are swallowed until the thaw event at this time.
     frozen_until: Option<SimTime>,
+    /// Migration-aware servers additionally demux arriving datagrams by
+    /// connection ID (the engine's CID index) before falling back to the
+    /// sender's `NodeId`, so a client knocking from a new path under a
+    /// rotated CID still lands on its connection. Off by default so
+    /// legacy scenarios keep their exact behaviour.
+    migration_aware: bool,
 }
 
 impl ServerNode {
@@ -548,7 +566,15 @@ impl ServerNode {
             forget_epochs: false,
             fault_aware: false,
             frozen_until: None,
+            migration_aware: false,
         }
+    }
+
+    /// Turns on CID-based demux for migrated clients (scenarios with a
+    /// [`crate::scenario::MigrationSpec`]).
+    pub fn with_migration(mut self) -> Self {
+        self.migration_aware = true;
+        self
     }
 
     /// Arms the server with a fault timeline (crashes and freezes) and
@@ -693,7 +719,7 @@ impl ServerNode {
                 // burns an RTT echoing the token; by then capacity may
                 // have freed up.
                 peer.deferred = true;
-                let server_cid = ConnectionId::from_u64(self.seed ^ 0x7E7B ^ key as u64);
+                let server_cid = derived_cid(self.seed, CID_KIND_RETRY, key as u64);
                 Admission::Respond(stateless_retry_datagram(scid, server_cid))
             }
             AcceptOutcome::Busy => {
@@ -932,7 +958,19 @@ impl Node for ServerNode {
             // Frozen process: the kernel buffer overflows, packets die.
             return;
         }
-        let key = from.index();
+        // Migration-aware servers route by connection ID first — a
+        // migrated client may arrive under a rotated CID — and fall back
+        // to the sender's NodeId for pre-handshake packets (whose DCID
+        // is the client's choice, not one of ours).
+        let key = if self.migration_aware {
+            rq_wire::PlainPacket::decode(payload, 8)
+                .ok()
+                .and_then(|(pkt, _, _)| self.engine.borrow().key_for_cid(&pkt.header.dcid))
+                .map(|k| k as usize)
+                .unwrap_or_else(|| from.index())
+        } else {
+            from.index()
+        };
         match self.admission(key, from, payload, ctx.now()) {
             Admission::Process => {}
             Admission::Drop => return,
@@ -941,7 +979,8 @@ impl Node for ServerNode {
                 return;
             }
         }
-        self.with_conn(key, |c| c.handle_datagram(ctx.now(), payload));
+        let path = ctx.path();
+        self.with_conn(key, |c| c.handle_datagram_on_path(ctx.now(), payload, path));
         self.drain_events(ctx, key);
         self.engine.borrow_mut().note_handshake_outcome(key as u64);
         self.maybe_send_settings(key);

@@ -71,6 +71,8 @@ pub struct RunResult {
     /// Extra datagram copies fabricated by a duplicating impairment
     /// channel (0 unless `LossSpec::Random` enables duplication).
     pub duplicated_datagrams: usize,
+    /// The client ended the run on a non-initial network path.
+    pub migrated: bool,
     /// Full client qlog.
     pub client_log: EventLog,
     /// Full server qlog.
@@ -303,6 +305,7 @@ pub(crate) fn extract_run_result(
             + trace.duplicated_count(server_id, client_id),
         resumed: client.is_resumed(),
         early_data_accepted: client.early_data_accepted(),
+        migrated: client.active_path() != 0,
         client_log,
         server_log,
     }

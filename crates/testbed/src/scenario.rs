@@ -160,6 +160,83 @@ impl Default for FaultSpec {
     }
 }
 
+/// Mid-run path change of the client population (RFC 9000 §9): at a
+/// seeded, per-connection-jittered flip time each client's traffic
+/// starts riding a second link with its own delay/impairment profile —
+/// a phone walking off Wi-Fi onto cellular. [`MigrationSpec::none`] is
+/// the default and is guaranteed free: no extra links, no CID pools, no
+/// extra random draws, so legacy traces stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationSpec {
+    /// Nominal flip time from connection start; `None` disables the
+    /// whole axis.
+    pub at: Option<SimDuration>,
+    /// RTT of the new path (the old path keeps [`Scenario::rtt`]).
+    pub new_rtt: SimDuration,
+    /// Stochastic impairment of the new path (`None` = clean).
+    pub impairment: Option<ImpairmentSpec>,
+    /// `true`: deliberate migration — the client is told (OS route
+    /// change signal), rotates its DCID and probes the path. `false`:
+    /// NAT rebind — nobody is told; endpoints discover the move from
+    /// the path id on arriving datagrams.
+    pub deliberate: bool,
+    /// Spare connection IDs each endpoint announces after the handshake
+    /// ([`rq_quic::EndpointConfig::cid_pool`]).
+    pub cid_pool: usize,
+}
+
+impl MigrationSpec {
+    /// No migration — the status quo, byte-for-byte.
+    pub fn none() -> Self {
+        MigrationSpec {
+            at: None,
+            new_rtt: SimDuration::ZERO,
+            impairment: None,
+            deliberate: false,
+            cid_pool: 0,
+        }
+    }
+
+    /// A deliberate migration at `at` onto a clean path with `new_rtt`.
+    pub fn deliberate_at(at: SimDuration, new_rtt: SimDuration) -> Self {
+        MigrationSpec {
+            at: Some(at),
+            new_rtt,
+            impairment: None,
+            deliberate: true,
+            cid_pool: 2,
+        }
+    }
+
+    /// A NAT rebind at `at` onto a clean path with `new_rtt`.
+    pub fn rebind_at(at: SimDuration, new_rtt: SimDuration) -> Self {
+        MigrationSpec {
+            at: Some(at),
+            new_rtt,
+            impairment: None,
+            deliberate: false,
+            cid_pool: 2,
+        }
+    }
+
+    /// Replaces the new path's impairment.
+    pub fn with_impairment(mut self, spec: ImpairmentSpec) -> Self {
+        self.impairment = Some(spec);
+        self
+    }
+
+    /// Whether this spec changes anything at all.
+    pub fn is_none(&self) -> bool {
+        self.at.is_none()
+    }
+}
+
+impl Default for MigrationSpec {
+    fn default() -> Self {
+        MigrationSpec::none()
+    }
+}
+
 /// One testbed run configuration.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -206,6 +283,9 @@ pub struct Scenario {
     /// `file_size` body, so the response phase moves `streams × file_size`
     /// bytes. 1 — the default — is the paper's single-request shape.
     pub streams: usize,
+    /// Mid-run path change (connection migration / NAT rebind).
+    /// [`MigrationSpec::none`] — the default — is byte-for-byte free.
+    pub migration: MigrationSpec,
 }
 
 impl Scenario {
@@ -230,6 +310,7 @@ impl Scenario {
             faults: FaultSpec::none(),
             cc: CcAlgorithm::NewReno,
             streams: 1,
+            migration: MigrationSpec::none(),
         }
     }
 
@@ -308,6 +389,18 @@ impl Scenario {
         }
         if self.streams != 1 {
             label.push_str(&format!("/x{}", self.streams));
+        }
+        if let Some(at) = self.migration.at {
+            label.push_str(&format!(
+                "/mig{}ms-{}ms{}",
+                at.as_millis(),
+                self.migration.new_rtt.as_millis(),
+                if self.migration.deliberate {
+                    ""
+                } else {
+                    "-rebind"
+                }
+            ));
         }
         label
     }

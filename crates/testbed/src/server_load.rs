@@ -39,6 +39,10 @@ const TICKET_STREAM: u64 = 0x71C_E7;
 const SHARD_STREAM: u64 = 0x5AA2_D;
 /// Stream tag: fault-timeline seed (blackouts/crashes/freezes).
 const FAULT_STREAM: u64 = 0xFA_17;
+/// Stream tag: per-connection migration jitter + new-path impairment.
+const MIGRATION_STREAM: u64 = 0x4D1_6;
+/// Path id the migration link registers under (0 is the original path).
+const MIGRATION_PATH: u64 = 1;
 
 /// How new connections arrive at the server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -320,6 +324,9 @@ pub struct ConnOutcome {
     /// included — the availability-weighted latency the paper's
     /// degradation story needs.
     pub time_to_success_ms: Option<f64>,
+    /// The connection ended on a non-initial network path (a scheduled
+    /// migration or NAT rebind actually took effect).
+    pub migrated: bool,
 }
 
 /// Server-side aggregate report: admission/cost accounting plus
@@ -346,6 +353,8 @@ pub struct ServerLoadReport {
     pub fates: FateTally,
     /// Total completed reconnect attempts across the population.
     pub reconnects: u64,
+    /// Connections that ended on a migrated path.
+    pub migrated: u64,
 }
 
 /// Counts of connections per terminal fate. A monoid under `merge`, so
@@ -415,6 +424,9 @@ impl ServerLoadReport {
     pub fn record(&mut self, o: &ConnOutcome) {
         self.fates.record(o.fate);
         self.reconnects += o.reconnects as u64;
+        if o.migrated {
+            self.migrated += 1;
+        }
         if matches!(o.fate, ConnFate::Completed | ConnFate::RetriedThenAccepted) {
             if let Some(ms) = o.ttfb_ms {
                 self.ttfb.record(ms);
@@ -444,6 +456,7 @@ impl ServerLoadReport {
         self.goodput.merge(&other.goodput);
         self.fates.merge(&other.fates);
         self.reconnects += other.reconnects;
+        self.migrated += other.migrated;
     }
 }
 
@@ -527,6 +540,7 @@ pub(crate) fn drive_conn_plans(
 
     let mut server_cfg = rq_profiles::server::testbed_server(base.ack_mode, base.cert_len);
     server_cfg.cc_algorithm = base.cc;
+    server_cfg.cid_pool = base.migration.cid_pool;
     if let Some(pto) = base.server_default_pto {
         server_cfg.default_pto = pto;
     }
@@ -546,6 +560,9 @@ pub(crate) fn drive_conn_plans(
     );
     if !base.faults.is_none() {
         server_node = server_node.with_faults(timeline.clone(), base.faults.forget_ticket_epochs);
+    }
+    if !base.migration.is_none() {
+        server_node = server_node.with_migration();
     }
     let server_id = net.add_node(Box::new(server_node));
     net.prime();
@@ -586,6 +603,7 @@ pub(crate) fn drive_conn_plans(
         client_cfg.enable_early_data = sc.handshake_class == HandshakeClass::ZeroRtt;
         client_cfg.give_up_after = sc.faults.give_up_after;
         client_cfg.give_up_pto_count = sc.faults.give_up_pto_count;
+        client_cfg.cid_pool = sc.migration.cid_pool;
         let mut client_node = ClientNode::new(
             client_cfg,
             server_id,
@@ -620,6 +638,31 @@ pub(crate) fn drive_conn_plans(
             link = link.with_blackouts(timeline.blackouts.clone());
         }
         net.connect(client_id, server_id, link);
+        if let Some(at) = sc.migration.at {
+            // Register the new path's link and schedule the route flip.
+            // The jitter draw is per connection, so a load population
+            // doesn't move in lockstep; migration-free runs create no
+            // rng and schedule nothing, keeping them byte-identical.
+            let mut rng = SimRng::derive(base.seed, &[MIGRATION_STREAM, i as u64]);
+            let half = SimDuration::from_nanos(sc.migration.new_rtt.as_nanos() / 2);
+            let mut mig_link = LinkConfig::paper_default(half);
+            if let Some(spec) = sc.migration.impairment {
+                mig_link = mig_link.with_impairment(spec, rng.next_u64());
+            }
+            if !timeline.blackouts.is_empty() {
+                mig_link = mig_link.with_blackouts(timeline.blackouts.clone());
+            }
+            net.connect_path(client_id, server_id, MIGRATION_PATH, mig_link);
+            let jitter =
+                SimDuration::from_nanos(rng.gen_range(SimDuration::from_millis(1).as_nanos()));
+            net.schedule_path_change(
+                plan.arrival + at + jitter,
+                client_id,
+                server_id,
+                MIGRATION_PATH,
+                sc.migration.deliberate,
+            );
+        }
         net.schedule_start(client_id, plan.arrival);
         last_arrival = plan.arrival;
         spawned.push(Spawned {
@@ -790,6 +833,7 @@ fn sweep_finished(
             early_data_accepted: conn.early_data_accepted(),
             reconnects: st.attempts,
             time_to_success_ms: st.complete_at.map(|t| t.since(s.arrival).as_millis_f64()),
+            migrated: conn.active_path() != 0,
         });
         drop(conn);
         engine.borrow_mut().retire(key as u64, completed);

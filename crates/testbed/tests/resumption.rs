@@ -130,7 +130,6 @@ fn zero_rtt_labels_and_reissue() {
 fn retry_composes_with_zero_rtt_resumption() {
     use rq_quic::{stream_id, ConnEvent, Connection, EndpointConfig};
     use rq_sim::SimTime;
-    use rq_wire::ConnectionId;
 
     const REQUEST: &[u8] = b"GET /retry HTTP/1.1\r\n\r\n";
 
@@ -202,7 +201,11 @@ fn retry_composes_with_zero_rtt_resumption() {
     // Prime a ticket through a plain full handshake (no Retry needed).
     let ticket = {
         let mut c = Connection::client(EndpointConfig::rfc_default(), 1, false);
-        let mut s = Connection::server(server_cfg(), 2, ConnectionId::from_u64(1 ^ 0xD1D0));
+        let mut s = Connection::server(
+            server_cfg(),
+            2,
+            rq_quic::derived_cid(1, rq_quic::CID_KIND_ORIGINAL_DCID, 0),
+        );
         let mut now = SimTime::ZERO;
         let mut ticket = None;
         for _ in 0..400 {
@@ -259,7 +262,11 @@ fn retry_composes_with_zero_rtt_resumption() {
     cfg.enable_early_data = true;
     let mut c = Connection::client(cfg, 1, false);
     c.send_stream_data(stream_id::CLIENT_BIDI_0, REQUEST, true);
-    let mut s = Connection::server(server_cfg(), 3, ConnectionId::from_u64(1 ^ 0xD1D0));
+    let mut s = Connection::server(
+        server_cfg(),
+        3,
+        rq_quic::derived_cid(1, rq_quic::CID_KIND_ORIGINAL_DCID, 0),
+    );
     s.use_retry = true;
 
     let mut to_server = Vec::new();

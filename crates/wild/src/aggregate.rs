@@ -240,6 +240,8 @@ pub struct MeasCounts {
     pub tickets: u64,
     /// Ticket-issuing handshakes that also accept 0-RTT.
     pub zero_rtt: u64,
+    /// Handshakes whose deployment supports connection migration.
+    pub migration: u64,
 }
 
 impl MeasCounts {
@@ -249,6 +251,7 @@ impl MeasCounts {
         self.iack += other.iack;
         self.tickets += other.tickets;
         self.zero_rtt += other.zero_rtt;
+        self.migration += other.migration;
     }
 
     /// Folds one successful observation in.
@@ -257,6 +260,7 @@ impl MeasCounts {
         self.iack += obs.instant_ack as u64;
         self.tickets += obs.ticket_offered as u64;
         self.zero_rtt += obs.zero_rtt_accepted as u64;
+        self.migration += obs.migration_capable as u64;
     }
 }
 
@@ -631,6 +635,7 @@ mod tests {
             ticket_offered: true,
             zero_rtt_accepted: instant_ack,
             ticket_lifetime_s: 7200.0,
+            migration_capable: true,
         };
         for _ in 0..60 {
             cell.record(&obs(false, 0.0));

@@ -120,6 +120,11 @@ pub struct CdnProfile {
     pub ticket_lifetime_median_s: f64,
     /// Log-normal sigma of the advertised ticket lifetime.
     pub ticket_lifetime_sigma: f64,
+    /// Share of deployments that support connection migration: they
+    /// issue spare connection IDs and do not send the
+    /// `disable_active_migration` transport parameter. Beyond the
+    /// paper: modeled from public CDN QUIC stack behaviour.
+    pub migration_share: f64,
 }
 
 /// The calibrated profile set (paper Table 1, §4.3, Figure 10, App. G).
@@ -141,6 +146,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.25,
             ticket_lifetime_median_s: 7200.0,
             ticket_lifetime_sigma: 0.6,
+            migration_share: 0.62,
         },
         CdnProfile {
             cdn: Cdn::Amazon,
@@ -157,6 +163,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.15,
             ticket_lifetime_median_s: 43200.0,
             ticket_lifetime_sigma: 0.7,
+            migration_share: 0.48,
         },
         CdnProfile {
             cdn: Cdn::Cloudflare,
@@ -175,6 +182,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.88,
             ticket_lifetime_median_s: 64800.0,
             ticket_lifetime_sigma: 0.3,
+            migration_share: 0.93,
         },
         CdnProfile {
             cdn: Cdn::Fastly,
@@ -191,6 +199,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.1,
             ticket_lifetime_median_s: 43200.0,
             ticket_lifetime_sigma: 0.5,
+            migration_share: 0.71,
         },
         CdnProfile {
             cdn: Cdn::Google,
@@ -209,6 +218,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.65,
             ticket_lifetime_median_s: 28800.0,
             ticket_lifetime_sigma: 0.4,
+            migration_share: 0.96,
         },
         CdnProfile {
             cdn: Cdn::Meta,
@@ -225,6 +235,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.0,
             ticket_lifetime_median_s: 86400.0,
             ticket_lifetime_sigma: 0.3,
+            migration_share: 0.88,
         },
         CdnProfile {
             cdn: Cdn::Microsoft,
@@ -241,6 +252,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.05,
             ticket_lifetime_median_s: 36000.0,
             ticket_lifetime_sigma: 0.6,
+            migration_share: 0.55,
         },
         CdnProfile {
             cdn: Cdn::Others,
@@ -260,6 +272,7 @@ pub fn profiles() -> Vec<CdnProfile> {
             zero_rtt_share: 0.12,
             ticket_lifetime_median_s: 7200.0,
             ticket_lifetime_sigma: 0.9,
+            migration_share: 0.34,
         },
     ]
 }

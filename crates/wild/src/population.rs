@@ -23,6 +23,9 @@ pub struct Domain {
     /// Advertised NewSessionTicket lifetime in seconds (0 when tickets
     /// are not offered).
     pub ticket_lifetime_s: f64,
+    /// Deployment supports connection migration: spare CIDs issued, no
+    /// `disable_active_migration` transport parameter.
+    pub migration_supported: bool,
 }
 
 /// The full scan population.
@@ -55,6 +58,7 @@ impl Population {
                     resumption_supported: false,
                     zero_rtt_enabled: false,
                     ticket_lifetime_s: 0.0,
+                    migration_supported: false,
                 });
             }
         }
@@ -67,6 +71,7 @@ impl Population {
                 resumption_supported: false,
                 zero_rtt_enabled: false,
                 ticket_lifetime_s: 0.0,
+                migration_supported: false,
             });
         }
         rng.shuffle(&mut domains);
@@ -88,6 +93,13 @@ impl Population {
                     .gen_lognormal(p.ticket_lifetime_median_s, p.ticket_lifetime_sigma)
                     .max(60.0);
             }
+        }
+        // Migration support is a third forked pass for the same reason:
+        // the CDN/IACK/Δt and resumption streams keep every draw.
+        let mut mig_rng = rng.fork(0x4D16_7A7E);
+        for d in &mut domains {
+            let Some(cdn) = d.cdn else { continue };
+            d.migration_supported = mig_rng.gen_bool(profile_of(cdn).migration_share);
         }
         Population { domains }
     }
@@ -160,7 +172,27 @@ mod tests {
             assert_eq!(a.resumption_supported, b.resumption_supported);
             assert_eq!(a.zero_rtt_enabled, b.zero_rtt_enabled);
             assert_eq!(a.ticket_lifetime_s, b.ticket_lifetime_s);
+            assert_eq!(a.migration_supported, b.migration_supported);
         }
+    }
+
+    #[test]
+    fn migration_shares_follow_profiles() {
+        let mut rng = SimRng::new(12);
+        let p = Population::synthesize(200_000, &mut rng);
+        let cf: Vec<&Domain> = p.hosted_by(Cdn::Cloudflare).collect();
+        let mig = cf.iter().filter(|d| d.migration_supported).count() as f64 / cf.len() as f64;
+        assert!((0.90..=0.96).contains(&mig), "cloudflare migration {mig}");
+        let others: Vec<&Domain> = p.hosted_by(Cdn::Others).collect();
+        let o =
+            others.iter().filter(|d| d.migration_supported).count() as f64 / others.len() as f64;
+        assert!(o < mig, "others {o} vs cloudflare {mig}");
+        // Non-QUIC domains never support migration.
+        assert!(p
+            .domains
+            .iter()
+            .filter(|d| d.cdn.is_none())
+            .all(|d| !d.migration_supported));
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub struct ProbeObservation {
     pub zero_rtt_accepted: bool,
     /// Advertised ticket lifetime in seconds (0.0 without a ticket).
     pub ticket_lifetime_s: f64,
+    /// The deployment supports connection migration (spare CIDs, no
+    /// `disable_active_migration` transport parameter).
+    pub migration_capable: bool,
 }
 
 impl ProbeObservation {
@@ -97,6 +100,7 @@ pub fn probe(domain: &Domain, vantage: Vantage, mut rng: SimRng) -> Option<Probe
             ticket_offered: false,
             zero_rtt_accepted: false,
             ticket_lifetime_s: 0.0,
+            migration_capable: false,
         });
     }
 
@@ -139,6 +143,7 @@ pub fn probe(domain: &Domain, vantage: Vantage, mut rng: SimRng) -> Option<Probe
         ticket_offered: domain.resumption_supported,
         zero_rtt_accepted: domain.zero_rtt_enabled,
         ticket_lifetime_s: domain.ticket_lifetime_s,
+        migration_capable: domain.migration_supported,
     })
 }
 
@@ -156,6 +161,7 @@ mod tests {
             resumption_supported: true,
             zero_rtt_enabled: true,
             ticket_lifetime_s: 7200.0,
+            migration_supported: true,
         }
     }
 
@@ -169,6 +175,7 @@ mod tests {
             resumption_supported: false,
             zero_rtt_enabled: false,
             ticket_lifetime_s: 0.0,
+            migration_supported: false,
         };
         assert!(probe(&d, Vantage::Hamburg, SimRng::new(1)).is_none());
     }

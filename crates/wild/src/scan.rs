@@ -49,6 +49,9 @@ pub struct CdnScanRow {
     /// Median advertised ticket lifetime in seconds (`None` when no
     /// ticket was observed for this CDN).
     pub ticket_lifetime_median_s: Option<f64>,
+    /// Share of handshakes whose deployment supports connection
+    /// migration (maximum across measurements, like the IACK column).
+    pub migration_share: f64,
 }
 
 /// A full scan: per-CDN rows plus the streaming aggregates feeding the
@@ -187,6 +190,7 @@ pub fn scan_with(
             resumption_share: max_of(agg.measurement_shares_of(cdn, |c| c.tickets)),
             zero_rtt_share: max_of(agg.measurement_shares_of(cdn, |c| c.zero_rtt)),
             ticket_lifetime_median_s: agg.ticket_lifetime_median(cdn),
+            migration_share: max_of(agg.measurement_shares_of(cdn, |c| c.migration)),
         });
     }
     ScanReport {
@@ -285,6 +289,32 @@ mod tests {
         for r in &report.rows {
             assert!((0.0..=1.0).contains(&r.resumption_share), "{r:?}");
             assert!(r.zero_rtt_share <= r.resumption_share + 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn migration_rates_follow_profiles() {
+        let report = small_scan();
+        let row = |c: Cdn| report.rows.iter().find(|r| r.cdn == c).unwrap().clone();
+        // Cloudflare and Google deployments overwhelmingly allow
+        // migration; the hosting long tail mostly does not.
+        assert!(
+            row(Cdn::Cloudflare).migration_share > 0.88,
+            "{:?}",
+            row(Cdn::Cloudflare)
+        );
+        assert!(
+            row(Cdn::Google).migration_share > 0.9,
+            "{:?}",
+            row(Cdn::Google)
+        );
+        assert!(
+            row(Cdn::Others).migration_share < row(Cdn::Cloudflare).migration_share,
+            "{:?}",
+            row(Cdn::Others)
+        );
+        for r in &report.rows {
+            assert!((0.0..=1.0).contains(&r.migration_share), "{r:?}");
         }
     }
 

@@ -188,6 +188,16 @@ pub enum Frame {
         /// Sequence number being retired.
         seq: u64,
     },
+    /// PATH_CHALLENGE (0x1a): probe a new path (RFC 9000 §8.2.1).
+    PathChallenge {
+        /// 8 arbitrary bytes the peer must echo back.
+        data: u64,
+    },
+    /// PATH_RESPONSE (0x1b): echo of a received PATH_CHALLENGE.
+    PathResponse {
+        /// The echoed challenge data.
+        data: u64,
+    },
     /// CONNECTION_CLOSE (0x1c transport / 0x1d application).
     ConnectionClose {
         /// QUIC transport or application error code.
@@ -236,6 +246,8 @@ impl Frame {
             Frame::DataBlocked { .. } => 0x14,
             Frame::NewConnectionId { .. } => 0x18,
             Frame::RetireConnectionId { .. } => 0x19,
+            Frame::PathChallenge { .. } => 0x1a,
+            Frame::PathResponse { .. } => 0x1b,
             Frame::ConnectionClose { app: false, .. } => 0x1c,
             Frame::ConnectionClose { app: true, .. } => 0x1d,
             Frame::HandshakeDone => 0x1e,
@@ -261,6 +273,7 @@ impl Frame {
                     | Frame::Crypto { .. }
                     | Frame::NewToken { .. }
                     | Frame::HandshakeDone
+                    | Frame::PathResponse { .. }
             ),
             PacketType::Retry => false,
             PacketType::OneRtt => true,
@@ -309,6 +322,7 @@ impl Frame {
                 cid,
             } => 1 + vlen(*seq) + vlen(*retire_prior_to) + 1 + cid.len() + 16,
             Frame::RetireConnectionId { seq } => 1 + vlen(*seq),
+            Frame::PathChallenge { .. } | Frame::PathResponse { .. } => 1 + 8,
             Frame::ConnectionClose {
                 error_code,
                 reason,
@@ -404,6 +418,14 @@ impl Frame {
             Frame::RetireConnectionId { seq } => {
                 buf.put_u8(0x19);
                 VarInt::new(*seq).unwrap().encode(buf);
+            }
+            Frame::PathChallenge { data } => {
+                buf.put_u8(0x1a);
+                buf.put_u64(*data);
+            }
+            Frame::PathResponse { data } => {
+                buf.put_u8(0x1b);
+                buf.put_u64(*data);
             }
             Frame::ConnectionClose {
                 error_code,
@@ -542,6 +564,17 @@ impl Frame {
             0x19 => Ok(Frame::RetireConnectionId {
                 seq: VarInt::decode(buf)?.value(),
             }),
+            0x1a | 0x1b => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::UnexpectedEnd);
+                }
+                let data = buf.get_u64();
+                Ok(if ty == 0x1a {
+                    Frame::PathChallenge { data }
+                } else {
+                    Frame::PathResponse { data }
+                })
+            }
             0x1c | 0x1d => {
                 let error_code = VarInt::decode(buf)?.value();
                 if ty == 0x1c {
@@ -721,6 +754,36 @@ mod tests {
     fn retire_connection_id_roundtrip() {
         let f = Frame::RetireConnectionId { seq: 2 };
         assert_eq!(roundtrip(f.clone()), f);
+    }
+
+    #[test]
+    fn path_challenge_response_roundtrip() {
+        for f in [
+            Frame::PathChallenge {
+                data: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Frame::PathResponse { data: 0 },
+            Frame::PathResponse { data: u64::MAX },
+        ] {
+            assert_eq!(roundtrip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn path_frames_classification() {
+        use crate::header::PacketType::*;
+        let ch = Frame::PathChallenge { data: 1 };
+        let re = Frame::PathResponse { data: 1 };
+        assert!(ch.is_ack_eliciting());
+        assert!(re.is_ack_eliciting());
+        // RFC 9000 Table 3: PATH_CHALLENGE in 0-RTT and 1-RTT; PATH_RESPONSE
+        // only in 1-RTT; neither in Initial or Handshake packets.
+        assert!(!ch.permitted_in(Initial));
+        assert!(!ch.permitted_in(Handshake));
+        assert!(ch.permitted_in(ZeroRtt));
+        assert!(ch.permitted_in(OneRtt));
+        assert!(!re.permitted_in(ZeroRtt));
+        assert!(re.permitted_in(OneRtt));
     }
 
     #[test]
