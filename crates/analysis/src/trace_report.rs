@@ -1,0 +1,373 @@
+//! qlog trace summarizer: folds one endpoint's [`EventLog`] into a
+//! per-connection timeline — flight boundaries, loss episodes, and
+//! congestion-controller phase residency.
+//!
+//! The paper's microscopic analysis reads raw qlog streams by eye; this
+//! module is the programmatic equivalent for the simulator's own logs,
+//! so sweeps can assert on *shape* ("two flights, one loss episode,
+//! 80% of the data phase in congestion avoidance") instead of grepping
+//! event dumps.
+
+use rq_qlog::{EventData, EventLog};
+
+/// A flight: a maximal run of `packet_sent` events with no intervening
+/// `packet_received`. For the simulator's request/response workloads
+/// this recovers exactly the wire-image flights of paper Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flight {
+    /// Time the first packet of the flight left, ms.
+    pub start_ms: f64,
+    /// Time the last packet of the flight left, ms.
+    pub end_ms: f64,
+    /// Packets in the flight.
+    pub packets: usize,
+    /// Total wire bytes in the flight.
+    pub bytes: usize,
+}
+
+/// A loss episode: `packet_lost` declarations clustered so that gaps of
+/// at most `loss_gap_ms` stay in one episode. Loss detection declares a
+/// whole burst within an RTT, so one episode ≈ one recovery period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossEpisode {
+    /// Time of the first loss declaration, ms.
+    pub start_ms: f64,
+    /// Time of the last loss declaration, ms.
+    pub end_ms: f64,
+    /// Packets declared lost in the episode.
+    pub packets: usize,
+}
+
+/// Residency of one congestion-controller phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcResidency {
+    /// qlog state name ("slow_start", "congestion_avoidance",
+    /// "recovery", "persistent_congestion").
+    pub state: String,
+    /// Total time spent in the state, ms.
+    pub total_ms: f64,
+    /// Number of entries into the state.
+    pub entries: usize,
+}
+
+/// Everything [`trace_report`] derives from one log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// The log's vantage label ("client:quic-go", ...).
+    pub vantage: String,
+    /// Time of the last event, ms (0 for an empty log).
+    pub duration_ms: f64,
+    /// Total `packet_sent` events.
+    pub packets_sent: usize,
+    /// Total `packet_received` events.
+    pub packets_received: usize,
+    /// Total `packet_lost` events.
+    pub packets_lost: usize,
+    /// Total `loss_timer_updated` PTO expirations.
+    pub pto_expirations: usize,
+    /// Send flights in time order.
+    pub flights: Vec<Flight>,
+    /// Loss episodes in time order.
+    pub loss_episodes: Vec<LossEpisode>,
+    /// Controller phase residency, ordered by first entry. The log
+    /// starts in "slow_start" (RFC 9002) until the first transition.
+    pub cc_residency: Vec<CcResidency>,
+    /// `metrics_sampled` data-phase samples seen.
+    pub cwnd_samples: usize,
+    /// Largest sampled congestion window, bytes.
+    pub cwnd_peak: Option<usize>,
+    /// Last sampled congestion window, bytes.
+    pub cwnd_last: Option<usize>,
+}
+
+/// Folds `log` into a [`TraceReport`]. `loss_gap_ms` is the clustering
+/// threshold for loss episodes (a good default is the path RTT).
+pub fn trace_report(log: &EventLog, loss_gap_ms: f64) -> TraceReport {
+    let mut report = TraceReport {
+        vantage: log.vantage.clone(),
+        duration_ms: log.events.last().map_or(0.0, |e| e.time_ms),
+        packets_sent: 0,
+        packets_received: 0,
+        packets_lost: 0,
+        pto_expirations: 0,
+        flights: Vec::new(),
+        loss_episodes: Vec::new(),
+        cc_residency: Vec::new(),
+        cwnd_samples: 0,
+        cwnd_peak: None,
+        cwnd_last: None,
+    };
+    let mut open_flight: Option<Flight> = None;
+    let mut open_episode: Option<LossEpisode> = None;
+    // Controller phase tracking: implicit slow_start from t=0.
+    let mut cc_state = "slow_start".to_string();
+    let mut cc_since = 0.0_f64;
+    let charge = |report: &mut TraceReport, state: &str, ms: f64, entered: bool| {
+        if let Some(r) = report.cc_residency.iter_mut().find(|r| r.state == state) {
+            r.total_ms += ms;
+            r.entries += usize::from(entered);
+        } else {
+            report.cc_residency.push(CcResidency {
+                state: state.to_string(),
+                total_ms: ms,
+                entries: usize::from(entered),
+            });
+        }
+    };
+    charge(&mut report, "slow_start", 0.0, true);
+
+    for ev in &log.events {
+        match &ev.data {
+            EventData::PacketSent { size, .. } => {
+                report.packets_sent += 1;
+                let f = open_flight.get_or_insert(Flight {
+                    start_ms: ev.time_ms,
+                    end_ms: ev.time_ms,
+                    packets: 0,
+                    bytes: 0,
+                });
+                f.end_ms = ev.time_ms;
+                f.packets += 1;
+                f.bytes += size;
+            }
+            EventData::PacketReceived { .. } => {
+                report.packets_received += 1;
+                if let Some(f) = open_flight.take() {
+                    report.flights.push(f);
+                }
+            }
+            EventData::PacketLost { .. } => {
+                report.packets_lost += 1;
+                match &mut open_episode {
+                    Some(e) if ev.time_ms - e.end_ms <= loss_gap_ms => {
+                        e.end_ms = ev.time_ms;
+                        e.packets += 1;
+                    }
+                    other => {
+                        if let Some(done) = other.take() {
+                            report.loss_episodes.push(done);
+                        }
+                        *other = Some(LossEpisode {
+                            start_ms: ev.time_ms,
+                            end_ms: ev.time_ms,
+                            packets: 1,
+                        });
+                    }
+                }
+            }
+            EventData::PtoExpired { .. } => report.pto_expirations += 1,
+            EventData::CongestionStateUpdated { new_state, .. } => {
+                charge(&mut report, &cc_state, ev.time_ms - cc_since, false);
+                cc_state = (*new_state).to_string();
+                cc_since = ev.time_ms;
+                charge(&mut report, &cc_state, 0.0, true);
+            }
+            EventData::MetricsSampled { cwnd, .. } => {
+                report.cwnd_samples += 1;
+                report.cwnd_last = Some(*cwnd);
+                report.cwnd_peak = Some(report.cwnd_peak.map_or(*cwnd, |p| p.max(*cwnd)));
+            }
+            _ => {}
+        }
+    }
+    if let Some(f) = open_flight.take() {
+        report.flights.push(f);
+    }
+    if let Some(e) = open_episode.take() {
+        report.loss_episodes.push(e);
+    }
+    let tail = report.duration_ms - cc_since;
+    charge(&mut report, &cc_state, tail, false);
+    report
+}
+
+impl TraceReport {
+    /// Fraction of the log's duration spent in `state` (0 when the log
+    /// is empty or the state never occurred).
+    pub fn residency_share(&self, state: &str) -> f64 {
+        if self.duration_ms <= 0.0 {
+            return 0.0;
+        }
+        self.cc_residency
+            .iter()
+            .find(|r| r.state == state)
+            .map_or(0.0, |r| r.total_ms / self.duration_ms)
+    }
+
+    /// Deterministic multi-line text rendering (stable across runs for
+    /// identical logs — safe to pin in golden output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace {}: {:.3} ms, sent={} recv={} lost={} pto={}\n",
+            self.vantage,
+            self.duration_ms,
+            self.packets_sent,
+            self.packets_received,
+            self.packets_lost,
+            self.pto_expirations,
+        ));
+        out.push_str(&format!("  flights: {}\n", self.flights.len()));
+        for (i, f) in self.flights.iter().enumerate() {
+            out.push_str(&format!(
+                "    [{i}] {:.3}..{:.3} ms  {} pkts  {} B\n",
+                f.start_ms, f.end_ms, f.packets, f.bytes
+            ));
+        }
+        out.push_str(&format!("  loss episodes: {}\n", self.loss_episodes.len()));
+        for (i, e) in self.loss_episodes.iter().enumerate() {
+            out.push_str(&format!(
+                "    [{i}] {:.3}..{:.3} ms  {} pkts\n",
+                e.start_ms, e.end_ms, e.packets
+            ));
+        }
+        out.push_str("  cc residency:\n");
+        for r in &self.cc_residency {
+            out.push_str(&format!(
+                "    {:<22} {:>10.3} ms  entries={}\n",
+                r.state, r.total_ms, r.entries
+            ));
+        }
+        if self.cwnd_samples > 0 {
+            out.push_str(&format!(
+                "  cwnd: samples={} peak={} last={}\n",
+                self.cwnd_samples,
+                self.cwnd_peak.unwrap_or(0),
+                self.cwnd_last.unwrap_or(0),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_qlog::SpaceName;
+    use rq_sim::{SimDuration, SimTime};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sent(log: &mut EventLog, ms: u64, size: usize) {
+        log.push(
+            t(ms),
+            EventData::PacketSent {
+                space: SpaceName::ApplicationData,
+                pn: ms,
+                size,
+                ack_eliciting: true,
+                frames: Vec::new(),
+            },
+        );
+    }
+
+    fn recv(log: &mut EventLog, ms: u64) {
+        log.push(
+            t(ms),
+            EventData::PacketReceived {
+                space: SpaceName::ApplicationData,
+                pn: ms,
+                size: 40,
+                ack_eliciting: false,
+                frames: Vec::new(),
+            },
+        );
+    }
+
+    fn lost(log: &mut EventLog, ms: u64) {
+        log.push(
+            t(ms),
+            EventData::PacketLost {
+                space: SpaceName::ApplicationData,
+                pn: ms,
+            },
+        );
+    }
+
+    #[test]
+    fn flights_split_on_receives() {
+        let mut log = EventLog::new("c");
+        sent(&mut log, 0, 1200);
+        sent(&mut log, 1, 1200);
+        recv(&mut log, 10);
+        sent(&mut log, 11, 600);
+        let r = trace_report(&log, 5.0);
+        assert_eq!(r.flights.len(), 2);
+        assert_eq!(r.flights[0].packets, 2);
+        assert_eq!(r.flights[0].bytes, 2400);
+        assert_eq!(r.flights[1].packets, 1);
+        assert_eq!(r.packets_sent, 3);
+        assert_eq!(r.packets_received, 1);
+    }
+
+    #[test]
+    fn loss_episodes_cluster_by_gap() {
+        let mut log = EventLog::new("c");
+        lost(&mut log, 10);
+        lost(&mut log, 12);
+        lost(&mut log, 40); // > 5 ms after the previous: new episode
+        let r = trace_report(&log, 5.0);
+        assert_eq!(r.loss_episodes.len(), 2);
+        assert_eq!(r.loss_episodes[0].packets, 2);
+        assert_eq!(r.loss_episodes[1].packets, 1);
+        assert_eq!(r.packets_lost, 3);
+    }
+
+    #[test]
+    fn cc_residency_accounts_full_duration() {
+        let mut log = EventLog::new("c");
+        sent(&mut log, 0, 100);
+        log.push(
+            t(40),
+            EventData::CongestionStateUpdated {
+                new_state: "recovery",
+                cwnd: 6000,
+                bytes_in_flight: 3000,
+            },
+        );
+        log.push(
+            t(60),
+            EventData::CongestionStateUpdated {
+                new_state: "congestion_avoidance",
+                cwnd: 6000,
+                bytes_in_flight: 0,
+            },
+        );
+        sent(&mut log, 100, 100);
+        let r = trace_report(&log, 5.0);
+        let total: f64 = r.cc_residency.iter().map(|x| x.total_ms).sum();
+        assert!((total - r.duration_ms).abs() < 1e-9);
+        assert!((r.residency_share("slow_start") - 0.4).abs() < 1e-9);
+        assert!((r.residency_share("recovery") - 0.2).abs() < 1e-9);
+        assert!((r.residency_share("congestion_avoidance") - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cwnd_samples_summarized() {
+        let mut log = EventLog::new("c");
+        for (ms, cwnd) in [(10u64, 12000usize), (20, 24000), (30, 18000)] {
+            log.push(
+                t(ms),
+                EventData::MetricsSampled {
+                    cwnd,
+                    bytes_in_flight: cwnd / 2,
+                    smoothed_rtt_ms: 20.0,
+                },
+            );
+        }
+        let r = trace_report(&log, 5.0);
+        assert_eq!(r.cwnd_samples, 3);
+        assert_eq!(r.cwnd_peak, Some(24000));
+        assert_eq!(r.cwnd_last, Some(18000));
+    }
+
+    #[test]
+    fn empty_log_renders() {
+        let r = trace_report(&EventLog::new("c"), 5.0);
+        assert_eq!(r.duration_ms, 0.0);
+        assert!(r.flights.is_empty());
+        assert!(r.render().contains("trace c"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Timed sequential-vs-parallel sweep smoke benchmark.
 //!
 //! Runs a small repetition sweep for each scenario class once through the
-//! sequential `run_repetitions` path and once through the parallel sweep
+//! sequential 1-worker runner and once through the parallel sweep
 //! engine, asserts the results are identical (the engine's core
 //! guarantee), and writes the wall-clock numbers to `BENCH_sweep.json` —
 //! the repo's perf trajectory. CI runs this on every push.
@@ -11,10 +11,23 @@
 //! never land on whichever path happens to run first — the reported
 //! speedups are stable enough to gate on.
 //!
+//! With `--profile`, every timed run additionally records per-worker
+//! busy/claim/merge/idle spans through a fresh [`ProfileSink`] pair per
+//! class, and the breakdown lands in `PROFILE_sweep.json`: per class,
+//! the sequential and parallel span totals, the parallel busy inflation
+//! over sequential, and the dominant cost — the largest of idle, merge,
+//! claim, setup, and busy inflation — which names why a class below
+//! 1.0x speedup loses. busy + claim + merge + idle sums to
+//! `workers x wall` by construction, so the report attributes 100% of
+//! the wall-clock to named spans. Profiling observes timing only; the
+//! identical-results assertion still runs.
+//!
 //! Knobs: `REACKED_REPS` (repetitions per class, default 15),
 //! `REACKED_THREADS` (parallel worker count, default: all cores),
-//! `REACKED_BENCH_OUT` (output path, default `BENCH_sweep.json`).
+//! `REACKED_BENCH_OUT` (output path, default `BENCH_sweep.json`),
+//! `REACKED_PROFILE_OUT` (profile path, default `PROFILE_sweep.json`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rq_bench::{repetitions, IACK, WFC};
@@ -23,9 +36,9 @@ use rq_profiles::client_by_name;
 use rq_quic::OverloadPolicy;
 use rq_sim::{SimDuration, SimRng};
 use rq_testbed::{
-    run_repetitions, run_server_load_sharded, ArrivalProcess, CcAlgorithm, ClassMix,
-    HandshakeClass, LossSpec, MigrationSpec, ReconnectPolicy, RunResult, Scenario, ServerLoadSpec,
-    SweepRunner, SweepScenarios,
+    run_server_load_sharded, ArrivalProcess, CcAlgorithm, ClassMix, HandshakeClass, LossSpec,
+    MigrationSpec, ProfileReport, ProfileSink, ReconnectPolicy, RunResult, Scenario,
+    ServerLoadSpec, SweepRunner, SweepScenarios,
 };
 use rq_wild::{scan_with, Population};
 
@@ -108,16 +121,147 @@ fn print_row(label: &str, seq_ms: f64, par_ms: f64) -> f64 {
     speedup
 }
 
+/// One class's profiled runs: span breakdowns for both paths.
+struct ClassProfile {
+    label: &'static str,
+    speedup: f64,
+    seq: ProfileReport,
+    par: ProfileReport,
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// The largest parallel-side cost over the sequential baseline:
+/// `(name, nanoseconds)` of the biggest of idle, merge, claim, setup,
+/// and busy inflation (parallel busy minus sequential busy — per-task
+/// work that got slower under contention: cache pressure, allocator
+/// sharing, false sharing).
+fn dominant_cost(seq: &ProfileReport, par: &ProfileReport) -> (&'static str, u64) {
+    let costs = [
+        ("idle", par.idle_ns),
+        ("merge", par.merge_ns),
+        ("claim", par.claim_ns),
+        ("setup", par.setup_ns),
+        ("busy_inflation", par.busy_ns.saturating_sub(seq.busy_ns)),
+    ];
+    costs
+        .into_iter()
+        .fold(("idle", 0), |best, c| if c.1 > best.1 { c } else { best })
+}
+
+fn span_json(r: &ProfileReport) -> String {
+    format!(
+        "{{ \"wall_ms\": {}, \"busy_ms\": {}, \"setup_ms\": {}, \"claim_ms\": {}, \"merge_ms\": {}, \"idle_ms\": {}, \"attributed_share\": {}, \"claims\": {}, \"mean_chunk\": {} }}",
+        json_num(r.wall_ms()),
+        json_num(ns_to_ms(r.busy_ns)),
+        json_num(ns_to_ms(r.setup_ns)),
+        json_num(ns_to_ms(r.claim_ns)),
+        json_num(ns_to_ms(r.merge_ns)),
+        json_num(ns_to_ms(r.idle_ns)),
+        json_num(r.attributed_share()),
+        r.claims,
+        json_num(r.mean_chunk()),
+    )
+}
+
+fn profile_row(c: &ClassProfile) -> String {
+    let (cost, cost_ns) = dominant_cost(&c.seq, &c.par);
+    let cost_share = if c.par.worker_wall_ns == 0 {
+        0.0
+    } else {
+        cost_ns as f64 / c.par.worker_wall_ns as f64
+    };
+    format!(
+        "    {{\n      \"label\": \"{}\",\n      \"speedup\": {},\n      \"seq\": {},\n      \"par\": {},\n      \"busy_inflation_ms\": {},\n      \"dominant_cost\": \"{cost}\",\n      \"dominant_cost_share\": {}\n    }}",
+        c.label,
+        json_num(c.speedup),
+        span_json(&c.seq),
+        span_json(&c.par),
+        json_num(ns_to_ms(c.par.busy_ns.saturating_sub(c.seq.busy_ns))),
+        json_num(cost_share),
+    )
+}
+
+fn attach(runner: SweepRunner, sink: &Option<Arc<ProfileSink>>) -> SweepRunner {
+    match sink {
+        Some(s) => runner.with_profile(s.clone()),
+        None => runner,
+    }
+}
+
+/// Times one class through both paths, asserts the results identical,
+/// and (when `profiling`) collects the span breakdown from fresh sinks
+/// so warm-ups and other classes never pollute a class's profile.
+#[allow(clippy::too_many_arguments)]
+fn bench_class<R>(
+    label: &'static str,
+    threads: usize,
+    profiling: bool,
+    warm: impl Fn(&SweepRunner, &SweepRunner),
+    run: impl Fn(&SweepRunner) -> R,
+    check: impl Fn(&R, &R),
+    rows: &mut Vec<String>,
+    profiles: &mut Vec<ClassProfile>,
+) {
+    // Untimed, unprofiled warm-up of both paths.
+    warm(&SweepRunner::new(1), &SweepRunner::new(threads));
+
+    let (seq_sink, par_sink) = if profiling {
+        (
+            Some(Arc::new(ProfileSink::new())),
+            Some(Arc::new(ProfileSink::new())),
+        )
+    } else {
+        (None, None)
+    };
+    let seq_runner = attach(SweepRunner::new(1), &seq_sink);
+    let par_runner = attach(SweepRunner::new(threads), &par_sink);
+
+    let t0 = Instant::now();
+    let seq = run(&seq_runner);
+    let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let t1 = Instant::now();
+    let par = run(&par_runner);
+    let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+    check(&seq, &par);
+
+    let speedup = print_row(label, seq_ms, par_ms);
+    rows.push(json_row(label, seq_ms, par_ms, speedup));
+    if let (Some(s), Some(p)) = (seq_sink, par_sink) {
+        profiles.push(ClassProfile {
+            label,
+            speedup,
+            seq: s.report(),
+            par: p.report(),
+        });
+    }
+}
+
+fn check_reps(label: &str) -> impl Fn(&Vec<RunResult>, &Vec<RunResult>) + '_ {
+    move |seq, par| {
+        assert_eq!(seq.len(), par.len(), "{label}: result count");
+        for (i, (a, b)) in seq.iter().zip(par).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "{label}: parallel rep {i} diverged from sequential"
+            );
+        }
+    }
+}
+
 fn main() {
+    let profiling = std::env::args().any(|a| a == "--profile");
     let reps = repetitions();
     let threads = SweepRunner::from_env().threads();
     let out_path = std::env::var("REACKED_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
 
     // All thread counts route through `SweepRunner`: the sequential
     // baseline is literally the 1-worker runner.
-    let seq_runner = SweepRunner::new(1);
-    let par_runner = SweepRunner::new(threads);
-
     println!("bench_sweep: {reps} reps/class, {threads} threads");
     println!(
         "{:<26} {:>12} {:>12} {:>9}",
@@ -125,30 +269,21 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for (label, sc) in scenario_classes() {
-        // Untimed warm-up of both paths.
-        let _ = run_repetitions(&sc, 1.min(reps));
-        let _ = par_runner.run_repetitions(&sc, threads.min(reps));
-
-        let t0 = Instant::now();
-        let seq = run_repetitions(&sc, reps);
-        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
-
-        let t1 = Instant::now();
-        let par = par_runner.run_repetitions(&sc, reps);
-        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
-
-        assert_eq!(seq.len(), par.len(), "{label}: result count");
-        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
-            assert_eq!(
-                fingerprint(a),
-                fingerprint(b),
-                "{label}: parallel rep {i} diverged from sequential"
-            );
-        }
-
-        let speedup = print_row(label, seq_ms, par_ms);
-        rows.push(json_row(label, seq_ms, par_ms, speedup));
+        bench_class(
+            label,
+            threads,
+            profiling,
+            |s, p| {
+                let _ = s.run_repetitions(&sc, 1.min(reps));
+                let _ = p.run_repetitions(&sc, threads.min(reps));
+            },
+            |r| r.run_repetitions(&sc, reps),
+            check_reps(label),
+            &mut rows,
+            &mut profiles,
+        );
     }
 
     // The data-phase class: a 10 MiB two-stream CUBIC transfer is the
@@ -163,28 +298,19 @@ fn main() {
         sc.streams = 2;
         sc.cc = CcAlgorithm::Cubic;
         let t_reps = (reps / 3).max(2);
-        let _ = run_repetitions(&sc, 1); // warm-up
-        let _ = par_runner.run_repetitions(&sc, threads.min(t_reps)); // warm-up
-
-        let t0 = Instant::now();
-        let seq = run_repetitions(&sc, t_reps);
-        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
-
-        let t1 = Instant::now();
-        let par = par_runner.run_repetitions(&sc, t_reps);
-        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
-
-        assert_eq!(seq.len(), par.len(), "{label}: result count");
-        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
-            assert_eq!(
-                fingerprint(a),
-                fingerprint(b),
-                "{label}: parallel rep {i} diverged from sequential"
-            );
-        }
-
-        let speedup = print_row(label, seq_ms, par_ms);
-        rows.push(json_row(label, seq_ms, par_ms, speedup));
+        bench_class(
+            label,
+            threads,
+            profiling,
+            |s, p| {
+                let _ = s.run_repetitions(&sc, 1);
+                let _ = p.run_repetitions(&sc, threads.min(t_reps));
+            },
+            |r| r.run_repetitions(&sc, t_reps),
+            check_reps(label),
+            &mut rows,
+            &mut profiles,
+        );
     }
 
     // The macroscopic scan class: shards the wild-scan domain loops
@@ -193,21 +319,19 @@ fn main() {
     {
         let label = "wild_scan";
         let pop = Population::synthesize(20_000, &mut SimRng::new(0xB5EED));
-        let _ = scan_with(&pop, 1, 0xD0_17, &seq_runner); // warm-up
-        let _ = scan_with(&pop, 1, 0xD0_17, &par_runner); // warm-up
-
-        let t0 = Instant::now();
-        let seq = scan_with(&pop, 2, 0xD0_17, &seq_runner);
-        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
-
-        let t1 = Instant::now();
-        let par = scan_with(&pop, 2, 0xD0_17, &par_runner);
-        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
-
-        assert_eq!(seq, par, "{label}: parallel scan diverged from sequential");
-
-        let speedup = print_row(label, seq_ms, par_ms);
-        rows.push(json_row(label, seq_ms, par_ms, speedup));
+        bench_class(
+            label,
+            threads,
+            profiling,
+            |s, p| {
+                let _ = scan_with(&pop, 1, 0xD0_17, s);
+                let _ = scan_with(&pop, 1, 0xD0_17, p);
+            },
+            |r| scan_with(&pop, 2, 0xD0_17, r),
+            |seq, par| assert_eq!(seq, par, "{label}: parallel scan diverged from sequential"),
+            &mut rows,
+            &mut profiles,
+        );
     }
 
     // The many-connection server engine: shards a fixed arrival
@@ -228,24 +352,24 @@ fn main() {
             zero_rtt: 0.2,
         });
         let shard = 64;
-        let _ = run_server_load_sharded(&spec, &seq_runner, shard); // warm-up
-        let _ = run_server_load_sharded(&spec, &par_runner, shard); // warm-up
-
-        let t0 = Instant::now();
-        let seq = run_server_load_sharded(&spec, &seq_runner, shard);
-        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
-
-        let t1 = Instant::now();
-        let par = run_server_load_sharded(&spec, &par_runner, shard);
-        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
-
-        assert_eq!(
-            seq, par,
-            "{label}: parallel report diverged from sequential"
+        bench_class(
+            label,
+            threads,
+            profiling,
+            |s, p| {
+                let _ = run_server_load_sharded(&spec, s, shard);
+                let _ = run_server_load_sharded(&spec, p, shard);
+            },
+            |r| run_server_load_sharded(&spec, r, shard),
+            |seq, par| {
+                assert_eq!(
+                    seq, par,
+                    "{label}: parallel report diverged from sequential"
+                );
+            },
+            &mut rows,
+            &mut profiles,
         );
-
-        let speedup = print_row(label, seq_ms, par_ms);
-        rows.push(json_row(label, seq_ms, par_ms, speedup));
     }
 
     // The fault-injection path: blackouts, server crashes, reconnecting
@@ -270,24 +394,24 @@ fn main() {
         spec.overload = OverloadPolicy::RetryDefer;
         spec.conn_deadline = SimDuration::from_secs(10);
         let shard = 64;
-        let _ = run_server_load_sharded(&spec, &seq_runner, shard); // warm-up
-        let _ = run_server_load_sharded(&spec, &par_runner, shard); // warm-up
-
-        let t0 = Instant::now();
-        let seq = run_server_load_sharded(&spec, &seq_runner, shard);
-        let seq_ms = t0.elapsed().as_secs_f64() * 1000.0;
-
-        let t1 = Instant::now();
-        let par = run_server_load_sharded(&spec, &par_runner, shard);
-        let par_ms = t1.elapsed().as_secs_f64() * 1000.0;
-
-        assert_eq!(
-            seq, par,
-            "{label}: parallel report diverged from sequential"
+        bench_class(
+            label,
+            threads,
+            profiling,
+            |s, p| {
+                let _ = run_server_load_sharded(&spec, s, shard);
+                let _ = run_server_load_sharded(&spec, p, shard);
+            },
+            |r| run_server_load_sharded(&spec, r, shard),
+            |seq, par| {
+                assert_eq!(
+                    seq, par,
+                    "{label}: parallel report diverged from sequential"
+                );
+            },
+            &mut rows,
+            &mut profiles,
         );
-
-        let speedup = print_row(label, seq_ms, par_ms);
-        rows.push(json_row(label, seq_ms, par_ms, speedup));
     }
 
     let json = format!(
@@ -296,4 +420,25 @@ fn main() {
     );
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("\nwrote {out_path} (parallel results verified identical to sequential)");
+
+    if profiling {
+        let profile_path =
+            std::env::var("REACKED_PROFILE_OUT").unwrap_or_else(|_| "PROFILE_sweep.json".into());
+        let pjson = format!(
+            "{{\n  \"bench\": \"sweep_profile\",\n  \"reps_per_class\": {reps},\n  \"threads\": {threads},\n  \"classes\": [\n{}\n  ]\n}}\n",
+            profiles.iter().map(profile_row).collect::<Vec<_>>().join(",\n")
+        );
+        std::fs::write(&profile_path, pjson)
+            .unwrap_or_else(|e| panic!("write {profile_path}: {e}"));
+        for c in &profiles {
+            let (cost, _) = dominant_cost(&c.seq, &c.par);
+            if c.speedup < 1.0 {
+                println!(
+                    "profile: {:<26} {:.2}x — dominant cost: {cost}",
+                    c.label, c.speedup
+                );
+            }
+        }
+        println!("wrote {profile_path}");
+    }
 }

@@ -1,0 +1,77 @@
+//! Rendered snapshots of the observability metrics registry.
+//!
+//! Drives three representative workloads with metrics collection on and
+//! prints each one's `Registry::render()` — the deterministic,
+//! byte-stable table of every counter, gauge, and histogram the
+//! instrumentation layer maintains:
+//!
+//! 1. one clean WFC handshake (the `sim/`, `server/`, `quic/client/`,
+//!    and `quic/server/` trees of a single connection);
+//! 2. a mixed IACK server-load section (per-class admission, loss and
+//!    PTO counters folded across every sharded replica);
+//! 3. a small wild scan (per-CDN handshake/IACK/resumption totals).
+//!
+//! The golden test pins this output at two thread counts, which is the
+//! end-to-end proof that the registry's monoid merge is thread-count
+//! invariant: every counter, not just the headline numbers, must come
+//! out byte-identical however the work was sharded.
+//!
+//! Knobs: `REACKED_LOAD_ARRIVALS` (arrivals in section 2, default 100k),
+//! `REACKED_SCAN_DOMAINS` (population in section 3, default 100k),
+//! `REACKED_THREADS` (worker count, default: all cores).
+
+use rq_bench::{banner, load_arrivals, scan_population, IACK, WFC};
+use rq_http::HttpVersion;
+use rq_profiles::client_by_name;
+use rq_sim::{ImpairmentSpec, SimDuration, SimRng};
+use rq_testbed::{
+    run_repetitions, run_server_load_sharded, ArrivalProcess, ClassMix, Scenario, ServerLoadSpec,
+    SweepRunner, DEFAULT_SHARD_ARRIVALS,
+};
+use rq_wild::{scan_with, Population};
+
+fn main() {
+    banner(
+        "exp_metrics_report",
+        "observability",
+        "Metrics-registry snapshots: a clean handshake, a mixed server-load run, and a wild scan.",
+    );
+    let client = client_by_name("quic-go").unwrap();
+    let runner = SweepRunner::from_env();
+
+    // Section 1: one clean handshake, every per-connection counter.
+    println!("Single clean handshake (quic-go, WFC, HTTP/1.1, 10 KB):\n");
+    let sc = Scenario::base(client.clone(), WFC, HttpVersion::H1);
+    let result = run_repetitions(&sc, 1).remove(0);
+    print!("{}", result.metrics.render());
+
+    // Section 2: the mixed server-load population of exp_server_load —
+    // resumption classes, an impaired quarter, sharded replicas.
+    let arrivals = load_arrivals();
+    println!(
+        "\nMixed IACK server load ({arrivals} arrivals, 30% resumed / 20% 0-RTT, 25% impaired):\n"
+    );
+    let mut spec = ServerLoadSpec::new(
+        Scenario::base(client, IACK, HttpVersion::H1),
+        arrivals,
+        ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_millis(2),
+        },
+    );
+    spec.mix = Some(ClassMix {
+        resumed: 0.3,
+        zero_rtt: 0.2,
+    });
+    spec.impaired = Some((0.25, ImpairmentSpec::none().with_iid_loss(0.02)));
+    let report = run_server_load_sharded(&spec, &runner, DEFAULT_SHARD_ARRIVALS);
+    print!("{}", report.metrics.render());
+
+    // Section 3: the wild scan's exact per-CDN totals.
+    let domains = scan_population();
+    println!("\nWild scan ({domains} domains, 1 repetition):\n");
+    let pop = Population::synthesize(domains, &mut SimRng::new(42));
+    let scan = scan_with(&pop, 1, 7, &runner);
+    let mut reg = rq_obs::Registry::new();
+    scan.export_metrics("wild/", &mut reg);
+    print!("{}", reg.render());
+}

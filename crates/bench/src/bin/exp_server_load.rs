@@ -14,7 +14,9 @@
 //! split, so stdout is byte-identical at any thread count.
 //!
 //! Knobs: `REACKED_LOAD_ARRIVALS` (arrivals per section, default 100k),
-//! `REACKED_THREADS` (worker count, default: all cores).
+//! `REACKED_THREADS` (worker count, default: all cores),
+//! `REACKED_LOAD_DETAIL=1` (append loss/PTO detail columns, fed by the
+//! metrics registry snapshot each report carries).
 
 use rq_bench::{banner, load_arrivals, IACK, WFC};
 use rq_http::HttpVersion;
@@ -43,6 +45,29 @@ fn q_cell(v: Option<f64>) -> String {
     }
 }
 
+/// Whether the loss/PTO detail columns are on (`REACKED_LOAD_DETAIL=1`).
+fn load_detail() -> bool {
+    std::env::var("REACKED_LOAD_DETAIL").as_deref() == Ok("1")
+}
+
+/// The detail columns: client PTO expirations, client/server lost
+/// packets, and the per-connection loss histogram's p99 (a log2-bucket
+/// upper bound) — all read from the report's metrics snapshot.
+fn detail_cells(r: &ServerLoadReport) -> String {
+    let m = &r.metrics;
+    let lost_p99 = match m.get("load/lost_per_conn") {
+        Some(rq_obs::Metric::Histogram(h)) => h.quantile(0.99),
+        _ => 0,
+    };
+    format!(
+        " {:>7} {:>8} {:>8} {:>8}",
+        m.counter("load/client_pto_expirations"),
+        m.counter("load/client_packets_lost"),
+        m.counter("load/server_packets_lost"),
+        format!("<={lost_p99}"),
+    )
+}
+
 fn cost_row(label: &str, r: &ServerLoadReport) {
     let a = &r.accounting;
     let per_conn = if a.completed > 0 {
@@ -50,8 +75,13 @@ fn cost_row(label: &str, r: &ServerLoadReport) {
     } else {
         0.0
     };
+    let detail = if load_detail() {
+        detail_cells(r)
+    } else {
+        String::new()
+    };
     println!(
-        "{label:<12} {:>9} {:>9} {:>7} {:>10.1} {:>9.3} {:>7.1} {} {} {}",
+        "{label:<12} {:>9} {:>9} {:>7} {:>10.1} {:>9.3} {:>7.1} {} {} {}{detail}",
         a.completed,
         a.failed,
         a.shed,
@@ -79,8 +109,16 @@ fn main() {
     // Section 1: WFC vs IACK vs 0-RTT server cost. The 0-RTT population
     // arrives with synthetic tickets minted under the server's key
     // schedule, so its handshakes run the abbreviated PSK path.
+    let detail_header = if load_detail() {
+        format!(
+            " {:>7} {:>8} {:>8} {:>8}",
+            "pto", "lost(cl)", "lost(sv)", "lp99"
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "{:<12} {:>9} {:>9} {:>7} {:>10} {:>9} {:>7} {:>9} {:>9} {:>9}",
+        "{:<12} {:>9} {:>9} {:>7} {:>10} {:>9} {:>7} {:>9} {:>9} {:>9}{detail_header}",
         "population",
         "completed",
         "failed",
@@ -155,4 +193,12 @@ fn main() {
          RTT sample lands, not what the handshake costs the server — resumption does: the \
          0-RTT population completes the same arrivals at ~1/3 the handshake CPU."
     );
+    if load_detail() {
+        println!(
+            "\npto / lost(cl) / lost(sv) sum client PTO expirations and client/server lost \
+             packets over each population's completed-or-failed connections; lp99 bounds the \
+             per-connection client loss count at the 99th percentile (log2-bucket upper bound). \
+             All four come from the metrics registry snapshot every report carries."
+        );
+    }
 }

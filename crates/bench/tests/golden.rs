@@ -12,8 +12,10 @@
 //! `REACKED_REPS=3 REACKED_THREADS=1 cargo run --release --bin <exp> \
 //!  > crates/bench/tests/golden/<exp>.txt`
 //! (for the wild-scan binaries additionally pin
-//! `REACKED_SCAN_DOMAINS=20000`, and for `exp_server_load` pin
-//! `REACKED_LOAD_ARRIVALS=2000` — the populations the goldens use).
+//! `REACKED_SCAN_DOMAINS=20000`, for `exp_server_load` pin
+//! `REACKED_LOAD_ARRIVALS=2000` and `REACKED_LOAD_DETAIL=1`, and for
+//! `exp_metrics_report` pin both populations — the knobs the goldens
+//! use).
 
 use std::process::Command;
 
@@ -40,6 +42,7 @@ fn assert_matches_golden(bin_path: &str, name: &str, golden: &str) {
             .env("REACKED_REPS", "3")
             .env("REACKED_SCAN_DOMAINS", GOLDEN_SCAN_DOMAINS)
             .env("REACKED_LOAD_ARRIVALS", GOLDEN_LOAD_ARRIVALS)
+            .env("REACKED_LOAD_DETAIL", "1")
             .env("REACKED_THREADS", &threads)
             .output()
             .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
@@ -110,6 +113,15 @@ fn exp_server_load_matches_golden() {
         env!("CARGO_BIN_EXE_exp_server_load"),
         "exp_server_load",
         include_str!("golden/exp_server_load.txt"),
+    );
+}
+
+#[test]
+fn exp_metrics_report_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_metrics_report"),
+        "exp_metrics_report",
+        include_str!("golden/exp_metrics_report.txt"),
     );
 }
 

@@ -1,0 +1,158 @@
+//! `REACKED_LOG` env-gated structured stderr logger.
+//!
+//! Syntax mirrors the usual `RUST_LOG` shape, with `/`-separated
+//! subsystem targets matched by longest prefix:
+//!
+//! ```text
+//! REACKED_LOG=info                  # everything at info and above
+//! REACKED_LOG=quic=debug            # just the quic target
+//! REACKED_LOG=warn,sim=trace,quic/server=debug
+//! ```
+//!
+//! Unset (the default) means fully off: `log_enabled` is one relaxed
+//! atomic load and a compare, and no format arguments are evaluated.
+//! Output goes to stderr so golden stdout comparisons never see it.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<u8> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => 0,
+            "error" => 1,
+            "warn" | "warning" => 2,
+            "info" => 3,
+            "debug" => 4,
+            "trace" => 5,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+struct LogSpec {
+    /// Max level for targets with no specific rule (0 = off).
+    default: u8,
+    /// (target prefix, max level), longest prefix wins.
+    targets: Vec<(String, u8)>,
+}
+
+fn parse_spec(raw: &str) -> LogSpec {
+    let mut spec = LogSpec {
+        default: 0,
+        targets: Vec::new(),
+    };
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some((target, level)) => {
+                if let Some(l) = Level::parse(level) {
+                    spec.targets.push((target.trim().to_string(), l));
+                }
+            }
+            None => {
+                if let Some(l) = Level::parse(part) {
+                    spec.default = l;
+                }
+            }
+        }
+    }
+    // Longest prefix first, so the first match below is the winner.
+    spec.targets.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    spec
+}
+
+impl LogSpec {
+    fn max_level(&self, target: &str) -> u8 {
+        for (prefix, level) in &self.targets {
+            let matches = target == prefix
+                || (target.starts_with(prefix.as_str())
+                    && target.as_bytes().get(prefix.len()) == Some(&b'/'));
+            if matches {
+                return *level;
+            }
+        }
+        self.default
+    }
+}
+
+/// 0 = not yet initialised, 1 = fully off, 2 = some target enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static SPEC: OnceLock<LogSpec> = OnceLock::new();
+static SINK: Mutex<()> = Mutex::new(());
+
+fn spec() -> &'static LogSpec {
+    let s = SPEC.get_or_init(|| parse_spec(&std::env::var("REACKED_LOG").unwrap_or_default()));
+    let on = s.default > 0 || s.targets.iter().any(|(_, l)| *l > 0);
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    s
+}
+
+/// Is `(target, level)` enabled under the current `REACKED_LOG`?
+#[inline]
+pub fn log_enabled(target: &str, level: Level) -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        1 => false,
+        _ => spec().max_level(target) >= level as u8,
+    }
+}
+
+/// Emit one line to stderr: `[target level] message`. Call through the
+/// [`obs_log!`](crate::obs_log) macro so arguments stay lazy.
+pub fn log_emit(target: &str, level: Level, message: &str) {
+    let _guard = SINK.lock();
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[{target} {}] {message}", level.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_match() {
+        let s = parse_spec("warn,quic=debug,quic/server=trace,bogus=nope");
+        assert_eq!(s.default, 2);
+        assert_eq!(s.max_level("sim"), 2);
+        assert_eq!(s.max_level("quic"), 4);
+        assert_eq!(s.max_level("quic/conn"), 4);
+        assert_eq!(s.max_level("quic/server"), 5);
+        assert_eq!(s.max_level("quicker"), 2); // no partial-word match
+    }
+
+    #[test]
+    fn empty_spec_is_off() {
+        let s = parse_spec("");
+        assert_eq!(s.default, 0);
+        assert_eq!(s.max_level("anything"), 0);
+    }
+
+    #[test]
+    fn bare_level_applies_everywhere() {
+        let s = parse_spec("trace");
+        assert_eq!(s.max_level("wild/scan"), 5);
+    }
+}

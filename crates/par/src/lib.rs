@@ -10,7 +10,27 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+mod profile;
+
+use profile::WorkerSpans;
+pub use profile::{ProfileReport, ProfileSink};
+
+/// Start a span clock if profiling is on.
+#[inline]
+fn span_start(enabled: bool) -> Option<Instant> {
+    enabled.then(Instant::now)
+}
+
+/// Close a span clock into an accumulator.
+#[inline]
+fn span_lap(t: Option<Instant>, acc: &mut u64) {
+    if let Some(t0) = t {
+        *acc += t0.elapsed().as_nanos() as u64;
+    }
+}
 
 /// Environment variable controlling the sweep thread count.
 pub const THREADS_ENV: &str = "REACKED_THREADS";
@@ -79,9 +99,35 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    sweep_with(n, threads, None, f)
+}
+
+/// [`sweep`] with an optional [`ProfileSink`] recording per-worker
+/// busy/claim/merge spans and chunk sizes. `sink: None` is the exact
+/// unprofiled code path.
+pub fn sweep_with<T, F>(n: usize, threads: usize, sink: Option<&ProfileSink>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
+    let enabled = sink.is_some();
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let t_wall = span_start(enabled);
+        let out: Vec<T> = (0..n).map(f).collect();
+        if let (Some(s), Some(t0)) = (sink, t_wall) {
+            let wall = t0.elapsed();
+            let mut spans = WorkerSpans {
+                busy_ns: wall.as_nanos() as u64,
+                ..WorkerSpans::default()
+            };
+            if n > 0 {
+                spans.chunks.push(n);
+            }
+            s.record_worker(spans);
+            s.record_sweep(wall, 1);
+        }
+        return out;
     }
 
     let queue = IndexQueue::new(n, threads);
@@ -90,21 +136,39 @@ where
     let filled = Mutex::new(&mut slots);
     let mut panic_payload = None;
 
+    let t_wall = span_start(enabled);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut spans = WorkerSpans::default();
                     let mut local: Vec<(usize, T)> = Vec::new();
-                    while let Some(range) = queue.claim() {
+                    loop {
+                        let t_claim = span_start(enabled);
+                        let claimed = queue.claim();
+                        span_lap(t_claim, &mut spans.claim_ns);
+                        let Some(range) = claimed else { break };
+                        if enabled {
+                            spans.chunks.push(range.len());
+                        }
+                        let t_busy = span_start(enabled);
                         for i in range {
                             local.push((i, f(i)));
                         }
+                        span_lap(t_busy, &mut spans.busy_ns);
                     }
                     // One lock per worker (not per item): merge results
                     // into their index-ordered slots.
-                    let mut slots = filled.lock().unwrap();
-                    for (i, value) in local {
-                        slots[i] = Some(value);
+                    let t_merge = span_start(enabled);
+                    {
+                        let mut slots = filled.lock().unwrap();
+                        for (i, value) in local {
+                            slots[i] = Some(value);
+                        }
+                    }
+                    span_lap(t_merge, &mut spans.merge_ns);
+                    if let Some(s) = sink {
+                        s.record_worker(spans);
                     }
                 })
             })
@@ -115,6 +179,9 @@ where
             }
         }
     });
+    if let (Some(s), Some(t0)) = (sink, t_wall) {
+        s.record_sweep(t0.elapsed(), threads);
+    }
     if let Some(payload) = panic_payload {
         std::panic::resume_unwind(payload);
     }
@@ -140,17 +207,45 @@ where
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
+    sweep_chunked_with(n, threads, chunk, None, f)
+}
+
+/// [`sweep_chunked`] with an optional [`ProfileSink`]; see
+/// [`sweep_with`].
+pub fn sweep_chunked_with<T, F>(
+    n: usize,
+    threads: usize,
+    chunk: usize,
+    sink: Option<&ProfileSink>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
     let chunk = chunk.max(1);
     let threads = threads.clamp(1, n.max(1));
+    let enabled = sink.is_some();
     if threads <= 1 {
+        let t_wall = span_start(enabled);
+        let mut spans = WorkerSpans::default();
         let mut out = Vec::with_capacity(n);
         let mut start = 0;
         while start < n {
             let range = start..(start + chunk).min(n);
+            if enabled {
+                spans.chunks.push(range.len());
+            }
             let produced = f(range.clone());
             assert_eq!(produced.len(), range.len(), "chunk produced wrong count");
             out.extend(produced);
             start = range.end;
+        }
+        if let (Some(s), Some(t0)) = (sink, t_wall) {
+            let wall = t0.elapsed();
+            spans.busy_ns = wall.as_nanos() as u64;
+            s.record_worker(spans);
+            s.record_sweep(wall, 1);
         }
         return out;
     }
@@ -165,22 +260,40 @@ where
     let filled = Mutex::new(&mut slots);
     let mut panic_payload = None;
 
+    let t_wall = span_start(enabled);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut spans = WorkerSpans::default();
                     let mut local: Vec<(usize, Vec<T>)> = Vec::new();
-                    while let Some(range) = queue.claim() {
+                    loop {
+                        let t_claim = span_start(enabled);
+                        let claimed = queue.claim();
+                        span_lap(t_claim, &mut spans.claim_ns);
+                        let Some(range) = claimed else { break };
+                        if enabled {
+                            spans.chunks.push(range.len());
+                        }
                         let start = range.start;
+                        let t_busy = span_start(enabled);
                         let produced = f(range.clone());
+                        span_lap(t_busy, &mut spans.busy_ns);
                         assert_eq!(produced.len(), range.len(), "chunk produced wrong count");
                         local.push((start, produced));
                     }
-                    let mut slots = filled.lock().unwrap();
-                    for (start, values) in local {
-                        for (off, value) in values.into_iter().enumerate() {
-                            slots[start + off] = Some(value);
+                    let t_merge = span_start(enabled);
+                    {
+                        let mut slots = filled.lock().unwrap();
+                        for (start, values) in local {
+                            for (off, value) in values.into_iter().enumerate() {
+                                slots[start + off] = Some(value);
+                            }
                         }
+                    }
+                    span_lap(t_merge, &mut spans.merge_ns);
+                    if let Some(s) = sink {
+                        s.record_worker(spans);
                     }
                 })
             })
@@ -191,6 +304,9 @@ where
             }
         }
     });
+    if let (Some(s), Some(t0)) = (sink, t_wall) {
+        s.record_sweep(t0.elapsed(), threads);
+    }
     if let Some(payload) = panic_payload {
         std::panic::resume_unwind(payload);
     }
@@ -219,9 +335,14 @@ where
 /// runner is just a thread count plus the [`sweep`]/[`sweep_slice`]
 /// order guarantee, so any index-keyed pure computation fanned through
 /// it is bit-identical at every worker count.
-#[derive(Debug, Clone, Copy)]
+///
+/// Attach a [`ProfileSink`] with [`SweepRunner::with_profile`] to
+/// record where the wall-clock goes; profiling observes timing only
+/// and cannot change any result.
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
+    profile: Option<Arc<ProfileSink>>,
 }
 
 impl SweepRunner {
@@ -229,12 +350,26 @@ impl SweepRunner {
     pub fn new(threads: usize) -> Self {
         SweepRunner {
             threads: threads.max(1),
+            profile: None,
         }
     }
 
     /// A runner sized by `REACKED_THREADS` / available parallelism.
     pub fn from_env() -> Self {
         SweepRunner::new(threads_from_env())
+    }
+
+    /// Attach a profile sink; every subsequent sweep through this
+    /// runner records its spans there.
+    pub fn with_profile(mut self, sink: Arc<ProfileSink>) -> Self {
+        self.profile = Some(sink);
+        self
+    }
+
+    /// The attached profile sink, if any (used by sweep closures to
+    /// tag per-task setup spans).
+    pub fn profile(&self) -> Option<&ProfileSink> {
+        self.profile.as_deref()
     }
 
     /// Worker count this runner fans out to.
@@ -248,7 +383,7 @@ impl SweepRunner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        sweep(n, self.threads, f)
+        sweep_with(n, self.threads, self.profile(), f)
     }
 
     /// Fans an arbitrary per-item job out over the pool, preserving
@@ -259,7 +394,7 @@ impl SweepRunner {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
-        sweep_slice(items, self.threads, f)
+        sweep_with(items.len(), self.threads, self.profile(), |i| f(&items[i]))
     }
 
     /// Coarse-chunked fan-out: `f` receives whole index ranges of
@@ -271,7 +406,7 @@ impl SweepRunner {
         F: Fn(Range<usize>) -> Vec<T> + Sync,
     {
         let chunk = n.div_ceil(self.threads.max(1)).max(1);
-        sweep_chunked(n, self.threads, chunk, f)
+        sweep_chunked_with(n, self.threads, chunk, self.profile(), f)
     }
 }
 
@@ -398,6 +533,54 @@ mod tests {
         // 100 items over 4 workers → 25-item chunks, 4 callback calls.
         assert_eq!(calls.len(), 4);
         assert!(calls.iter().all(|r| r.len() == 25));
+    }
+
+    #[test]
+    fn profiled_sweep_matches_unprofiled_and_accounts_time() {
+        let sink = Arc::new(ProfileSink::new());
+        let runner = SweepRunner::new(4).with_profile(sink.clone());
+        let work = |i: usize| {
+            let mut acc = i as u64;
+            for _ in 0..2000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let got = runner.run(64, work);
+        assert_eq!(got, (0..64).map(work).collect::<Vec<_>>());
+        runner
+            .profile()
+            .unwrap()
+            .record_setup(std::time::Duration::from_nanos(10));
+
+        let report = sink.report();
+        assert_eq!(report.sweeps, 1);
+        assert!(report.busy_ns > 0);
+        assert_eq!(report.chunk_items, 64);
+        assert!(report.claims >= 4, "claims: {}", report.claims);
+        assert!(report.chunk_min >= 1 && report.chunk_max <= 64);
+        // busy + claim + merge + idle == workers x wall exactly.
+        assert!((report.attributed_share() - 1.0).abs() < 1e-9);
+        assert!(report.measured_share() <= 1.0 + 1e-9);
+        assert_eq!(report.setup_ns, 10);
+    }
+
+    #[test]
+    fn sequential_profile_records_busy_equal_to_wall() {
+        let sink = Arc::new(ProfileSink::new());
+        let runner = SweepRunner::new(1).with_profile(sink.clone());
+        let out = runner.run_chunked(10, |r| r.map(|i| i + 1).collect::<Vec<_>>());
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        let report = sink.report();
+        assert_eq!(report.sweeps, 1);
+        assert_eq!(report.worker_wall_ns, report.wall_ns);
+        assert_eq!(report.busy_ns, report.wall_ns);
+        assert_eq!(report.idle_ns, 0);
+    }
+
+    #[test]
+    fn unattached_runner_has_no_sink() {
+        assert!(SweepRunner::new(2).profile().is_none());
     }
 
     #[test]

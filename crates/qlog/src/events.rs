@@ -83,6 +83,20 @@ pub enum EventData {
         /// Current PTO backoff count.
         pto_count: u32,
     },
+    /// recovery:metrics_updated, periodic data-phase flavour: cwnd,
+    /// bytes in flight and smoothed RTT sampled on ACK processing at a
+    /// configured cadence (`EndpointConfig::metrics_sample_every`).
+    /// Kept as its own variant so [`EventLog::metrics_updates`]
+    /// consumers (Figure 11 counts, PTO reconstruction) never see the
+    /// extra samples.
+    MetricsSampled {
+        /// Congestion window, bytes.
+        cwnd: usize,
+        /// Bytes in flight.
+        bytes_in_flight: usize,
+        /// Smoothed RTT in ms.
+        smoothed_rtt_ms: f64,
+    },
     /// recovery:congestion_state_updated — the controller changed phase
     /// (slow start / congestion avoidance / recovery / persistent
     /// congestion). Emitted on transitions only, not per ack.
@@ -288,6 +302,7 @@ impl EventData {
             EventData::PacketReceived { .. } => "packet_received",
             EventData::PacketLost { .. } => "packet_lost",
             EventData::MetricsUpdated { .. } => "metrics_updated",
+            EventData::MetricsSampled { .. } => "metrics_sampled",
             EventData::CongestionStateUpdated { .. } => "congestion_state_updated",
             EventData::PtoExpired { .. } => "pto_expired",
             EventData::AmplificationBlocked { .. } => "amplification_blocked",
@@ -357,6 +372,15 @@ impl EventData {
                 ));
                 fields.push(("latest_rtt_ms".into(), Json::float(*latest_rtt_ms)));
                 fields.push(("pto_count".into(), Json::uint(*pto_count)));
+            }
+            EventData::MetricsSampled {
+                cwnd,
+                bytes_in_flight,
+                smoothed_rtt_ms,
+            } => {
+                fields.push(("cwnd".into(), Json::size(*cwnd)));
+                fields.push(("bytes_in_flight".into(), Json::size(*bytes_in_flight)));
+                fields.push(("smoothed_rtt_ms".into(), Json::float(*smoothed_rtt_ms)));
             }
             EventData::CongestionStateUpdated {
                 new_state,

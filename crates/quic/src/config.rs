@@ -166,6 +166,11 @@ pub struct EndpointConfig {
     /// on migration (RFC 9000 §5.1.1). 0 (the default) disables the
     /// whole migration machinery and keeps legacy traces byte-identical.
     pub cid_pool: usize,
+    /// Emit a qlog `metrics_sampled` event (cwnd / bytes-in-flight /
+    /// srtt) at most this often while processing Application-space ACKs
+    /// after the handshake completes. `None` (the default) emits
+    /// nothing, keeping every legacy trace byte-identical.
+    pub metrics_sample_every: Option<SimDuration>,
     /// Label for logs/plots ("quic-go", "neqo", ...).
     pub name: &'static str,
 }
@@ -201,6 +206,7 @@ impl EndpointConfig {
             initial_max_data: 512 * 1024,
             initial_max_stream_data: 256 * 1024,
             cid_pool: 0,
+            metrics_sample_every: None,
             name: "rfc-default",
         }
     }

@@ -146,6 +146,68 @@ pub enum ConnEvent {
     },
 }
 
+/// Per-connection protocol counters. Plain integers on the hot path
+/// (the `ScanShard` pattern — a map lookup per packet would not be
+/// zero-cost), exported into an [`rq_obs::Registry`] under a
+/// caller-chosen prefix at snapshot time. Field-wise summable, so
+/// merged snapshots are independent of worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Packets protected and handed to the send path, per packet number
+    /// space (Initial, Handshake, Application — 0-RTT counts as App).
+    pub packets_sealed: [u64; 3],
+    /// Packets accepted after unprotection and dedup, per space.
+    pub packets_opened: [u64; 3],
+    /// Packets declared lost by the loss detector.
+    pub packets_lost: u64,
+    /// Congestion-controller phase transitions, including
+    /// persistent-congestion collapses.
+    pub cc_transitions: u64,
+    /// PTO timer expirations.
+    pub pto_expirations: u64,
+    /// Connection ID rotations (migration adopting a spare peer CID).
+    pub cid_rotations: u64,
+    /// Times the send path stalled on the anti-amplification limit
+    /// while holding data it wanted to send.
+    pub amp_stalls: u64,
+}
+
+impl ConnStats {
+    /// Field-wise sum; [`ConnStats::default`] is the identity.
+    pub fn merge(&mut self, other: &ConnStats) {
+        for i in 0..3 {
+            self.packets_sealed[i] += other.packets_sealed[i];
+            self.packets_opened[i] += other.packets_opened[i];
+        }
+        self.packets_lost += other.packets_lost;
+        self.cc_transitions += other.cc_transitions;
+        self.pto_expirations += other.pto_expirations;
+        self.cid_rotations += other.cid_rotations;
+        self.amp_stalls += other.amp_stalls;
+    }
+
+    /// Exports every counter into `reg` under `prefix` (no separator is
+    /// added — pass e.g. `"quic/client/"`).
+    pub fn export(&self, prefix: &str, reg: &mut rq_obs::Registry) {
+        const SPACES: [&str; 3] = ["initial", "handshake", "app"];
+        for (i, space) in SPACES.iter().enumerate() {
+            reg.add(
+                &format!("{prefix}packets_sealed/{space}"),
+                self.packets_sealed[i],
+            );
+            reg.add(
+                &format!("{prefix}packets_opened/{space}"),
+                self.packets_opened[i],
+            );
+        }
+        reg.add(&format!("{prefix}packets_lost"), self.packets_lost);
+        reg.add(&format!("{prefix}cc_transitions"), self.cc_transitions);
+        reg.add(&format!("{prefix}pto_expirations"), self.pto_expirations);
+        reg.add(&format!("{prefix}cid_rotations"), self.cid_rotations);
+        reg.add(&format!("{prefix}amp_stalls"), self.amp_stalls);
+    }
+}
+
 /// A fully sans-IO QUIC connection.
 pub struct Connection {
     role: Role,
@@ -255,6 +317,10 @@ pub struct Connection {
     paths: Vec<PathState>,
     /// Path id of the currently active path (0 = handshake path).
     active_path: u64,
+    /// Aggregated protocol counters (see [`ConnStats`]).
+    stats: ConnStats,
+    /// Time of the last periodic `metrics_sampled` emission.
+    last_metrics_sample: Option<SimTime>,
 }
 
 impl Connection {
@@ -340,6 +406,8 @@ impl Connection {
             path_challenge: None,
             paths: Vec::new(),
             active_path: 0,
+            stats: ConnStats::default(),
+            last_metrics_sample: None,
             cfg,
         };
         // Queue the ClientHello into the Initial crypto stream.
@@ -417,8 +485,15 @@ impl Connection {
             path_challenge: None,
             paths: Vec::new(),
             active_path: 0,
+            stats: ConnStats::default(),
+            last_metrics_sample: None,
             cfg,
         }
+    }
+
+    /// Snapshot of this connection's protocol counters.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
     }
 
     /// Endpoint role.
@@ -583,6 +658,7 @@ impl Connection {
             self.pending_retire_cids.push(self.peer_cid_seq);
             self.peer_cid = cid;
             self.peer_cid_seq = seq;
+            self.stats.cid_rotations += 1;
         }
         if !already_validated {
             self.reset_path_metrics();
@@ -852,6 +928,7 @@ impl Connection {
         {
             return; // duplicate
         }
+        self.stats.packets_opened[idx] += 1;
         self.log.push(
             now,
             EventData::PacketReceived {
@@ -1124,6 +1201,37 @@ impl Connection {
                 self.log_metrics(now);
             }
         }
+        if space == PacketNumberSpace::Application {
+            self.maybe_sample_metrics(now);
+        }
+    }
+
+    /// Periodic data-phase `metrics_sampled` emission — cwnd, bytes in
+    /// flight and srtt sampled while processing Application-space ACKs,
+    /// at most once per `metrics_sample_every`. Off by default (`None`),
+    /// so legacy traces carry no extra events.
+    fn maybe_sample_metrics(&mut self, now: SimTime) {
+        let Some(every) = self.cfg.metrics_sample_every else {
+            return;
+        };
+        if !self.handshake_complete {
+            return;
+        }
+        let due = self
+            .last_metrics_sample
+            .is_none_or(|t| now.saturating_since(t) >= every);
+        if !due {
+            return;
+        }
+        self.last_metrics_sample = Some(now);
+        self.log.push(
+            now,
+            EventData::MetricsSampled {
+                cwnd: self.cc.cwnd(),
+                bytes_in_flight: self.cc.bytes_in_flight(),
+                smoothed_rtt_ms: self.rtt.smoothed().map_or(0.0, |s| s.as_millis_f64()),
+            },
+        );
     }
 
     /// Processes one detected loss burst: logs each packet, requeues its
@@ -1146,6 +1254,7 @@ impl Connection {
         if lost.is_empty() {
             return;
         }
+        self.stats.packets_lost += lost.len() as u64;
         let idx = space.index();
         let mut sizes = Vec::with_capacity(lost.len());
         let mut latest_sent: Option<SimTime> = None;
@@ -1215,6 +1324,7 @@ impl Connection {
         }
         if established {
             self.cc.on_persistent_congestion();
+            self.stats.cc_transitions += 1;
             self.log.push(
                 now,
                 EventData::CongestionStateUpdated {
@@ -1232,6 +1342,7 @@ impl Connection {
         let state = self.cc.state();
         if state != self.last_cc_state {
             self.last_cc_state = state;
+            self.stats.cc_transitions += 1;
             self.log.push(
                 now,
                 EventData::CongestionStateUpdated {
@@ -1498,6 +1609,14 @@ impl Connection {
         }
         self.closed = true;
         self.close_frame_pending = Some((error_code, reason.to_string()));
+        rq_obs::obs_log!(
+            "quic/conn",
+            rq_obs::Level::Warn,
+            "{} closing: code={:#x} reason={}",
+            self.cfg.name,
+            error_code,
+            reason
+        );
         self.log.push(
             now,
             EventData::ConnectionClosed {
@@ -1629,6 +1748,7 @@ impl Connection {
                 && self.wants_to_send()
             {
                 self.amp_blocked_logged = true;
+                self.stats.amp_stalls += 1;
                 self.log.push(
                     now,
                     EventData::AmplificationBlocked {
@@ -2047,6 +2167,7 @@ impl Connection {
         if ack_eliciting {
             self.last_eliciting_send = Some(now);
         }
+        self.stats.packets_sealed[idx] += 1;
         self.log.push(
             now,
             EventData::PacketSent {
@@ -2466,6 +2587,15 @@ impl Connection {
         });
         let idx = space.index();
         self.pto.on_pto_expired();
+        self.stats.pto_expirations += 1;
+        rq_obs::obs_log!(
+            "quic/pto",
+            rq_obs::Level::Debug,
+            "{} pto expired space={:?} count={}",
+            self.cfg.name,
+            space_name(space),
+            self.pto.pto_count
+        );
         self.log.push(
             now,
             EventData::PtoExpired {
@@ -2982,6 +3112,64 @@ mod tests {
             delivered > 0,
             "server received the HTTP request in flight 2"
         );
+    }
+
+    #[test]
+    fn conn_stats_count_handshake_traffic() {
+        let mut c = client();
+        let mut s = server(ServerAckMode::WaitForCertificate);
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        let (cs, ss) = (c.stats(), s.stats());
+        // Zero-loss handshake: every sealed packet is opened by the peer.
+        assert_eq!(cs.packets_sealed, ss.packets_opened);
+        assert_eq!(ss.packets_sealed, cs.packets_opened);
+        assert!(cs.packets_sealed.iter().sum::<u64>() > 0);
+        assert_eq!(cs.packets_lost, 0);
+        assert_eq!(cs.pto_expirations, 0);
+        // The stats snapshot exports and merges like a monoid.
+        let mut merged = ConnStats::default();
+        merged.merge(&cs);
+        merged.merge(&ss);
+        let mut reg = rq_obs::Registry::default();
+        merged.export("quic/", &mut reg);
+        assert_eq!(
+            reg.counter("quic/packets_sealed/initial"),
+            cs.packets_sealed[0] + ss.packets_sealed[0]
+        );
+    }
+
+    #[test]
+    fn metrics_sampled_gated_off_by_default_and_throttled_when_on() {
+        // Default config: no metrics_sampled events anywhere.
+        let mut c = client();
+        let mut s = server(ServerAckMode::WaitForCertificate);
+        c.send_stream_data(stream_id::CLIENT_BIDI_0, &[0x5A; 4096], true);
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        let sampled = |conn: &Connection| {
+            conn.log
+                .count(|d| matches!(d, EventData::MetricsSampled { .. }))
+        };
+        assert_eq!(sampled(&c) + sampled(&s), 0);
+
+        // Enabled: samples appear in the data phase, at most one per
+        // cadence window.
+        let mut cfg = EndpointConfig::rfc_default();
+        cfg.metrics_sample_every = Some(ms(10));
+        let mut c = Connection::client(cfg, 1, false);
+        let mut s = server(ServerAckMode::WaitForCertificate);
+        c.send_stream_data(stream_id::CLIENT_BIDI_0, &[0x5A; 4096], true);
+        run_handshake(&mut c, &mut s, SimDuration::ZERO);
+        assert!(sampled(&c) > 0, "client samples metrics while enabled");
+        let times: Vec<f64> = c
+            .log
+            .events
+            .iter()
+            .filter(|e| matches!(e.data, EventData::MetricsSampled { .. }))
+            .map(|e| e.time_ms)
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= 10.0, "samples respect the cadence");
+        }
     }
 
     #[test]

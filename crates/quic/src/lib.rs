@@ -15,7 +15,7 @@ pub mod streams;
 pub use config::{AckDelayReport, ClientQuirks, EndpointConfig, ProbePolicy, ServerAckMode};
 pub use connection::{
     derived_cid, server_busy_datagram, stateless_reset_datagram, stateless_retry_datagram,
-    ConnEvent, Connection, PathState, Role, CID_KIND_CLIENT, CID_KIND_ORIGINAL_DCID,
+    ConnEvent, ConnStats, Connection, PathState, Role, CID_KIND_CLIENT, CID_KIND_ORIGINAL_DCID,
     CID_KIND_RETRY, CID_KIND_SERVER, ERROR_GIVE_UP, ERROR_SERVER_BUSY, ERROR_STATELESS_RESET,
     MAX_DATAGRAM_SIZE, SERVER_BUSY_PREFIX, STATELESS_RESET_PREFIX,
 };

@@ -121,6 +121,42 @@ impl ServerAccounting {
         self.reset_conns += other.reset_conns;
     }
 
+    /// Exports every counter into `reg` under `prefix` (no separator is
+    /// added — pass e.g. `"server/"`). `cpu_cost` is scaled to integer
+    /// milli-units so the registry stays a pure integer monoid; the
+    /// active-connection peak is exported by
+    /// [`ServerEngine::export_metrics`], which also knows the current
+    /// level.
+    pub fn export(&self, prefix: &str, reg: &mut rq_obs::Registry) {
+        reg.add(&format!("{prefix}arrivals"), self.arrivals);
+        reg.add(&format!("{prefix}accepted"), self.accepted);
+        reg.add(&format!("{prefix}shed"), self.shed);
+        reg.add(&format!("{prefix}completed"), self.completed);
+        reg.add(&format!("{prefix}failed"), self.failed);
+        reg.add(&format!("{prefix}full_handshakes"), self.full_handshakes);
+        reg.add(
+            &format!("{prefix}resumed_handshakes"),
+            self.resumed_handshakes,
+        );
+        reg.add(
+            &format!("{prefix}zero_rtt_accepted"),
+            self.zero_rtt_accepted,
+        );
+        reg.add(
+            &format!("{prefix}cpu_cost_milli"),
+            (self.cpu_cost * 1000.0).round() as u64,
+        );
+        reg.add(
+            &format!("{prefix}amp_blocked_conns"),
+            self.amp_blocked_conns,
+        );
+        reg.add(&format!("{prefix}retry_deferred"), self.retry_deferred);
+        reg.add(&format!("{prefix}retry_admitted"), self.retry_admitted);
+        reg.add(&format!("{prefix}busy_refused"), self.busy_refused);
+        reg.add(&format!("{prefix}crashes"), self.crashes);
+        reg.add(&format!("{prefix}reset_conns"), self.reset_conns);
+    }
+
     /// Mean active-connection count seen by arriving work.
     pub fn mean_depth(&self) -> f64 {
         if self.depth_samples == 0 {
@@ -252,6 +288,18 @@ impl ServerEngine {
         self.conns.len()
     }
 
+    /// Exports the engine's admission accounting plus an
+    /// active-connection gauge (current level, observed peak) into `reg`
+    /// under `prefix`.
+    pub fn export_metrics(&self, prefix: &str, reg: &mut rq_obs::Registry) {
+        self.accounting.export(prefix, reg);
+        reg.gauge(
+            &format!("{prefix}active_conns"),
+            self.conns.len() as i64,
+            self.accounting.peak_active as i64,
+        );
+    }
+
     /// Whether `key` has an active connection.
     pub fn has_conn(&self, key: u64) -> bool {
         self.conns.contains_key(&key)
@@ -300,6 +348,11 @@ impl ServerEngine {
             return match self.overload {
                 OverloadPolicy::Shed => {
                     self.accounting.shed += 1;
+                    rq_obs::obs_log!(
+                        "quic/server",
+                        rq_obs::Level::Info,
+                        "shed arrival key={key} at depth={depth}"
+                    );
                     AcceptOutcome::Shed
                 }
                 OverloadPolicy::RetryDefer => {
@@ -364,6 +417,13 @@ impl ServerEngine {
         self.cid_index.clear();
         self.accounting.crashes += 1;
         self.accounting.reset_conns += orphans.len() as u64;
+        rq_obs::obs_log!(
+            "quic/server",
+            rq_obs::Level::Warn,
+            "crash_and_restart dropped {} conns (forget_epochs={})",
+            orphans.len(),
+            forget_ticket_epochs
+        );
         if forget_ticket_epochs {
             self.schedule = self.schedule.forget_old_epochs();
         }

@@ -8,6 +8,47 @@ use crate::node::{Context, Node, NodeId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DatagramFate, Trace};
 
+/// Plain-integer engine counters, incremented on the hot path and
+/// exported into an [`rq_obs::Registry`] at snapshot time (the
+/// `ScanShard` pattern: cheap struct in the loop, mergeable registry at
+/// the edge). All values are pure functions of the event stream, so
+/// they are bit-identical across thread counts and runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped and processed (includes stale ones).
+    pub events_processed: u64,
+    pub datagram_events: u64,
+    pub timer_events: u64,
+    pub start_events: u64,
+    pub path_change_events: u64,
+    /// Events addressed to already-retired nodes that evaporated.
+    pub stale_events: u64,
+    /// Datagrams accepted by a link for delivery.
+    pub datagrams_forwarded: u64,
+    /// Datagrams a link dropped (loss rule, blackout, impairment).
+    pub datagrams_dropped: u64,
+    /// Extra copies fabricated by duplicating impairments.
+    pub datagrams_duplicated: u64,
+    /// High-water mark of the event-queue depth.
+    pub queue_depth_peak: u64,
+}
+
+impl EngineStats {
+    /// Export under `sim/` into a metrics registry.
+    pub fn export(&self, reg: &mut rq_obs::Registry) {
+        reg.add("sim/events/processed", self.events_processed);
+        reg.add("sim/events/datagram", self.datagram_events);
+        reg.add("sim/events/timer", self.timer_events);
+        reg.add("sim/events/start", self.start_events);
+        reg.add("sim/events/path_change", self.path_change_events);
+        reg.add("sim/events/stale", self.stale_events);
+        reg.add("sim/datagrams/forwarded", self.datagrams_forwarded);
+        reg.add("sim/datagrams/dropped", self.datagrams_dropped);
+        reg.add("sim/datagrams/duplicated", self.datagrams_duplicated);
+        reg.gauge("sim/queue_depth", 0, self.queue_depth_peak as i64);
+    }
+}
+
 /// Why a simulation run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -91,6 +132,8 @@ pub struct Network {
     processed: u64,
     /// Packet capture and milestone log for this run.
     pub trace: Trace,
+    /// Engine counters (events, drops, queue depth); see [`EngineStats`].
+    pub stats: EngineStats,
     /// Hard ceiling on processed events (guards against livelock bugs).
     pub event_limit: u64,
     /// Reused effect buffers handed to nodes via [`Context`]; keeping
@@ -113,6 +156,7 @@ impl Network {
             started: 0,
             processed: 0,
             trace: Trace::new(capture_payloads),
+            stats: EngineStats::default(),
             event_limit: 10_000_000,
             scratch_sends: Vec::with_capacity(8),
             scratch_timers: Vec::with_capacity(8),
@@ -259,6 +303,7 @@ impl Network {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { at, seq, kind }));
+        self.stats.queue_depth_peak = self.stats.queue_depth_peak.max(self.queue.len() as u64);
     }
 
     /// Queues Start events (at the current time) for every node that has
@@ -298,6 +343,13 @@ impl Network {
                 return RunOutcome::EventLimit;
             }
             self.now = ev.at;
+            self.stats.events_processed += 1;
+            match &ev.kind {
+                EventKind::Datagram { .. } => self.stats.datagram_events += 1,
+                EventKind::Timer { .. } => self.stats.timer_events += 1,
+                EventKind::Start { .. } => self.stats.start_events += 1,
+                EventKind::PathChange { .. } => self.stats.path_change_events += 1,
+            }
             if let EventKind::PathChange { a, b, path, notify } = &ev.kind {
                 self.activate_path(*a, *b, *path);
                 if !*notify {
@@ -312,6 +364,7 @@ impl Network {
             // Events addressed to retired nodes (stale timers, datagrams
             // in flight when the connection ended) evaporate.
             if self.nodes[node_id.0].is_none() {
+                self.stats.stale_events += 1;
                 continue;
             }
             // Hand the node the reusable effect buffers instead of
@@ -386,6 +439,10 @@ impl Network {
         let (result, index) = link.transmit(from, &payload, self.now);
         match result {
             TransmitResult::Deliver { at, duplicate } => {
+                self.stats.datagrams_forwarded += 1;
+                if duplicate.is_some() {
+                    self.stats.datagrams_duplicated += 1;
+                }
                 self.trace.record_datagram(
                     from,
                     to,
@@ -426,6 +483,7 @@ impl Network {
                 );
             }
             TransmitResult::Drop => {
+                self.stats.datagrams_dropped += 1;
                 self.trace.record_datagram(
                     from,
                     to,
@@ -840,6 +898,64 @@ mod tests {
         // nor resurrect the route.
         assert_eq!(net.run_until(t(30)), RunOutcome::TimeLimit);
         assert_eq!(net.trace.all("rx").len(), 2);
+    }
+
+    #[test]
+    fn engine_stats_count_events_and_drops() {
+        let mut net = Network::new(false);
+        let a = net.add_node(Box::new(Ponger {
+            peer: None,
+            remaining: 9,
+            initiate: false,
+        }));
+        let b = net.add_node(Box::new(Ponger {
+            peer: Some(a),
+            remaining: 9,
+            initiate: true,
+        }));
+        net.connect(
+            a,
+            b,
+            LinkConfig::paper_default(SimDuration::from_millis(1))
+                .with_loss(DropIndices::new(Direction::BtoA, &[1])),
+        );
+        net.run(SimDuration::from_secs(1));
+        let s = net.stats;
+        assert_eq!(s.datagrams_dropped, 1);
+        assert!(s.datagram_events > 0);
+        assert_eq!(s.start_events, 2);
+        assert_eq!(
+            s.events_processed,
+            s.datagram_events + s.timer_events + s.start_events + s.path_change_events
+        );
+        assert!(s.queue_depth_peak >= 1);
+        // Export lands under sim/ and round-trips the counter values.
+        let mut reg = rq_obs::Registry::new();
+        s.export(&mut reg);
+        assert_eq!(reg.counter("sim/datagrams/dropped"), 1);
+        assert_eq!(reg.counter("sim/events/processed"), s.events_processed);
+
+        // Identical run, identical stats: the counters are a pure
+        // function of the event stream.
+        let mut net2 = Network::new(false);
+        let a2 = net2.add_node(Box::new(Ponger {
+            peer: None,
+            remaining: 9,
+            initiate: false,
+        }));
+        let b2 = net2.add_node(Box::new(Ponger {
+            peer: Some(a2),
+            remaining: 9,
+            initiate: true,
+        }));
+        net2.connect(
+            a2,
+            b2,
+            LinkConfig::paper_default(SimDuration::from_millis(1))
+                .with_loss(DropIndices::new(Direction::BtoA, &[1])),
+        );
+        net2.run(SimDuration::from_secs(1));
+        assert_eq!(net2.stats, s);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Network, RunOutcome};
+pub use engine::{EngineStats, Network, RunOutcome};
 pub use fault::{Blackout, FaultProfile, FaultTimeline, Freeze};
 pub use impair::{ImpairedFate, Impairment, ImpairmentSpec, Jitter, LossModel};
 pub use link::{LinkConfig, LinkStats};

@@ -23,7 +23,7 @@ pub use nodes::{ClientNode, ClientStatus, ServerControl, ServerNode};
 pub use rq_recovery::{CcAlgorithm, CcState, CongestionControl};
 pub use runner::{
     apply_exposure, rep_scenario, run_repetitions, run_scenario, run_scenario_with_trace,
-    RunResult, SweepRunner, SweepScenarios,
+    ProfileReport, ProfileSink, RunResult, SweepRunner, SweepScenarios,
 };
 pub use scenario::{FaultSpec, HandshakeClass, LossSpec, MigrationSpec, ReconnectPolicy, Scenario};
 pub use server_load::{

@@ -77,6 +77,10 @@ pub struct RunResult {
     pub client_log: EventLog,
     /// Full server qlog.
     pub server_log: EventLog,
+    /// Deterministic metrics snapshot for the run: sim-engine tallies
+    /// (`sim/`), server admission (`server/`), and both endpoints' QUIC
+    /// counters (`quic/client/`, `quic/server/`).
+    pub metrics: rq_obs::Registry,
 }
 
 /// Applies a qlog exposure policy to a log: drops unexposed metrics
@@ -219,7 +223,8 @@ fn run_connection(
         Detail::Full,
         SimDuration::from_secs(120),
     );
-    let result = out.results[0].take().expect("single plan yields a result");
+    let mut result = out.results[0].take().expect("single plan yields a result");
+    result.metrics = out.metrics;
     let minted = out.tickets[0].take();
     (result, out.trace, minted)
 }
@@ -308,6 +313,7 @@ pub(crate) fn extract_run_result(
         migrated: client.active_path() != 0,
         client_log,
         server_log,
+        metrics: rq_obs::Registry::default(),
     }
 }
 
@@ -329,7 +335,7 @@ pub fn run_repetitions(sc: &Scenario, n: usize) -> Vec<RunResult> {
 /// The generic sweep configuration now lives in `rq-par` (it is shared
 /// by the scenario harness here and the `rq-wild` macroscopic scan);
 /// re-exported so existing `rq_testbed::SweepRunner` users keep working.
-pub use rq_par::SweepRunner;
+pub use rq_par::{ProfileReport, ProfileSink, SweepRunner};
 
 /// Scenario-specific sweeps on top of the generic [`SweepRunner`].
 pub trait SweepScenarios {

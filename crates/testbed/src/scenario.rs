@@ -286,6 +286,10 @@ pub struct Scenario {
     /// Mid-run path change (connection migration / NAT rebind).
     /// [`MigrationSpec::none`] — the default — is byte-for-byte free.
     pub migration: MigrationSpec,
+    /// Cadence of periodic data-phase `metrics_sampled` qlog events on
+    /// both endpoints. `None` — the default — emits nothing, keeping
+    /// every legacy trace and golden byte-identical.
+    pub metrics_sample_every: Option<SimDuration>,
 }
 
 impl Scenario {
@@ -311,6 +315,7 @@ impl Scenario {
             cc: CcAlgorithm::NewReno,
             streams: 1,
             migration: MigrationSpec::none(),
+            metrics_sample_every: None,
         }
     }
 

@@ -20,7 +20,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rq_par::SweepRunner;
-use rq_quic::{Connection, OverloadPolicy, ServerAccounting, ServerEngine, ERROR_GIVE_UP};
+use rq_quic::{
+    ConnStats, Connection, OverloadPolicy, ServerAccounting, ServerEngine, ERROR_GIVE_UP,
+};
 use rq_sim::{FaultTimeline, LinkConfig, Network, NodeId, SimDuration, SimRng, SimTime};
 use rq_tls::{mint_ticket, SessionTicket, TicketKeySchedule};
 
@@ -327,6 +329,13 @@ pub struct ConnOutcome {
     /// The connection ended on a non-initial network path (a scheduled
     /// migration or NAT rebind actually took effect).
     pub migrated: bool,
+    /// Client PTO timer expirations over the connection's lifetime.
+    pub pto_expirations: u64,
+    /// Packets the client's loss recovery declared lost.
+    pub client_packets_lost: u64,
+    /// Packets the server's loss recovery declared lost for this
+    /// connection (0 when the server never admitted it).
+    pub server_packets_lost: u64,
 }
 
 /// Server-side aggregate report: admission/cost accounting plus
@@ -355,6 +364,11 @@ pub struct ServerLoadReport {
     pub reconnects: u64,
     /// Connections that ended on a migrated path.
     pub migrated: u64,
+    /// Deterministic metrics snapshot: sim-engine event/drop tallies and
+    /// per-space QUIC counters under `sim/`, `server/`, `quic/`,
+    /// plus the `load/lost_per_conn` histogram. Merges as a monoid, so
+    /// the snapshot is identical at any `REACKED_THREADS`.
+    pub metrics: rq_obs::Registry,
 }
 
 /// Counts of connections per terminal fate. A monoid under `merge`, so
@@ -444,6 +458,14 @@ impl ServerLoadReport {
                 self.goodput.record(mbps);
             }
         }
+        self.metrics
+            .add("load/client_pto_expirations", o.pto_expirations);
+        self.metrics
+            .add("load/client_packets_lost", o.client_packets_lost);
+        self.metrics
+            .add("load/server_packets_lost", o.server_packets_lost);
+        self.metrics
+            .observe("load/lost_per_conn", o.client_packets_lost);
     }
 
     /// Folds another report into this one (shard merge).
@@ -457,6 +479,7 @@ impl ServerLoadReport {
         self.fates.merge(&other.fates);
         self.reconnects += other.reconnects;
         self.migrated += other.migrated;
+        self.metrics.merge(&other.metrics);
     }
 }
 
@@ -489,6 +512,11 @@ pub(crate) struct DriveOutput {
     pub accounting: ServerAccounting,
     pub trace: rq_sim::Trace,
     pub tickets: Vec<Option<SessionTicket>>,
+    /// Snapshot of every instrument the drive touched: sim-engine
+    /// tallies (`sim/`), server admission + active-conn gauge
+    /// (`server/`), and the retired connections' aggregated QUIC
+    /// counters (`quic/client/`, `quic/server/`).
+    pub metrics: rq_obs::Registry,
 }
 
 /// A spawned, not-yet-retired client connection.
@@ -541,6 +569,7 @@ pub(crate) fn drive_conn_plans(
     let mut server_cfg = rq_profiles::server::testbed_server(base.ack_mode, base.cert_len);
     server_cfg.cc_algorithm = base.cc;
     server_cfg.cid_pool = base.migration.cid_pool;
+    server_cfg.metrics_sample_every = base.metrics_sample_every;
     if let Some(pto) = base.server_default_pto {
         server_cfg.default_pto = pto;
     }
@@ -572,6 +601,8 @@ pub(crate) fn drive_conn_plans(
     let mut outcomes: Vec<Option<ConnOutcome>> = vec![None; n];
     let mut tickets: Vec<Option<SessionTicket>> = (0..n).map(|_| None).collect();
     let mut last_arrival = SimTime::ZERO;
+    // (client, server) QUIC counter totals, folded in retirement order.
+    let mut conn_totals = (ConnStats::default(), ConnStats::default());
 
     for (i, plan) in plans.into_iter().enumerate() {
         let sc = plan.scenario;
@@ -583,6 +614,7 @@ pub(crate) fn drive_conn_plans(
                 &control,
                 &mut spawned,
                 &mut outcomes,
+                &mut conn_totals,
                 conn_deadline,
                 false,
             );
@@ -604,6 +636,7 @@ pub(crate) fn drive_conn_plans(
         client_cfg.give_up_after = sc.faults.give_up_after;
         client_cfg.give_up_pto_count = sc.faults.give_up_pto_count;
         client_cfg.cid_pool = sc.migration.cid_pool;
+        client_cfg.metrics_sample_every = sc.metrics_sample_every;
         let mut client_node = ClientNode::new(
             client_cfg,
             server_id,
@@ -699,6 +732,7 @@ pub(crate) fn drive_conn_plans(
                 &control,
                 &mut spawned,
                 &mut outcomes,
+                &mut conn_totals,
                 conn_deadline,
                 false,
             );
@@ -738,9 +772,16 @@ pub(crate) fn drive_conn_plans(
         &control,
         &mut spawned,
         &mut outcomes,
+        &mut conn_totals,
         conn_deadline,
         true,
     );
+
+    let mut metrics = rq_obs::Registry::default();
+    net.stats.export(&mut metrics);
+    engine.borrow().export_metrics("server/", &mut metrics);
+    conn_totals.0.export("quic/client/", &mut metrics);
+    conn_totals.1.export("quic/server/", &mut metrics);
 
     let accounting = engine.borrow().accounting;
     DriveOutput {
@@ -752,6 +793,7 @@ pub(crate) fn drive_conn_plans(
         accounting,
         trace: std::mem::take(&mut net.trace),
         tickets,
+        metrics,
     }
 }
 
@@ -765,6 +807,7 @@ fn sweep_finished(
     control: &Rc<RefCell<ServerControl>>,
     spawned: &mut Vec<Spawned>,
     outcomes: &mut [Option<ConnOutcome>],
+    conn_totals: &mut (ConnStats, ConnStats),
     conn_deadline: SimDuration,
     final_pass: bool,
 ) {
@@ -819,6 +862,15 @@ fn sweep_finished(
             Some(bits / (ms / 1000.0) / 1e6)
         });
         let conn = s.conn.borrow();
+        let client_stats = conn.stats();
+        // The server half's counters, read before the engine retires it.
+        let server_stats = engine
+            .borrow_mut()
+            .conn_mut(key as u64)
+            .map(|c| c.stats())
+            .unwrap_or_default();
+        conn_totals.0.merge(&client_stats);
+        conn_totals.1.merge(&server_stats);
         outcomes[s.plan_idx] = Some(ConnOutcome {
             index: s.plan_idx,
             arrival: s.arrival,
@@ -834,6 +886,9 @@ fn sweep_finished(
             reconnects: st.attempts,
             time_to_success_ms: st.complete_at.map(|t| t.since(s.arrival).as_millis_f64()),
             migrated: conn.active_path() != 0,
+            pto_expirations: client_stats.pto_expirations,
+            client_packets_lost: client_stats.packets_lost,
+            server_packets_lost: server_stats.packets_lost,
         });
         drop(conn);
         engine.borrow_mut().retire(key as u64, completed);
@@ -863,6 +918,7 @@ pub fn run_server_load(spec: &ServerLoadSpec) -> ServerLoadRun {
         accounting: out.accounting,
         ..ServerLoadReport::default()
     };
+    report.metrics.merge(&out.metrics);
     for o in &out.outcomes {
         report.record(o);
     }

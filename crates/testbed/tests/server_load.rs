@@ -73,6 +73,32 @@ fn unsharded_equals_single_shard() {
     assert_eq!(whole, sharded);
 }
 
+// ---- observability snapshot ------------------------------------------
+
+#[test]
+fn report_metrics_snapshot_is_populated_and_consistent() {
+    let spec = mixed_spec(13, 40);
+    let run = run_server_load(&spec);
+    let m = &run.report.metrics;
+    // Engine accounting mirrored into the registry.
+    assert_eq!(m.counter("server/arrivals"), run.report.accounting.arrivals);
+    assert_eq!(m.counter("server/accepted"), run.report.accounting.accepted);
+    // The simulation moved datagrams and the QUIC stack sealed packets.
+    assert!(m.counter("sim/events/processed") > 0);
+    assert!(m.counter("sim/datagrams/forwarded") > 0);
+    assert!(m.counter("quic/client/packets_sealed/initial") > 0);
+    assert!(m.counter("quic/server/packets_sealed/handshake") > 0);
+    // Outcome-level loss counters agree with the per-conn QUIC totals.
+    let outcome_lost: u64 = run.outcomes.iter().map(|o| o.client_packets_lost).sum();
+    assert_eq!(m.counter("load/client_packets_lost"), outcome_lost);
+    assert_eq!(m.counter("quic/client/packets_lost"), outcome_lost);
+    // The impaired 3%-loss share must actually lose packets somewhere.
+    assert!(
+        m.counter("load/client_packets_lost") + m.counter("load/server_packets_lost") > 0,
+        "impaired population must see recovery activity"
+    );
+}
+
 // ---- admission accounting --------------------------------------------
 
 #[test]

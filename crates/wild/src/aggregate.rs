@@ -500,6 +500,16 @@ impl ScanAggregates {
         self.measurement_shares_of(cdn, |c| c.iack)
     }
 
+    /// Summed counters for `cdn` across every (vantage, repetition)
+    /// measurement.
+    pub fn totals(&self, cdn: Cdn) -> MeasCounts {
+        let mut t = MeasCounts::default();
+        for m in &self.measurements {
+            t.merge(&m[cdn.index()]);
+        }
+        t
+    }
+
     /// Median advertised ticket lifetime for `cdn` in seconds, across
     /// all vantage points' retained samples; `None` when no ticket was
     /// ever observed.

@@ -102,6 +102,31 @@ impl ScanReport {
     pub fn rtt_minus_ack_delay(&self, cdn: Cdn) -> (RttAckDeltaStats, RttAckDeltaStats) {
         self.aggregates.rtt_ack_delta(cdn)
     }
+
+    /// Exports the scan's exact counters into `reg` under `prefix`:
+    /// per-CDN handshake / instant-ACK / resumption / migration totals
+    /// summed across every (vantage, repetition) measurement, the
+    /// reachable-domain count per CDN, and scan-wide grand totals. All
+    /// values come from the merged aggregates, so the export inherits
+    /// the report's thread-count invariance.
+    pub fn export_metrics(&self, prefix: &str, reg: &mut rq_obs::Registry) {
+        for row in &self.rows {
+            let cdn = row.cdn.name().to_ascii_lowercase();
+            let t = self.aggregates.totals(row.cdn);
+            reg.add(&format!("{prefix}{cdn}/handshakes_ok"), t.ok);
+            reg.add(&format!("{prefix}{cdn}/instant_ack"), t.iack);
+            reg.add(&format!("{prefix}{cdn}/tickets"), t.tickets);
+            reg.add(&format!("{prefix}{cdn}/zero_rtt"), t.zero_rtt);
+            reg.add(&format!("{prefix}{cdn}/migration"), t.migration);
+            reg.add(
+                &format!("{prefix}{cdn}/domains_reachable"),
+                row.domains as u64,
+            );
+            reg.add(&format!("{prefix}handshakes_ok"), t.ok);
+            reg.add(&format!("{prefix}instant_ack"), t.iack);
+            reg.add(&format!("{prefix}domains_reachable"), row.domains as u64);
+        }
+    }
 }
 
 /// Scans one shard: the domains `start..end` of measurement
@@ -385,5 +410,37 @@ mod tests {
         assert_eq!(a, b);
         let c = scan_with(&pop, 1, 5, &SweepRunner::new(1));
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn metrics_export_is_consistent_and_thread_invariant() {
+        let pop = Population::synthesize(5_000, &mut SimRng::new(1));
+        let a = scan_with(&pop, 1, 5, &SweepRunner::new(1));
+        let b = scan_with(&pop, 1, 5, &SweepRunner::new(4));
+        let mut ra = rq_obs::Registry::default();
+        let mut rb = rq_obs::Registry::default();
+        a.export_metrics("wild/", &mut ra);
+        b.export_metrics("wild/", &mut rb);
+        assert_eq!(ra, rb);
+        assert!(ra.counter("wild/cloudflare/handshakes_ok") > 0);
+        // Instant-ACK totals respect the handshake totals per CDN, and
+        // the grand total is the sum over CDN rows.
+        let mut sum = 0;
+        for cdn in Cdn::ALL {
+            let name = cdn.name().to_ascii_lowercase();
+            let ok = ra.counter(&format!("wild/{name}/handshakes_ok"));
+            let iack = ra.counter(&format!("wild/{name}/instant_ack"));
+            assert!(iack <= ok, "{name}: {iack} > {ok}");
+            sum += ok;
+        }
+        assert_eq!(sum, ra.counter("wild/handshakes_ok"));
+        // The exported reachable-domain counts match the Table 1 rows.
+        for row in &a.rows {
+            let name = row.cdn.name().to_ascii_lowercase();
+            assert_eq!(
+                ra.counter(&format!("wild/{name}/domains_reachable")),
+                row.domains as u64
+            );
+        }
     }
 }
